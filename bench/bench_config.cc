@@ -1,0 +1,47 @@
+// Prints the static configuration tables of the paper: Table 1 (NVM
+// characteristics), Table 5 (hardware platform), Table 6 (datasets), and
+// the derived PIM-array geometry.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "pim/pim_config.h"
+#include "sim/platform.h"
+
+namespace pimine {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Table 1: Characteristics of representative NVM techniques");
+  std::cout << FormatNvmTable();
+
+  Banner("Table 5: Hardware platform configuration");
+  std::cout << FormatPlatformConfig(DefaultPlatform());
+  PimConfig pim;
+  std::cout << "PIM: " << pim.ToString() << "\n";
+
+  Banner("Table 6: Datasets (paper scale vs bench scale)");
+  TablePrinter table({"dataset", "task", "paper N", "bench N", "d",
+                      "profile"});
+  for (const DatasetSpec& spec : Catalog::All()) {
+    const char* profile =
+        spec.profile == ClusterProfile::kClustered
+            ? "clustered"
+            : (spec.profile == ClusterProfile::kDiffuse ? "diffuse"
+                                                        : "sparse-counts");
+    table.AddRow({spec.name, spec.task, std::to_string(spec.paper_n),
+                  std::to_string(spec.default_n), std::to_string(spec.dims),
+                  profile});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pimine
+
+int main() {
+  pimine::bench::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: No-PIM vs PIM-oracle (Eq. 2) — the theoretical best any PIM
+// implementation can do, obtained by zeroing the profiled time of the
+// offloadable functions. Paper findings to reproduce: PIM-oracle is ~184x
+// faster than Standard kNN; for k-means the gap is large for Standard
+// (51x) but small for Elkan (2.2x).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "profile_workloads.h"
+#include "profiling/modeled_time.h"
+
+namespace pimine {
+namespace bench {
+namespace {
+
+void PrintOracleTable(const std::vector<ProfiledRun>& runs) {
+  TablePrinter table({"algorithm", "No-PIM ms", "PIM-oracle ms",
+                      "potential speedup"});
+  for (const ProfiledRun& run : runs) {
+    const double oracle_ms =
+        PimOracleNs(run.wall_ms * 1e6, run.offloadable_ms * 1e6) / 1e6;
+    table.AddRow({run.name, Fmt(run.wall_ms), Fmt(oracle_ms),
+                  Fmt(oracle_ms > 0 ? run.wall_ms / oracle_ms : 0.0, 1) +
+                      "x"});
+  }
+  table.Print();
+}
+
+void Run() {
+  Banner("Figure 7(a): kNN No-PIM vs PIM-oracle, MSD, k=10");
+  const BenchWorkload msd = LoadWorkload("MSD");
+  PrintOracleTable(ProfileKnnAlgorithms(msd, 10));
+
+  Banner("Figure 7(b): k-means No-PIM vs PIM-oracle, NUS-WIDE, k=64 "
+         "(ms/iteration)");
+  const BenchWorkload nus = LoadWorkload("NUS-WIDE");
+  PrintOracleTable(ProfileKmeansAlgorithms(nus, 64, 3));
+
+  std::cout << "\nPaper reference: PIM-oracle is 183.9x faster than "
+               "Standard kNN; 51.4x (Standard), 7.5x (Drake), 5.3x "
+               "(Yinyang), 2.2x (Elkan) for k-means.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pimine
+
+int main() {
+  pimine::bench::Run();
+  return 0;
+}

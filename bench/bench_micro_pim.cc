@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) of the PIM substrate: cycle-level
+// crossbar dot products, batched device matches, layout math, and the
+// crossbar-geometry ablations called out in DESIGN.md §5.
+
+#include <benchmark/benchmark.h>
+
+#include "data/matrix.h"
+#include "pim/crossbar.h"
+#include "pim/crossbar_math.h"
+#include "pim/pim_device.h"
+#include "pim/timing.h"
+#include "util/random.h"
+
+namespace pimine {
+namespace {
+
+void BM_CrossbarPipelineDotProduct(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int operand_bits = static_cast<int>(state.range(1));
+  Crossbar xbar(dim, 2);
+  Rng rng(1);
+  const uint64_t limit = 1ULL << operand_bits;
+  const int cols = xbar.NumLogicalColumns(operand_bits);
+  std::vector<uint32_t> operands(dim);
+  for (int c = 0; c < cols; ++c) {
+    for (auto& v : operands) v = static_cast<uint32_t>(rng.NextBounded(limit));
+    benchmark::DoNotOptimize(xbar.ProgramVector(c, operands, operand_bits));
+  }
+  std::vector<uint32_t> input(dim);
+  for (auto& v : input) v = static_cast<uint32_t>(rng.NextBounded(limit));
+
+  for (auto _ : state) {
+    auto result = xbar.DotProduct(input, operand_bits, operand_bits, 2);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * dim * cols);
+}
+BENCHMARK(BM_CrossbarPipelineDotProduct)
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Args({256, 32});
+
+void BM_DeviceBatchDotProduct(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = static_cast<size_t>(state.range(1));
+  IntMatrix data(n, d);
+  Rng rng(2);
+  for (size_t i = 0; i < n; ++i) {
+    for (int32_t& v : data.mutable_row(i)) {
+      v = static_cast<int32_t>(rng.NextBounded(1 << 20));
+    }
+  }
+  PimDevice device;
+  if (!device.ProgramDataset(data).ok()) {
+    state.SkipWithError("program failed");
+    return;
+  }
+  std::vector<int32_t> query(d);
+  for (auto& v : query) v = static_cast<int32_t>(rng.NextBounded(1 << 20));
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.DotProductAll(query, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * n * d);
+}
+BENCHMARK(BM_DeviceBatchDotProduct)
+    ->Args({10000, 105})
+    ->Args({10000, 420})
+    ->Args({20000, 960});
+
+// Ablation: modeled batch latency vs crossbar size and cell precision.
+void BM_ModeledLatencyAblation(benchmark::State& state) {
+  PimConfig config;
+  config.crossbar_dim = static_cast<int>(state.range(0));
+  config.cell_bits = static_cast<int>(state.range(1));
+  config.dac_bits = config.cell_bits;
+  PimTimingModel timing(config);
+  double total = 0.0;
+  for (auto _ : state) {
+    total += timing.BatchDotLatencyNs(1024, 32);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["latency_ns"] = timing.BatchDotLatencyNs(1024, 32);
+  state.counters["crossbars_per_pair"] =
+      CrossbarsForPair(1024, config.crossbar_dim);
+}
+BENCHMARK(BM_ModeledLatencyAblation)
+    ->Args({128, 2})
+    ->Args({256, 2})
+    ->Args({512, 2})
+    ->Args({256, 4});
+
+void BM_PlanLayout(benchmark::State& state) {
+  PimConfig config;
+  for (auto _ : state) {
+    auto s = MaxCompressedDim(1'000'000, 32, 4096, config);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_PlanLayout);
+
+}  // namespace
+}  // namespace pimine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark) of the similarity kernels and bound
+// functions — the per-candidate costs that Eq. 13 reasons about.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.h"
+#include "core/segments.h"
+#include "core/similarity.h"
+#include "data/bit_matrix.h"
+#include "util/random.h"
+
+namespace pimine {
+namespace {
+
+std::vector<float> RandomVector(size_t d, uint64_t seed) {
+  std::vector<float> v(d);
+  Rng rng(seed);
+  for (float& x : v) x = rng.NextFloat();
+  return v;
+}
+
+void BM_SquaredEuclidean(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto p = RandomVector(d, 1);
+  const auto q = RandomVector(d, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredEuclidean(p, q));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_SquaredEuclidean)->Arg(128)->Arg(420)->Arg(960)->Arg(4096);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto p = RandomVector(d, 3);
+  const auto q = RandomVector(d, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineSimilarity(p, q));
+  }
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(420)->Arg(960);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto p = RandomVector(d, 5);
+  const auto q = RandomVector(d, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PearsonCorrelation(p, q));
+  }
+}
+BENCHMARK(BM_PearsonCorrelation)->Arg(420)->Arg(960);
+
+void BM_LbFnn(benchmark::State& state) {
+  const size_t d = 420;
+  const int64_t d0 = state.range(0);
+  const auto p = RandomVector(d, 7);
+  const auto q = RandomVector(d, 8);
+  std::vector<float> pm(d0), ps(d0), qm(d0), qs(d0);
+  ComputeSegments(p, d0, pm, ps);
+  ComputeSegments(q, d0, qm, qs);
+  const int64_t l = SegmentLength(d, d0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbFnn(pm, ps, qm, qs, l));
+  }
+}
+BENCHMARK(BM_LbFnn)->Arg(7)->Arg(28)->Arg(105);
+
+void BM_HammingDistance(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BitMatrix codes(2, bits);
+  Rng rng(9);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t b = 0; b < bits; ++b) codes.Set(r, b, rng.NextBool());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BitMatrix::HammingDistance(codes.row(0), codes.row(1)));
+  }
+}
+BENCHMARK(BM_HammingDistance)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_EarlyAbandon(benchmark::State& state) {
+  const size_t d = 960;
+  const auto p = RandomVector(d, 10);
+  const auto q = RandomVector(d, 11);
+  const double threshold = SquaredEuclidean(p, q) / state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredEuclideanEarlyAbandon(p, q, threshold));
+  }
+}
+BENCHMARK(BM_EarlyAbandon)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace pimine
+
+BENCHMARK_MAIN();

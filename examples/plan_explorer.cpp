@@ -1,0 +1,60 @@
+// Hardware planning walkthrough: how Theorem 4 (PIM memory management,
+// §V-C) and Eq. 13 (execution-plan optimization, §V-D) react to the PIM
+// array budget. For a fixed dataset it sweeps the number of crossbars,
+// showing the chosen compressed dimensionality s, the crossbar split
+// (data vs gather), and the execution plan the optimizer would run.
+//
+// Build & run:  ./build/examples/plan_explorer
+
+#include <cstdio>
+
+#include "core/memory_planner.h"
+#include "core/plan.h"
+#include "data/catalog.h"
+#include "data/generator.h"
+#include "knn/fnn_pim_knn.h"
+
+using namespace pimine;
+
+int main() {
+  auto spec = Catalog::Find("MSD");
+  PIMINE_CHECK(spec.ok());
+  const int64_t n = 8000;
+  const FloatMatrix data = DatasetGenerator::Generate(*spec, n, 31);
+
+  std::printf("dataset: %lld vectors x %d dims, 32-bit operands, two\n"
+              "matrices to program (segment means + stddevs)\n\n",
+              (long long)n, spec->dims);
+  std::printf("%-12s %-6s %-12s %-10s %s\n", "crossbars", "s", "compressed",
+              "ndata", "ngather");
+  for (int64_t crossbars : {64, 128, 256, 512, 1024, 4096, 131072}) {
+    PimConfig config;
+    config.num_crossbars = crossbars;
+    auto plan = PlanPimLayout(n, spec->dims, 32, /*copies=*/2, config);
+    if (!plan.ok()) {
+      std::printf("%-12lld (does not fit: %s)\n", (long long)crossbars,
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-12lld %-6lld %-12s %-10lld %lld\n", (long long)crossbars,
+                (long long)plan->s, plan->compressed ? "yes" : "no",
+                (long long)plan->data_crossbars,
+                (long long)plan->gather_crossbars);
+  }
+
+  // Execution plans under two budgets: generous vs tight.
+  for (int64_t crossbars : {4096, 256}) {
+    EngineOptions options;
+    options.pim_config.num_crossbars = crossbars;
+    FnnPimKnn algorithm(options, /*optimize=*/true);
+    PIMINE_CHECK_OK(algorithm.Prepare(data));
+    std::printf("\nbudget %lld crossbars -> plan %s\n", (long long)crossbars,
+                algorithm.plan().ToString(algorithm.candidates()).c_str());
+    for (const BoundCandidate& c : algorithm.candidates()) {
+      std::printf("  %-18s %6.0f bits/candidate, prunes %5.1f%% "
+                  "(conditional)\n",
+                  c.name.c_str(), c.transfer_bits, 100.0 * c.pruning_ratio);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef PIMINE_COMMON_LOGGING_H_
+#define PIMINE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace pimine {
+namespace internal_logging {
+
+/// Accumulates a message and aborts the process when destroyed. Used by
+/// PIMINE_CHECK for unrecoverable programmer errors (library code reports
+/// recoverable errors through Status instead).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line
+            << " Check failed: " << condition << " ";
+  }
+
+  ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  /// Lvalue view of a freshly constructed temporary, so the PIMINE_CHECK
+  /// macro can hand it to Voidify::operator& with or without streamed args.
+  FatalLogMessage& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets the ternary in PIMINE_CHECK produce `void` on both branches while
+/// still allowing `PIMINE_CHECK(x) << "detail"` (operator& binds after <<).
+struct Voidify {
+  void operator&(FatalLogMessage&) {}
+};
+
+}  // namespace internal_logging
+
+/// Aborts with a diagnostic when `cond` is false. For invariants and
+/// precondition violations that indicate bugs, not recoverable errors.
+/// Supports streaming extra context: PIMINE_CHECK(n > 0) << "n=" << n;
+#define PIMINE_CHECK(cond)                        \
+  (cond) ? (void)0                                \
+         : ::pimine::internal_logging::Voidify()& \
+           ::pimine::internal_logging::FatalLogMessage(__FILE__, __LINE__, #cond).self()
+
+/// Aborts if `expr` (a Status expression) is not OK.
+#define PIMINE_CHECK_OK(expr)                                              \
+  do {                                                                     \
+    const ::pimine::Status _pimine_check_status = (expr);                  \
+    PIMINE_CHECK(_pimine_check_status.ok()) << _pimine_check_status.ToString(); \
+  } while (false)
+
+#ifndef NDEBUG
+#define PIMINE_DCHECK(cond) PIMINE_CHECK(cond)
+#else
+#define PIMINE_DCHECK(cond) PIMINE_CHECK(true || (cond))
+#endif
+
+}  // namespace pimine
+
+#endif  // PIMINE_COMMON_LOGGING_H_

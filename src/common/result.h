@@ -1,0 +1,71 @@
+#ifndef PIMINE_COMMON_RESULT_H_
+#define PIMINE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace pimine {
+
+/// `Result<T>` holds either a value of type `T` or a non-OK `Status`
+/// explaining why the value is absent (the StatusOr / arrow::Result idiom).
+///
+/// Usage:
+///   Result<Plan> plan = optimizer.Choose(bounds);
+///   if (!plan.ok()) return plan.status();
+///   Use(plan.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversions from T and Status keep call sites terse, matching
+  /// the StatusOr convention.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PIMINE_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    PIMINE_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PIMINE_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PIMINE_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Unwraps a Result into `lhs`, propagating errors.
+///   PIMINE_ASSIGN_OR_RETURN(auto plan, optimizer.Choose(bounds));
+#define PIMINE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+#define PIMINE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define PIMINE_ASSIGN_OR_RETURN_NAME(a, b) PIMINE_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define PIMINE_ASSIGN_OR_RETURN(lhs, expr) \
+  PIMINE_ASSIGN_OR_RETURN_IMPL(            \
+      PIMINE_ASSIGN_OR_RETURN_NAME(_pimine_result_, __LINE__), lhs, expr)
+
+}  // namespace pimine
+
+#endif  // PIMINE_COMMON_RESULT_H_

@@ -1,0 +1,89 @@
+#ifndef PIMINE_COMMON_STATUS_H_
+#define PIMINE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pimine {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention: a small closed set of codes plus a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCapacityExceeded,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier. The library never throws; every fallible
+/// operation returns `Status` (or `Result<T>` when it also produces a value).
+///
+/// Usage:
+///   Status s = device.Program(matrix);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Expression-statement form:
+///   PIMINE_RETURN_IF_ERROR(DoThing());
+#define PIMINE_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::pimine::Status _pimine_status = (expr);        \
+    if (!_pimine_status.ok()) return _pimine_status; \
+  } while (false)
+
+}  // namespace pimine
+
+#endif  // PIMINE_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#include "core/decompose.h"
+
+#include <cmath>
+
+namespace pimine {
+
+double EdDecomposition::Phi(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+double CsDecomposition::Phi(std::span<const float> x) {
+  return std::sqrt(EdDecomposition::Phi(x));
+}
+
+PccDecomposition::Phi PccDecomposition::ComputePhi(std::span<const float> x) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (float v : x) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  Phi out;
+  out.b = sum;
+  const double inner = static_cast<double>(x.size()) * sum_sq - sum * sum;
+  out.a = inner > 0.0 ? std::sqrt(inner) : 0.0;
+  return out;
+}
+
+double FnnDecomposition::Phi(std::span<const float> seg_means,
+                             std::span<const float> seg_stds,
+                             int64_t segment_length) {
+  double acc = 0.0;
+  for (size_t i = 0; i < seg_means.size(); ++i) {
+    acc += static_cast<double>(seg_means[i]) * seg_means[i] +
+           static_cast<double>(seg_stds[i]) * seg_stds[i];
+  }
+  return static_cast<double>(segment_length) * acc;
+}
+
+}  // namespace pimine

@@ -1,0 +1,75 @@
+#ifndef PIMINE_CORE_DECOMPOSE_H_
+#define PIMINE_CORE_DECOMPOSE_H_
+
+#include <cstdint>
+#include <span>
+
+namespace pimine {
+
+/// Eq. 3 / Table 4: PIM-aware decompositions F(p,q) = G(Phi(p), Phi(q), p.q)
+/// of the exact similarity functions. Phi is computed offline over the
+/// dataset (and once per query); the dot product is the part PIM executes;
+/// G combines them in O(1) on the host.
+///
+/// These are the *exact* decompositions (valid for real-valued vectors).
+/// The quantized PIM-aware *bounds* that hardware can actually evaluate live
+/// in core/pim_bounds.h; tests verify both layers against the direct
+/// formulas in core/similarity.h.
+
+/// ED(p,q) = Phi(p) + Phi(q) - 2 p.q with Phi(x) = sum x_i^2 (Eq. 4).
+struct EdDecomposition {
+  static double Phi(std::span<const float> x);
+  static double Combine(double phi_p, double phi_q, double dot) {
+    return phi_p + phi_q - 2.0 * dot;
+  }
+};
+
+/// CS(p,q) = p.q / (Phi(p) * Phi(q)) with Phi(x) = sqrt(sum x_i^2).
+struct CsDecomposition {
+  static double Phi(std::span<const float> x);
+  static double Combine(double phi_p, double phi_q, double dot) {
+    const double denom = phi_p * phi_q;
+    return denom > 0.0 ? dot / denom : 0.0;
+  }
+};
+
+/// PCC(p,q) = (d * p.q - PhiB(p)*PhiB(q)) / (PhiA(p)*PhiA(q)) with
+/// PhiA(x) = sqrt(d * sum x^2 - (sum x)^2) and PhiB(x) = sum x.
+struct PccDecomposition {
+  struct Phi {
+    double a = 0.0;
+    double b = 0.0;
+  };
+  static Phi ComputePhi(std::span<const float> x);
+  static double Combine(const Phi& p, const Phi& q, double dot, int64_t dims) {
+    const double denom = p.a * q.a;
+    if (denom <= 0.0) return 0.0;
+    return (static_cast<double>(dims) * dot - p.b * q.b) / denom;
+  }
+};
+
+/// HD(p,q) = d - p.q - p~.q~ on 0/1 vectors, where p~ is the bit complement
+/// (Table 4). Both dot products are PIM-computable.
+struct HdDecomposition {
+  static int64_t Combine(int64_t code_dot, int64_t complement_dot,
+                         int64_t dims) {
+    return dims - code_dot - complement_dot;
+  }
+};
+
+/// LB_FNN decomposed (Table 4 last row):
+///   LB = Phi(p) + Phi(q) - 2l*mu(p).mu(q) - 2l*sigma(p).sigma(q)
+/// with Phi(x) = l * sum(mu_i^2 + sigma_i^2) over the segment stats.
+struct FnnDecomposition {
+  static double Phi(std::span<const float> seg_means,
+                    std::span<const float> seg_stds, int64_t segment_length);
+  static double Combine(double phi_p, double phi_q, double mean_dot,
+                        double std_dot, int64_t segment_length) {
+    return phi_p + phi_q -
+           2.0 * static_cast<double>(segment_length) * (mean_dot + std_dot);
+  }
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_CORE_DECOMPOSE_H_

@@ -1,0 +1,348 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/decompose.h"
+#include "core/pim_bounds.h"
+#include "core/segments.h"
+
+namespace pimine {
+namespace {
+
+Status CheckUnitRange(const FloatMatrix& data) {
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (float v : data.row(i)) {
+      if (!(v >= 0.0f && v <= 1.0f)) {
+        return Status::InvalidArgument(
+            "data must be normalized into [0, 1]; use MinMaxScaler");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view EngineModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kDirectEd:
+      return "LB_PIM-ED";
+    case EngineMode::kSegmentFnn:
+      return "LB_PIM-FNN";
+    case EngineMode::kSegmentSm:
+      return "LB_PIM-SM";
+    case EngineMode::kCosine:
+      return "UB_PIM-CS";
+    case EngineMode::kPearson:
+      return "UB_PIM-PCC";
+  }
+  return "?";
+}
+
+PimEngine::PimEngine(EngineMode mode, const EngineOptions& options)
+    : mode_(mode),
+      options_(options),
+      quantizer_(options.alpha),
+      operand_bits_(options.operand_bits) {}
+
+Result<std::unique_ptr<PimEngine>> PimEngine::Build(
+    const FloatMatrix& data, Distance distance,
+    const EngineOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot build engine on empty data");
+  }
+  if (distance == Distance::kHamming) {
+    return Status::InvalidArgument(
+        "use PimHammingEngine for binary-code workloads");
+  }
+  PIMINE_RETURN_IF_ERROR(CheckUnitRange(data));
+
+  const int64_t n = static_cast<int64_t>(data.rows());
+  const int64_t d = static_cast<int64_t>(data.cols());
+
+  if (distance == Distance::kCosine || distance == Distance::kPearson) {
+    if (options.bound != EngineOptions::Bound::kAuto) {
+      return Status::InvalidArgument(
+          "CS/PCC engines only support the automatic bound");
+    }
+    PIMINE_ASSIGN_OR_RETURN(MemoryPlan plan,
+                            PlanPimLayout(n, d, options.operand_bits, 1,
+                                          options.pim_config));
+    if (plan.compressed) {
+      return Status::CapacityExceeded(
+          "CS/PCC require the full-dimensionality dataset on PIM; "
+          "enlarge the PIM array");
+    }
+    auto engine = std::unique_ptr<PimEngine>(new PimEngine(
+        distance == Distance::kCosine ? EngineMode::kCosine
+                                      : EngineMode::kPearson,
+        options));
+    engine->plan_ = plan;
+    PIMINE_RETURN_IF_ERROR(engine->BuildDotUpper(
+        data, /*pearson=*/distance == Distance::kPearson));
+    return engine;
+  }
+
+  // Euclidean family: pick the bound.
+  EngineOptions::Bound bound = options.bound;
+  MemoryPlan plan;
+  if (bound == EngineOptions::Bound::kAuto) {
+    PIMINE_ASSIGN_OR_RETURN(plan, PlanPimLayout(n, d, options.operand_bits, 1,
+                                                options.pim_config));
+    bound = plan.compressed ? EngineOptions::Bound::kSegmentFnn
+                            : EngineOptions::Bound::kDirectEd;
+  }
+
+  switch (bound) {
+    case EngineOptions::Bound::kDirectEd: {
+      PIMINE_ASSIGN_OR_RETURN(plan, PlanPimLayout(n, d, options.operand_bits,
+                                                  1, options.pim_config));
+      if (plan.compressed) {
+        return Status::CapacityExceeded(
+            "full-dimensionality LB_PIM-ED does not fit; use a segment "
+            "bound");
+      }
+      auto engine = std::unique_ptr<PimEngine>(
+          new PimEngine(EngineMode::kDirectEd, options));
+      engine->plan_ = plan;
+      PIMINE_RETURN_IF_ERROR(engine->BuildDirectEd(data));
+      return engine;
+    }
+    case EngineOptions::Bound::kSegmentFnn:
+    case EngineOptions::Bound::kSegmentSm: {
+      const bool with_stds = bound == EngineOptions::Bound::kSegmentFnn;
+      const int copies = with_stds ? 2 : 1;
+      PIMINE_ASSIGN_OR_RETURN(plan, PlanPimLayout(n, d, options.operand_bits,
+                                                  copies, options.pim_config));
+      // Beyond d/4 segments the bound gains little tightness (segments of
+      // fewer than 4 values) while the crossbar cost keeps growing, so the
+      // automatic choice caps Theorem 4's maximum there — matching the
+      // paper's picks (s=105 on MSD, d=420).
+      int64_t s = std::min(plan.s, std::max<int64_t>(1, d / 4));
+      if (options.force_segments > 0) {
+        if (options.force_segments > plan.s) {
+          return Status::CapacityExceeded(
+              "forced segment count exceeds the Theorem 4 maximum");
+        }
+        s = options.force_segments;
+      }
+      auto engine = std::unique_ptr<PimEngine>(new PimEngine(
+          with_stds ? EngineMode::kSegmentFnn : EngineMode::kSegmentSm,
+          options));
+      plan.s = s;
+      plan.compressed = s < d;
+      engine->plan_ = plan;
+      engine->num_segments_ = s;
+      engine->segment_length_ = SegmentLength(d, s);
+      PIMINE_RETURN_IF_ERROR(engine->BuildSegment(data, with_stds));
+      return engine;
+    }
+    case EngineOptions::Bound::kAuto:
+      break;
+  }
+  return Status::Internal("unreachable engine bound selection");
+}
+
+Status PimEngine::BuildDirectEd(const FloatMatrix& data) {
+  num_objects_ = data.rows();
+  dims_ = data.cols();
+  device1_ = std::make_unique<PimDevice>(options_.pim_config);
+  PIMINE_RETURN_IF_ERROR(
+      device1_->ProgramDataset(quantizer_.Quantize(data), operand_bits_));
+  phi_ = quantizer_.PhiEdAll(data);
+  PIMINE_RETURN_IF_ERROR(device1_->StoreAux(phi_.size() * sizeof(double)));
+  offline_ns_ = device1_->stats().program_ns;
+  offline_bytes_written_ =
+      num_objects_ * dims_ * (operand_bits_ / 8) + phi_.size() * sizeof(double);
+  scratch_ints_.resize(dims_);
+  return Status::OK();
+}
+
+Status PimEngine::BuildSegment(const FloatMatrix& data, bool with_stds) {
+  num_objects_ = data.rows();
+  dims_ = data.cols();
+  const int64_t s = num_segments_;
+  SegmentStats stats = ComputeSegmentStats(data, s);
+
+  device1_ = std::make_unique<PimDevice>(options_.pim_config);
+  PIMINE_RETURN_IF_ERROR(device1_->ProgramDataset(
+      quantizer_.Quantize(stats.means), operand_bits_));
+  double program_ns = device1_->stats().program_ns;
+  uint64_t bytes = num_objects_ * s * (operand_bits_ / 8);
+
+  if (with_stds) {
+    device2_ = std::make_unique<PimDevice>(options_.pim_config);
+    PIMINE_RETURN_IF_ERROR(device2_->ProgramDataset(
+        quantizer_.Quantize(stats.stds), operand_bits_));
+    program_ns += device2_->stats().program_ns;
+    bytes += num_objects_ * s * (operand_bits_ / 8);
+  }
+
+  phi_.resize(num_objects_);
+  for (size_t i = 0; i < num_objects_; ++i) {
+    phi_[i] = with_stds
+                  ? quantizer_.PhiFnn(stats.means.row(i), stats.stds.row(i))
+                  : quantizer_.PhiSm(stats.means.row(i));
+  }
+  PIMINE_RETURN_IF_ERROR(device1_->StoreAux(phi_.size() * sizeof(double)));
+  bytes += phi_.size() * sizeof(double);
+
+  offline_ns_ = program_ns;
+  offline_bytes_written_ = bytes;
+  scratch_ints_.resize(static_cast<size_t>(s));
+  scratch_means_.resize(static_cast<size_t>(s));
+  scratch_stds_.resize(static_cast<size_t>(s));
+  return Status::OK();
+}
+
+Status PimEngine::BuildDotUpper(const FloatMatrix& data, bool pearson) {
+  num_objects_ = data.rows();
+  dims_ = data.cols();
+  device1_ = std::make_unique<PimDevice>(options_.pim_config);
+  PIMINE_RETURN_IF_ERROR(
+      device1_->ProgramDataset(quantizer_.Quantize(data), operand_bits_));
+
+  sum_floor_.resize(num_objects_);
+  norm_.resize(num_objects_);
+  if (pearson) phi_b_.resize(num_objects_);
+  for (size_t i = 0; i < num_objects_; ++i) {
+    const auto row = data.row(i);
+    sum_floor_[i] = quantizer_.SumFloors(row);
+    if (pearson) {
+      const PccDecomposition::Phi phi = PccDecomposition::ComputePhi(row);
+      norm_[i] = phi.a;
+      phi_b_[i] = phi.b;
+    } else {
+      norm_[i] = CsDecomposition::Phi(row);
+    }
+  }
+  const uint64_t aux_bytes =
+      (sum_floor_.size() + norm_.size() + phi_b_.size()) * sizeof(double);
+  PIMINE_RETURN_IF_ERROR(device1_->StoreAux(aux_bytes));
+  offline_ns_ = device1_->stats().program_ns;
+  offline_bytes_written_ =
+      num_objects_ * dims_ * (operand_bits_ / 8) + aux_bytes;
+  scratch_ints_.resize(dims_);
+  return Status::OK();
+}
+
+Status PimEngine::CheckQuery(std::span<const float> query) const {
+  if (query.size() != dims_) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  for (float v : query) {
+    if (!(v >= 0.0f && v <= 1.0f)) {
+      return Status::InvalidArgument("query must be normalized into [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Result<PimEngine::QueryHandle> PimEngine::RunQuery(
+    std::span<const float> query) {
+  PIMINE_RETURN_IF_ERROR(CheckQuery(query));
+  QueryHandle handle;
+  switch (mode_) {
+    case EngineMode::kDirectEd: {
+      quantizer_.QuantizeRow(query, scratch_ints_);
+      handle.phi_q = quantizer_.PhiEd(query);
+      PIMINE_RETURN_IF_ERROR(
+          device1_->DotProductAll(scratch_ints_, &handle.dots1));
+      break;
+    }
+    case EngineMode::kSegmentFnn:
+    case EngineMode::kSegmentSm: {
+      ComputeSegments(query, num_segments_, scratch_means_, scratch_stds_);
+      quantizer_.QuantizeRow(scratch_means_, scratch_ints_);
+      PIMINE_RETURN_IF_ERROR(
+          device1_->DotProductAll(scratch_ints_, &handle.dots1));
+      if (mode_ == EngineMode::kSegmentFnn) {
+        handle.phi_q = quantizer_.PhiFnn(scratch_means_, scratch_stds_);
+        quantizer_.QuantizeRow(scratch_stds_, scratch_ints_);
+        PIMINE_RETURN_IF_ERROR(
+            device2_->DotProductAll(scratch_ints_, &handle.dots2));
+      } else {
+        handle.phi_q = quantizer_.PhiSm(scratch_means_);
+      }
+      break;
+    }
+    case EngineMode::kCosine: {
+      quantizer_.QuantizeRow(query, scratch_ints_);
+      handle.sum_floor_q = quantizer_.SumFloors(query);
+      handle.norm_q = CsDecomposition::Phi(query);
+      PIMINE_RETURN_IF_ERROR(
+          device1_->DotProductAll(scratch_ints_, &handle.dots1));
+      break;
+    }
+    case EngineMode::kPearson: {
+      quantizer_.QuantizeRow(query, scratch_ints_);
+      handle.sum_floor_q = quantizer_.SumFloors(query);
+      const PccDecomposition::Phi phi = PccDecomposition::ComputePhi(query);
+      handle.norm_q = phi.a;
+      handle.phi_b_q = phi.b;
+      PIMINE_RETURN_IF_ERROR(
+          device1_->DotProductAll(scratch_ints_, &handle.dots1));
+      break;
+    }
+  }
+  return handle;
+}
+
+double PimEngine::BoundFor(const QueryHandle& handle, size_t index) const {
+  PIMINE_DCHECK(index < num_objects_);
+  switch (mode_) {
+    case EngineMode::kDirectEd:
+      return LbPimEdCombine(phi_[index], handle.phi_q, handle.dots1[index],
+                            static_cast<int64_t>(dims_), quantizer_.alpha());
+    case EngineMode::kSegmentFnn:
+      return LbPimFnnCombine(phi_[index], handle.phi_q, handle.dots1[index],
+                             handle.dots2[index], num_segments_,
+                             segment_length_, quantizer_.alpha());
+    case EngineMode::kSegmentSm:
+      return LbPimSmCombine(phi_[index], handle.phi_q, handle.dots1[index],
+                            num_segments_, segment_length_,
+                            quantizer_.alpha());
+    case EngineMode::kCosine: {
+      const double ub_dot = UbPimDotCombine(
+          handle.dots1[index], sum_floor_[index], handle.sum_floor_q,
+          static_cast<int64_t>(dims_), quantizer_.alpha());
+      return UbPimCosine(ub_dot, norm_[index], handle.norm_q);
+    }
+    case EngineMode::kPearson: {
+      const double ub_dot = UbPimDotCombine(
+          handle.dots1[index], sum_floor_[index], handle.sum_floor_q,
+          static_cast<int64_t>(dims_), quantizer_.alpha());
+      return UbPimPearson(ub_dot, static_cast<int64_t>(dims_), phi_b_[index],
+                          handle.phi_b_q, norm_[index], handle.norm_q);
+    }
+  }
+  PIMINE_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+Status PimEngine::ComputeBounds(std::span<const float> query,
+                                std::vector<double>* bounds) {
+  PIMINE_CHECK(bounds != nullptr);
+  PIMINE_ASSIGN_OR_RETURN(QueryHandle handle, RunQuery(query));
+  bounds->resize(num_objects_);
+  for (size_t i = 0; i < num_objects_; ++i) {
+    (*bounds)[i] = BoundFor(handle, i);
+  }
+  return Status::OK();
+}
+
+double PimEngine::PimComputeNs() const {
+  double total = device1_ ? device1_->stats().compute_ns : 0.0;
+  if (device2_) total += device2_->stats().compute_ns;
+  return total;
+}
+
+void PimEngine::ResetOnlineStats() {
+  if (device1_) device1_->ResetOnlineStats();
+  if (device2_) device2_->ResetOnlineStats();
+}
+
+}  // namespace pimine

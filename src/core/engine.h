@@ -1,0 +1,166 @@
+#ifndef PIMINE_CORE_ENGINE_H_
+#define PIMINE_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/memory_planner.h"
+#include "core/quantize.h"
+#include "core/similarity.h"
+#include "data/matrix.h"
+#include "pim/pim_config.h"
+#include "pim/pim_device.h"
+
+namespace pimine {
+
+/// How the engine turns a similarity function into a PIM-aware bound.
+enum class EngineMode {
+  /// Theorem 1: LB_PIM-ED on the full (quantized) vectors.
+  kDirectEd,
+  /// Theorem 2: LB_PIM-FNN on segment means + stddevs (two PIM matrices).
+  kSegmentFnn,
+  /// Means-only segment bound (PIM-aware LB_SM; one PIM matrix).
+  kSegmentSm,
+  /// Upper bound on cosine similarity.
+  kCosine,
+  /// Upper bound on Pearson correlation.
+  kPearson,
+};
+
+std::string_view EngineModeName(EngineMode mode);
+
+/// Build-time knobs for PimEngine.
+struct EngineOptions {
+  /// Scaling factor of Eq. 5; the paper's default is 1e6 (§VI-B).
+  double alpha = 1e6;
+  /// PIM hardware description.
+  PimConfig pim_config;
+  /// Bit width of crossbar operands (the paper keeps 32, §VI-B).
+  int operand_bits = 32;
+  /// Bound family. ED queries default to automatic selection: direct when
+  /// the dataset fits at full dimensionality, segment-FNN otherwise
+  /// (Theorem 4 chooses s).
+  enum class Bound { kAuto, kDirectEd, kSegmentFnn, kSegmentSm };
+  Bound bound = Bound::kAuto;
+  /// For segment modes: use exactly this many segments (0 = let Theorem 4
+  /// maximize s).
+  int64_t force_segments = 0;
+};
+
+/// The paper's framework in one object (§V): offline, it normalizes the
+/// roles — quantize the dataset (Eq. 5-6), compress it to the Theorem 4
+/// dimensionality if needed (§V-C), program the PIM array, and pre-compute
+/// the Phi terms of the PIM-aware (bound) function; online, each query
+/// costs one or two PIM batch dot-products plus O(1) host work per
+/// candidate, transferring 3*b bits instead of d*b (Fig. 8).
+///
+/// For ED the produced values are *lower bounds on squared ED*; for CS/PCC
+/// they are *upper bounds on similarity*. Guarantees (tested as invariants):
+///   ED modes:  BoundFor(h, i) <= SquaredEuclidean(data[i], q)
+///   CS mode:   BoundFor(h, i) >= CosineSimilarity(data[i], q)
+///   PCC mode:  BoundFor(h, i) >= PearsonCorrelation(data[i], q)
+///
+/// Input data and queries must already be normalized into [0, 1] per
+/// dimension (use MinMaxScaler); Build rejects out-of-range data.
+class PimEngine {
+ public:
+  /// Result of one PIM batch for one query: dot products for every object
+  /// plus the query-side scalars, enabling lazy per-object combines (the
+  /// host loads only the PIM results it actually inspects).
+  struct QueryHandle {
+    std::vector<uint64_t> dots1;  // floors / segment-mean dots.
+    std::vector<uint64_t> dots2;  // segment-std dots (kSegmentFnn only).
+    double phi_q = 0.0;
+    double sum_floor_q = 0.0;  // CS/PCC.
+    double norm_q = 0.0;       // CS: |q|;  PCC: phi_a(q).
+    double phi_b_q = 0.0;      // PCC.
+  };
+
+  /// Builds the offline state: plans the layout (Theorem 4), programs the
+  /// PIM array, and pre-computes Phi for every object. `data` rows must be
+  /// in [0, 1].
+  static Result<std::unique_ptr<PimEngine>> Build(const FloatMatrix& data,
+                                                  Distance distance,
+                                                  const EngineOptions& options);
+
+  /// Executes the PIM batch(es) for `query` (same dimensionality as the
+  /// data, values in [0, 1]).
+  Result<QueryHandle> RunQuery(std::span<const float> query);
+
+  /// Lazy combine for object `index`: O(1) host work, 3*b bits of transfer.
+  double BoundFor(const QueryHandle& handle, size_t index) const;
+
+  /// Convenience: RunQuery + BoundFor for every object.
+  Status ComputeBounds(std::span<const float> query,
+                       std::vector<double>* bounds);
+
+  EngineMode mode() const { return mode_; }
+  const MemoryPlan& plan() const { return plan_; }
+  size_t num_objects() const { return num_objects_; }
+  size_t dims() const { return dims_; }
+  int64_t num_segments() const { return num_segments_; }
+  int64_t segment_length() const { return segment_length_; }
+  double alpha() const { return quantizer_.alpha(); }
+
+  /// Per-candidate data-transfer cost of this bound in bits (the T_cost(B)
+  /// input to the Eq. 13 plan optimizer): 3 operands of b bits.
+  double TransferBitsPerCandidate() const { return 3.0 * operand_bits_; }
+
+  /// Modeled PIM-side time accumulated by RunQuery calls (NVSim role).
+  double PimComputeNs() const;
+  /// Modeled offline time: crossbar programming + Phi storage.
+  double OfflineNs() const { return offline_ns_; }
+  /// Bytes written during the offline stage (programming + Phi terms).
+  uint64_t OfflineBytesWritten() const { return offline_bytes_written_; }
+  void ResetOnlineStats();
+
+  /// Device access for inspection/tests. `device2` is non-null only in
+  /// kSegmentFnn mode.
+  const PimDevice& device1() const { return *device1_; }
+  const PimDevice* device2() const { return device2_.get(); }
+
+ private:
+  PimEngine(EngineMode mode, const EngineOptions& options);
+
+  Status BuildDirectEd(const FloatMatrix& data);
+  Status BuildSegment(const FloatMatrix& data, bool with_stds);
+  Status BuildDotUpper(const FloatMatrix& data, bool pearson);
+
+  Status CheckQuery(std::span<const float> query) const;
+
+  EngineMode mode_;
+  EngineOptions options_;
+  Quantizer quantizer_;
+  int operand_bits_;
+  MemoryPlan plan_;
+  size_t num_objects_ = 0;
+  size_t dims_ = 0;
+  int64_t num_segments_ = 0;
+  int64_t segment_length_ = 1;
+
+  std::unique_ptr<PimDevice> device1_;
+  std::unique_ptr<PimDevice> device2_;
+
+  // Per-object offline terms (meaning depends on mode).
+  std::vector<double> phi_;        // PhiEd / PhiFnn / PhiSm.
+  std::vector<double> sum_floor_;  // CS/PCC.
+  std::vector<double> norm_;       // CS: |p|;  PCC: phi_a(p).
+  std::vector<double> phi_b_;      // PCC.
+
+  double offline_ns_ = 0.0;
+  uint64_t offline_bytes_written_ = 0;
+
+  // Scratch (reused across RunQuery calls).
+  std::vector<int32_t> scratch_ints_;
+  std::vector<float> scratch_means_;
+  std::vector<float> scratch_stds_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_CORE_ENGINE_H_

@@ -1,0 +1,62 @@
+#ifndef PIMINE_CORE_HAMMING_ENGINE_H_
+#define PIMINE_CORE_HAMMING_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/bit_matrix.h"
+#include "pim/pim_config.h"
+#include "pim/timing.h"
+
+namespace pimine {
+
+/// PIM execution of Hamming distance on binary codes (Table 4):
+///   HD(p, q) = d - p.q - p~.q~
+/// where p~ is the bit complement. Both dot products are 1-bit-operand PIM
+/// batches (codes in one crossbar group, complements in another); the host
+/// receives two 32-bit results per object (64 bits of transfer, §VI-C
+/// Fig. 14 discussion) and combines them in O(1).
+///
+/// Unlike the float engines this computes the *exact* distance — binary
+/// codes are already non-negative integers, so no quantization bound is
+/// needed (§V-B).
+class PimHammingEngine {
+ public:
+  /// Programs the codes and their complements. Capacity check follows
+  /// Theorem 4 with b = 1 (two copies: codes + complements).
+  static Result<std::unique_ptr<PimHammingEngine>> Build(
+      const BitMatrix& codes, const PimConfig& config = PimConfig());
+
+  /// Exact Hamming distances of the query code against every object.
+  /// `query_words` must have the codes' words_per_row length.
+  Status ComputeDistances(std::span<const uint64_t> query_words,
+                          std::vector<int32_t>* out);
+
+  size_t num_objects() const { return codes_.rows(); }
+  size_t code_bits() const { return codes_.bits(); }
+
+  /// Modeled PIM time accumulated by ComputeDistances (two batches/query).
+  double PimComputeNs() const { return compute_ns_; }
+  /// Bytes of PIM results shipped to the host (8 per object per query).
+  uint64_t ResultBytesToHost() const { return result_bytes_; }
+  double OfflineNs() const { return offline_ns_; }
+  void ResetOnlineStats();
+
+ private:
+  PimHammingEngine(BitMatrix codes, const PimConfig& config);
+
+  BitMatrix codes_;
+  PimConfig config_;
+  PimTimingModel timing_;
+  double offline_ns_ = 0.0;
+  double compute_ns_ = 0.0;
+  uint64_t result_bytes_ = 0;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_CORE_HAMMING_ENGINE_H_

@@ -1,0 +1,79 @@
+#ifndef PIMINE_CORE_PARTITIONED_ENGINE_H_
+#define PIMINE_CORE_PARTITIONED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "core/quantize.h"
+#include "data/matrix.h"
+#include "pim/pim_device.h"
+
+namespace pimine {
+
+/// The paper's §VII future-work direction, implemented: when a dataset does
+/// not fit the PIM array even after Theorem 4 compression (or when the
+/// user wants full-dimensionality bounds regardless), split the objects
+/// into partitions and re-program the crossbars between them.
+///
+/// Re-programming is the expensive, endurance-limited operation the paper
+/// warns about (§V-C), so the engine amortizes it across a *batch* of
+/// queries: program partition 1 -> run every query in the batch against it
+/// -> program partition 2 -> ... Each batch therefore costs
+/// `num_partitions` reprograms regardless of batch size, and per-cell write
+/// endurance is tracked so callers can budget device lifetime.
+///
+/// Bounds are the direct Theorem 1 LB_PIM-ED at full dimensionality —
+/// tighter than the compressed segment bounds, at the price of reprogram
+/// latency and wear. `bench_ext_reprogram` quantifies the trade.
+class PartitionedPimEngine {
+ public:
+  /// Builds the offline state. `data` rows must be in [0, 1]. The
+  /// partition size is the largest row count whose full-dimensionality
+  /// quantized matrix fits the PIM array.
+  static Result<std::unique_ptr<PartitionedPimEngine>> Build(
+      const FloatMatrix& data, const EngineOptions& options);
+
+  /// Lower bounds on squared ED for every (query, object) pair.
+  /// (*bounds)[q][i] <= SquaredEuclidean(data[i], queries[q]).
+  /// One pass over the partitions per call; reprogram cost is amortized
+  /// over the whole query batch.
+  Status ComputeBoundsBatch(const FloatMatrix& queries,
+                            std::vector<std::vector<double>>* bounds);
+
+  int64_t num_partitions() const {
+    return static_cast<int64_t>(partition_starts_.size());
+  }
+  int64_t partition_rows() const { return partition_rows_; }
+  size_t num_objects() const { return data_->rows(); }
+
+  /// Modeled PIM compute time (batch dot products) since construction.
+  double PimComputeNs() const { return device_->stats().compute_ns; }
+  /// Modeled reprogramming time spent so far (the §VII overhead).
+  double ReprogramNs() const { return device_->stats().program_ns; }
+  /// Full-array programming events so far (endurance proxy).
+  uint64_t ProgrammingEvents() const {
+    return device_->stats().programming_events;
+  }
+  double EnduranceRemainingFraction() const {
+    return device_->EnduranceRemainingFraction();
+  }
+
+ private:
+  PartitionedPimEngine(const FloatMatrix& data, const EngineOptions& options,
+                       int64_t partition_rows);
+
+  const FloatMatrix* data_;
+  EngineOptions options_;
+  Quantizer quantizer_;
+  int64_t partition_rows_;
+  std::vector<size_t> partition_starts_;
+  std::vector<double> phi_;  // Theorem 1 Phi per object.
+  std::unique_ptr<PimDevice> device_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_CORE_PARTITIONED_ENGINE_H_

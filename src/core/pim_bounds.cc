@@ -1,0 +1,81 @@
+#include "core/pim_bounds.h"
+
+#include "common/logging.h"
+#include "sim/traffic.h"
+
+namespace pimine {
+
+double LbPimEdCombine(double phi_p, double phi_q, uint64_t floor_dot,
+                      int64_t dims, double alpha) {
+  // Host receives Phi(p) and the PIM result: 2 scalars + the cached Phi(q).
+  traffic::CountRead(sizeof(double));
+  traffic::CountPimResults(1);
+  traffic::CountArithmetic(6);
+  const double lb = (phi_p + phi_q - 2.0 * static_cast<double>(floor_dot) -
+                     2.0 * static_cast<double>(dims)) /
+                    (alpha * alpha);
+  return lb;
+}
+
+double LbPimFnnCombine(double phi_p, double phi_q, uint64_t mean_dot,
+                       uint64_t std_dot, int64_t num_segments,
+                       int64_t segment_length, double alpha) {
+  traffic::CountRead(sizeof(double));
+  traffic::CountPimResults(2);
+  traffic::CountArithmetic(9);
+  const double inner = phi_p + phi_q - 2.0 * static_cast<double>(mean_dot) -
+                       2.0 * static_cast<double>(std_dot) -
+                       4.0 * static_cast<double>(num_segments);
+  return static_cast<double>(segment_length) * inner / (alpha * alpha);
+}
+
+double LbPimSmCombine(double phi_p, double phi_q, uint64_t mean_dot,
+                      int64_t num_segments, int64_t segment_length,
+                      double alpha) {
+  traffic::CountRead(sizeof(double));
+  traffic::CountPimResults(1);
+  traffic::CountArithmetic(7);
+  const double inner = phi_p + phi_q - 2.0 * static_cast<double>(mean_dot) -
+                       2.0 * static_cast<double>(num_segments);
+  return static_cast<double>(segment_length) * inner / (alpha * alpha);
+}
+
+double UbPimDotCombine(uint64_t floor_dot, double sum_floor_p,
+                       double sum_floor_q, int64_t dims, double alpha) {
+  traffic::CountRead(2 * sizeof(double));
+  traffic::CountPimResults(1);
+  traffic::CountArithmetic(5);
+  return (static_cast<double>(floor_dot) + sum_floor_p + sum_floor_q +
+          static_cast<double>(dims)) /
+         (alpha * alpha);
+}
+
+double UbPimCosine(double dot_upper_bound, double norm_p, double norm_q) {
+  traffic::CountArithmetic(2);
+  traffic::CountLongOps(1);
+  const double denom = norm_p * norm_q;
+  if (denom <= 0.0) return 0.0;
+  return dot_upper_bound / denom;
+}
+
+double UbPimPearson(double dot_upper_bound, int64_t dims, double phi_b_p,
+                    double phi_b_q, double phi_a_p, double phi_a_q) {
+  traffic::CountArithmetic(4);
+  traffic::CountLongOps(1);
+  const double denom = phi_a_p * phi_a_q;
+  if (denom <= 0.0) return 0.0;
+  return (static_cast<double>(dims) * dot_upper_bound - phi_b_p * phi_b_q) /
+         denom;
+}
+
+int64_t HdPimCombine(uint32_t code_dot, uint32_t complement_dot,
+                     int64_t dims) {
+  traffic::CountPimResults(1);  // two 32-bit results = one 64-bit load.
+  traffic::CountArithmetic(2);
+  const int64_t hd = dims - static_cast<int64_t>(code_dot) -
+                     static_cast<int64_t>(complement_dot);
+  PIMINE_DCHECK(hd >= 0 && hd <= dims);
+  return hd;
+}
+
+}  // namespace pimine

@@ -1,0 +1,61 @@
+#ifndef PIMINE_CORE_PIM_BOUNDS_H_
+#define PIMINE_CORE_PIM_BOUNDS_H_
+
+#include <cstdint>
+
+namespace pimine {
+
+/// PIM-aware bound combiners — the G functions of Eq. 3 for the bounds of
+/// §V-B. Each takes the offline term Phi(p), the once-per-query term
+/// Phi(q), and the dot-product(s) computed on PIM, and returns the bound in
+/// O(1) host work (the whole point: 3*b bits of transfer instead of d*b).
+///
+/// All dot products arrive as the PIM device produces them: uint64 values
+/// (least-significant-64-bit truncation). With the paper's alpha = 1e6 and
+/// d <= 4096 no truncation actually occurs (values stay below 2^52).
+
+/// Theorem 1: lower bound on squared ED.
+///   LB = (Phi(p) + Phi(q) - 2*dot - 2d) / alpha^2.
+double LbPimEdCombine(double phi_p, double phi_q, uint64_t floor_dot,
+                      int64_t dims, double alpha);
+
+/// Theorem 2: lower bound on squared ED via segment statistics.
+///   LB = l/alpha^2 * (Phi(p-hat) + Phi(q-hat) - 2*mean_dot - 2*std_dot
+///                     - 4*d0).
+double LbPimFnnCombine(double phi_p, double phi_q, uint64_t mean_dot,
+                       uint64_t std_dot, int64_t num_segments,
+                       int64_t segment_length, double alpha);
+
+/// Means-only segment bound (the PIM-aware form of LB_SM): lower bound on
+/// squared ED using only segment means.
+///   LB = l/alpha^2 * (Phi(p) + Phi(q) - 2*mean_dot - 2*d0),
+/// with Phi(x) = sum mu^2 - 2*sum floor(mu) over scaled segment means.
+double LbPimSmCombine(double phi_p, double phi_q, uint64_t mean_dot,
+                      int64_t num_segments, int64_t segment_length,
+                      double alpha);
+
+/// Upper bound on the dot product p.q of the original (normalized) vectors:
+///   p.q <= (floor_dot + sum_floor_p + sum_floor_q + d) / alpha^2.
+/// Feeds the CS/PCC upper bounds below.
+double UbPimDotCombine(uint64_t floor_dot, double sum_floor_p,
+                       double sum_floor_q, int64_t dims, double alpha);
+
+/// Upper bound on cosine similarity given the dot-product upper bound and
+/// the exact norms (Table 4: the norms are the offline Phi terms).
+double UbPimCosine(double dot_upper_bound, double norm_p, double norm_q);
+
+/// Upper bound on Pearson correlation (Table 4 decomposition):
+///   PCC = (d*p.q - sum_p*sum_q) / (phi_a_p * phi_a_q),
+/// with phi_a = sqrt(d*sum(x^2) - (sum x)^2), phi_b = sum x.
+double UbPimPearson(double dot_upper_bound, int64_t dims, double phi_b_p,
+                    double phi_b_q, double phi_a_p, double phi_a_q);
+
+/// Exact Hamming distance from the two PIM dot products of Table 4:
+///   HD = d - p.q - p~.q~  (codes and complemented codes).
+/// PIM results are truncated to 32 bits for HD (§VI-B).
+int64_t HdPimCombine(uint32_t code_dot, uint32_t complement_dot,
+                     int64_t dims);
+
+}  // namespace pimine
+
+#endif  // PIMINE_CORE_PIM_BOUNDS_H_

@@ -1,0 +1,70 @@
+#include "core/plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pimine {
+
+std::string ExecutionPlan::ToString(
+    std::span<const BoundCandidate> candidates) const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << candidates[selected[i]].name;
+  }
+  os << (selected.empty() ? "exact-only" : " -> exact");
+  os << "] cost=" << cost_bits_per_object << " bits/object";
+  return os.str();
+}
+
+double PlanCostBits(std::span<const BoundCandidate> candidates,
+                    std::span<const size_t> selected,
+                    double exact_cost_bits) {
+  double cost = 0.0;
+  double survive = 1.0;
+  for (size_t idx : selected) {
+    PIMINE_CHECK(idx < candidates.size());
+    cost += candidates[idx].transfer_bits * survive;
+    survive *= 1.0 - candidates[idx].pruning_ratio;
+  }
+  cost += exact_cost_bits * survive;
+  return cost;
+}
+
+ExecutionPlan ChooseExecutionPlan(std::span<const BoundCandidate> candidates,
+                                  double exact_cost_bits) {
+  const size_t l = candidates.size();
+  PIMINE_CHECK(l <= 20) << "candidate set too large to enumerate";
+  ExecutionPlan best;
+  best.cost_bits_per_object = exact_cost_bits;  // empty plan baseline.
+
+  const size_t num_subsets = 1ULL << l;
+  std::vector<size_t> selection;
+  for (size_t mask = 1; mask < num_subsets; ++mask) {
+    selection.clear();
+    for (size_t i = 0; i < l; ++i) {
+      if (mask & (1ULL << i)) selection.push_back(i);
+    }
+    const double cost = PlanCostBits(candidates, selection, exact_cost_bits);
+    if (cost < best.cost_bits_per_object) {
+      best.cost_bits_per_object = cost;
+      best.selected = selection;
+    }
+  }
+  return best;
+}
+
+double MeasurePruningRatio(std::span<const double> bound_values,
+                           double threshold, bool is_upper_bound) {
+  if (bound_values.empty()) return 0.0;
+  size_t pruned = 0;
+  for (double v : bound_values) {
+    if (is_upper_bound ? (v < threshold) : (v > threshold)) ++pruned;
+  }
+  return static_cast<double>(pruned) /
+         static_cast<double>(bound_values.size());
+}
+
+}  // namespace pimine

@@ -1,0 +1,58 @@
+#ifndef PIMINE_CORE_PLAN_H_
+#define PIMINE_CORE_PLAN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pimine {
+
+/// One member of the candidate bound set of §V-D (original bounds f_B plus
+/// the PIM-aware bound G).
+struct BoundCandidate {
+  std::string name;
+  /// T_cost(B_i): bits transferred from memory per candidate object when
+  /// evaluating this bound (e.g. d/64*b for LB_FNN^{d/64}; 3*b for a
+  /// PIM-aware bound).
+  double transfer_bits = 0.0;
+  /// Pr(B_i): fraction of candidates the bound prunes, measured offline on
+  /// a sample (see MeasurePruningRatio).
+  double pruning_ratio = 0.0;
+  /// True for PIM-aware bounds (reported in plan summaries).
+  bool is_pim = false;
+};
+
+/// A chosen execution plan: which candidates to apply, in order.
+struct ExecutionPlan {
+  /// Indices into the candidate vector, in application order.
+  std::vector<size_t> selected;
+  /// Eq. 13 cost per object in bits, including the final exact refinement.
+  double cost_bits_per_object = 0.0;
+
+  std::string ToString(std::span<const BoundCandidate> candidates) const;
+};
+
+/// §V-D / Eq. 13: enumerates all 2^L subsets of the candidate set (bounds
+/// keep the given order, which should be increasing tightness) and returns
+/// the subset with the least estimated data transfer. `exact_cost_bits` is
+/// the transfer cost of the exact distance computation applied to whatever
+/// survives every selected bound (d*b bits). Pruning ratios are treated as
+/// independent, as in the paper.
+ExecutionPlan ChooseExecutionPlan(std::span<const BoundCandidate> candidates,
+                                  double exact_cost_bits);
+
+/// Eq. 13 cost of one specific ordered selection.
+double PlanCostBits(std::span<const BoundCandidate> candidates,
+                    std::span<const size_t> selected, double exact_cost_bits);
+
+/// Measures Pr(B): the fraction of `bound_values` that prune against
+/// `threshold`. For lower bounds (distance measures) a candidate is pruned
+/// when bound > threshold; for upper bounds (similarity measures) when
+/// bound < threshold.
+double MeasurePruningRatio(std::span<const double> bound_values,
+                           double threshold, bool is_upper_bound);
+
+}  // namespace pimine
+
+#endif  // PIMINE_CORE_PLAN_H_

@@ -1,0 +1,44 @@
+#include "core/segments.h"
+
+#include <cmath>
+
+namespace pimine {
+
+void ComputeSegments(std::span<const float> vec, int64_t d0,
+                     std::span<float> means_out, std::span<float> stds_out) {
+  const int64_t d = static_cast<int64_t>(vec.size());
+  PIMINE_CHECK(d0 > 0 && d0 <= d);
+  PIMINE_CHECK(means_out.size() == static_cast<size_t>(d0) &&
+               stds_out.size() == static_cast<size_t>(d0));
+  const int64_t l = d / d0;
+  for (int64_t s = 0; s < d0; ++s) {
+    const int64_t begin = s * l;
+    const int64_t end = (s == d0 - 1) ? d : begin + l;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int64_t i = begin; i < end; ++i) {
+      sum += vec[i];
+      sum_sq += static_cast<double>(vec[i]) * vec[i];
+    }
+    const double n = static_cast<double>(end - begin);
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    means_out[s] = static_cast<float>(mean);
+    stds_out[s] = static_cast<float>(var > 0.0 ? std::sqrt(var) : 0.0);
+  }
+}
+
+SegmentStats ComputeSegmentStats(const FloatMatrix& data, int64_t d0) {
+  SegmentStats out;
+  out.num_segments = d0;
+  out.segment_length = SegmentLength(static_cast<int64_t>(data.cols()), d0);
+  out.means = FloatMatrix(data.rows(), static_cast<size_t>(d0));
+  out.stds = FloatMatrix(data.rows(), static_cast<size_t>(d0));
+  for (size_t i = 0; i < data.rows(); ++i) {
+    ComputeSegments(data.row(i), d0, out.means.mutable_row(i),
+                    out.stds.mutable_row(i));
+  }
+  return out;
+}
+
+}  // namespace pimine

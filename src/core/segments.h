@@ -1,0 +1,44 @@
+#ifndef PIMINE_CORE_SEGMENTS_H_
+#define PIMINE_CORE_SEGMENTS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/logging.h"
+#include "data/matrix.h"
+
+namespace pimine {
+
+/// Segment statistics used by the dimensionality-reducing bounds (Table 3):
+/// a d-dimensional vector is split into d0 segments of length l = d/d0, and
+/// each segment is summarized by its mean and population stddev.
+///
+/// When d is not divisible by d0 the last segment absorbs the remainder;
+/// `SegmentLength` reports the nominal l used in the bound scaling, which
+/// stays a valid lower bound because shorter nominal segments only weaken
+/// the bound.
+struct SegmentStats {
+  /// num_vectors x d0 matrices of per-segment means and stddevs.
+  FloatMatrix means;
+  FloatMatrix stds;
+  int64_t num_segments = 0;
+  int64_t segment_length = 0;
+};
+
+/// Nominal segment length l for d dims and d0 segments.
+inline int64_t SegmentLength(int64_t d, int64_t d0) {
+  PIMINE_CHECK(d0 > 0 && d0 <= d);
+  return d / d0;
+}
+
+/// Computes per-segment mean/stddev for a single vector into caller-provided
+/// outputs of length `d0`.
+void ComputeSegments(std::span<const float> vec, int64_t d0,
+                     std::span<float> means_out, std::span<float> stds_out);
+
+/// Computes segment statistics for every row of `data`.
+SegmentStats ComputeSegmentStats(const FloatMatrix& data, int64_t d0);
+
+}  // namespace pimine
+
+#endif  // PIMINE_CORE_SEGMENTS_H_

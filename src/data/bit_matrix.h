@@ -1,0 +1,73 @@
+#ifndef PIMINE_DATA_BIT_MATRIX_H_
+#define PIMINE_DATA_BIT_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "util/bits.h"
+
+namespace pimine {
+
+/// Packed binary-code matrix for Hamming-distance workloads (§II-B of the
+/// paper: LSH codes of 128-1024 bits). Each row is `bits` wide, stored as
+/// ceil(bits/64) little-endian words.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  BitMatrix(size_t rows, size_t bits)
+      : rows_(rows),
+        bits_(bits),
+        words_per_row_(CeilDiv(bits, 64)),
+        words_(rows * words_per_row_, 0) {}
+
+  size_t rows() const { return rows_; }
+  size_t bits() const { return bits_; }
+  size_t words_per_row() const { return words_per_row_; }
+
+  bool Get(size_t row, size_t bit) const {
+    PIMINE_DCHECK(row < rows_ && bit < bits_);
+    return (words_[row * words_per_row_ + bit / 64] >> (bit % 64)) & 1ULL;
+  }
+
+  void Set(size_t row, size_t bit, bool value) {
+    PIMINE_DCHECK(row < rows_ && bit < bits_);
+    uint64_t& word = words_[row * words_per_row_ + bit / 64];
+    const uint64_t mask = 1ULL << (bit % 64);
+    if (value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+
+  std::span<const uint64_t> row(size_t i) const {
+    PIMINE_DCHECK(i < rows_);
+    return std::span<const uint64_t>(words_.data() + i * words_per_row_,
+                                     words_per_row_);
+  }
+
+  /// Hamming distance between rows of two (possibly distinct) matrices.
+  static int HammingDistance(std::span<const uint64_t> a,
+                             std::span<const uint64_t> b) {
+    PIMINE_DCHECK(a.size() == b.size());
+    int dist = 0;
+    for (size_t w = 0; w < a.size(); ++w) dist += PopCount(a[w] ^ b[w]);
+    return dist;
+  }
+
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t rows_ = 0;
+  size_t bits_ = 0;
+  size_t words_per_row_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_DATA_BIT_MATRIX_H_

@@ -1,0 +1,38 @@
+#include "data/catalog.h"
+
+namespace pimine {
+
+const std::vector<DatasetSpec>& Catalog::All() {
+  // Table 6 of the paper. `paper_n` and `dims` are the published values;
+  // `default_n` is the scaled cardinality used by the bench harness
+  // (EXPERIMENTS.md records the scaling per experiment).
+  static const std::vector<DatasetSpec>& specs = *new std::vector<DatasetSpec>{
+      {"ImageNet", 2340173, 20000, 150, ClusterProfile::kClustered, 64, 0.08,
+       "knn"},
+      {"MSD", 992272, 20000, 420, ClusterProfile::kClustered, 64, 0.08,
+       "knn"},
+      {"GIST", 1000000, 20000, 960, ClusterProfile::kDiffuse, 16, 0.20,
+       "knn"},
+      {"Trevi", 100000, 10000, 4096, ClusterProfile::kClustered, 32, 0.08,
+       "knn"},
+      {"Year", 515345, 8000, 90, ClusterProfile::kClustered, 48, 0.10,
+       "kmeans"},
+      {"Notre", 332668, 8000, 128, ClusterProfile::kClustered, 48, 0.10,
+       "kmeans"},
+      {"NUS-WIDE", 269648, 6000, 500, ClusterProfile::kClustered, 48, 0.10,
+       "kmeans"},
+      {"Enron", 100000, 4000, 1369, ClusterProfile::kSparseCounts, 32, 0.15,
+       "kmeans"},
+  };
+  return specs;
+}
+
+Result<DatasetSpec> Catalog::Find(std::string_view name) {
+  for (const DatasetSpec& spec : All()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no dataset named '" + std::string(name) +
+                          "' in catalog");
+}
+
+}  // namespace pimine

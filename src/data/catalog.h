@@ -1,0 +1,58 @@
+#ifndef PIMINE_DATA_CATALOG_H_
+#define PIMINE_DATA_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pimine {
+
+/// Statistical profile controlling how a synthetic stand-in dataset is
+/// generated. The profiles are tuned so the bounds' pruning behaviour on
+/// each synthetic dataset matches the regime the paper reports for its real
+/// counterpart (e.g. LB_FNN prunes well on MSD but poorly on GIST).
+enum class ClusterProfile {
+  /// Tight Gaussian clusters; segment-mean bounds are informative.
+  kClustered,
+  /// Heavy per-dimension noise with weak cluster structure; segment-mean
+  /// bounds approximate the true distance poorly (the paper's GIST regime).
+  kDiffuse,
+  /// Sparse non-negative counts (bag-of-words style; the Enron regime).
+  kSparseCounts,
+};
+
+/// Descriptor of one of the paper's Table 6 datasets.
+struct DatasetSpec {
+  std::string name;
+  /// Paper-reported cardinality (Table 6).
+  int64_t paper_n = 0;
+  /// Cardinality we generate by default (scaled down; see EXPERIMENTS.md).
+  int64_t default_n = 0;
+  /// Dimensionality — kept exactly equal to the paper's.
+  int32_t dims = 0;
+  ClusterProfile profile = ClusterProfile::kClustered;
+  /// Number of latent clusters used by the generator.
+  int32_t num_clusters = 0;
+  /// Within-cluster standard deviation relative to the cluster spread.
+  double cluster_std = 0.1;
+  /// Task the paper uses it for ("knn" or "kmeans").
+  std::string task;
+};
+
+/// Table 6 of the paper: the eight real datasets, with generation profiles.
+class Catalog {
+ public:
+  /// All eight specs in paper order.
+  static const std::vector<DatasetSpec>& All();
+
+  /// Lookup by paper name (case-sensitive: "ImageNet", "MSD", "GIST",
+  /// "Trevi", "Year", "Notre", "NUS-WIDE", "Enron").
+  static Result<DatasetSpec> Find(std::string_view name);
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_DATA_CATALOG_H_

@@ -1,0 +1,29 @@
+#ifndef PIMINE_DATA_GENERATOR_H_
+#define PIMINE_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/catalog.h"
+#include "data/matrix.h"
+
+namespace pimine {
+
+/// Synthetic stand-ins for the paper's real datasets (see DESIGN.md §1).
+/// Generation is deterministic given (spec, seed).
+class DatasetGenerator {
+ public:
+  /// Generates `n` objects with the spec's dimensionality and cluster
+  /// profile. Pass n <= 0 to use spec.default_n.
+  static FloatMatrix Generate(const DatasetSpec& spec, int64_t n,
+                              uint64_t seed);
+
+  /// Generates `num_queries` query objects from the same distribution:
+  /// perturbed copies of dataset points (the usual kNN benchmark protocol).
+  static FloatMatrix GenerateQueries(const DatasetSpec& spec,
+                                     const FloatMatrix& data,
+                                     int64_t num_queries, uint64_t seed);
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_DATA_GENERATOR_H_

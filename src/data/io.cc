@@ -1,0 +1,71 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace pimine {
+namespace {
+
+constexpr uint32_t kMagic = 0x504d314d;  // "PM1M"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveMatrix(const FloatMatrix& matrix, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const uint64_t rows = matrix.rows();
+  const uint64_t cols = matrix.cols();
+  if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
+      std::fwrite(&rows, sizeof(rows), 1, f.get()) != 1 ||
+      std::fwrite(&cols, sizeof(cols), 1, f.get()) != 1) {
+    return Status::IOError("short write of header to '" + path + "'");
+  }
+  const size_t n = matrix.size();
+  if (n > 0 &&
+      std::fwrite(matrix.data(), sizeof(float), n, f.get()) != n) {
+    return Status::IOError("short write of payload to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<FloatMatrix> LoadMatrix(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  uint32_t magic = 0;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::fread(&rows, sizeof(rows), 1, f.get()) != 1 ||
+      std::fread(&cols, sizeof(cols), 1, f.get()) != 1) {
+    return Status::IOError("short read of header from '" + path + "'");
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a pimine matrix");
+  }
+  if (rows > (1ULL << 40) || cols > (1ULL << 24)) {
+    return Status::InvalidArgument("implausible matrix shape in '" + path +
+                                   "'");
+  }
+  std::vector<float> payload(rows * cols);
+  if (!payload.empty() &&
+      std::fread(payload.data(), sizeof(float), payload.size(), f.get()) !=
+          payload.size()) {
+    return Status::IOError("short read of payload from '" + path + "'");
+  }
+  return FloatMatrix(rows, cols, std::move(payload));
+}
+
+}  // namespace pimine

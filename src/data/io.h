@@ -1,0 +1,24 @@
+#ifndef PIMINE_DATA_IO_H_
+#define PIMINE_DATA_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace pimine {
+
+/// Simple binary on-disk format for dataset matrices:
+///   [magic u32 = 0x504d314d "PM1M"] [rows u64] [cols u64] [payload f32...]
+/// Used by the bench harness to cache generated datasets between runs and by
+/// users to import their own data.
+Status SaveMatrix(const FloatMatrix& matrix, const std::string& path);
+
+/// Loads a matrix written by SaveMatrix. Validates the magic and payload
+/// size and fails with IOError/InvalidArgument instead of crashing.
+Result<FloatMatrix> LoadMatrix(const std::string& path);
+
+}  // namespace pimine
+
+#endif  // PIMINE_DATA_IO_H_

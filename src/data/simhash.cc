@@ -1,0 +1,55 @@
+#include "data/simhash.h"
+
+#include "common/logging.h"
+#include "util/random.h"
+
+namespace pimine {
+
+SimHashEncoder::SimHashEncoder(size_t dims, size_t num_bits, uint64_t seed)
+    : dims_(dims), num_bits_(num_bits), hyperplanes_(num_bits, dims) {
+  PIMINE_CHECK(dims > 0 && num_bits > 0);
+  Rng rng(seed ^ 0x51a54ULL);
+  for (size_t b = 0; b < num_bits; ++b) {
+    auto row = hyperplanes_.mutable_row(b);
+    for (size_t j = 0; j < dims; ++j) {
+      row[j] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+}
+
+void SimHashEncoder::EncodeRow(std::span<const float> row, BitMatrix& codes,
+                               size_t out_row) const {
+  PIMINE_CHECK(row.size() == dims_);
+  for (size_t b = 0; b < num_bits_; ++b) {
+    const auto hyperplane = hyperplanes_.row(b);
+    double dot = 0.0;
+    for (size_t j = 0; j < dims_; ++j) {
+      dot += static_cast<double>(hyperplane[j]) * row[j];
+    }
+    codes.Set(out_row, b, dot >= 0.0);
+  }
+}
+
+BitMatrix SimHashEncoder::Encode(const FloatMatrix& data) const {
+  PIMINE_CHECK(data.cols() == dims_);
+  // Center the data so hyperplanes split it evenly (balanced codes).
+  std::vector<float> mean(dims_, 0.0f);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const auto row = data.row(i);
+    for (size_t j = 0; j < dims_; ++j) mean[j] += row[j];
+  }
+  if (data.rows() > 0) {
+    for (float& m : mean) m /= static_cast<float>(data.rows());
+  }
+
+  BitMatrix codes(data.rows(), num_bits_);
+  std::vector<float> centered(dims_);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const auto row = data.row(i);
+    for (size_t j = 0; j < dims_; ++j) centered[j] = row[j] - mean[j];
+    EncodeRow(centered, codes, i);
+  }
+  return codes;
+}
+
+}  // namespace pimine

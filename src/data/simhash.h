@@ -1,0 +1,40 @@
+#ifndef PIMINE_DATA_SIMHASH_H_
+#define PIMINE_DATA_SIMHASH_H_
+
+#include <cstdint>
+
+#include "data/bit_matrix.h"
+#include "data/matrix.h"
+
+namespace pimine {
+
+/// Random-hyperplane LSH (SimHash, Charikar STOC'02 — the paper's reference
+/// [22]): bit i of the code is sign(<r_i, x>) for Gaussian hyperplane r_i.
+/// Hamming distance between codes estimates the angular distance of the
+/// original vectors, which is what the paper's Fig. 14 workload relies on.
+class SimHashEncoder {
+ public:
+  /// Draws `num_bits` Gaussian hyperplanes over `dims` input dimensions.
+  SimHashEncoder(size_t dims, size_t num_bits, uint64_t seed);
+
+  /// Encodes every row of `data` (centered by the per-dimension mean fitted
+  /// at encode time, so codes are balanced).
+  BitMatrix Encode(const FloatMatrix& data) const;
+
+  /// Encodes a single (already centered) vector into `out_row` of `codes`.
+  void EncodeRow(std::span<const float> row, BitMatrix& codes,
+                 size_t out_row) const;
+
+  size_t dims() const { return dims_; }
+  size_t num_bits() const { return num_bits_; }
+
+ private:
+  size_t dims_;
+  size_t num_bits_;
+  /// num_bits x dims hyperplane matrix.
+  FloatMatrix hyperplanes_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_DATA_SIMHASH_H_

@@ -1,0 +1,27 @@
+#ifndef PIMINE_KMEANS_DRAKE_H_
+#define PIMINE_KMEANS_DRAKE_H_
+
+#include "kmeans/kmeans_common.h"
+
+namespace pimine {
+
+/// Drake & Hamerly (NIPS OPT'12): keeps lower bounds only for the b
+/// closest centers per point (b = k/4 here) plus one catch-all bound for
+/// the rest — less bound-maintenance than Elkan, more exact distances.
+/// Produces exactly Lloyd's trajectory.
+class DrakeKmeans : public KmeansAlgorithm {
+ public:
+  /// b = max(2, k / bound_divisor).
+  explicit DrakeKmeans(int bound_divisor = 4);
+
+  std::string_view name() const override { return "Drake"; }
+  Result<KmeansResult> Run(const FloatMatrix& data,
+                           const KmeansOptions& options) override;
+
+ private:
+  int bound_divisor_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KMEANS_DRAKE_H_

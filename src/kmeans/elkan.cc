@@ -1,0 +1,181 @@
+#include "kmeans/elkan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kmeans/lloyd.h"
+#include "sim/traffic.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+Result<KmeansResult> ElkanKmeans::Run(const FloatMatrix& data,
+                                      const KmeansOptions& options) {
+  PIMINE_RETURN_IF_ERROR(ValidateKmeansInput(data, options));
+
+  std::unique_ptr<PimAssignFilter> filter;
+  if (options.use_pim) {
+    PIMINE_ASSIGN_OR_RETURN(filter,
+                            PimAssignFilter::Build(data, options.engine_options));
+  }
+
+  KmeansResult result;
+  result.centers = InitCenters(data, options.k, options.seed);
+  const size_t n = data.rows();
+  const size_t k = static_cast<size_t>(options.k);
+  result.assignments.assign(n, 0);
+  result.stats.footprint_bytes =
+      n * k * sizeof(double) + data.SizeBytes() / 8;
+
+  std::vector<double> upper(n, 0.0);
+  std::vector<bool> upper_stale(n, false);
+  std::vector<double> lower(n * k, 0.0);
+  std::vector<double> cc(k * k, 0.0);       // center-center distances.
+  std::vector<double> nearest_other(k, 0.0);  // s(j) = 0.5 min_{j'} cc.
+  std::vector<double> moved(k, 0.0);
+
+  TrafficScope traffic_scope;
+  Timer total_wall;
+  bool initialized = false;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Timer iter_wall;
+    size_t changed = 0;
+
+    if (filter != nullptr) {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      PIMINE_RETURN_IF_ERROR(filter->BeginIteration(result.centers));
+    }
+
+    if (!initialized) {
+      // First assign pass fills every bound exactly (Lloyd-equivalent).
+      for (size_t i = 0; i < n; ++i) {
+        const auto p = data.row(i);
+        size_t best_c = 0;
+        double best_d = HUGE_VAL;
+        for (size_t c = 0; c < k; ++c) {
+          double d;
+          if (filter != nullptr && filter->LowerBound(i, c) >= best_d) {
+            ++result.stats.bound_count;
+            d = filter->LowerBound(i, c);  // valid lower bound stored in lb.
+          } else {
+            ScopedFunctionTimer timer(&result.stats.profile, "ED");
+            d = KmeansExactDistance(p, result.centers.row(c));
+            ++result.stats.exact_count;
+            if (d < best_d) {
+              best_d = d;
+              best_c = c;
+            }
+          }
+          lower[i * k + c] = d;
+        }
+        result.assignments[i] = static_cast<int32_t>(best_c);
+        upper[i] = best_d;
+        upper_stale[i] = false;
+        ++changed;
+      }
+      initialized = true;
+    } else {
+      // Center-center distances and s(j).
+      {
+        ScopedFunctionTimer timer(&result.stats.profile, "ED");
+        for (size_t a = 0; a < k; ++a) {
+          for (size_t b = a + 1; b < k; ++b) {
+            const double d = KmeansExactDistance(result.centers.row(a),
+                                                 result.centers.row(b));
+            cc[a * k + b] = d;
+            cc[b * k + a] = d;
+          }
+        }
+        result.stats.exact_count += k * (k - 1) / 2;
+        for (size_t a = 0; a < k; ++a) {
+          double m = HUGE_VAL;
+          for (size_t b = 0; b < k; ++b) {
+            if (b != a) m = std::min(m, cc[a * k + b]);
+          }
+          nearest_other[a] = 0.5 * m;
+        }
+      }
+
+      for (size_t i = 0; i < n; ++i) {
+        const size_t a = result.assignments[i];
+        if (upper[i] <= nearest_other[a]) continue;
+        const auto p = data.row(i);
+        size_t best_c = a;  // current best center; cc-tests must use it.
+        double best_d = upper[i];
+        bool tightened = !upper_stale[i];
+        for (size_t c = 0; c < k; ++c) {
+          if (c == best_c) continue;
+          if (lower[i * k + c] >= best_d) continue;
+          if (0.5 * cc[best_c * k + c] >= best_d) continue;
+          if (!tightened) {
+            ScopedFunctionTimer timer(&result.stats.profile, "ED");
+            best_d = KmeansExactDistance(p, result.centers.row(a));
+            ++result.stats.exact_count;
+            lower[i * k + a] = best_d;
+            upper[i] = best_d;
+            upper_stale[i] = false;
+            tightened = true;
+            if (lower[i * k + c] >= best_d) continue;
+            if (0.5 * cc[best_c * k + c] >= best_d) continue;
+          }
+          if (filter != nullptr) {
+            ++result.stats.bound_count;
+            const double pim_lb = filter->LowerBound(i, c);
+            if (pim_lb >= best_d) {
+              lower[i * k + c] = std::max(lower[i * k + c], pim_lb);
+              continue;
+            }
+          }
+          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          const double d = KmeansExactDistance(p, result.centers.row(c));
+          ++result.stats.exact_count;
+          lower[i * k + c] = d;
+          if (d < best_d) {
+            best_d = d;
+            best_c = c;
+          }
+        }
+        if (best_c != a) {
+          result.assignments[i] = static_cast<int32_t>(best_c);
+          upper[i] = best_d;
+          upper_stale[i] = false;
+          ++changed;
+        }
+      }
+    }
+
+    // Update step + bound maintenance.
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "update");
+      result.centers =
+          UpdateCenters(data, result.assignments, result.centers, &moved);
+    }
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "bound update");
+      for (size_t i = 0; i < n; ++i) {
+        double* lb = lower.data() + i * k;
+        for (size_t c = 0; c < k; ++c) {
+          lb[c] = std::max(0.0, lb[c] - moved[c]);
+        }
+        upper[i] += moved[result.assignments[i]];
+        upper_stale[i] = true;
+      }
+      traffic::CountRead(n * k * sizeof(double));
+      traffic::CountWrite(n * k * sizeof(double));
+      traffic::CountArithmetic(n * k * 2);
+    }
+
+    result.iteration_wall_ms.push_back(iter_wall.ElapsedMillis());
+    ++result.iterations;
+    if (changed == 0 && iter > 0) break;
+  }
+
+  result.inertia = ComputeInertia(data, result.centers, result.assignments);
+  result.stats.wall_ms = total_wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
+  return result;
+}
+
+}  // namespace pimine

@@ -1,0 +1,155 @@
+#include "kmeans/hamerly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kmeans/lloyd.h"
+#include "sim/traffic.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+Result<KmeansResult> HamerlyKmeans::Run(const FloatMatrix& data,
+                                        const KmeansOptions& options) {
+  PIMINE_RETURN_IF_ERROR(ValidateKmeansInput(data, options));
+
+  std::unique_ptr<PimAssignFilter> filter;
+  if (options.use_pim) {
+    PIMINE_ASSIGN_OR_RETURN(filter,
+                            PimAssignFilter::Build(data, options.engine_options));
+  }
+
+  KmeansResult result;
+  result.centers = InitCenters(data, options.k, options.seed);
+  const size_t n = data.rows();
+  const size_t k = static_cast<size_t>(options.k);
+  result.assignments.assign(n, 0);
+  result.stats.footprint_bytes =
+      n * 2 * sizeof(double) + data.SizeBytes() / 8;
+
+  std::vector<double> upper(n, 0.0);
+  std::vector<double> lower(n, 0.0);  // bound to the 2nd-closest center.
+  std::vector<double> nearest_other(k, 0.0);
+  std::vector<double> moved(k, 0.0);
+
+  TrafficScope traffic_scope;
+  Timer total_wall;
+  bool initialized = false;
+
+  // Full re-evaluation of point i: finds the closest center exactly and a
+  // valid lower bound on the second-closest distance. PIM-pruned centers
+  // contribute their (valid) lower bound to the second-min tracking.
+  auto rescan_point = [&](size_t i) {
+    const auto p = data.row(i);
+    double min1 = HUGE_VAL;  // exact distance to the closest center.
+    double min2 = HUGE_VAL;  // lower bound on the second-closest distance.
+    size_t best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      double value;
+      if (filter != nullptr) {
+        ++result.stats.bound_count;
+        const double pim_lb = filter->LowerBound(i, c);
+        if (pim_lb >= min1) {
+          value = pim_lb;  // cannot be the closest; bound suffices.
+        } else {
+          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          value = KmeansExactDistance(p, result.centers.row(c));
+          ++result.stats.exact_count;
+        }
+      } else {
+        ScopedFunctionTimer timer(&result.stats.profile, "ED");
+        value = KmeansExactDistance(p, result.centers.row(c));
+        ++result.stats.exact_count;
+      }
+      if (value < min1) {
+        min2 = min1;
+        min1 = value;
+        best_c = c;
+      } else if (value < min2) {
+        min2 = value;
+      }
+    }
+    result.assignments[i] = static_cast<int32_t>(best_c);
+    upper[i] = min1;
+    lower[i] = min2;
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Timer iter_wall;
+    size_t changed = 0;
+
+    if (filter != nullptr) {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      PIMINE_RETURN_IF_ERROR(filter->BeginIteration(result.centers));
+    }
+
+    if (!initialized) {
+      for (size_t i = 0; i < n; ++i) {
+        rescan_point(i);
+        ++changed;
+      }
+      initialized = true;
+    } else {
+      // s(j) = half the distance to j's nearest other center.
+      {
+        ScopedFunctionTimer timer(&result.stats.profile, "ED");
+        for (size_t a = 0; a < k; ++a) {
+          double m = HUGE_VAL;
+          for (size_t b = 0; b < k; ++b) {
+            if (b == a) continue;
+            m = std::min(m, KmeansExactDistance(result.centers.row(a),
+                                                result.centers.row(b)));
+          }
+          nearest_other[a] = 0.5 * m;
+          result.stats.exact_count += k - 1;
+        }
+      }
+
+      for (size_t i = 0; i < n; ++i) {
+        const size_t a = result.assignments[i];
+        const double gate = std::max(nearest_other[a], lower[i]);
+        if (upper[i] <= gate) continue;
+        // Tighten the upper bound; re-test before the full rescan.
+        {
+          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          upper[i] = KmeansExactDistance(data.row(i), result.centers.row(a));
+          ++result.stats.exact_count;
+        }
+        if (upper[i] <= gate) continue;
+        const int32_t before = result.assignments[i];
+        rescan_point(i);
+        if (result.assignments[i] != before) ++changed;
+      }
+    }
+
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "update");
+      result.centers =
+          UpdateCenters(data, result.assignments, result.centers, &moved);
+    }
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "bound update");
+      double max_moved = 0.0;
+      for (double m : moved) max_moved = std::max(max_moved, m);
+      for (size_t i = 0; i < n; ++i) {
+        upper[i] += moved[result.assignments[i]];
+        lower[i] = std::max(0.0, lower[i] - max_moved);
+      }
+      traffic::CountRead(n * 2 * sizeof(double));
+      traffic::CountWrite(n * 2 * sizeof(double));
+      traffic::CountArithmetic(n * 3);
+    }
+
+    result.iteration_wall_ms.push_back(iter_wall.ElapsedMillis());
+    ++result.iterations;
+    if (changed == 0 && iter > 0) break;
+  }
+
+  result.inertia = ComputeInertia(data, result.centers, result.assignments);
+  result.stats.wall_ms = total_wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
+  return result;
+}
+
+}  // namespace pimine

@@ -1,0 +1,119 @@
+#include "kmeans/kmeans_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "core/similarity.h"
+#include "sim/traffic.h"
+#include "util/random.h"
+
+namespace pimine {
+
+double KmeansResult::MeanIterationMs() const {
+  if (iteration_wall_ms.empty()) return 0.0;
+  double sum = 0.0;
+  for (double ms : iteration_wall_ms) sum += ms;
+  return sum / static_cast<double>(iteration_wall_ms.size());
+}
+
+FloatMatrix InitCenters(const FloatMatrix& data, int k, uint64_t seed) {
+  PIMINE_CHECK(k > 0 && static_cast<size_t>(k) <= data.rows())
+      << "k=" << k << " vs n=" << data.rows();
+  Rng rng(seed ^ 0xce27e25ULL);
+  std::unordered_set<size_t> chosen;
+  FloatMatrix centers(static_cast<size_t>(k), data.cols());
+  for (int c = 0; c < k; ++c) {
+    size_t idx = rng.NextBounded(data.rows());
+    while (chosen.count(idx) > 0) idx = rng.NextBounded(data.rows());
+    chosen.insert(idx);
+    const auto src = data.row(idx);
+    auto dst = centers.mutable_row(c);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return centers;
+}
+
+FloatMatrix UpdateCenters(const FloatMatrix& data,
+                          const std::vector<int32_t>& assignments,
+                          const FloatMatrix& previous_centers,
+                          std::vector<double>* moved) {
+  const size_t k = previous_centers.rows();
+  const size_t d = data.cols();
+  PIMINE_CHECK(assignments.size() == data.rows());
+
+  std::vector<double> sums(k * d, 0.0);
+  std::vector<int64_t> counts(k, 0);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const int32_t c = assignments[i];
+    PIMINE_DCHECK(c >= 0 && static_cast<size_t>(c) < k);
+    const auto row = data.row(i);
+    double* sum = sums.data() + static_cast<size_t>(c) * d;
+    for (size_t j = 0; j < d; ++j) sum[j] += row[j];
+    ++counts[c];
+  }
+  traffic::CountRead(data.SizeBytes());
+  traffic::CountArithmetic(data.rows() * d);
+
+  FloatMatrix centers(k, d);
+  if (moved != nullptr) moved->assign(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    auto dst = centers.mutable_row(c);
+    const auto prev = previous_centers.row(c);
+    if (counts[c] == 0) {
+      std::copy(prev.begin(), prev.end(), dst.begin());
+      continue;
+    }
+    const double inv = 1.0 / static_cast<double>(counts[c]);
+    double shift_sq = 0.0;
+    const double* sum = sums.data() + c * d;
+    for (size_t j = 0; j < d; ++j) {
+      dst[j] = static_cast<float>(sum[j] * inv);
+      const double diff = static_cast<double>(dst[j]) - prev[j];
+      shift_sq += diff * diff;
+    }
+    if (moved != nullptr) (*moved)[c] = std::sqrt(shift_sq);
+  }
+  traffic::CountWrite(centers.SizeBytes());
+  traffic::CountArithmetic(k * d * 3);
+  traffic::CountLongOps(k + 1);
+  return centers;
+}
+
+double ComputeInertia(const FloatMatrix& data, const FloatMatrix& centers,
+                      const std::vector<int32_t>& assignments) {
+  double total = 0.0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    total += SquaredEuclidean(data.row(i), centers.row(assignments[i]));
+  }
+  return total;
+}
+
+Result<std::unique_ptr<PimAssignFilter>> PimAssignFilter::Build(
+    const FloatMatrix& data, const EngineOptions& options) {
+  EngineOptions opts = options;
+  // k-means uses the direct Theorem 1 bound (§VI-D: "PIM is used to compute
+  // LB_PIM-ED").
+  opts.bound = EngineOptions::Bound::kDirectEd;
+  PIMINE_ASSIGN_OR_RETURN(std::unique_ptr<PimEngine> engine,
+                          PimEngine::Build(data, Distance::kEuclidean, opts));
+  return std::unique_ptr<PimAssignFilter>(
+      new PimAssignFilter(std::move(engine)));
+}
+
+Status PimAssignFilter::BeginIteration(const FloatMatrix& centers) {
+  handles_.resize(centers.rows());
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    PIMINE_ASSIGN_OR_RETURN(handles_[c], engine_->RunQuery(centers.row(c)));
+  }
+  return Status::OK();
+}
+
+double PimAssignFilter::LowerBound(size_t point, size_t center) const {
+  PIMINE_DCHECK(center < handles_.size());
+  const double lb_sq = engine_->BoundFor(handles_[center], point);
+  return lb_sq > 0.0 ? std::sqrt(lb_sq) : 0.0;
+}
+
+}  // namespace pimine

@@ -1,0 +1,103 @@
+#ifndef PIMINE_KMEANS_KMEANS_COMMON_H_
+#define PIMINE_KMEANS_KMEANS_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "data/matrix.h"
+#include "profiling/run_stats.h"
+
+namespace pimine {
+
+/// Options shared by every k-means algorithm. The same (k, seed) produces
+/// the same initial centers for all algorithms, so Elkan/Drake/Yinyang can
+/// be verified to follow Lloyd's trajectory exactly (they are exact
+/// accelerations — tested as an invariant).
+struct KmeansOptions {
+  int k = 64;
+  int max_iterations = 10;
+  uint64_t seed = 42;
+  /// When true the assign step consults PIM lower bounds (LB_PIM-ED,
+  /// Theorem 1) before any exact distance computation (§VI-D).
+  bool use_pim = false;
+  EngineOptions engine_options;
+};
+
+/// Result of a clustering run.
+struct KmeansResult {
+  FloatMatrix centers;
+  std::vector<int32_t> assignments;
+  int iterations = 0;
+  /// Online wall time of each iteration (assign + update), ms.
+  std::vector<double> iteration_wall_ms;
+  /// Sum of squared distances of points to their assigned centers.
+  double inertia = 0.0;
+  RunStats stats;
+
+  double MeanIterationMs() const;
+};
+
+/// Interface of the four §VI-D algorithms (Standard/Elkan/Drake/Yinyang)
+/// and their PIM variants (the same classes with options.use_pim).
+class KmeansAlgorithm {
+ public:
+  virtual ~KmeansAlgorithm() = default;
+  virtual std::string_view name() const = 0;
+  virtual Result<KmeansResult> Run(const FloatMatrix& data,
+                                   const KmeansOptions& options) = 0;
+};
+
+/// Draws k distinct rows of `data` as initial centers (deterministic in
+/// `seed`).
+FloatMatrix InitCenters(const FloatMatrix& data, int k, uint64_t seed);
+
+/// Update step of Lloyd's algorithm: means of assigned points; clusters
+/// that lost all points keep their previous center. Returns per-center
+/// movement (real Euclidean distance moved) in `moved` when non-null.
+FloatMatrix UpdateCenters(const FloatMatrix& data,
+                          const std::vector<int32_t>& assignments,
+                          const FloatMatrix& previous_centers,
+                          std::vector<double>* moved);
+
+/// Sum of squared distances to assigned centers.
+double ComputeInertia(const FloatMatrix& data, const FloatMatrix& centers,
+                      const std::vector<int32_t>& assignments);
+
+/// PIM support for the assign step: programs the dataset once (offline) and
+/// refreshes one batch of dot products per center per iteration. Lower
+/// bounds are combined lazily — the host loads only the PIM results of the
+/// (point, center) pairs the algorithm actually examines.
+class PimAssignFilter {
+ public:
+  static Result<std::unique_ptr<PimAssignFilter>> Build(
+      const FloatMatrix& data, const EngineOptions& options);
+
+  /// Runs the k PIM batches for the current centers (call at the start of
+  /// every assign step; centers move every iteration).
+  Status BeginIteration(const FloatMatrix& centers);
+
+  /// Lower bound on the *real* (non-squared) distance between `point` and
+  /// `center`. O(1) host work.
+  double LowerBound(size_t point, size_t center) const;
+
+  double PimComputeNs() const { return engine_->PimComputeNs(); }
+  double OfflineNs() const { return engine_->OfflineNs(); }
+  void ResetOnlineStats() { engine_->ResetOnlineStats(); }
+  const PimEngine& engine() const { return *engine_; }
+
+ private:
+  explicit PimAssignFilter(std::unique_ptr<PimEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  std::unique_ptr<PimEngine> engine_;
+  std::vector<PimEngine::QueryHandle> handles_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KMEANS_KMEANS_COMMON_H_

@@ -1,0 +1,127 @@
+#include "kmeans/lloyd.h"
+
+#include <cmath>
+
+#include "core/similarity.h"
+#include "sim/traffic.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+double KmeansExactDistance(std::span<const float> a,
+                           std::span<const float> b) {
+  const double d2 = SquaredEuclidean(a, b);
+  traffic::CountLongOps(1);
+  return std::sqrt(d2);
+}
+
+Status ValidateKmeansInput(const FloatMatrix& data,
+                           const KmeansOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.k <= 0 || static_cast<size_t>(options.k) > data.rows()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  return Status::OK();
+}
+
+Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
+                                      const KmeansOptions& options) {
+  PIMINE_RETURN_IF_ERROR(ValidateKmeansInput(data, options));
+
+  std::unique_ptr<PimAssignFilter> filter;
+  if (options.use_pim) {
+    PIMINE_ASSIGN_OR_RETURN(filter,
+                            PimAssignFilter::Build(data, options.engine_options));
+  }
+
+  KmeansResult result;
+  result.centers = InitCenters(data, options.k, options.seed);
+  result.assignments.assign(data.rows(), 0);
+  result.stats.footprint_bytes =
+      options.use_pim
+          ? data.rows() * (options.k + 2) * sizeof(double)
+          : data.SizeBytes() + result.centers.SizeBytes();
+
+  TrafficScope traffic_scope;
+  Timer total_wall;
+  const size_t n = data.rows();
+  const size_t k = static_cast<size_t>(options.k);
+  bool first_iteration = true;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Timer iter_wall;
+
+    if (filter != nullptr) {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      PIMINE_RETURN_IF_ERROR(filter->BeginIteration(result.centers));
+    }
+
+    // Assign step.
+    size_t changed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto p = data.row(i);
+      const size_t start = result.assignments[i];
+      size_t best_c = start;
+      double best_d;
+      if (filter == nullptr) {
+        ScopedFunctionTimer timer(&result.stats.profile, "ED");
+        best_d = KmeansExactDistance(p, result.centers.row(start));
+        ++result.stats.exact_count;
+        for (size_t c = 0; c < k; ++c) {
+          if (c == start) continue;
+          const double d = KmeansExactDistance(p, result.centers.row(c));
+          ++result.stats.exact_count;
+          if (d < best_d) {
+            best_d = d;
+            best_c = c;
+          }
+        }
+      } else {
+        {
+          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          best_d = KmeansExactDistance(p, result.centers.row(start));
+          ++result.stats.exact_count;
+        }
+        for (size_t c = 0; c < k; ++c) {
+          if (c == start) continue;
+          ++result.stats.bound_count;
+          if (filter->LowerBound(i, c) >= best_d) continue;
+          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          const double d = KmeansExactDistance(p, result.centers.row(c));
+          ++result.stats.exact_count;
+          if (d < best_d) {
+            best_d = d;
+            best_c = c;
+          }
+        }
+      }
+      if (best_c != static_cast<size_t>(result.assignments[i])) {
+        result.assignments[i] = static_cast<int32_t>(best_c);
+        ++changed;
+      }
+    }
+
+    // Update step.
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "update");
+      result.centers =
+          UpdateCenters(data, result.assignments, result.centers, nullptr);
+    }
+
+    result.iteration_wall_ms.push_back(iter_wall.ElapsedMillis());
+    ++result.iterations;
+    if (changed == 0 && !first_iteration) break;
+    first_iteration = false;
+  }
+
+  result.inertia = ComputeInertia(data, result.centers, result.assignments);
+  result.stats.wall_ms = total_wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
+  return result;
+}
+
+}  // namespace pimine

@@ -1,0 +1,28 @@
+#ifndef PIMINE_KMEANS_LLOYD_H_
+#define PIMINE_KMEANS_LLOYD_H_
+
+#include "kmeans/kmeans_common.h"
+
+namespace pimine {
+
+/// The paper's "Standard": Lloyd's algorithm. The assign step computes the
+/// distance from every point to every center; with options.use_pim the
+/// PIM lower bound LB_PIM-ED filters far-away centers first, reducing the
+/// per-pair transfer from d*b to 3*b bits (§VI-D: up to 33.4x).
+class LloydKmeans : public KmeansAlgorithm {
+ public:
+  std::string_view name() const override { return "Standard"; }
+  Result<KmeansResult> Run(const FloatMatrix& data,
+                           const KmeansOptions& options) override;
+};
+
+/// Exact real (non-squared) Euclidean distance with traffic accounting.
+double KmeansExactDistance(std::span<const float> a, std::span<const float> b);
+
+/// Validates data/options combinations shared by all algorithms.
+Status ValidateKmeansInput(const FloatMatrix& data,
+                           const KmeansOptions& options);
+
+}  // namespace pimine
+
+#endif  // PIMINE_KMEANS_LLOYD_H_

@@ -1,0 +1,260 @@
+#include "kmeans/yinyang.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/similarity.h"
+#include "kmeans/lloyd.h"
+#include "sim/traffic.h"
+#include "util/timer.h"
+
+namespace pimine {
+namespace {
+
+/// Clusters the k centers into t groups with a few plain Lloyd iterations
+/// (the Yinyang paper's own group-construction step). Deterministic.
+std::vector<int32_t> GroupCenters(const FloatMatrix& centers, size_t t,
+                                  uint64_t seed) {
+  const size_t k = centers.rows();
+  std::vector<int32_t> group(k, 0);
+  if (t <= 1) return group;
+  FloatMatrix group_centers = InitCenters(centers, static_cast<int>(t), seed);
+  for (int it = 0; it < 3; ++it) {
+    for (size_t c = 0; c < k; ++c) {
+      double best = HUGE_VAL;
+      int32_t best_g = 0;
+      for (size_t g = 0; g < t; ++g) {
+        const double d = SquaredEuclidean(centers.row(c),
+                                          group_centers.row(g));
+        if (d < best) {
+          best = d;
+          best_g = static_cast<int32_t>(g);
+        }
+      }
+      group[c] = best_g;
+    }
+    group_centers = UpdateCenters(centers, group, group_centers, nullptr);
+  }
+  return group;
+}
+
+}  // namespace
+
+YinyangKmeans::YinyangKmeans(int group_divisor)
+    : group_divisor_(group_divisor) {
+  PIMINE_CHECK(group_divisor >= 1);
+}
+
+Result<KmeansResult> YinyangKmeans::Run(const FloatMatrix& data,
+                                        const KmeansOptions& options) {
+  PIMINE_RETURN_IF_ERROR(ValidateKmeansInput(data, options));
+
+  std::unique_ptr<PimAssignFilter> filter;
+  if (options.use_pim) {
+    PIMINE_ASSIGN_OR_RETURN(filter,
+                            PimAssignFilter::Build(data, options.engine_options));
+  }
+
+  KmeansResult result;
+  result.centers = InitCenters(data, options.k, options.seed);
+  const size_t n = data.rows();
+  const size_t k = static_cast<size_t>(options.k);
+  const size_t t = std::max<size_t>(
+      1, k / static_cast<size_t>(group_divisor_));
+  result.assignments.assign(n, 0);
+  result.stats.footprint_bytes =
+      n * t * sizeof(double) + data.SizeBytes() / 4;
+
+  const std::vector<int32_t> group =
+      GroupCenters(result.centers, t, options.seed);
+  std::vector<std::vector<int32_t>> members(t);
+  for (size_t c = 0; c < k; ++c) members[group[c]].push_back(c);
+
+  std::vector<double> upper(n, 0.0);
+  std::vector<double> lower(n * t, 0.0);  // per-group lower bounds.
+  std::vector<double> moved(k, 0.0);
+  std::vector<double> group_delta(t, 0.0);
+  // Per-point scan scratch (group-min tracking).
+  std::vector<uint8_t> g_scanned(t, 0);
+  std::vector<double> g_min1(t, 0.0);
+  std::vector<double> g_min2(t, 0.0);
+  std::vector<int32_t> g_min1c(t, -1);
+
+  TrafficScope traffic_scope;
+  Timer total_wall;
+  bool initialized = false;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Timer iter_wall;
+    size_t changed = 0;
+
+    if (filter != nullptr) {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      PIMINE_RETURN_IF_ERROR(filter->BeginIteration(result.centers));
+    }
+
+    if (!initialized) {
+      // Initial pass: per-pair values fill the group bounds. With the PIM
+      // filter, far-away centers keep their (valid) PIM lower bound
+      // instead of an exact distance — same treatment as Elkan's init.
+      std::vector<double> dist(k);
+      for (size_t i = 0; i < n; ++i) {
+        const auto p = data.row(i);
+        size_t best_c = 0;
+        double best_d = HUGE_VAL;
+        for (size_t c = 0; c < k; ++c) {
+          if (filter != nullptr) {
+            ++result.stats.bound_count;
+            const double pim_lb = filter->LowerBound(i, c);
+            if (pim_lb >= best_d) {
+              dist[c] = pim_lb;
+              continue;
+            }
+          }
+          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          dist[c] = KmeansExactDistance(p, result.centers.row(c));
+          ++result.stats.exact_count;
+          if (dist[c] < best_d) {
+            best_d = dist[c];
+            best_c = c;
+          }
+        }
+        result.assignments[i] = static_cast<int32_t>(best_c);
+        upper[i] = best_d;
+        for (size_t g = 0; g < t; ++g) {
+          double m = HUGE_VAL;
+          for (int32_t c : members[g]) {
+            if (static_cast<size_t>(c) == best_c) continue;
+            m = std::min(m, dist[c]);
+          }
+          lower[i * t + g] = m;
+        }
+      }
+      initialized = true;
+      ++changed;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t a = result.assignments[i];
+        double* lb = lower.data() + i * t;
+        double global_lb = HUGE_VAL;
+        for (size_t g = 0; g < t; ++g) global_lb = std::min(global_lb, lb[g]);
+        if (upper[i] <= global_lb) continue;
+
+        const auto p = data.row(i);
+        double best_d;
+        {
+          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          best_d = KmeansExactDistance(p, result.centers.row(a));
+          ++result.stats.exact_count;
+        }
+        upper[i] = best_d;
+        if (best_d <= global_lb) continue;
+        size_t best_c = a;
+
+        // Group bounds are finalized only after the final assignment is
+        // known (a later group can steal the assignment, which changes
+        // which candidate every earlier group must exclude).
+        std::fill(g_scanned.begin(), g_scanned.end(), 0);
+        for (size_t g = 0; g < t; ++g) {
+          if (lb[g] >= best_d) continue;  // group filter (stays valid as
+                                          // best_d only shrinks).
+          g_scanned[g] = 1;
+          double min1 = HUGE_VAL;   // smallest value in group.
+          double min2 = HUGE_VAL;   // second smallest.
+          int32_t min1_c = -1;
+          for (int32_t c : members[g]) {
+            if (static_cast<size_t>(c) == a) continue;
+            double value;
+            bool exact = true;
+            if (filter != nullptr) {
+              ++result.stats.bound_count;
+              const double pim_lb = filter->LowerBound(i, c);
+              if (pim_lb >= best_d) {
+                value = pim_lb;  // valid lower bound for the group min.
+                exact = false;
+              } else {
+                ScopedFunctionTimer timer(&result.stats.profile, "ED");
+                value = KmeansExactDistance(p, result.centers.row(c));
+                ++result.stats.exact_count;
+              }
+            } else {
+              ScopedFunctionTimer timer(&result.stats.profile, "ED");
+              value = KmeansExactDistance(p, result.centers.row(c));
+              ++result.stats.exact_count;
+            }
+            if (value < min1) {
+              min2 = min1;
+              min1 = value;
+              min1_c = c;
+            } else if (value < min2) {
+              min2 = value;
+            }
+            if (exact && value < best_d) {
+              best_d = value;
+              best_c = c;
+            }
+          }
+          g_min1[g] = min1;
+          g_min2[g] = min2;
+          g_min1c[g] = min1_c;
+        }
+        for (size_t g = 0; g < t; ++g) {
+          if (!g_scanned[g]) continue;
+          lb[g] = (g_min1c[g] >= 0 &&
+                   static_cast<size_t>(g_min1c[g]) == best_c)
+                      ? g_min2[g]
+                      : g_min1[g];
+        }
+        if (best_c != a) {
+          result.assignments[i] = static_cast<int32_t>(best_c);
+          upper[i] = best_d;
+          ++changed;
+          // The old assignment was excluded from every scan, but it now
+          // belongs to its group's bound domain; fold its distance in.
+          const size_t old_group = group[a];
+          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          const double d_old =
+              KmeansExactDistance(p, result.centers.row(a));
+          ++result.stats.exact_count;
+          lb[old_group] = std::min(lb[old_group], d_old);
+        }
+      }
+    }
+
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "update");
+      result.centers =
+          UpdateCenters(data, result.assignments, result.centers, &moved);
+    }
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "bound update");
+      std::fill(group_delta.begin(), group_delta.end(), 0.0);
+      for (size_t c = 0; c < k; ++c) {
+        group_delta[group[c]] = std::max(group_delta[group[c]], moved[c]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        double* lb = lower.data() + i * t;
+        for (size_t g = 0; g < t; ++g) {
+          lb[g] = std::max(0.0, lb[g] - group_delta[g]);
+        }
+        upper[i] += moved[result.assignments[i]];
+      }
+      traffic::CountRead(n * t * sizeof(double));
+      traffic::CountWrite(n * t * sizeof(double));
+      traffic::CountArithmetic(n * t * 2);
+    }
+
+    result.iteration_wall_ms.push_back(iter_wall.ElapsedMillis());
+    ++result.iterations;
+    if (changed == 0 && iter > 0) break;
+  }
+
+  result.inertia = ComputeInertia(data, result.centers, result.assignments);
+  result.stats.wall_ms = total_wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
+  return result;
+}
+
+}  // namespace pimine

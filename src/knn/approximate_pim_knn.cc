@@ -1,0 +1,105 @@
+#include "knn/approximate_pim_knn.h"
+
+#include "common/logging.h"
+#include "sim/traffic.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+ApproximatePimKnn::ApproximatePimKnn(EngineOptions options)
+    : options_(std::move(options)), quantizer_(options_.alpha) {}
+
+Status ApproximatePimKnn::Prepare(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (float v : data.row(i)) {
+      if (!(v >= 0.0f && v <= 1.0f)) {
+        return Status::InvalidArgument("data must be normalized into [0, 1]");
+      }
+    }
+  }
+  data_ = &data;
+  device_ = std::make_unique<PimDevice>(options_.pim_config);
+  const IntMatrix quantized = quantizer_.Quantize(data);
+  PIMINE_RETURN_IF_ERROR(
+      device_->ProgramDataset(quantized, options_.operand_bits));
+
+  floor_norms_.resize(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double acc = 0.0;
+    for (int32_t v : quantized.row(i)) {
+      acc += static_cast<double>(v) * v;
+    }
+    floor_norms_[i] = acc;
+  }
+  offline_ns_ = device_->stats().program_ns;
+  return Status::OK();
+}
+
+Result<KnnRunResult> ApproximatePimKnn::Search(const FloatMatrix& queries,
+                                               int k) {
+  if (device_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  if (queries.cols() != data_->cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+    return Status::InvalidArgument("k out of range");
+  }
+
+  KnnRunResult result;
+  result.neighbors.reserve(queries.rows());
+  device_->ResetOnlineStats();
+  TrafficScope traffic_scope;
+  Timer wall;
+
+  const size_t n = data_->rows();
+  const double alpha_sq = quantizer_.alpha() * quantizer_.alpha();
+  std::vector<int32_t> quantized_query(data_->cols());
+  std::vector<uint64_t> dots;
+
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto q = queries.row(qi);
+    ScopedFunctionTimer timer(&result.stats.profile, "ED_approx");
+    quantizer_.QuantizeRow(q, quantized_query);
+    double q_norm = 0.0;
+    for (int32_t v : quantized_query) {
+      q_norm += static_cast<double>(v) * v;
+    }
+    PIMINE_RETURN_IF_ERROR(device_->DotProductAll(quantized_query, &dots));
+
+    TopK topk(static_cast<size_t>(k));
+    for (size_t i = 0; i < n; ++i) {
+      const double approx =
+          (floor_norms_[i] + q_norm - 2.0 * static_cast<double>(dots[i])) /
+          alpha_sq;
+      topk.Push(approx, static_cast<int32_t>(i));
+    }
+    traffic::CountPimResults(n);
+    traffic::CountArithmetic(4 * n);
+    result.stats.bound_count += n;  // no exact computation at all.
+    result.neighbors.push_back(topk.TakeSorted());
+  }
+
+  result.stats.wall_ms = wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  result.stats.pim_ns = device_->stats().compute_ns;
+  result.stats.footprint_bytes = n * sizeof(double) * 2;
+  return result;
+}
+
+double RecallAtK(const std::vector<Neighbor>& exact,
+                 const std::vector<Neighbor>& approx) {
+  if (exact.empty()) return 1.0;
+  size_t hits = 0;
+  for (const Neighbor& a : approx) {
+    for (const Neighbor& e : exact) {
+      if (a.id == e.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(exact.size());
+}
+
+}  // namespace pimine

@@ -1,0 +1,52 @@
+#ifndef PIMINE_KNN_APPROXIMATE_PIM_KNN_H_
+#define PIMINE_KNN_APPROXIMATE_PIM_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/quantize.h"
+#include "knn/knn_common.h"
+
+namespace pimine {
+
+/// The road NOT taken by the paper, implemented for comparison: GraphR-style
+/// fixed-point approximation (§II-A). Distances are computed *entirely*
+/// from the quantized values —
+///   ED~(p, q) = sum floor(a*p_i)^2 + sum floor(a*q_i)^2
+///               - 2 * floor(a*p).floor(a*q)
+/// — and the top-k is taken on these approximations with **no exact
+/// refinement**. Fast and fully in-PIM, but results can be wrong: with a
+/// coarse scaling factor the quantization error flips neighbour ranks.
+///
+/// The paper's argument ("such precision loss may compromise the accuracy
+/// of results in data mining tasks ... instead, we utilize PIM to compute
+/// bound functions") is exactly the recall gap `bench_ext_accuracy`
+/// measures between this class and StandardPimKnn.
+class ApproximatePimKnn : public KnnAlgorithm {
+ public:
+  explicit ApproximatePimKnn(EngineOptions options);
+
+  std::string_view name() const override { return "Approx-PIM"; }
+  Status Prepare(const FloatMatrix& data) override;
+  Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  double OfflineModeledNs() const override { return offline_ns_; }
+
+ private:
+  EngineOptions options_;
+  Quantizer quantizer_;
+  const FloatMatrix* data_ = nullptr;
+  std::unique_ptr<PimDevice> device_;
+  /// sum of squared floors per object (offline part of the approximation).
+  std::vector<double> floor_norms_;
+  double offline_ns_ = 0.0;
+};
+
+/// Fraction of the true top-k ids found in `approx` (order-insensitive).
+double RecallAtK(const std::vector<Neighbor>& exact,
+                 const std::vector<Neighbor>& approx);
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_APPROXIMATE_PIM_KNN_H_

@@ -1,0 +1,120 @@
+#include "knn/fnn_knn.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/bounds.h"
+#include "core/similarity.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+FnnKnn::FnnKnn(std::vector<int64_t> level_divisors)
+    : level_divisors_(std::move(level_divisors)) {
+  PIMINE_CHECK(!level_divisors_.empty());
+  for (int64_t div : level_divisors_) PIMINE_CHECK(div >= 1);
+}
+
+Status FnnKnn::Prepare(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  data_ = &data;
+  levels_.clear();
+  const int64_t d = static_cast<int64_t>(data.cols());
+  int64_t previous_d0 = 0;
+  for (int64_t div : level_divisors_) {
+    const int64_t d0 = std::max<int64_t>(1, d / div);
+    if (d0 == previous_d0) continue;  // degenerate level on small d.
+    levels_.push_back(ComputeSegmentStats(data, d0));
+    previous_d0 = d0;
+  }
+  return Status::OK();
+}
+
+uint64_t FnnKnn::OfflineBytesWritten() const {
+  uint64_t bytes = 0;
+  for (const SegmentStats& level : levels_) {
+    bytes += level.means.SizeBytes() + level.stds.SizeBytes();
+  }
+  return bytes;
+}
+
+Result<KnnRunResult> FnnKnn::Search(const FloatMatrix& queries, int k) {
+  if (data_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  if (queries.cols() != data_->cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+    return Status::InvalidArgument("k out of range");
+  }
+
+  KnnRunResult result;
+  result.neighbors.reserve(queries.rows());
+  TrafficScope traffic_scope;
+  Timer wall;
+
+  const size_t n = data_->rows();
+  const size_t num_levels = levels_.size();
+
+  // Per-level query segment scratch.
+  std::vector<std::vector<float>> q_means(num_levels);
+  std::vector<std::vector<float>> q_stds(num_levels);
+  for (size_t lv = 0; lv < num_levels; ++lv) {
+    q_means[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+    q_stds[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+  }
+  std::vector<double> first_bounds(n);
+
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto q = queries.row(qi);
+    TopK topk(static_cast<size_t>(k));
+
+    // Coarsest level over every object.
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
+      for (size_t lv = 0; lv < num_levels; ++lv) {
+        ComputeSegments(q, levels_[lv].num_segments, q_means[lv], q_stds[lv]);
+      }
+      const SegmentStats& l0 = levels_[0];
+      for (size_t i = 0; i < n; ++i) {
+        first_bounds[i] = LbFnn(l0.means.row(i), l0.stds.row(i), q_means[0],
+                                q_stds[0], l0.segment_length);
+      }
+      result.stats.bound_count += n;
+    }
+
+    // Refinement in coarse-bound order; finer levels prune survivors.
+    std::vector<uint32_t> order;
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
+      order = ArgsortAscending(first_bounds);
+    }
+    for (uint32_t idx : order) {
+      if (topk.full() && first_bounds[idx] >= topk.threshold()) break;
+      bool pruned = false;
+      for (size_t lv = 1; lv < num_levels && !pruned; ++lv) {
+        ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
+        const SegmentStats& level = levels_[lv];
+        const double lb =
+            LbFnn(level.means.row(idx), level.stds.row(idx), q_means[lv],
+                  q_stds[lv], level.segment_length);
+        ++result.stats.bound_count;
+        pruned = topk.full() && lb >= topk.threshold();
+      }
+      if (pruned) continue;
+      ScopedFunctionTimer timer(&result.stats.profile, "ED");
+      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                    topk.threshold());
+      topk.Push(d, static_cast<int32_t>(idx));
+      ++result.stats.exact_count;
+    }
+    result.neighbors.push_back(topk.TakeSorted());
+  }
+
+  result.stats.wall_ms = wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  result.stats.footprint_bytes =
+      levels_[0].means.SizeBytes() + levels_[0].stds.SizeBytes();
+  return result;
+}
+
+}  // namespace pimine

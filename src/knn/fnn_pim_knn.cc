@@ -1,0 +1,268 @@
+#include "knn/fnn_pim_knn.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/bounds.h"
+#include "core/similarity.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+FnnPimKnn::FnnPimKnn(EngineOptions options, bool optimize,
+                     std::vector<int64_t> level_divisors,
+                     int plan_sample_queries, int plan_k)
+    : options_(std::move(options)),
+      optimize_(optimize),
+      level_divisors_(std::move(level_divisors)),
+      plan_sample_queries_(plan_sample_queries),
+      plan_k_(plan_k) {
+  PIMINE_CHECK(!level_divisors_.empty());
+  PIMINE_CHECK(plan_sample_queries_ >= 1 && plan_k_ >= 1);
+  options_.bound = EngineOptions::Bound::kSegmentFnn;
+}
+
+Status FnnPimKnn::Prepare(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  data_ = &data;
+  PIMINE_ASSIGN_OR_RETURN(
+      engine_, PimEngine::Build(data, Distance::kEuclidean, options_));
+
+  // The coarsest original level is the replaced bottleneck; the finer
+  // levels remain candidates.
+  levels_.clear();
+  const int64_t d = static_cast<int64_t>(data.cols());
+  int64_t previous_d0 = std::max<int64_t>(1, d / level_divisors_[0]);
+  for (size_t lv = 1; lv < level_divisors_.size(); ++lv) {
+    const int64_t d0 = std::max<int64_t>(1, d / level_divisors_[lv]);
+    if (d0 == previous_d0) continue;
+    levels_.push_back(ComputeSegmentStats(data, d0));
+    previous_d0 = d0;
+  }
+
+  PIMINE_RETURN_IF_ERROR(MeasureCandidates(data));
+
+  selected_levels_.clear();
+  use_pim_filter_ = true;
+  if (optimize_) {
+    const double exact_cost_bits =
+        static_cast<double>(d) * 8 * sizeof(float);
+    plan_ = ChooseExecutionPlan(candidates_, exact_cost_bits);
+    use_pim_filter_ = false;
+    for (size_t idx : plan_.selected) {
+      if (idx == 0) {
+        use_pim_filter_ = true;
+      } else {
+        selected_levels_.push_back(idx - 1);
+      }
+    }
+  } else {
+    // Default execution: PIM bound + every retained original level.
+    plan_ = ExecutionPlan();
+    plan_.selected.push_back(0);
+    for (size_t lv = 0; lv < levels_.size(); ++lv) {
+      plan_.selected.push_back(lv + 1);
+      selected_levels_.push_back(lv);
+    }
+    plan_.cost_bits_per_object = PlanCostBits(
+        candidates_, plan_.selected,
+        static_cast<double>(d) * 8 * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status FnnPimKnn::MeasureCandidates(const FloatMatrix& data) {
+  candidates_.clear();
+  const double b = 32.0;  // operand bits.
+
+  BoundCandidate pim;
+  pim.name = "LB_PIM-FNN^" + std::to_string(engine_->num_segments());
+  pim.transfer_bits = engine_->TransferBitsPerCandidate();
+  pim.is_pim = true;
+  candidates_.push_back(pim);
+  for (const SegmentStats& level : levels_) {
+    BoundCandidate c;
+    c.name = "LB_FNN^" + std::to_string(level.num_segments);
+    // Means + stds of each candidate stream from memory.
+    c.transfer_bits = 2.0 * static_cast<double>(level.num_segments) * b;
+    candidates_.push_back(c);
+  }
+
+  // Pruning ratios measured on sample queries drawn from the dataset
+  // (§V-D: measured offline on a traditional architecture). Ratios are
+  // *conditional* on the preceding bounds in the cascade — the survivors of
+  // the tight PIM bound are exactly the candidates a coarser original bound
+  // cannot re-filter, which is what lets Eq. 13 drop redundant bounds (the
+  // paper's "remove" optimization, Fig. 12b).
+  const size_t n = data.rows();
+  const int nq = plan_sample_queries_;
+  const size_t k = std::min<size_t>(plan_k_, n);
+  Rng rng(0x91a0000ULL ^ n);
+  std::vector<double> ratios(candidates_.size(), 0.0);
+  std::vector<double> exact(n);
+  std::vector<double> bound_values(n);
+  std::vector<float> q_means;
+  std::vector<float> q_stds;
+
+  for (int s = 0; s < nq; ++s) {
+    const auto q = data.row(rng.NextBounded(n));
+    for (size_t i = 0; i < n; ++i) {
+      exact[i] = SquaredEuclidean(data.row(i), q);
+    }
+    std::vector<double> sorted_exact = exact;
+    std::nth_element(sorted_exact.begin(), sorted_exact.begin() + (k - 1),
+                     sorted_exact.end());
+    const double tau = sorted_exact[k - 1];
+
+    std::vector<uint32_t> survivors(n);
+    for (size_t i = 0; i < n; ++i) survivors[i] = static_cast<uint32_t>(i);
+
+    // PIM candidate first (cascade order), then the original levels on the
+    // survivors of everything before them.
+    {
+      PIMINE_ASSIGN_OR_RETURN(PimEngine::QueryHandle handle,
+                              engine_->RunQuery(q));
+      bound_values.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        bound_values[i] = engine_->BoundFor(handle, i);
+      }
+      ratios[0] += MeasurePruningRatio(bound_values, tau, false);
+      std::vector<uint32_t> next;
+      for (uint32_t i : survivors) {
+        if (bound_values[i] <= tau) next.push_back(i);
+      }
+      survivors = std::move(next);
+    }
+    for (size_t lv = 0; lv < levels_.size(); ++lv) {
+      const SegmentStats& level = levels_[lv];
+      q_means.resize(static_cast<size_t>(level.num_segments));
+      q_stds.resize(static_cast<size_t>(level.num_segments));
+      ComputeSegments(q, level.num_segments, q_means, q_stds);
+      bound_values.clear();
+      std::vector<uint32_t> next;
+      for (uint32_t i : survivors) {
+        const double lb = LbFnn(level.means.row(i), level.stds.row(i),
+                                q_means, q_stds, level.segment_length);
+        bound_values.push_back(lb);
+        if (lb <= tau) next.push_back(i);
+      }
+      ratios[lv + 1] += MeasurePruningRatio(bound_values, tau, false);
+      survivors = std::move(next);
+    }
+  }
+  for (size_t c = 0; c < candidates_.size(); ++c) {
+    candidates_[c].pruning_ratio = ratios[c] / nq;
+  }
+  return Status::OK();
+}
+
+uint64_t FnnPimKnn::OfflineBytesWritten() const {
+  uint64_t bytes = engine_ ? engine_->OfflineBytesWritten() : 0;
+  for (size_t lv : selected_levels_) {
+    bytes += levels_[lv].means.SizeBytes() + levels_[lv].stds.SizeBytes();
+  }
+  return bytes;
+}
+
+Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  if (queries.cols() != data_->cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+    return Status::InvalidArgument("k out of range");
+  }
+
+  KnnRunResult result;
+  result.neighbors.reserve(queries.rows());
+  engine_->ResetOnlineStats();
+  TrafficScope traffic_scope;
+  Timer wall;
+
+  const size_t n = data_->rows();
+  std::vector<double> bounds(n);
+  std::vector<std::vector<float>> q_means(levels_.size());
+  std::vector<std::vector<float>> q_stds(levels_.size());
+  for (size_t lv = 0; lv < levels_.size(); ++lv) {
+    q_means[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+    q_stds[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+  }
+
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto q = queries.row(qi);
+    TopK topk(static_cast<size_t>(k));
+
+    // Sort-order filter: the PIM bound when selected, else the first
+    // retained original level, else no filter at all.
+    if (use_pim_filter_) {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      PIMINE_ASSIGN_OR_RETURN(PimEngine::QueryHandle handle,
+                              engine_->RunQuery(q));
+      for (size_t i = 0; i < n; ++i) bounds[i] = engine_->BoundFor(handle, i);
+      result.stats.bound_count += n;
+    } else if (!selected_levels_.empty()) {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
+      const SegmentStats& level = levels_[selected_levels_[0]];
+      const size_t lv = selected_levels_[0];
+      ComputeSegments(q, level.num_segments, q_means[lv], q_stds[lv]);
+      for (size_t i = 0; i < n; ++i) {
+        bounds[i] = LbFnn(level.means.row(i), level.stds.row(i), q_means[lv],
+                          q_stds[lv], level.segment_length);
+      }
+      result.stats.bound_count += n;
+    } else {
+      std::fill(bounds.begin(), bounds.end(), 0.0);
+    }
+    const size_t first_refine_level =
+        use_pim_filter_ ? 0 : (selected_levels_.empty() ? 0 : 1);
+
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
+      for (size_t j = first_refine_level; j < selected_levels_.size(); ++j) {
+        const SegmentStats& level = levels_[selected_levels_[j]];
+        ComputeSegments(q, level.num_segments, q_means[selected_levels_[j]],
+                        q_stds[selected_levels_[j]]);
+      }
+    }
+
+    std::vector<uint32_t> order;
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      order = ArgsortAscending(bounds);
+    }
+    for (uint32_t idx : order) {
+      if (topk.full() && bounds[idx] >= topk.threshold()) break;
+      bool pruned = false;
+      for (size_t j = first_refine_level;
+           j < selected_levels_.size() && !pruned; ++j) {
+        ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
+        const size_t lv = selected_levels_[j];
+        const SegmentStats& level = levels_[lv];
+        const double lb = LbFnn(level.means.row(idx), level.stds.row(idx),
+                                q_means[lv], q_stds[lv],
+                                level.segment_length);
+        ++result.stats.bound_count;
+        pruned = topk.full() && lb >= topk.threshold();
+      }
+      if (pruned) continue;
+      ScopedFunctionTimer timer(&result.stats.profile, "ED");
+      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                    topk.threshold());
+      topk.Push(d, static_cast<int32_t>(idx));
+      ++result.stats.exact_count;
+    }
+    result.neighbors.push_back(topk.TakeSorted());
+  }
+
+  result.stats.wall_ms = wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  result.stats.pim_ns = engine_->PimComputeNs();
+  result.stats.footprint_bytes =
+      n * sizeof(double) * 2 +
+      (result.stats.exact_count / std::max<uint64_t>(1, queries.rows())) *
+          data_->cols() * sizeof(float);
+  return result;
+}
+
+}  // namespace pimine

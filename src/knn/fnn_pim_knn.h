@@ -1,0 +1,68 @@
+#ifndef PIMINE_KNN_FNN_PIM_KNN_H_
+#define PIMINE_KNN_FNN_PIM_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/plan.h"
+#include "core/segments.h"
+#include "knn/knn_common.h"
+
+namespace pimine {
+
+/// FNN-PIM (§V-D, Fig. 12): FNN with its bottleneck bound (the coarsest
+/// LB_FNN level) replaced by LB_PIM-FNN^s, where Theorem 4 maximizes s.
+///
+/// With `optimize = false` the remaining original levels (d/16, d/4) stay
+/// in the cascade (Fig. 12b, "replace"). With `optimize = true` the Eq. 13
+/// plan optimizer measures every candidate bound's pruning ratio on sample
+/// queries at Prepare time and keeps only the subset with the least
+/// estimated data transfer (Fig. 12b, "remove" — typically the PIM bound
+/// alone, since s > d/16 makes the survivors hard to re-filter).
+class FnnPimKnn : public KnnAlgorithm {
+ public:
+  FnnPimKnn(EngineOptions options, bool optimize,
+            std::vector<int64_t> level_divisors = {64, 16, 4},
+            int plan_sample_queries = 4, int plan_k = 10);
+
+  std::string_view name() const override {
+    return optimize_ ? "FNN-PIM-optimize" : "FNN-PIM";
+  }
+  Status Prepare(const FloatMatrix& data) override;
+  Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  double OfflineModeledNs() const override {
+    return engine_ ? engine_->OfflineNs() : 0.0;
+  }
+  uint64_t OfflineBytesWritten() const override;
+
+  /// The chosen plan (meaningful after Prepare; trivial when !optimize).
+  const ExecutionPlan& plan() const { return plan_; }
+  const std::vector<BoundCandidate>& candidates() const { return candidates_; }
+  const PimEngine* engine() const { return engine_.get(); }
+
+ private:
+  /// Measures pruning ratios on sample queries and fills `candidates_`.
+  Status MeasureCandidates(const FloatMatrix& data);
+
+  EngineOptions options_;
+  bool optimize_;
+  std::vector<int64_t> level_divisors_;
+  int plan_sample_queries_;
+  int plan_k_;
+
+  const FloatMatrix* data_ = nullptr;
+  std::unique_ptr<PimEngine> engine_;
+  /// Retained original LB_FNN levels (coarsest level is replaced by PIM).
+  std::vector<SegmentStats> levels_;
+  std::vector<BoundCandidate> candidates_;  // [0] = PIM, then levels.
+  ExecutionPlan plan_;
+  /// selected_levels_[j] = index into levels_ applied after the PIM filter.
+  std::vector<size_t> selected_levels_;
+  bool use_pim_filter_ = true;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_FNN_PIM_KNN_H_

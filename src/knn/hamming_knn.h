@@ -1,0 +1,54 @@
+#ifndef PIMINE_KNN_HAMMING_KNN_H_
+#define PIMINE_KNN_HAMMING_KNN_H_
+
+#include <memory>
+
+#include "core/hamming_engine.h"
+#include "data/bit_matrix.h"
+#include "knn/knn_common.h"
+#include "pim/pim_config.h"
+
+namespace pimine {
+
+/// kNN on binary codes (Fig. 14). The paper notes that for Hamming distance
+/// there is no technique meaningfully better than a linear scan (§II-C), so
+/// the baseline is an exhaustive XOR/popcount scan and the PIM variant is
+/// the same scan with the distance computation done in the crossbars
+/// (exactly — HD needs no quantization bound).
+
+/// Host baseline: XOR + popcount over the packed codes; transfers d bits
+/// per candidate.
+class HammingScanKnn {
+ public:
+  Status Prepare(const BitMatrix& codes);
+  Result<KnnRunResult> Search(const BitMatrix& queries, int k);
+
+  std::string_view name() const { return "Standard"; }
+
+ private:
+  const BitMatrix* codes_ = nullptr;
+};
+
+/// PIM variant: the two Table 4 dot products per candidate run in the PIM
+/// array; the host loads 64 bits per candidate (two 32-bit results) and
+/// selects the top-k.
+class HammingPimKnn {
+ public:
+  explicit HammingPimKnn(PimConfig config = PimConfig());
+
+  Status Prepare(const BitMatrix& codes);
+  Result<KnnRunResult> Search(const BitMatrix& queries, int k);
+
+  std::string_view name() const { return "Standard-PIM"; }
+  double OfflineModeledNs() const {
+    return engine_ ? engine_->OfflineNs() : 0.0;
+  }
+
+ private:
+  PimConfig config_;
+  std::unique_ptr<PimHammingEngine> engine_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_HAMMING_KNN_H_

@@ -1,0 +1,36 @@
+#ifndef PIMINE_KNN_OST_KNN_H_
+#define PIMINE_KNN_OST_KNN_H_
+
+#include <vector>
+
+#include "knn/knn_common.h"
+
+namespace pimine {
+
+/// OST (Liaw et al.): filter-and-refine with the orthogonal-search-tree
+/// bound LB_OST (Table 3): exact partial distance on a d0-dimensional
+/// prefix plus the suffix-norm difference. d0 = d/4 by default.
+class OstKnn : public KnnAlgorithm {
+ public:
+  /// `prefix_divisor` sets d0 = max(1, d / prefix_divisor).
+  explicit OstKnn(int64_t prefix_divisor = 4);
+
+  std::string_view name() const override { return "OST"; }
+  Status Prepare(const FloatMatrix& data) override;
+  Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  uint64_t OfflineBytesWritten() const override {
+    return suffix_norms_.size() * sizeof(double);
+  }
+  int64_t prefix_dims() const { return d0_; }
+
+ private:
+  int64_t prefix_divisor_;
+  int64_t d0_ = 0;
+  const FloatMatrix* data_ = nullptr;
+  std::vector<double> suffix_norms_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_OST_KNN_H_

@@ -1,0 +1,102 @@
+#include "knn/ost_pim_knn.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/bounds.h"
+#include "core/similarity.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+OstPimKnn::OstPimKnn(EngineOptions options, int64_t prefix_divisor)
+    : options_(std::move(options)), prefix_divisor_(prefix_divisor) {
+  PIMINE_CHECK(prefix_divisor >= 1);
+  options_.bound = EngineOptions::Bound::kDirectEd;
+}
+
+Status OstPimKnn::Prepare(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  data_ = &data;
+  const int64_t d = static_cast<int64_t>(data.cols());
+  d0_ = std::max<int64_t>(1, d / prefix_divisor_);
+
+  // Prefix submatrix programmed on PIM.
+  FloatMatrix prefixes(data.rows(), static_cast<size_t>(d0_));
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const auto row = data.row(i);
+    auto out = prefixes.mutable_row(i);
+    for (int64_t j = 0; j < d0_; ++j) out[j] = row[j];
+  }
+  PIMINE_ASSIGN_OR_RETURN(
+      engine_, PimEngine::Build(prefixes, Distance::kEuclidean, options_));
+
+  suffix_norms_.resize(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    suffix_norms_[i] = SuffixNorm(data.row(i), d0_);
+  }
+  return Status::OK();
+}
+
+Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  if (queries.cols() != data_->cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+    return Status::InvalidArgument("k out of range");
+  }
+
+  KnnRunResult result;
+  result.neighbors.reserve(queries.rows());
+  engine_->ResetOnlineStats();
+  TrafficScope traffic_scope;
+  Timer wall;
+
+  const size_t n = data_->rows();
+  std::vector<double> bounds(n);
+
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto q = queries.row(qi);
+    TopK topk(static_cast<size_t>(k));
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      const double q_suffix = SuffixNorm(q, d0_);
+      PIMINE_ASSIGN_OR_RETURN(
+          PimEngine::QueryHandle handle,
+          engine_->RunQuery(q.subspan(0, static_cast<size_t>(d0_))));
+      for (size_t i = 0; i < n; ++i) {
+        const double norm_diff = suffix_norms_[i] - q_suffix;
+        const double prefix_lb =
+            std::max(0.0, engine_->BoundFor(handle, i));
+        bounds[i] = prefix_lb + norm_diff * norm_diff;
+      }
+      result.stats.bound_count += n;
+    }
+    std::vector<uint32_t> order;
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      order = ArgsortAscending(bounds);
+    }
+    for (uint32_t idx : order) {
+      if (topk.full() && bounds[idx] >= topk.threshold()) break;
+      ScopedFunctionTimer timer(&result.stats.profile, "ED");
+      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                    topk.threshold());
+      topk.Push(d, static_cast<int32_t>(idx));
+      ++result.stats.exact_count;
+    }
+    result.neighbors.push_back(topk.TakeSorted());
+  }
+
+  result.stats.wall_ms = wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  result.stats.pim_ns = engine_->PimComputeNs();
+  result.stats.footprint_bytes =
+      n * (sizeof(double) * 3) +
+      (result.stats.exact_count / std::max<uint64_t>(1, queries.rows())) *
+          data_->cols() * sizeof(float);
+  return result;
+}
+
+}  // namespace pimine

@@ -1,0 +1,48 @@
+#ifndef PIMINE_KNN_OST_PIM_KNN_H_
+#define PIMINE_KNN_OST_PIM_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "knn/knn_common.h"
+
+namespace pimine {
+
+/// OST-PIM: OST with the prefix part of LB_OST offloaded to PIM. The bound
+/// decomposes (Table 3/4) as
+///   LB_OST = [ partial ED on the d0-dim prefix ] + (|p_sfx| - |q_sfx|)^2;
+/// the prefix term is itself a PIM-aware ED, so PIM supplies a Theorem 1
+/// lower bound on it while the suffix-norm term stays exact on the host
+/// (one precomputed scalar per object). The result is a valid lower bound
+/// on LB_OST and hence on ED.
+class OstPimKnn : public KnnAlgorithm {
+ public:
+  /// `prefix_divisor` sets d0 = max(1, d / prefix_divisor), matching OstKnn.
+  explicit OstPimKnn(EngineOptions options, int64_t prefix_divisor = 4);
+
+  std::string_view name() const override { return "OST-PIM"; }
+  Status Prepare(const FloatMatrix& data) override;
+  Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  double OfflineModeledNs() const override {
+    return engine_ ? engine_->OfflineNs() : 0.0;
+  }
+  uint64_t OfflineBytesWritten() const override {
+    return (engine_ ? engine_->OfflineBytesWritten() : 0) +
+           suffix_norms_.size() * sizeof(double);
+  }
+  int64_t prefix_dims() const { return d0_; }
+
+ private:
+  EngineOptions options_;
+  int64_t prefix_divisor_;
+  int64_t d0_ = 0;
+  const FloatMatrix* data_ = nullptr;
+  std::unique_ptr<PimEngine> engine_;  // built on the d0-dim prefixes.
+  std::vector<double> suffix_norms_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_OST_PIM_KNN_H_

@@ -1,0 +1,161 @@
+#include "knn/outlier.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/similarity.h"
+#include "util/timer.h"
+
+namespace pimine {
+namespace {
+
+Status ValidateOutlierInput(const FloatMatrix& data,
+                            const OutlierOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.k <= 0 ||
+      static_cast<size_t>(options.k) >= data.rows()) {
+    return Status::InvalidArgument("k must be in [1, n-1]");
+  }
+  if (options.num_outliers <= 0 ||
+      static_cast<size_t>(options.num_outliers) > data.rows()) {
+    return Status::InvalidArgument("num_outliers out of range");
+  }
+  return Status::OK();
+}
+
+/// Top-n collector for the LARGEST scores: stores negated scores in a TopK
+/// (which keeps the smallest). cutoff() is the weakest retained score.
+class TopOutliers {
+ public:
+  explicit TopOutliers(int n) : heap_(static_cast<size_t>(n)) {}
+
+  void Offer(double score, int32_t id) { heap_.Push(-score, id); }
+
+  /// Scores <= cutoff can never enter the top-n.
+  double cutoff() const {
+    return heap_.full() ? -heap_.threshold() : 0.0;
+  }
+
+  std::vector<Neighbor> TakeSortedDescending() {
+    std::vector<Neighbor> out = heap_.TakeSorted();
+    for (Neighbor& nb : out) nb.distance = -nb.distance;
+    return out;  // TakeSorted ascending on -score == descending on score.
+  }
+
+ private:
+  TopK heap_;
+};
+
+}  // namespace
+
+Result<OutlierResult> OrcaOutlierDetector::Detect(
+    const FloatMatrix& data, const OutlierOptions& options) {
+  PIMINE_RETURN_IF_ERROR(ValidateOutlierInput(data, options));
+
+  OutlierResult result;
+  result.stats.footprint_bytes = data.SizeBytes();
+  TrafficScope traffic_scope;
+  Timer wall;
+
+  const size_t n = data.rows();
+  TopOutliers outliers(options.num_outliers);
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = data.row(i);
+    TopK knn(static_cast<size_t>(options.k));
+    const double cutoff = outliers.cutoff();
+    bool pruned = false;
+    ScopedFunctionTimer timer(&result.stats.profile, "ED");
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d =
+          SquaredEuclideanEarlyAbandon(data.row(j), p, knn.threshold());
+      ++result.stats.exact_count;
+      knn.Push(d, static_cast<int32_t>(j));
+      // ORCA early abandonment: k neighbours within the cutoff kill the
+      // candidate (its score can only shrink further).
+      if (knn.full() && knn.threshold() <= cutoff) {
+        pruned = true;
+        break;
+      }
+    }
+    if (!pruned) {
+      outliers.Offer(knn.threshold(), static_cast<int32_t>(i));
+    }
+  }
+
+  result.outliers = outliers.TakeSortedDescending();
+  result.stats.wall_ms = wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  return result;
+}
+
+OrcaPimOutlierDetector::OrcaPimOutlierDetector(EngineOptions options)
+    : options_(std::move(options)) {}
+
+Result<OutlierResult> OrcaPimOutlierDetector::Detect(
+    const FloatMatrix& data, const OutlierOptions& options) {
+  PIMINE_RETURN_IF_ERROR(ValidateOutlierInput(data, options));
+  PIMINE_ASSIGN_OR_RETURN(
+      std::unique_ptr<PimEngine> engine,
+      PimEngine::Build(data, Distance::kEuclidean, options_));
+
+  OutlierResult result;
+  TrafficScope traffic_scope;
+  Timer wall;
+
+  const size_t n = data.rows();
+  TopOutliers outliers(options.num_outliers);
+  std::vector<double> bounds(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = data.row(i);
+    const double cutoff = outliers.cutoff();
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      PIMINE_ASSIGN_OR_RETURN(PimEngine::QueryHandle handle,
+                              engine->RunQuery(p));
+      for (size_t j = 0; j < n; ++j) {
+        bounds[j] = engine->BoundFor(handle, j);
+      }
+      result.stats.bound_count += n;
+    }
+    std::vector<uint32_t> order;
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      order = ArgsortAscending(bounds);
+    }
+
+    TopK knn(static_cast<size_t>(options.k));
+    bool pruned = false;
+    ScopedFunctionTimer timer(&result.stats.profile, "ED");
+    for (uint32_t idx : order) {
+      if (idx == i) continue;
+      // All remaining candidates have bounds >= the current k-th NN
+      // distance: the score is final.
+      if (knn.full() && bounds[idx] >= knn.threshold()) break;
+      const double d =
+          SquaredEuclideanEarlyAbandon(data.row(idx), p, knn.threshold());
+      ++result.stats.exact_count;
+      knn.Push(d, static_cast<int32_t>(idx));
+      if (knn.full() && knn.threshold() <= cutoff) {
+        pruned = true;
+        break;
+      }
+    }
+    if (!pruned) {
+      outliers.Offer(knn.threshold(), static_cast<int32_t>(i));
+    }
+  }
+
+  result.outliers = outliers.TakeSortedDescending();
+  result.stats.wall_ms = wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  result.stats.pim_ns = engine->PimComputeNs();
+  result.stats.footprint_bytes =
+      n * sizeof(double) * 2 + result.stats.exact_count * data.cols() *
+                                   sizeof(float) / std::max<size_t>(1, n);
+  return result;
+}
+
+}  // namespace pimine

@@ -1,0 +1,83 @@
+#include "knn/sm_knn.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/bounds.h"
+#include "core/similarity.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+SmKnn::SmKnn(int64_t segment_divisor) : segment_divisor_(segment_divisor) {
+  PIMINE_CHECK(segment_divisor >= 1);
+}
+
+Status SmKnn::Prepare(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  data_ = &data;
+  const int64_t d = static_cast<int64_t>(data.cols());
+  const int64_t d0 = std::max<int64_t>(1, d / segment_divisor_);
+  stats_ = ComputeSegmentStats(data, d0);
+  return Status::OK();
+}
+
+Result<KnnRunResult> SmKnn::Search(const FloatMatrix& queries, int k) {
+  if (data_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  if (queries.cols() != data_->cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+    return Status::InvalidArgument("k out of range");
+  }
+
+  KnnRunResult result;
+  result.neighbors.reserve(queries.rows());
+  TrafficScope traffic_scope;
+  Timer wall;
+
+  const size_t n = data_->rows();
+  const int64_t d0 = stats_.num_segments;
+  std::vector<float> q_means(static_cast<size_t>(d0));
+  std::vector<float> q_stds(static_cast<size_t>(d0));
+  std::vector<double> bounds(n);
+
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto q = queries.row(qi);
+    TopK topk(static_cast<size_t>(k));
+    // Filter phase: LB_SM for every object.
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_SM");
+      ComputeSegments(q, d0, q_means, q_stds);
+      for (size_t i = 0; i < n; ++i) {
+        bounds[i] = LbSm(stats_.means.row(i), q_means, stats_.segment_length);
+      }
+      result.stats.bound_count += n;
+    }
+    // Refine phase: exact ED in ascending-bound order.
+    std::vector<uint32_t> order;
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_SM");
+      order = ArgsortAscending(bounds);
+    }
+    for (uint32_t idx : order) {
+      if (topk.full() && bounds[idx] >= topk.threshold()) break;
+      ScopedFunctionTimer timer(&result.stats.profile, "ED");
+      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                    topk.threshold());
+      topk.Push(d, static_cast<int32_t>(idx));
+      ++result.stats.exact_count;
+    }
+    result.neighbors.push_back(topk.TakeSorted());
+  }
+
+  result.stats.wall_ms = wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  result.stats.footprint_bytes =
+      stats_.means.SizeBytes() + result.stats.exact_count * data_->cols() *
+                                     sizeof(float) / std::max<uint64_t>(
+                                         1, queries.rows());
+  return result;
+}
+
+}  // namespace pimine

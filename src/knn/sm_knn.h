@@ -1,0 +1,33 @@
+#ifndef PIMINE_KNN_SM_KNN_H_
+#define PIMINE_KNN_SM_KNN_H_
+
+#include "core/segments.h"
+#include "knn/knn_common.h"
+
+namespace pimine {
+
+/// SM (Yi & Faloutsos, VLDB'00): filter-and-refine with the segmented-mean
+/// lower bound LB_SM (Table 3), d0 = d/4 segments by default.
+class SmKnn : public KnnAlgorithm {
+ public:
+  /// `segment_divisor` sets d0 = max(1, d / segment_divisor).
+  explicit SmKnn(int64_t segment_divisor = 4);
+
+  std::string_view name() const override { return "SM"; }
+  Status Prepare(const FloatMatrix& data) override;
+  Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  uint64_t OfflineBytesWritten() const override {
+    return stats_.means.SizeBytes();
+  }
+  int64_t num_segments() const { return stats_.num_segments; }
+
+ private:
+  int64_t segment_divisor_;
+  const FloatMatrix* data_ = nullptr;
+  SegmentStats stats_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_SM_KNN_H_

@@ -1,0 +1,76 @@
+#include "knn/sm_pim_knn.h"
+
+#include <algorithm>
+
+#include "core/similarity.h"
+#include "util/timer.h"
+
+namespace pimine {
+
+SmPimKnn::SmPimKnn(EngineOptions options) : options_(std::move(options)) {
+  options_.bound = EngineOptions::Bound::kSegmentSm;
+}
+
+Status SmPimKnn::Prepare(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  data_ = &data;
+  PIMINE_ASSIGN_OR_RETURN(
+      engine_, PimEngine::Build(data, Distance::kEuclidean, options_));
+  return Status::OK();
+}
+
+Result<KnnRunResult> SmPimKnn::Search(const FloatMatrix& queries, int k) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  if (queries.cols() != data_->cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+    return Status::InvalidArgument("k out of range");
+  }
+
+  KnnRunResult result;
+  result.neighbors.reserve(queries.rows());
+  engine_->ResetOnlineStats();
+  TrafficScope traffic_scope;
+  Timer wall;
+
+  const size_t n = data_->rows();
+  std::vector<double> bounds(n);
+
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto q = queries.row(qi);
+    TopK topk(static_cast<size_t>(k));
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      PIMINE_ASSIGN_OR_RETURN(PimEngine::QueryHandle handle,
+                              engine_->RunQuery(q));
+      for (size_t i = 0; i < n; ++i) bounds[i] = engine_->BoundFor(handle, i);
+      result.stats.bound_count += n;
+    }
+    std::vector<uint32_t> order;
+    {
+      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
+      order = ArgsortAscending(bounds);
+    }
+    for (uint32_t idx : order) {
+      if (topk.full() && bounds[idx] >= topk.threshold()) break;
+      ScopedFunctionTimer timer(&result.stats.profile, "ED");
+      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                    topk.threshold());
+      topk.Push(d, static_cast<int32_t>(idx));
+      ++result.stats.exact_count;
+    }
+    result.neighbors.push_back(topk.TakeSorted());
+  }
+
+  result.stats.wall_ms = wall.ElapsedMillis();
+  result.stats.traffic = traffic_scope.Delta();
+  result.stats.pim_ns = engine_->PimComputeNs();
+  result.stats.footprint_bytes =
+      n * sizeof(double) * 2 +
+      (result.stats.exact_count / std::max<uint64_t>(1, queries.rows())) *
+          data_->cols() * sizeof(float);
+  return result;
+}
+
+}  // namespace pimine

@@ -1,0 +1,39 @@
+#ifndef PIMINE_KNN_SM_PIM_KNN_H_
+#define PIMINE_KNN_SM_PIM_KNN_H_
+
+#include <memory>
+
+#include "core/engine.h"
+#include "knn/knn_common.h"
+
+namespace pimine {
+
+/// SM-PIM: SM with its bottleneck bound LB_SM replaced by the PIM-aware
+/// means-only segment bound. Theorem 4 picks the segment count (as large as
+/// the PIM array allows), so the PIM bound is typically *tighter* than the
+/// original LB_SM^{d/4} while transferring only 3*b bits per candidate.
+class SmPimKnn : public KnnAlgorithm {
+ public:
+  explicit SmPimKnn(EngineOptions options);
+
+  std::string_view name() const override { return "SM-PIM"; }
+  Status Prepare(const FloatMatrix& data) override;
+  Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  double OfflineModeledNs() const override {
+    return engine_ ? engine_->OfflineNs() : 0.0;
+  }
+  uint64_t OfflineBytesWritten() const override {
+    return engine_ ? engine_->OfflineBytesWritten() : 0;
+  }
+  const PimEngine* engine() const { return engine_.get(); }
+
+ private:
+  EngineOptions options_;
+  const FloatMatrix* data_ = nullptr;
+  std::unique_ptr<PimEngine> engine_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_SM_PIM_KNN_H_

@@ -1,0 +1,27 @@
+#ifndef PIMINE_KNN_STANDARD_KNN_H_
+#define PIMINE_KNN_STANDARD_KNN_H_
+
+#include "core/similarity.h"
+#include "knn/knn_common.h"
+
+namespace pimine {
+
+/// The paper's "Standard" baseline: exhaustive linear scan with the exact
+/// measure (early-abandoning for ED). Supports ED, CS and PCC (Fig. 13d).
+class StandardKnn : public KnnAlgorithm {
+ public:
+  explicit StandardKnn(Distance distance = Distance::kEuclidean);
+
+  std::string_view name() const override { return name_; }
+  Status Prepare(const FloatMatrix& data) override;
+  Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+ private:
+  Distance distance_;
+  std::string name_;
+  const FloatMatrix* data_ = nullptr;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_STANDARD_KNN_H_

@@ -1,0 +1,42 @@
+#ifndef PIMINE_KNN_STANDARD_PIM_KNN_H_
+#define PIMINE_KNN_STANDARD_PIM_KNN_H_
+
+#include <memory>
+
+#include "core/engine.h"
+#include "knn/knn_common.h"
+
+namespace pimine {
+
+/// Standard-PIM (§VI-B): the linear scan with its exact-distance bottleneck
+/// offloaded to PIM. For ED the engine supplies LB_PIM-FNN / LB_PIM-ED
+/// lower bounds (Theorem 4 picks the compressed dimensionality); objects
+/// are refined in ascending-bound order with exact ED, so results match
+/// Standard exactly. For CS/PCC the engine supplies upper bounds on the
+/// similarity and refinement runs in descending-bound order.
+class StandardPimKnn : public KnnAlgorithm {
+ public:
+  StandardPimKnn(Distance distance, EngineOptions options);
+
+  std::string_view name() const override { return "Standard-PIM"; }
+  Status Prepare(const FloatMatrix& data) override;
+  Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  double OfflineModeledNs() const override {
+    return engine_ ? engine_->OfflineNs() : 0.0;
+  }
+  uint64_t OfflineBytesWritten() const override {
+    return engine_ ? engine_->OfflineBytesWritten() : 0;
+  }
+  const PimEngine* engine() const { return engine_.get(); }
+
+ private:
+  Distance distance_;
+  EngineOptions options_;
+  const FloatMatrix* data_ = nullptr;
+  std::unique_ptr<PimEngine> engine_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_KNN_STANDARD_PIM_KNN_H_

@@ -1,0 +1,32 @@
+#include "pim/buffer_array.h"
+
+#include "common/logging.h"
+
+namespace pimine {
+
+BufferArray::BufferArray(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  PIMINE_CHECK(capacity_bytes > 0);
+}
+
+void BufferArray::Deposit(uint64_t bytes) {
+  total_deposited_bytes_ += bytes;
+  occupied_bytes_ += bytes;
+  while (occupied_bytes_ > capacity_bytes_) {
+    // CPU is forced to drain a full buffer before PIM can continue.
+    ++forced_drains_;
+    occupied_bytes_ -= capacity_bytes_;
+  }
+}
+
+void BufferArray::Drain(uint64_t bytes) {
+  occupied_bytes_ = bytes >= occupied_bytes_ ? 0 : occupied_bytes_ - bytes;
+}
+
+void BufferArray::Reset() {
+  occupied_bytes_ = 0;
+  total_deposited_bytes_ = 0;
+  forced_drains_ = 0;
+}
+
+}  // namespace pimine

@@ -1,0 +1,43 @@
+#ifndef PIMINE_PIM_BUFFER_ARRAY_H_
+#define PIMINE_PIM_BUFFER_ARRAY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace pimine {
+
+/// Model of the eDRAM buffer array that sits between the PIM array and the
+/// CPU (§III-A): PIM deposits batches of results here so the CPU can drain
+/// them asynchronously. We track occupancy and the number of forced drains
+/// (batches that exceeded capacity serialize PIM and CPU).
+class BufferArray {
+ public:
+  explicit BufferArray(uint64_t capacity_bytes);
+
+  /// Deposits `bytes` of PIM results. If the batch exceeds the remaining
+  /// space, the model counts one forced drain (CPU must catch up) per
+  /// capacity-full of data; the deposit itself always succeeds.
+  void Deposit(uint64_t bytes);
+
+  /// CPU consumes `bytes` of results.
+  void Drain(uint64_t bytes);
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t occupied_bytes() const { return occupied_bytes_; }
+  uint64_t total_deposited_bytes() const { return total_deposited_bytes_; }
+  /// Times PIM had to stall waiting for the CPU to drain results.
+  uint64_t forced_drains() const { return forced_drains_; }
+
+  void Reset();
+
+ private:
+  uint64_t capacity_bytes_;
+  uint64_t occupied_bytes_ = 0;
+  uint64_t total_deposited_bytes_ = 0;
+  uint64_t forced_drains_ = 0;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_PIM_BUFFER_ARRAY_H_

@@ -1,0 +1,110 @@
+#include "pim/crossbar_math.h"
+
+#include "common/logging.h"
+#include "util/bits.h"
+
+namespace pimine {
+
+int GatherDepth(int64_t s, int m) {
+  PIMINE_CHECK(s > 0 && m > 1);
+  int depth = 1;
+  int64_t span = m;
+  while (span < s) {
+    span *= m;
+    ++depth;
+  }
+  return depth;
+}
+
+double CrossbarsForPair(int64_t s, int m) {
+  PIMINE_CHECK(s > 0 && m > 1);
+  if (s <= m) {
+    return static_cast<double>(s) / m;
+  }
+  // Sum of ceil(s/m^i) over the reduction tree levels (data + gathers).
+  double total = 0.0;
+  const int depth = GatherDepth(s, m);
+  int64_t denom = m;
+  for (int i = 1; i <= depth; ++i) {
+    total += static_cast<double>(CeilDiv(static_cast<uint64_t>(s),
+                                         static_cast<uint64_t>(denom)));
+    if (denom > s) break;
+    denom *= m;
+  }
+  return total;
+}
+
+int64_t NumDataCrossbars(int64_t n, int operand_bits, int64_t s, int m,
+                         int cell_bits) {
+  PIMINE_CHECK(n > 0 && operand_bits > 0 && s > 0 && m > 1 && cell_bits > 0);
+  const uint64_t cells_needed = static_cast<uint64_t>(n) * s *
+                                NumSlices(operand_bits, cell_bits);
+  return static_cast<int64_t>(
+      CeilDiv(cells_needed, static_cast<uint64_t>(m) * m));
+}
+
+int64_t NumGatherCrossbars(int64_t n, int operand_bits, int64_t s, int m,
+                           int cell_bits) {
+  if (s <= m) return 0;
+  // Vectors per data-crossbar column block: m*h/b of them share one set of
+  // gather crossbars (they are reduced concurrently), so the per-pair gather
+  // count is scaled by N*b/(m*h).
+  const double groups = static_cast<double>(n) * operand_bits /
+                        (static_cast<double>(m) * cell_bits);
+  double per_pair = 0.0;
+  const int depth = GatherDepth(s, m);
+  int64_t denom = m * m;
+  for (int i = 2; i <= depth; ++i) {
+    per_pair += static_cast<double>(CeilDiv(static_cast<uint64_t>(s),
+                                            static_cast<uint64_t>(denom)));
+    denom *= m;
+  }
+  const double total = groups * per_pair;
+  return static_cast<int64_t>(total) + ((total > static_cast<double>(
+                                             static_cast<int64_t>(total)))
+                                            ? 1
+                                            : 0);
+}
+
+bool FitsInPimArray(int64_t n, int operand_bits, int64_t s,
+                    const PimConfig& config) {
+  const int64_t ndata =
+      NumDataCrossbars(n, operand_bits, s, config.crossbar_dim,
+                       config.cell_bits);
+  if (s <= config.crossbar_dim) {
+    return ndata <= config.num_crossbars;
+  }
+  const int64_t ngather =
+      NumGatherCrossbars(n, operand_bits, s, config.crossbar_dim,
+                         config.cell_bits);
+  return ndata + ngather <= config.num_crossbars;
+}
+
+Result<int64_t> MaxCompressedDim(int64_t n, int operand_bits, int64_t max_dim,
+                                 const PimConfig& config) {
+  if (n <= 0 || max_dim <= 0) {
+    return Status::InvalidArgument("n and max_dim must be positive");
+  }
+  if (FitsInPimArray(n, operand_bits, max_dim, config)) return max_dim;
+  // Crossbar demand is monotone in s, so binary search the feasibility
+  // boundary.
+  int64_t lo = 0;       // highest known-feasible (0 = none).
+  int64_t hi = max_dim; // known-infeasible.
+  if (FitsInPimArray(n, operand_bits, 1, config)) {
+    lo = 1;
+  } else {
+    return Status::CapacityExceeded(
+        "dataset does not fit in PIM array even at s=1");
+  }
+  while (lo + 1 < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (FitsInPimArray(n, operand_bits, mid, config)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace pimine

@@ -1,0 +1,43 @@
+#ifndef PIMINE_PIM_CROSSBAR_MATH_H_
+#define PIMINE_PIM_CROSSBAR_MATH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "pim/pim_config.h"
+
+namespace pimine {
+
+/// Depth of the gather tree for an s-dimensional dot-product on m-wide
+/// crossbars (Fig. 3 / Fig. 11 of the paper): cycle i reduces s/m^i partial
+/// sums; depth is the smallest D with s <= m^D. Returns 1 when s <= m.
+int GatherDepth(int64_t s, int m);
+
+/// Eq. 11: crossbars consumed by the dot-product of ONE pair of
+/// s-dimensional vectors. Fractional for s <= m (the pair occupies s/m of a
+/// crossbar column group).
+double CrossbarsForPair(int64_t s, int m);
+
+/// Eq. 12 (first part): data crossbars for N vectors of s dims with b-bit
+/// operands on m x m crossbars of h-bit cells: ceil(N*b*s / (m^2*h)).
+int64_t NumDataCrossbars(int64_t n, int operand_bits, int64_t s, int m,
+                         int cell_bits);
+
+/// Eq. 12 (second part): gather crossbars needed when s > m:
+/// ceil(N*b/(m*h) * sum_{i=2}^{D} ceil(s/m^i)). Zero when s <= m.
+int64_t NumGatherCrossbars(int64_t n, int operand_bits, int64_t s, int m,
+                           int cell_bits);
+
+/// Theorem 4 feasibility test: does a dataset of N s-dimensional b-bit
+/// vectors fit in the PIM array (including gather crossbars when s > m)?
+bool FitsInPimArray(int64_t n, int operand_bits, int64_t s,
+                    const PimConfig& config);
+
+/// Theorem 4: the maximum compressed dimensionality s <= max_dim such that
+/// the dataset fits in the PIM array. Fails if even s = 1 does not fit.
+Result<int64_t> MaxCompressedDim(int64_t n, int operand_bits, int64_t max_dim,
+                                 const PimConfig& config);
+
+}  // namespace pimine
+
+#endif  // PIMINE_PIM_CROSSBAR_MATH_H_

@@ -1,0 +1,141 @@
+#include "pim/pim_device.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "pim/crossbar_math.h"
+#include "util/bits.h"
+
+namespace pimine {
+
+std::string PimDeviceStats::ToString() const {
+  std::ostringstream os;
+  os << "vectors=" << programmed_vectors << " dims=" << programmed_dims
+     << " ndata=" << data_crossbars << " ngather=" << gather_crossbars
+     << " program=" << program_ns / 1e6 << "ms"
+     << " batches=" << batch_ops << " compute=" << compute_ns / 1e6 << "ms"
+     << " results=" << results_produced;
+  return os.str();
+}
+
+PimDevice::PimDevice(const PimConfig& config)
+    : config_(config), timing_(config), buffer_(config.buffer_bytes) {
+  PIMINE_CHECK_OK(config.Validate());
+}
+
+Status PimDevice::ProgramDataset(const IntMatrix& data, int operand_bits) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot program an empty dataset");
+  }
+  if (operand_bits <= 0 || operand_bits > 32) {
+    return Status::InvalidArgument("operand_bits must be in [1, 32]");
+  }
+  const int64_t n = static_cast<int64_t>(data.rows());
+  const int64_t s = static_cast<int64_t>(data.cols());
+  if (!FitsInPimArray(n, operand_bits, s, config_)) {
+    std::ostringstream os;
+    os << "dataset (" << n << " x " << s << ", " << operand_bits
+       << "-bit) exceeds PIM array capacity of " << config_.num_crossbars
+       << " crossbars; compress the dataset first (Theorem 4)";
+    return Status::CapacityExceeded(os.str());
+  }
+  const int64_t limit =
+      operand_bits >= 32 ? (1LL << 31) : (1LL << operand_bits);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (int32_t v : data.row(i)) {
+      if (v < 0 || static_cast<int64_t>(v) >= limit) {
+        return Status::InvalidArgument(
+            "PIM operands must be non-negative integers fitting operand_bits");
+      }
+    }
+  }
+
+  data_ = data;
+  operand_bits_ = operand_bits;
+  stats_.programmed_vectors = n;
+  stats_.programmed_dims = s;
+  stats_.data_crossbars =
+      NumDataCrossbars(n, operand_bits, s, config_.crossbar_dim,
+                       config_.cell_bits);
+  stats_.gather_crossbars =
+      NumGatherCrossbars(n, operand_bits, s, config_.crossbar_dim,
+                         config_.cell_bits);
+  // Row-parallel programming: every used crossbar row is written once.
+  const uint64_t rows_written =
+      static_cast<uint64_t>(stats_.data_crossbars + stats_.gather_crossbars) *
+      config_.crossbar_dim;
+  stats_.program_ns += timing_.ProgramLatencyNs(rows_written);
+  ++stats_.programming_events;
+  return Status::OK();
+}
+
+Status PimDevice::DotProductAll(std::span<const int32_t> query,
+                                std::vector<uint64_t>* out) {
+  PIMINE_CHECK(out != nullptr);
+  if (!programmed()) {
+    return Status::FailedPrecondition("no dataset programmed");
+  }
+  if (query.size() != data_.cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  for (int32_t v : query) {
+    if (v < 0) {
+      return Status::InvalidArgument("PIM inputs must be non-negative");
+    }
+  }
+
+  const size_t n = data_.rows();
+  const size_t s = data_.cols();
+  out->resize(n);
+  // Functional emulation of the analog dot-product: exact integer math with
+  // natural uint64 wraparound (the least-significant-64-bit rule).
+  const int32_t* base = data_.data();
+  for (size_t v = 0; v < n; ++v) {
+    const int32_t* row = base + v * s;
+    uint64_t acc = 0;
+    for (size_t j = 0; j < s; ++j) {
+      acc += static_cast<uint64_t>(static_cast<uint32_t>(row[j])) *
+             static_cast<uint32_t>(query[j]);
+    }
+    (*out)[v] = acc;
+  }
+
+  ++stats_.batch_ops;
+  stats_.compute_ns +=
+      timing_.BatchDotLatencyNs(static_cast<int64_t>(s), operand_bits_);
+  stats_.compute_energy_pj += timing_.BatchDotEnergyPj(
+      stats_.data_crossbars + stats_.gather_crossbars, operand_bits_);
+  stats_.results_produced += n;
+  const uint64_t batch_bytes = n * sizeof(uint64_t);
+  stats_.result_bytes_to_host += batch_bytes;
+  buffer_.Deposit(batch_bytes);
+  buffer_.Drain(batch_bytes);  // host consumes the batch before the next.
+  return Status::OK();
+}
+
+Status PimDevice::StoreAux(uint64_t bytes) {
+  if (stats_.aux_bytes_stored + bytes > config_.memory_array_bytes) {
+    return Status::CapacityExceeded("ReRAM memory array full");
+  }
+  stats_.aux_bytes_stored += bytes;
+  stats_.program_ns += static_cast<double>(bytes) /
+                       static_cast<double>(config_.internal_bus_gbps);
+  return Status::OK();
+}
+
+double PimDevice::EnduranceRemainingFraction() const {
+  const double used = static_cast<double>(stats_.programming_events) /
+                      config_.endurance_writes;
+  return used >= 1.0 ? 0.0 : 1.0 - used;
+}
+
+void PimDevice::ResetOnlineStats() {
+  stats_.batch_ops = 0;
+  stats_.compute_ns = 0.0;
+  stats_.compute_energy_pj = 0.0;
+  stats_.results_produced = 0;
+  stats_.result_bytes_to_host = 0;
+  buffer_.Reset();
+}
+
+}  // namespace pimine

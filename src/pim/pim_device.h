@@ -1,0 +1,94 @@
+#ifndef PIMINE_PIM_PIM_DEVICE_H_
+#define PIMINE_PIM_PIM_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/matrix.h"
+#include "pim/buffer_array.h"
+#include "pim/pim_config.h"
+#include "pim/timing.h"
+
+namespace pimine {
+
+/// Accumulated accounting for one PimDevice.
+struct PimDeviceStats {
+  // Layout of the programmed dataset (Theorem 4 quantities).
+  int64_t programmed_vectors = 0;
+  int64_t programmed_dims = 0;
+  int64_t data_crossbars = 0;
+  int64_t gather_crossbars = 0;
+  // Offline costs.
+  double program_ns = 0.0;
+  uint64_t programming_events = 0;  // full-array programs (endurance).
+  uint64_t aux_bytes_stored = 0;    // Φ values kept in the memory array.
+  // Online costs.
+  uint64_t batch_ops = 0;
+  double compute_ns = 0.0;
+  /// Modeled crossbar + ADC energy of the batches (picojoules).
+  double compute_energy_pj = 0.0;
+  uint64_t results_produced = 0;
+  uint64_t result_bytes_to_host = 0;
+
+  std::string ToString() const;
+};
+
+/// Facade over the ReRAM-based memory bank of Fig. 4(b): memory array
+/// (plain storage), PIM array (the programmed dataset + dot-product
+/// engine), buffer array (result staging), and controller (this class).
+///
+/// Functional behaviour is bit-exact integer arithmetic: `DotProductAll`
+/// returns sum_i data[v][i] * query[i] truncated to the least-significant
+/// 64 bits, the paper's overflow rule (§VI-B). Timing is accumulated from
+/// the PimTimingModel. Cross-checked against the cycle-level `Crossbar`
+/// model in tests.
+class PimDevice {
+ public:
+  explicit PimDevice(const PimConfig& config = PimConfig());
+
+  /// Programs a quantized dataset (one vector per row; all values must be
+  /// non-negative and fit `operand_bits`). Fails with CapacityExceeded when
+  /// Theorem 4's condition is violated — callers are expected to compress
+  /// the dataset first (core/memory_planner). Reprogramming is permitted
+  /// but counted against write endurance.
+  Status ProgramDataset(const IntMatrix& data, int operand_bits = 32);
+
+  /// True once a dataset is programmed.
+  bool programmed() const { return !data_.empty(); }
+
+  /// Matches `query` against every programmed vector. Query values must be
+  /// non-negative. Results are written into `out` (resized to N) and the
+  /// batch is deposited into the buffer array. Time is charged to stats.
+  Status DotProductAll(std::span<const int32_t> query,
+                       std::vector<uint64_t>* out);
+
+  /// Auxiliary storage in the ReRAM memory array (pre-computed Φ values).
+  Status StoreAux(uint64_t bytes);
+
+  /// Remaining full-array reprograms before the endurance budget (the
+  /// conservative 1e8 writes/cell) is exhausted.
+  double EnduranceRemainingFraction() const;
+
+  const PimDeviceStats& stats() const { return stats_; }
+  void ResetOnlineStats();
+
+  const PimConfig& config() const { return config_; }
+  const BufferArray& buffer() const { return buffer_; }
+  const PimTimingModel& timing() const { return timing_; }
+
+ private:
+  PimConfig config_;
+  PimTimingModel timing_;
+  BufferArray buffer_;
+  IntMatrix data_;
+  int operand_bits_ = 32;
+  PimDeviceStats stats_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_PIM_PIM_DEVICE_H_

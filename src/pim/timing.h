@@ -1,0 +1,42 @@
+#ifndef PIMINE_PIM_TIMING_H_
+#define PIMINE_PIM_TIMING_H_
+
+#include <cstdint>
+
+#include "pim/pim_config.h"
+
+namespace pimine {
+
+/// Analytical latency/energy model of PIM operations — the NVSim substitute
+/// (DESIGN.md §1). All PIM-side time in the benchmark figures comes from
+/// here, parameterized with the paper's Table 5 device numbers.
+class PimTimingModel {
+ public:
+  explicit PimTimingModel(const PimConfig& config);
+
+  /// Latency of one batched dot-product pass: every programmed vector is
+  /// matched against one input vector of `s` dimensions with
+  /// `input_bits`-bit components. Data crossbars fire concurrently (the
+  /// paper's "massive parallelism"); the gather tree adds one pipeline stage
+  /// per level when s exceeds the crossbar dimension.
+  double BatchDotLatencyNs(int64_t s, int input_bits) const;
+
+  /// Latency of programming `rows` crossbar rows (row-parallel writes).
+  double ProgramLatencyNs(uint64_t rows) const;
+
+  /// DAC cycles needed to stream a `bits`-wide input.
+  int InputCycles(int bits) const;
+
+  /// Energy of one batched dot-product pass over `ndata` data crossbars
+  /// (picojoules). Secondary output; not used by the paper's figures.
+  double BatchDotEnergyPj(int64_t ndata, int input_bits) const;
+
+  const PimConfig& config() const { return config_; }
+
+ private:
+  PimConfig config_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_PIM_TIMING_H_

@@ -1,0 +1,32 @@
+#include "profiling/function_profiler.h"
+
+namespace pimine {
+
+void FunctionProfiler::Add(std::string_view tag, int64_t ns) {
+  for (auto& [name, total] : entries_) {
+    if (name == tag) {
+      total += ns;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(tag), ns);
+}
+
+int64_t FunctionProfiler::Get(std::string_view tag) const {
+  for (const auto& [name, total] : entries_) {
+    if (name == tag) return total;
+  }
+  return 0;
+}
+
+int64_t FunctionProfiler::TotalAttributedNs() const {
+  int64_t total = 0;
+  for (const auto& [name, ns] : entries_) total += ns;
+  return total;
+}
+
+void FunctionProfiler::Merge(const FunctionProfiler& other) {
+  for (const auto& [name, ns] : other.entries_) Add(name, ns);
+}
+
+}  // namespace pimine

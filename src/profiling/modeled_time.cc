@@ -1,0 +1,27 @@
+#include "profiling/modeled_time.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pimine {
+
+std::string ModeledTime::ToString() const {
+  std::ostringstream os;
+  os << "modeled=" << total_ms() << "ms (host=" << host.total_ns() / 1e6
+     << "ms pim=" << pim_ns / 1e6 << "ms)";
+  return os.str();
+}
+
+ModeledTime ComposeModeledTime(const RunStats& stats,
+                               const HostCostModel& model) {
+  ModeledTime out;
+  out.host = model.EstimateBreakdown(stats.traffic, stats.footprint_bytes);
+  out.pim_ns = stats.pim_ns;
+  return out;
+}
+
+double PimOracleNs(double total_ns, double offloadable_ns) {
+  return std::max(0.0, total_ns - offloadable_ns);
+}
+
+}  // namespace pimine

@@ -1,0 +1,34 @@
+#ifndef PIMINE_PROFILING_MODELED_TIME_H_
+#define PIMINE_PROFILING_MODELED_TIME_H_
+
+#include <string>
+
+#include "profiling/run_stats.h"
+#include "sim/cost_model.h"
+
+namespace pimine {
+
+/// End-to-end modeled time of one algorithm run, composed the way the paper
+/// composes its two simulators (§VI-A): host time from the analytic cost
+/// model (Quartz role) plus PIM-device time (NVSim role).
+struct ModeledTime {
+  HardwareBreakdown host;
+  double pim_ns = 0.0;
+
+  double total_ns() const { return host.total_ns() + pim_ns; }
+  double total_ms() const { return total_ns() / 1e6; }
+  std::string ToString() const;
+};
+
+/// Converts a run's exact operation counts into modeled time.
+ModeledTime ComposeModeledTime(const RunStats& stats,
+                               const HostCostModel& model);
+
+/// Eq. 2: the PIM-oracle lower bound — the run's time with the offloadable
+/// functions' time set to zero. `offloadable_ns` is the profiled time of
+/// the functions in set F (ED and bound functions).
+double PimOracleNs(double total_ns, double offloadable_ns);
+
+}  // namespace pimine
+
+#endif  // PIMINE_PROFILING_MODELED_TIME_H_

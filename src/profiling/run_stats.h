@@ -1,0 +1,34 @@
+#ifndef PIMINE_PROFILING_RUN_STATS_H_
+#define PIMINE_PROFILING_RUN_STATS_H_
+
+#include <cstdint>
+
+#include "profiling/function_profiler.h"
+#include "sim/traffic.h"
+
+namespace pimine {
+
+/// Everything one algorithm run reports. The bench harness composes these
+/// into the paper's figures: measured wall time, exact traffic counts (for
+/// the analytic cost model), modeled PIM time, and the per-function profile.
+struct RunStats {
+  /// Measured host wall-clock of the online phase (ms).
+  double wall_ms = 0.0;
+  /// Host-side operation/traffic counters accumulated during the run.
+  TrafficCounters traffic;
+  /// Modeled PIM-device time (NVSim role), ns. Zero for baselines.
+  double pim_ns = 0.0;
+  /// Dominant working-set size streamed by the host (bytes); drives the
+  /// cache-level selection in the Fig. 5 breakdown model.
+  uint64_t footprint_bytes = 0;
+  /// Exact distance computations performed.
+  uint64_t exact_count = 0;
+  /// Bound evaluations performed (host-combined for PIM variants).
+  uint64_t bound_count = 0;
+  /// Per-function wall-time attribution (Fig. 6).
+  FunctionProfiler profile;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_PROFILING_RUN_STATS_H_

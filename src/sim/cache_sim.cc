@@ -1,0 +1,101 @@
+#include "sim/cache_sim.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "util/bits.h"
+
+namespace pimine {
+
+std::string CacheStats::ToString() const {
+  std::ostringstream os;
+  os << "accesses=" << accesses << " L1=" << hits[0] << " L2=" << hits[1]
+     << " L3=" << hits[2] << " mem=" << memory_accesses
+     << " tlb_miss=" << tlb_misses;
+  return os.str();
+}
+
+bool CacheSimulator::Level::AccessLine(uint64_t line) {
+  const uint64_t set_index = line % num_sets;
+  const uint64_t tag = line / num_sets;
+  auto& tags = sets[set_index].tags;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i] == tag) {
+      // Move to MRU position.
+      std::rotate(tags.begin(), tags.begin() + i, tags.begin() + i + 1);
+      return true;
+    }
+  }
+  // Miss: insert at MRU, evict LRU.
+  std::rotate(tags.begin(), tags.end() - 1, tags.end());
+  tags[0] = tag;
+  return false;
+}
+
+void CacheSimulator::Level::Reset() {
+  for (auto& set : sets) {
+    std::fill(set.tags.begin(), set.tags.end(), kNoTag);
+  }
+}
+
+CacheSimulator::CacheSimulator(const PlatformConfig& config)
+    : line_bytes_(config.cache_line_bytes) {
+  const uint64_t sizes[3] = {config.l1_bytes, config.l2_bytes,
+                             config.l3_bytes};
+  const int assocs[3] = {config.l1_assoc, config.l2_assoc, config.l3_assoc};
+  for (int i = 0; i < 3; ++i) {
+    Level& level = levels_[i];
+    level.assoc = assocs[i];
+    level.num_sets = sizes[i] / (line_bytes_ * assocs[i]);
+    PIMINE_CHECK(level.num_sets > 0) << "cache level " << i << " too small";
+    level.sets.resize(level.num_sets);
+    for (auto& set : level.sets) set.tags.assign(level.assoc, kNoTag);
+  }
+  // 64-entry 4-way DTLB (Broadwell-class first-level data TLB).
+  tlb_.assoc = 4;
+  tlb_.num_sets = 16;
+  tlb_.sets.resize(tlb_.num_sets);
+  for (auto& set : tlb_.sets) set.tags.assign(tlb_.assoc, kNoTag);
+}
+
+CacheLevel CacheSimulator::AccessLine(uint64_t line) {
+  ++stats_.accesses;
+  const uint64_t page = line * line_bytes_ / page_bytes_;
+  if (!tlb_.AccessLine(page)) ++stats_.tlb_misses;
+  for (int i = 0; i < 3; ++i) {
+    if (levels_[i].AccessLine(line)) {
+      // Fill upper levels on a lower-level hit (inclusive hierarchy): the
+      // AccessLine call above already inserted into the missing levels.
+      ++stats_.hits[i];
+      return static_cast<CacheLevel>(i);
+    }
+  }
+  ++stats_.memory_accesses;
+  return CacheLevel::kMemory;
+}
+
+CacheLevel CacheSimulator::Access(uint64_t addr, uint32_t size) {
+  const uint64_t first = addr / line_bytes_;
+  const uint64_t last = (addr + std::max<uint32_t>(size, 1) - 1) / line_bytes_;
+  const CacheLevel result = AccessLine(first);
+  for (uint64_t line = first + 1; line <= last; ++line) AccessLine(line);
+  return result;
+}
+
+void CacheSimulator::StreamScan(uint64_t base, uint64_t bytes,
+                                uint64_t repeat) {
+  const uint64_t first = base / line_bytes_;
+  const uint64_t last = (base + bytes + line_bytes_ - 1) / line_bytes_;
+  for (uint64_t r = 0; r < repeat; ++r) {
+    for (uint64_t line = first; line < last; ++line) AccessLine(line);
+  }
+}
+
+void CacheSimulator::Flush() {
+  for (auto& level : levels_) level.Reset();
+  tlb_.Reset();
+  ResetStats();
+}
+
+}  // namespace pimine

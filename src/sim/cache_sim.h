@@ -1,0 +1,86 @@
+#ifndef PIMINE_SIM_CACHE_SIM_H_
+#define PIMINE_SIM_CACHE_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/platform.h"
+
+namespace pimine {
+
+/// Which level served an access.
+enum class CacheLevel { kL1 = 0, kL2 = 1, kL3 = 2, kMemory = 3 };
+
+/// Hit/miss counts per level for a simulated access stream.
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t hits[3] = {0, 0, 0};      // L1, L2, L3.
+  uint64_t memory_accesses = 0;      // misses in all levels.
+  uint64_t tlb_misses = 0;           // DTLB misses (page walks).
+
+  double MissRatio() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(memory_accesses) /
+                     static_cast<double>(accesses);
+  }
+  std::string ToString() const;
+};
+
+/// Trace-driven, inclusive, three-level set-associative LRU cache simulator.
+/// This is the PAPI substitute (DESIGN.md §1): the paper attributes stall
+/// time to cache misses measured with hardware counters; we derive miss
+/// counts by replaying the algorithms' dominant access patterns through this
+/// model with the Table 5 geometry.
+class CacheSimulator {
+ public:
+  explicit CacheSimulator(const PlatformConfig& config = DefaultPlatform());
+
+  /// Simulates one load of `size` bytes starting at byte address `addr`
+  /// (may touch several lines). Returns the level that served the *first*
+  /// line.
+  CacheLevel Access(uint64_t addr, uint32_t size = 4);
+
+  /// Simulates a sequential scan of [base, base+bytes), `repeat` times, with
+  /// one access per cache line. Far cheaper than per-element Access calls
+  /// and exact for streaming kernels.
+  void StreamScan(uint64_t base, uint64_t bytes, uint64_t repeat = 1);
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats(); }
+
+  /// Drops all cached lines (cold caches) and clears statistics.
+  void Flush();
+
+ private:
+  struct Set {
+    // Tags ordered most- to least-recently used. Empty slots hold kNoTag.
+    std::vector<uint64_t> tags;
+  };
+  struct Level {
+    uint64_t num_sets = 0;
+    int assoc = 0;
+    std::vector<Set> sets;
+
+    /// True on hit; updates recency. On miss, inserts (evicting LRU).
+    bool AccessLine(uint64_t line);
+    void Reset();
+  };
+
+  static constexpr uint64_t kNoTag = ~0ULL;
+
+  /// One access at line granularity through the hierarchy (also probes the
+  /// DTLB at page granularity — Tcache in Eq. 1 includes TLB misses).
+  CacheLevel AccessLine(uint64_t line);
+
+  uint64_t line_bytes_;
+  uint64_t page_bytes_ = 4096;
+  Level levels_[3];
+  Level tlb_;
+  CacheStats stats_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_SIM_CACHE_SIM_H_

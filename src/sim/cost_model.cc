@@ -1,0 +1,125 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pimine {
+
+HardwareBreakdown& HardwareBreakdown::operator+=(
+    const HardwareBreakdown& other) {
+  tc_ns += other.tc_ns;
+  tcache_ns += other.tcache_ns;
+  talu_ns += other.talu_ns;
+  tbr_ns += other.tbr_ns;
+  tfe_ns += other.tfe_ns;
+  return *this;
+}
+
+std::string HardwareBreakdown::ToString() const {
+  std::ostringstream os;
+  const double total = total_ns();
+  auto pct = [total](double v) {
+    return total > 0.0 ? 100.0 * v / total : 0.0;
+  };
+  os << "total=" << total / 1e6 << "ms"
+     << " Tc=" << pct(tc_ns) << "% Tcache=" << pct(tcache_ns)
+     << "% TALU=" << pct(talu_ns) << "% TBr=" << pct(tbr_ns)
+     << "% TFe=" << pct(tfe_ns) << "%";
+  return os.str();
+}
+
+HostCostModel::HostCostModel(const PlatformConfig& config) : config_(config) {}
+
+HardwareBreakdown HostCostModel::EstimateBreakdown(
+    const TrafficCounters& counters, uint64_t footprint_bytes) const {
+  HardwareBreakdown out;
+  out.tc_ns = CyclesToNs(static_cast<double>(counters.arithmetic_ops) *
+                         config_.flop_cycles);
+  out.talu_ns = CyclesToNs(static_cast<double>(counters.long_ops) *
+                           config_.div_latency_cycles);
+  out.tbr_ns = CyclesToNs(static_cast<double>(counters.branches) *
+                          config_.branch_miss_rate *
+                          config_.branch_miss_penalty_cycles);
+
+  // Memory stall: repeated scans over a working set larger than a cache
+  // level defeat LRU entirely, so each line is served by the smallest level
+  // that holds the footprint. Beyond L3, the scan is DRAM bandwidth-bound.
+  const double lines = static_cast<double>(counters.bytes_from_memory) /
+                       static_cast<double>(config_.cache_line_bytes);
+  double stall_ns = 0.0;
+  if (footprint_bytes > config_.l3_bytes) {
+    const double latency_bound =
+        lines * (config_.dram_latency_ns / 4.0);  // prefetch hides 3/4.
+    const double bandwidth_bound = DramStreamNs(counters.bytes_from_memory);
+    stall_ns = std::max(latency_bound, bandwidth_bound);
+  } else if (footprint_bytes > config_.l2_bytes) {
+    stall_ns = lines * CyclesToNs(config_.l3_latency_cycles -
+                                  config_.l1_latency_cycles);
+  } else if (footprint_bytes > config_.l1_bytes) {
+    stall_ns = lines * CyclesToNs(config_.l2_latency_cycles -
+                                  config_.l1_latency_cycles);
+  }
+  // Buffer-array loads (PIM results) cross the internal bus instead.
+  stall_ns += BufferLoadNs(counters.pim_results_loaded, 64);
+  // Writebacks stream to DRAM.
+  stall_ns += DramWriteNs(counters.bytes_to_memory);
+  out.tcache_ns = stall_ns;
+
+  const double known = out.tc_ns + out.tcache_ns + out.talu_ns + out.tbr_ns;
+  out.tfe_ns = known * config_.frontend_fraction /
+               (1.0 - config_.frontend_fraction);
+  return out;
+}
+
+HardwareBreakdown HostCostModel::EstimateBreakdownFromCache(
+    const TrafficCounters& counters, const CacheStats& cache) const {
+  HardwareBreakdown out;
+  out.tc_ns = CyclesToNs(static_cast<double>(counters.arithmetic_ops) *
+                         config_.flop_cycles);
+  out.talu_ns = CyclesToNs(static_cast<double>(counters.long_ops) *
+                           config_.div_latency_cycles);
+  out.tbr_ns = CyclesToNs(static_cast<double>(counters.branches) *
+                          config_.branch_miss_rate *
+                          config_.branch_miss_penalty_cycles);
+  double stall_ns =
+      CyclesToNs(static_cast<double>(cache.hits[1]) *
+                 (config_.l2_latency_cycles - config_.l1_latency_cycles)) +
+      CyclesToNs(static_cast<double>(cache.hits[2]) *
+                 (config_.l3_latency_cycles - config_.l1_latency_cycles)) +
+      static_cast<double>(cache.memory_accesses) *
+          (config_.dram_latency_ns / 4.0) +
+      static_cast<double>(cache.tlb_misses) * CyclesToNs(20.0);
+  stall_ns += BufferLoadNs(counters.pim_results_loaded, 64);
+  stall_ns += DramWriteNs(counters.bytes_to_memory);
+  out.tcache_ns = stall_ns;
+  const double known = out.tc_ns + out.tcache_ns + out.talu_ns + out.tbr_ns;
+  out.tfe_ns = known * config_.frontend_fraction /
+               (1.0 - config_.frontend_fraction);
+  return out;
+}
+
+double HostCostModel::DramStreamNs(uint64_t bytes) const {
+  return static_cast<double>(bytes) / config_.dram_bandwidth_gbps;
+}
+
+double HostCostModel::DramWriteNs(uint64_t bytes) const {
+  return static_cast<double>(bytes) / config_.dram_bandwidth_gbps;
+}
+
+double HostCostModel::ReramWriteNs(uint64_t bytes) const {
+  // Writes proceed line-by-line at the ReRAM write latency, pipelined across
+  // the internal bus; the device-side latency dominates.
+  const double lines = static_cast<double>(bytes) /
+                       static_cast<double>(config_.cache_line_bytes);
+  return lines * config_.reram_write_ns;
+}
+
+double HostCostModel::BufferLoadNs(uint64_t count, int bits) const {
+  // The CPU drains the buffer array through the regular memory interface
+  // (Fig. 4b); the 50 GB/s internal bus only covers in-memory movement, so
+  // host-visible loads pay DRAM-class bandwidth.
+  const double bytes = static_cast<double>(count) * bits / 8.0;
+  return bytes / config_.dram_bandwidth_gbps;
+}
+
+}  // namespace pimine

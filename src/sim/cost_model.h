@@ -1,0 +1,71 @@
+#ifndef PIMINE_SIM_COST_MODEL_H_
+#define PIMINE_SIM_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cache_sim.h"
+#include "sim/platform.h"
+#include "sim/traffic.h"
+
+namespace pimine {
+
+/// Eq. 1 of the paper: Ttotal = Tc + Tcache + TALU + TBr + TFe.
+struct HardwareBreakdown {
+  double tc_ns = 0.0;      // useful computation.
+  double tcache_ns = 0.0;  // memory stall (cache/TLB misses).
+  double talu_ns = 0.0;    // long-latency ALU ops (div, sqrt).
+  double tbr_ns = 0.0;     // branch mispredictions.
+  double tfe_ns = 0.0;     // front-end (fetch/decode) stalls.
+
+  double total_ns() const {
+    return tc_ns + tcache_ns + talu_ns + tbr_ns + tfe_ns;
+  }
+  HardwareBreakdown& operator+=(const HardwareBreakdown& other);
+  std::string ToString() const;
+};
+
+/// Analytical host-execution model — the Quartz substitute (DESIGN.md §1).
+/// Converts exact operation/traffic counts into time components using the
+/// Table 5 platform parameters. Deterministic: same workload, same numbers.
+class HostCostModel {
+ public:
+  explicit HostCostModel(const PlatformConfig& config = DefaultPlatform());
+
+  /// Estimates the Eq. 1 breakdown of a kernel that streamed over a working
+  /// set of `footprint_bytes` (decides which cache level serves the lines).
+  HardwareBreakdown EstimateBreakdown(const TrafficCounters& counters,
+                                      uint64_t footprint_bytes) const;
+
+  /// Same, but takes measured per-level hit counts from the cache simulator
+  /// instead of the footprint heuristic.
+  HardwareBreakdown EstimateBreakdownFromCache(const TrafficCounters& counters,
+                                               const CacheStats& cache) const;
+
+  /// Time to stream `bytes` from DRAM to the CPU (bandwidth-bound).
+  double DramStreamNs(uint64_t bytes) const;
+
+  /// Time to write `bytes` into DRAM (pre-processing output).
+  double DramWriteNs(uint64_t bytes) const;
+
+  /// Time to write `bytes` into the ReRAM memory/PIM arrays (offline
+  /// programming; pays the ReRAM write latency per line).
+  double ReramWriteNs(uint64_t bytes) const;
+
+  /// Time to move `count` PIM results (of `bits` each) over the internal bus
+  /// from the buffer array to the CPU.
+  double BufferLoadNs(uint64_t count, int bits) const;
+
+  const PlatformConfig& config() const { return config_; }
+
+ private:
+  double CyclesToNs(double cycles) const {
+    return cycles * config_.cycle_ns();
+  }
+
+  PlatformConfig config_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_SIM_COST_MODEL_H_

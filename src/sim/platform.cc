@@ -1,0 +1,63 @@
+#include "sim/platform.h"
+
+#include <sstream>
+
+namespace pimine {
+
+const std::vector<NvmCharacteristics>& NvmTable() {
+  // Table 1 of the paper (values from reference [14] therein).
+  static const std::vector<NvmCharacteristics>& rows =
+      *new std::vector<NvmCharacteristics>{
+          {"DRAM", false, 1e15, 1e15, 10, 10, 10, 10, 60, 100, 1e-14},
+          {"ReRAM", true, 1e8, 1e11, 10, 10, 50, 50, 4, 10, 1e-13},
+          {"PCM", true, 1e8, 1e9, 20, 60, 20, 150, 4, 12, 1e-11},
+          {"STT-RAM", true, 1e12, 1e15, 2, 35, 3, 50, 6, 50, 1e-13},
+      };
+  return rows;
+}
+
+const PlatformConfig& DefaultPlatform() {
+  static const PlatformConfig& config = *new PlatformConfig();
+  return config;
+}
+
+std::string FormatNvmTable() {
+  std::ostringstream os;
+  os << "Table 1. Characteristics of representative NVM techniques\n";
+  os << "Memory    Volatile  Endurance        Read(ns)  Write(ns)  "
+        "Cell(F^2)  WriteEnergy(J/bit)\n";
+  for (const auto& row : NvmTable()) {
+    os << row.name;
+    for (size_t pad = row.name.size(); pad < 10; ++pad) os << ' ';
+    os << (row.non_volatile ? "no " : "yes") << "       ";
+    os << row.endurance_low;
+    if (row.endurance_high != row.endurance_low) os << "-" << row.endurance_high;
+    os << "  " << row.read_latency_ns_low;
+    if (row.read_latency_ns_high != row.read_latency_ns_low) {
+      os << "-" << row.read_latency_ns_high;
+    }
+    os << "  " << row.write_latency_ns_low;
+    if (row.write_latency_ns_high != row.write_latency_ns_low) {
+      os << "-" << row.write_latency_ns_high;
+    }
+    os << "  " << row.cell_size_f2_low << "-" << row.cell_size_f2_high;
+    os << "  " << row.write_energy_j_per_bit << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatPlatformConfig(const PlatformConfig& c) {
+  std::ostringstream os;
+  os << "Table 5. Hardware platform configuration\n"
+     << "CPU: Broadwell " << c.cpu_ghz << " GHz Intel Xeon E5-2620\n"
+     << "Cache L1/L2/L3: " << c.l1_bytes / 1024 << " KB / "
+     << c.l2_bytes / 1024 << " KB / " << c.l3_bytes / (1024 * 1024) << " MB\n"
+     << "DRAM: " << c.dram_bytes / (1024ull * 1024 * 1024)
+     << " GB DIMM DDR4\n"
+     << "ReRAM read/write latency: " << c.reram_read_ns << " / "
+     << c.reram_write_ns << " ns\n"
+     << "Internal bus: " << c.internal_bus_gbps << " GB/s\n";
+  return os.str();
+}
+
+}  // namespace pimine

@@ -1,0 +1,72 @@
+#ifndef PIMINE_SIM_PLATFORM_H_
+#define PIMINE_SIM_PLATFORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimine {
+
+/// One row of the paper's Table 1 (characteristics of representative NVM
+/// techniques). Kept as data so `bench_config` can print the table and tests
+/// can assert the published values are wired in.
+struct NvmCharacteristics {
+  std::string name;
+  bool non_volatile = false;
+  double endurance_low = 0.0;
+  double endurance_high = 0.0;
+  double read_latency_ns_low = 0.0;
+  double read_latency_ns_high = 0.0;
+  double write_latency_ns_low = 0.0;
+  double write_latency_ns_high = 0.0;
+  double cell_size_f2_low = 0.0;
+  double cell_size_f2_high = 0.0;
+  double write_energy_j_per_bit = 0.0;
+};
+
+/// Table 1 rows: DRAM, ReRAM, PCM, STT-RAM.
+const std::vector<NvmCharacteristics>& NvmTable();
+
+/// Host-side platform parameters (Table 5 plus standard Broadwell-class
+/// microarchitectural constants used by the analytical cost model).
+struct PlatformConfig {
+  // --- Table 5 published values -------------------------------------------
+  double cpu_ghz = 2.10;                    // Intel Xeon E5-2620.
+  uint64_t l1_bytes = 32ull * 1024;         // per-core L1D.
+  uint64_t l2_bytes = 256ull * 1024;        // per-core L2.
+  uint64_t l3_bytes = 20ull * 1024 * 1024;  // shared L3.
+  uint64_t dram_bytes = 16ull * 1024 * 1024 * 1024;
+  double internal_bus_gbps = 50.0;          // ReRAM-memory internal bus.
+  double reram_read_ns = 29.31;
+  double reram_write_ns = 50.88;
+
+  // --- Microarchitectural constants for the cost model --------------------
+  uint64_t cache_line_bytes = 64;
+  int l1_assoc = 8;
+  int l2_assoc = 8;
+  int l3_assoc = 16;
+  double l1_latency_cycles = 4;
+  double l2_latency_cycles = 12;
+  double l3_latency_cycles = 40;
+  double dram_latency_ns = 80.0;     // DRAM row access.
+  double dram_bandwidth_gbps = 12.8; // single-channel effective stream BW.
+  double flop_cycles = 0.25;         // amortized FP mul/add issue cost
+                                     // (4-wide superscalar + SIMD).
+  double div_latency_cycles = 20.0;  // FP division.
+  double branch_miss_penalty_cycles = 15.0;
+  double branch_miss_rate = 0.05;
+  double frontend_fraction = 0.05;   // T_Fe as fraction of total (fetch/decode).
+
+  double cycle_ns() const { return 1.0 / cpu_ghz; }
+};
+
+/// Returns the default (Table 5) platform.
+const PlatformConfig& DefaultPlatform();
+
+/// Renders the Table 1 / Table 5 contents for the bench harness.
+std::string FormatNvmTable();
+std::string FormatPlatformConfig(const PlatformConfig& config);
+
+}  // namespace pimine
+
+#endif  // PIMINE_SIM_PLATFORM_H_

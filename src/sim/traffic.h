@@ -1,0 +1,76 @@
+#ifndef PIMINE_SIM_TRAFFIC_H_
+#define PIMINE_SIM_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pimine {
+
+/// Operation counters accumulated by instrumented kernels. The quantity the
+/// whole paper turns on — bits transferred from memory per candidate
+/// (d*b on a conventional architecture vs 3*b with PIM, Fig. 8) — is counted
+/// here exactly, alongside the arithmetic/branch work used by the Fig. 5
+/// hardware-component breakdown.
+struct TrafficCounters {
+  /// Bytes streamed from main memory to the CPU (vector payloads).
+  uint64_t bytes_from_memory = 0;
+  /// Bytes written back to main memory (pre-processing, center updates).
+  uint64_t bytes_to_memory = 0;
+  /// Floating-point / integer arithmetic operations (mul/add class).
+  uint64_t arithmetic_ops = 0;
+  /// Long-latency ALU operations (division, sqrt).
+  uint64_t long_ops = 0;
+  /// Conditional branches executed.
+  uint64_t branches = 0;
+  /// PIM results fetched from the buffer array (count of scalar results).
+  uint64_t pim_results_loaded = 0;
+
+  TrafficCounters& operator+=(const TrafficCounters& other);
+  TrafficCounters operator-(const TrafficCounters& other) const;
+  std::string ToString() const;
+};
+
+/// Thread-local counter access. Kernels call the Count* helpers at coarse
+/// granularity (per row / per candidate) so instrumentation overhead stays
+/// negligible relative to the measured work.
+namespace traffic {
+
+/// Current thread's counters (mutable reference).
+TrafficCounters& Local();
+
+/// Zeroes the current thread's counters.
+void Reset();
+
+inline void CountRead(uint64_t bytes);
+inline void CountWrite(uint64_t bytes);
+inline void CountArithmetic(uint64_t ops);
+inline void CountLongOps(uint64_t ops);
+inline void CountBranches(uint64_t n);
+inline void CountPimResults(uint64_t n);
+
+// --- implementation -------------------------------------------------------
+
+inline void CountRead(uint64_t bytes) { Local().bytes_from_memory += bytes; }
+inline void CountWrite(uint64_t bytes) { Local().bytes_to_memory += bytes; }
+inline void CountArithmetic(uint64_t ops) { Local().arithmetic_ops += ops; }
+inline void CountLongOps(uint64_t ops) { Local().long_ops += ops; }
+inline void CountBranches(uint64_t n) { Local().branches += n; }
+inline void CountPimResults(uint64_t n) { Local().pim_results_loaded += n; }
+
+}  // namespace traffic
+
+/// RAII scope that reports the counter delta observed during its lifetime.
+class TrafficScope {
+ public:
+  TrafficScope() : start_(traffic::Local()) {}
+
+  /// Counters accumulated since construction.
+  TrafficCounters Delta() const { return traffic::Local() - start_; }
+
+ private:
+  TrafficCounters start_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_SIM_TRAFFIC_H_

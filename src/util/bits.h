@@ -1,0 +1,37 @@
+#ifndef PIMINE_UTIL_BITS_H_
+#define PIMINE_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace pimine {
+
+/// Number of set bits in `x`.
+inline int PopCount(uint64_t x) { return std::popcount(x); }
+
+/// Ceiling division for positive integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Number of h-bit slices needed to represent a b-bit operand (Fig. 2 of the
+/// paper: a 6-bit value on 2-bit cells needs 3 slices).
+inline int NumSlices(int operand_bits, int cell_bits) {
+  return static_cast<int>(CeilDiv(static_cast<uint64_t>(operand_bits),
+                                  static_cast<uint64_t>(cell_bits)));
+}
+
+/// Extracts slice `index` (0 = least significant) of `value`, `width` bits
+/// per slice.
+inline uint64_t ExtractSlice(uint64_t value, int index, int width) {
+  const uint64_t mask = (width >= 64) ? ~0ULL : ((1ULL << width) - 1);
+  return (value >> (index * width)) & mask;
+}
+
+/// True iff `x` is a power of two (x > 0).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Floor of log2(x). Precondition: x > 0.
+inline int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+
+}  // namespace pimine
+
+#endif  // PIMINE_UTIL_BITS_H_

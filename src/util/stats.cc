@@ -1,0 +1,32 @@
+#include "util/stats.h"
+
+namespace pimine {
+
+double Mean(std::span<const float> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const float> values) {
+  return ComputeMeanStd(values).stddev;
+}
+
+MeanStd ComputeMeanStd(std::span<const float> values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (float v : values) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(values.size());
+  out.mean = sum / n;
+  const double var = sum_sq / n - out.mean * out.mean;
+  out.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  return out;
+}
+
+}  // namespace pimine

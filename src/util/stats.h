@@ -1,0 +1,62 @@
+#ifndef PIMINE_UTIL_STATS_H_
+#define PIMINE_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace pimine {
+
+/// Single-pass running mean / variance (Welford). Used for segment
+/// statistics in the FNN/SM bounds and for dataset summaries.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Population variance (divide by n), matching the paper's sigma usage.
+  double variance() const {
+    return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  void AddWithRange(double x) {
+    Add(x);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = HUGE_VAL;
+  double max_ = -HUGE_VAL;
+};
+
+/// Mean of a span. Returns 0 for an empty span.
+double Mean(std::span<const float> values);
+
+/// Population standard deviation of a span. Returns 0 for an empty span.
+double StdDev(std::span<const float> values);
+
+/// Mean and population stddev in one pass.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd ComputeMeanStd(std::span<const float> values);
+
+}  // namespace pimine
+
+#endif  // PIMINE_UTIL_STATS_H_

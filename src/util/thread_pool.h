@@ -1,0 +1,51 @@
+#ifndef PIMINE_UTIL_THREAD_POOL_H_
+#define PIMINE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pimine {
+
+/// Minimal fixed-size worker pool. The paper's measurements are
+/// single-threaded (§IV-A); the pool exists so the benchmark harness can
+/// parallelize *across* independent experiment cells without perturbing the
+/// single-threaded timing inside each cell.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `pool`, blocking until done.
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace pimine
+
+#endif  // PIMINE_UTIL_THREAD_POOL_H_

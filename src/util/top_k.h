@@ -1,0 +1,77 @@
+#ifndef PIMINE_UTIL_TOP_K_H_
+#define PIMINE_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pimine {
+
+/// One (distance, id) candidate in a kNN result.
+struct Neighbor {
+  double distance = 0.0;
+  int32_t id = -1;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.distance == b.distance && a.id == b.id;
+  }
+};
+
+/// Bounded max-heap that retains the k smallest distances seen so far.
+/// This is the refinement structure of every filter-and-refine kNN
+/// algorithm in the library: `threshold()` is the current pruning radius.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { PIMINE_CHECK(k > 0) << "k must be >= 1"; }
+
+  /// Offers a candidate; keeps it only if it is among the k best.
+  void Push(double distance, int32_t id) {
+    if (heap_.size() < k_) {
+      heap_.push_back({distance, id});
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+    } else if (distance < heap_.front().distance) {
+      std::pop_heap(heap_.begin(), heap_.end(), Less);
+      heap_.back() = {distance, id};
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+    }
+  }
+
+  /// Current k-th smallest distance, or +inf while fewer than k candidates
+  /// are held. Any candidate with a lower bound above this can be pruned.
+  double threshold() const {
+    return heap_.size() < k_ ? HUGE_VAL : heap_.front().distance;
+  }
+
+  bool full() const { return heap_.size() == k_; }
+  size_t size() const { return heap_.size(); }
+  size_t k() const { return k_; }
+
+  /// Extracts results sorted ascending by distance (ties by id).
+  std::vector<Neighbor> TakeSorted() {
+    std::vector<Neighbor> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.id < b.id;
+    });
+    return out;
+  }
+
+ private:
+  static bool Less(const Neighbor& a, const Neighbor& b) {
+    // Max-heap on distance; break ties on id so results are deterministic.
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_UTIL_TOP_K_H_

@@ -1,0 +1,137 @@
+// Cross-algorithm property sweeps: the "accuracy is never compromised"
+// guarantee must hold on every dataset profile, dimensionality and seed —
+// not just the one workload knn_test pins down.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "kmeans/drake.h"
+#include "kmeans/elkan.h"
+#include "kmeans/hamerly.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/yinyang.h"
+#include "knn/fnn_knn.h"
+#include "knn/fnn_pim_knn.h"
+#include "knn/ost_knn.h"
+#include "knn/ost_pim_knn.h"
+#include "knn/sm_knn.h"
+#include "knn/sm_pim_knn.h"
+#include "knn/standard_knn.h"
+#include "knn/standard_pim_knn.h"
+
+namespace pimine {
+namespace {
+
+struct SweepCase {
+  ClusterProfile profile;
+  int32_t dims;
+  uint64_t seed;
+};
+
+FloatMatrix MakeData(const SweepCase& c, int64_t n) {
+  DatasetSpec spec;
+  spec.name = "sweep";
+  spec.dims = c.dims;
+  spec.profile = c.profile;
+  spec.num_clusters = 6;
+  spec.cluster_std = c.profile == ClusterProfile::kDiffuse ? 0.2 : 0.08;
+  return DatasetGenerator::Generate(spec, n, c.seed);
+}
+
+class KnnProfileSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(KnnProfileSweepTest, EveryAlgorithmMatchesStandard) {
+  const SweepCase c = GetParam();
+  const FloatMatrix data = MakeData(c, 250);
+  DatasetSpec spec;
+  spec.dims = c.dims;
+  spec.cluster_std = 0.08;
+  const FloatMatrix queries =
+      DatasetGenerator::GenerateQueries(spec, data, 3, c.seed + 1);
+
+  StandardKnn standard;
+  ASSERT_TRUE(standard.Prepare(data).ok());
+  auto golden = standard.Search(queries, 7);
+  ASSERT_TRUE(golden.ok());
+
+  std::vector<std::unique_ptr<KnnAlgorithm>> algorithms;
+  algorithms.push_back(std::make_unique<SmKnn>());
+  algorithms.push_back(std::make_unique<OstKnn>());
+  algorithms.push_back(std::make_unique<FnnKnn>());
+  algorithms.push_back(std::make_unique<StandardPimKnn>(
+      Distance::kEuclidean, EngineOptions()));
+  algorithms.push_back(std::make_unique<SmPimKnn>(EngineOptions()));
+  algorithms.push_back(std::make_unique<OstPimKnn>(EngineOptions()));
+  algorithms.push_back(
+      std::make_unique<FnnPimKnn>(EngineOptions(), /*optimize=*/true));
+
+  for (auto& algorithm : algorithms) {
+    ASSERT_TRUE(algorithm->Prepare(data).ok()) << algorithm->name();
+    auto result = algorithm->Search(queries, 7);
+    ASSERT_TRUE(result.ok()) << algorithm->name();
+    for (size_t q = 0; q < golden->neighbors.size(); ++q) {
+      for (size_t j = 0; j < golden->neighbors[q].size(); ++j) {
+        ASSERT_EQ(result->neighbors[q][j].id, golden->neighbors[q][j].id)
+            << algorithm->name() << " dims=" << c.dims
+            << " profile=" << static_cast<int>(c.profile) << " q=" << q;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnProfileSweepTest,
+    ::testing::Values(
+        SweepCase{ClusterProfile::kClustered, 17, 1},
+        SweepCase{ClusterProfile::kClustered, 64, 2},
+        SweepCase{ClusterProfile::kClustered, 200, 3},
+        SweepCase{ClusterProfile::kDiffuse, 64, 4},
+        SweepCase{ClusterProfile::kDiffuse, 130, 5},
+        SweepCase{ClusterProfile::kSparseCounts, 80, 6},
+        SweepCase{ClusterProfile::kSparseCounts, 33, 7}));
+
+class KmeansProfileSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(KmeansProfileSweepTest, AllFiveFamiliesFollowLloyd) {
+  const SweepCase c = GetParam();
+  const FloatMatrix data = MakeData(c, 300);
+  KmeansOptions options;
+  options.k = 12;
+  options.max_iterations = 5;
+  options.seed = c.seed * 31 + 7;
+
+  LloydKmeans lloyd;
+  auto golden = lloyd.Run(data, options);
+  ASSERT_TRUE(golden.ok());
+
+  std::vector<std::unique_ptr<KmeansAlgorithm>> algorithms;
+  algorithms.push_back(std::make_unique<ElkanKmeans>());
+  algorithms.push_back(std::make_unique<DrakeKmeans>());
+  algorithms.push_back(std::make_unique<YinyangKmeans>());
+  algorithms.push_back(std::make_unique<HamerlyKmeans>());
+
+  for (bool use_pim : {false, true}) {
+    KmeansOptions run_options = options;
+    run_options.use_pim = use_pim;
+    for (auto& algorithm : algorithms) {
+      auto result = algorithm->Run(data, run_options);
+      ASSERT_TRUE(result.ok()) << algorithm->name();
+      ASSERT_EQ(result->assignments, golden->assignments)
+          << algorithm->name() << (use_pim ? " (PIM)" : "")
+          << " dims=" << c.dims;
+      EXPECT_NEAR(result->inertia, golden->inertia, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KmeansProfileSweepTest,
+    ::testing::Values(SweepCase{ClusterProfile::kClustered, 16, 11},
+                      SweepCase{ClusterProfile::kClustered, 90, 12},
+                      SweepCase{ClusterProfile::kDiffuse, 48, 13},
+                      SweepCase{ClusterProfile::kSparseCounts, 60, 14}));
+
+}  // namespace
+}  // namespace pimine

@@ -1,0 +1,111 @@
+#include "sim/cache_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+
+namespace pimine {
+namespace {
+
+PlatformConfig TinyCaches() {
+  PlatformConfig config;
+  config.l1_bytes = 1024;       // 2 sets x 8 ways x 64B.
+  config.l2_bytes = 4096;
+  config.l3_bytes = 16384;
+  return config;
+}
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSimulator sim(TinyCaches());
+  EXPECT_EQ(sim.Access(0), CacheLevel::kMemory);
+  EXPECT_EQ(sim.Access(0), CacheLevel::kL1);
+  EXPECT_EQ(sim.Access(32), CacheLevel::kL1);  // same line.
+  EXPECT_EQ(sim.Access(64), CacheLevel::kMemory);  // next line.
+  EXPECT_EQ(sim.stats().accesses, 4u);
+  EXPECT_EQ(sim.stats().memory_accesses, 2u);
+  EXPECT_EQ(sim.stats().hits[0], 2u);
+}
+
+TEST(CacheSimTest, LruEvictionWithinSet) {
+  PlatformConfig config = TinyCaches();
+  CacheSimulator sim(config);
+  // L1: 1024B / (64B * 8 ways) = 2 sets. Lines mapping to set 0 are
+  // multiples of 2 lines (128B). Fill 8 ways of set 0, then one more.
+  for (uint64_t i = 0; i < 8; ++i) sim.Access(i * 128);
+  EXPECT_EQ(sim.Access(0), CacheLevel::kL1);  // still resident (MRU'd).
+  sim.Access(8 * 128);                        // evicts LRU line (line 128).
+  EXPECT_EQ(sim.Access(128), CacheLevel::kL2);  // evicted from L1, in L2.
+}
+
+TEST(CacheSimTest, WorkingSetLargerThanCacheStreams) {
+  PlatformConfig config = TinyCaches();
+  CacheSimulator sim(config);
+  // Scan 64 KB (bigger than L3) twice: LRU defeats reuse, ~everything
+  // misses on both passes.
+  sim.StreamScan(0, 65536, 2);
+  const double miss_ratio = sim.stats().MissRatio();
+  EXPECT_GT(miss_ratio, 0.95);
+}
+
+TEST(CacheSimTest, WorkingSetFittingL3HitsOnSecondPass) {
+  PlatformConfig config = TinyCaches();
+  CacheSimulator sim(config);
+  sim.StreamScan(0, 8192, 1);  // fits L3 (16 KB), not L2.
+  const uint64_t cold_misses = sim.stats().memory_accesses;
+  sim.StreamScan(0, 8192, 1);
+  EXPECT_EQ(sim.stats().memory_accesses, cold_misses)
+      << "second pass must be served by the hierarchy";
+  EXPECT_GT(sim.stats().hits[2] + sim.stats().hits[1] + sim.stats().hits[0],
+            0u);
+}
+
+TEST(CacheSimTest, MultiLineAccessTouchesAllLines) {
+  CacheSimulator sim(TinyCaches());
+  sim.Access(0, 256);  // 4 lines.
+  EXPECT_EQ(sim.stats().accesses, 4u);
+}
+
+TEST(CacheSimTest, FlushClearsEverything) {
+  CacheSimulator sim(TinyCaches());
+  sim.Access(0);
+  sim.Access(0);
+  sim.Flush();
+  EXPECT_EQ(sim.stats().accesses, 0u);
+  EXPECT_EQ(sim.Access(0), CacheLevel::kMemory);
+}
+
+TEST(CacheStatsTest, ToStringContainsCounts) {
+  CacheSimulator sim(TinyCaches());
+  sim.Access(0);
+  EXPECT_NE(sim.stats().ToString().find("mem=1"), std::string::npos);
+}
+
+TEST(TlbTest, PageReuseHitsWideScanMisses) {
+  CacheSimulator sim(TinyCaches());
+  // 100 accesses within one 4 KB page: a single page walk.
+  for (uint64_t i = 0; i < 100; ++i) sim.Access(i * 8);
+  EXPECT_EQ(sim.stats().tlb_misses, 1u);
+
+  sim.Flush();
+  // Touch 200 distinct pages (64-entry TLB): every page misses cold, and a
+  // second sweep misses again (LRU defeated by the wide stride).
+  for (uint64_t pass = 0; pass < 2; ++pass) {
+    for (uint64_t p = 0; p < 200; ++p) sim.Access(p * 4096);
+  }
+  EXPECT_EQ(sim.stats().tlb_misses, 400u);
+}
+
+TEST(TlbTest, MissesRaiseModeledStall) {
+  const HostCostModel model;
+  TrafficCounters counters;
+  CacheStats no_tlb;
+  no_tlb.accesses = 1000;
+  no_tlb.hits[0] = 1000;
+  CacheStats with_tlb = no_tlb;
+  with_tlb.tlb_misses = 500;
+  EXPECT_GT(model.EstimateBreakdownFromCache(counters, with_tlb).tcache_ns,
+            model.EstimateBreakdownFromCache(counters, no_tlb).tcache_ns);
+}
+
+}  // namespace
+}  // namespace pimine

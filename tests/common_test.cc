@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/result.h"
+
+namespace pimine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+
+  EXPECT_EQ(Status::CapacityExceeded("x").code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCapacityExceeded),
+            "CapacityExceeded");
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnIfError(bool fail) {
+  PIMINE_RETURN_IF_ERROR(Succeeds());
+  if (fail) {
+    PIMINE_RETURN_IF_ERROR(Fails());
+  }
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+Result<int> MakeResult(bool ok) {
+  if (ok) return 42;
+  return Status::NotFound("no value");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  auto good = MakeResult(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+
+  auto bad = MakeResult(false);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> ChainResults(bool ok) {
+  PIMINE_ASSIGN_OR_RETURN(const int v, MakeResult(ok));
+  return v + 1;
+}
+
+TEST(ResultMacroTest, AssignOrReturn) {
+  auto good = ChainResults(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 43);
+  EXPECT_FALSE(ChainResults(false).ok());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ PIMINE_CHECK(1 == 2) << "context " << 42; },
+               "Check failed: 1 == 2 context 42");
+}
+
+TEST(CheckDeathTest, CheckOkAborts) {
+  EXPECT_DEATH({ PIMINE_CHECK_OK(Status::Internal("bang")); },
+               "Internal: bang");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  PIMINE_CHECK(true) << "never printed";
+  PIMINE_CHECK_OK(Status::OK());
+  PIMINE_DCHECK(true);
+}
+
+}  // namespace
+}  // namespace pimine

@@ -1,0 +1,97 @@
+#include "pim/crossbar_math.h"
+
+#include <gtest/gtest.h>
+
+namespace pimine {
+namespace {
+
+TEST(GatherDepthTest, Basics) {
+  EXPECT_EQ(GatherDepth(1, 256), 1);
+  EXPECT_EQ(GatherDepth(256, 256), 1);
+  EXPECT_EQ(GatherDepth(257, 256), 2);
+  EXPECT_EQ(GatherDepth(65536, 256), 2);
+  EXPECT_EQ(GatherDepth(65537, 256), 3);
+  // The paper's Fig. 11 example: s = 8, m = 2 -> 3 levels.
+  EXPECT_EQ(GatherDepth(8, 2), 3);
+}
+
+TEST(CrossbarsForPairTest, PaperFigure11Example) {
+  // s = 8, m = 2: 4 data crossbars + 2 + 1 gathers = 7.
+  EXPECT_DOUBLE_EQ(CrossbarsForPair(8, 2), 7.0);
+  // s <= m occupies a fraction of one crossbar.
+  EXPECT_DOUBLE_EQ(CrossbarsForPair(128, 256), 0.5);
+  EXPECT_DOUBLE_EQ(CrossbarsForPair(256, 256), 1.0);
+}
+
+TEST(NumDataCrossbarsTest, CellAccounting) {
+  // 1 vector, 256 dims, 32-bit operands on 2-bit cells: 16 cells/dim ->
+  // 4096 cells = 1/16 of a 256x256 crossbar -> still 1 crossbar (ceil).
+  EXPECT_EQ(NumDataCrossbars(1, 32, 256, 256, 2), 1);
+  // 16 such vectors exactly fill one crossbar.
+  EXPECT_EQ(NumDataCrossbars(16, 32, 256, 256, 2), 1);
+  EXPECT_EQ(NumDataCrossbars(17, 32, 256, 256, 2), 2);
+}
+
+TEST(NumGatherCrossbarsTest, ZeroWhenFitting) {
+  EXPECT_EQ(NumGatherCrossbars(1000, 32, 256, 256, 2), 0);
+  EXPECT_GT(NumGatherCrossbars(1000, 32, 257, 256, 2), 0);
+}
+
+TEST(FitsInPimArrayTest, DefaultConfigCapacity) {
+  PimConfig config;  // 131072 crossbars of 256x256 2-bit cells.
+  // The paper's MSD case: ~1M vectors at 420 dims, 32-bit: does not fit at
+  // full dimensionality twice (means+stds), fits when compressed.
+  EXPECT_FALSE(FitsInPimArray(2 * 992272, 32, 420, config));
+  EXPECT_TRUE(FitsInPimArray(2 * 992272, 32, 105, config));
+}
+
+TEST(MaxCompressedDimTest, MonotoneAndMaximal) {
+  PimConfig config;
+  config.num_crossbars = 64;
+  const auto s = MaxCompressedDim(1000, 32, 512, config);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GE(s.value(), 1);
+  EXPECT_LE(s.value(), 512);
+  // Maximality: s fits, s+1 does not (unless s == max_dim).
+  EXPECT_TRUE(FitsInPimArray(1000, 32, s.value(), config));
+  if (s.value() < 512) {
+    EXPECT_FALSE(FitsInPimArray(1000, 32, s.value() + 1, config));
+  }
+}
+
+TEST(MaxCompressedDimTest, ReturnsMaxDimWhenEverythingFits) {
+  PimConfig config;
+  const auto s = MaxCompressedDim(100, 32, 64, config);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), 64);
+}
+
+TEST(MaxCompressedDimTest, FailsWhenNothingFits) {
+  PimConfig config;
+  config.num_crossbars = 1;
+  // 10M vectors cannot fit even a single dimension on one crossbar.
+  const auto s = MaxCompressedDim(10'000'000, 32, 100, config);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(MaxCompressedDimTest, RejectsBadArguments) {
+  PimConfig config;
+  EXPECT_FALSE(MaxCompressedDim(0, 32, 10, config).ok());
+  EXPECT_FALSE(MaxCompressedDim(10, 32, 0, config).ok());
+}
+
+TEST(MaxCompressedDimTest, GrowsWithCapacity) {
+  PimConfig small;
+  small.num_crossbars = 32;
+  PimConfig large;
+  large.num_crossbars = 64;
+  const auto s_small = MaxCompressedDim(10000, 32, 4096, small);
+  const auto s_large = MaxCompressedDim(10000, 32, 4096, large);
+  ASSERT_TRUE(s_small.ok());
+  ASSERT_TRUE(s_large.ok());
+  EXPECT_LE(s_small.value(), s_large.value());
+}
+
+}  // namespace
+}  // namespace pimine

@@ -1,0 +1,142 @@
+#include "pim/crossbar.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace pimine {
+namespace {
+
+// The paper's Fig. 1 example: three 3-dim vectors, multiplicand [3,1,2].
+TEST(CrossbarTest, PaperFigure1Example) {
+  Crossbar xbar(4, 2);
+  const std::vector<uint32_t> v1 = {3, 1, 0};
+  const std::vector<uint32_t> v2 = {1, 2, 3};
+  const std::vector<uint32_t> v3 = {2, 0, 1};
+  ASSERT_TRUE(xbar.ProgramVector(0, v1, 2).ok());
+  ASSERT_TRUE(xbar.ProgramVector(1, v2, 2).ok());
+  ASSERT_TRUE(xbar.ProgramVector(2, v3, 2).ok());
+
+  const std::vector<uint32_t> input = {3, 1, 2};
+  auto result = xbar.DotProduct(input, 2, 2, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->values[0], 10u);  // 3*3 + 1*1 + 0*2.
+  EXPECT_EQ(result->values[1], 11u);  // 1*3 + 2*1 + 3*2.
+  EXPECT_EQ(result->values[2], 8u);   // 2*3 + 0*1 + 1*2.
+  EXPECT_EQ(result->cycles, 1);       // 2-bit input on 2-bit DAC: one cycle.
+}
+
+// The paper's Fig. 2 regime: 6-bit operands sliced onto 2-bit cells.
+TEST(CrossbarTest, BitSlicedHighPrecisionOperands) {
+  Crossbar xbar(8, 2);
+  // 6-bit operands need 3 slices; check the cell contents of value 25
+  // ("011001" -> slices 01, 10, 01 per Fig. 2).
+  const std::vector<uint32_t> operands = {25, 9};
+  ASSERT_TRUE(xbar.ProgramVector(0, operands, 6).ok());
+  EXPECT_EQ(xbar.cell(0, 0), 1);  // LSB slice of 25.
+  EXPECT_EQ(xbar.cell(0, 1), 2);
+  EXPECT_EQ(xbar.cell(0, 2), 1);  // MSB slice of 25.
+  EXPECT_EQ(xbar.cell(1, 0), 1);  // 9 = 001001.
+  EXPECT_EQ(xbar.cell(1, 1), 2);
+  EXPECT_EQ(xbar.cell(1, 2), 0);
+
+  // [9, 20].[25, 14] = 505, the Fig. 2 result.
+  Crossbar fig2(8, 2);
+  ASSERT_TRUE(fig2.ProgramVector(0, std::vector<uint32_t>{9, 20}, 6).ok());
+  auto result = fig2.DotProduct(std::vector<uint32_t>{25, 14}, 6, 6, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->values[0], 505u);
+  EXPECT_EQ(result->cycles, 3);  // 6-bit input, 2 bits per DAC cycle.
+}
+
+struct GeometryCase {
+  int dim;
+  int cell_bits;
+  int operand_bits;
+  int dac_bits;
+};
+
+class CrossbarSweepTest : public ::testing::TestWithParam<GeometryCase> {};
+
+// Property: the slice-pipeline emulation equals the plain integer dot
+// product for random operands, across geometries.
+TEST_P(CrossbarSweepTest, PipelineMatchesIntegerDotProduct) {
+  const auto [dim, cell_bits, operand_bits, dac_bits] = GetParam();
+  Crossbar xbar(dim, cell_bits);
+  Rng rng(0xc0ffee ^ dim ^ operand_bits);
+  const uint64_t limit = 1ULL << operand_bits;
+  const int cols = xbar.NumLogicalColumns(operand_bits);
+
+  std::vector<std::vector<uint32_t>> vectors(cols);
+  for (int c = 0; c < cols; ++c) {
+    vectors[c].resize(dim);
+    for (auto& v : vectors[c]) {
+      v = static_cast<uint32_t>(rng.NextBounded(limit));
+    }
+    ASSERT_TRUE(xbar.ProgramVector(c, vectors[c], operand_bits).ok());
+  }
+  std::vector<uint32_t> input(dim);
+  for (auto& v : input) v = static_cast<uint32_t>(rng.NextBounded(limit));
+
+  auto result = xbar.DotProduct(input, operand_bits, operand_bits, dac_bits);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cycles, NumSlices(operand_bits, dac_bits));
+  for (int c = 0; c < cols; ++c) {
+    uint64_t expected = 0;
+    for (int r = 0; r < dim; ++r) {
+      expected += static_cast<uint64_t>(vectors[c][r]) * input[r];
+    }
+    EXPECT_EQ(result->values[c], expected) << "column " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossbarSweepTest,
+    ::testing::Values(GeometryCase{4, 2, 2, 2}, GeometryCase{8, 2, 6, 2},
+                      GeometryCase{16, 2, 8, 2}, GeometryCase{16, 1, 8, 1},
+                      GeometryCase{32, 4, 16, 4}, GeometryCase{8, 2, 16, 4},
+                      GeometryCase{64, 2, 20, 2}, GeometryCase{16, 8, 8, 8},
+                      GeometryCase{8, 3, 9, 3}));
+
+TEST(CrossbarErrorTest, RejectsBadInput) {
+  Crossbar xbar(8, 2);
+  // Operand exceeding bit width.
+  EXPECT_FALSE(
+      xbar.ProgramVector(0, std::vector<uint32_t>{5}, 2).ok());
+  // Logical column out of range (8 cols / 3 slices for 6-bit = 2 columns).
+  EXPECT_FALSE(
+      xbar.ProgramVector(5, std::vector<uint32_t>{1}, 6).ok());
+  // Too many operands.
+  EXPECT_FALSE(
+      xbar.ProgramVector(0, std::vector<uint32_t>(9, 1), 2).ok());
+  // Input longer than the crossbar.
+  ASSERT_TRUE(xbar.ProgramVector(0, std::vector<uint32_t>{1}, 2).ok());
+  EXPECT_FALSE(
+      xbar.DotProduct(std::vector<uint32_t>(9, 1), 2, 2, 2).ok());
+  // DAC wider than the input.
+  EXPECT_FALSE(
+      xbar.DotProduct(std::vector<uint32_t>{1}, 2, 2, 4).ok());
+}
+
+TEST(CrossbarEnduranceTest, CountsCellWrites) {
+  Crossbar xbar(4, 2);
+  EXPECT_EQ(xbar.cell_writes(), 0u);
+  ASSERT_TRUE(xbar.ProgramVector(0, std::vector<uint32_t>{1, 2}, 2).ok());
+  // One slice per operand; unused rows of the column are cleared too.
+  EXPECT_EQ(xbar.cell_writes(), 4u);
+  ASSERT_TRUE(xbar.ProgramVector(0, std::vector<uint32_t>{3, 0}, 2).ok());
+  EXPECT_EQ(xbar.cell_writes(), 8u);
+}
+
+TEST(CrossbarTest, ShortVectorPadsWithZeros) {
+  Crossbar xbar(8, 2);
+  ASSERT_TRUE(xbar.ProgramVector(0, std::vector<uint32_t>{3}, 2).ok());
+  auto result =
+      xbar.DotProduct(std::vector<uint32_t>{2, 3, 3, 3, 3, 3, 3, 3}, 2, 2, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->values[0], 6u);  // rows beyond the vector contribute 0.
+}
+
+}  // namespace
+}  // namespace pimine

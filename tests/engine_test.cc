@@ -1,0 +1,227 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/quantize.h"
+#include "core/similarity.h"
+#include "pim/crossbar.h"
+#include "test_helpers.h"
+
+namespace pimine {
+namespace {
+
+using testing_util::RandomUnitMatrix;
+using testing_util::RandomUnitVector;
+
+EngineOptions SmallArrayOptions(int64_t crossbars) {
+  EngineOptions options;
+  options.pim_config.num_crossbars = crossbars;
+  return options;
+}
+
+TEST(EngineBuildTest, AutoPicksDirectWhenFitting) {
+  const FloatMatrix data = RandomUnitMatrix(64, 32, 1);
+  auto engine =
+      PimEngine::Build(data, Distance::kEuclidean, EngineOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->mode(), EngineMode::kDirectEd);
+  EXPECT_FALSE((*engine)->plan().compressed);
+}
+
+TEST(EngineBuildTest, AutoFallsBackToSegmentsWhenTight) {
+  const FloatMatrix data = RandomUnitMatrix(256, 128, 2);
+  // Capacity for roughly half of the full-dimensionality dataset.
+  auto engine = PimEngine::Build(data, Distance::kEuclidean,
+                                 SmallArrayOptions(4));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->mode(), EngineMode::kSegmentFnn);
+  EXPECT_LT((*engine)->num_segments(), 128);
+  EXPECT_GE((*engine)->num_segments(), 1);
+}
+
+TEST(EngineBuildTest, RejectsUnnormalizedData) {
+  FloatMatrix data = RandomUnitMatrix(8, 4, 3);
+  data(0, 0) = 1.5f;
+  EXPECT_FALSE(
+      PimEngine::Build(data, Distance::kEuclidean, EngineOptions()).ok());
+}
+
+TEST(EngineBuildTest, RejectsEmptyAndHamming) {
+  EXPECT_FALSE(
+      PimEngine::Build(FloatMatrix(), Distance::kEuclidean, EngineOptions())
+          .ok());
+  const FloatMatrix data = RandomUnitMatrix(4, 4, 4);
+  EXPECT_FALSE(
+      PimEngine::Build(data, Distance::kHamming, EngineOptions()).ok());
+}
+
+TEST(EngineBuildTest, ForceSegmentsHonored) {
+  const FloatMatrix data = RandomUnitMatrix(32, 64, 5);
+  EngineOptions options;
+  options.bound = EngineOptions::Bound::kSegmentFnn;
+  options.force_segments = 16;
+  auto engine = PimEngine::Build(data, Distance::kEuclidean, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->num_segments(), 16);
+  EXPECT_EQ((*engine)->segment_length(), 4);
+}
+
+TEST(EngineBuildTest, ForceSegmentsBeyondCapacityFails) {
+  const FloatMatrix data = RandomUnitMatrix(4096, 64, 6);
+  EngineOptions options = SmallArrayOptions(2);
+  options.bound = EngineOptions::Bound::kSegmentFnn;
+  options.force_segments = 64;
+  EXPECT_EQ(
+      PimEngine::Build(data, Distance::kEuclidean, options).status().code(),
+      StatusCode::kCapacityExceeded);
+}
+
+struct ModeCase {
+  EngineOptions::Bound bound;
+  int64_t force_segments;
+};
+
+class EngineBoundPropertyTest : public ::testing::TestWithParam<ModeCase> {};
+
+// The central accuracy invariant of the paper (§V-B): engine bounds never
+// exceed the exact squared ED, for any mode.
+TEST_P(EngineBoundPropertyTest, EuclideanLowerBoundHolds) {
+  const auto [bound, force_segments] = GetParam();
+  const FloatMatrix data = RandomUnitMatrix(60, 48, 7);
+  EngineOptions options;
+  options.bound = bound;
+  options.force_segments = force_segments;
+  auto engine_or = PimEngine::Build(data, Distance::kEuclidean, options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  PimEngine& engine = **engine_or;
+
+  std::vector<double> bounds;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const auto q = RandomUnitVector(48, 70 + seed);
+    ASSERT_TRUE(engine.ComputeBounds(q, &bounds).ok());
+    ASSERT_EQ(bounds.size(), 60u);
+    for (size_t i = 0; i < 60; ++i) {
+      EXPECT_LE(bounds[i], SquaredEuclidean(data.row(i), q) + 1e-9)
+          << "object " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, EngineBoundPropertyTest,
+    ::testing::Values(ModeCase{EngineOptions::Bound::kDirectEd, 0},
+                      ModeCase{EngineOptions::Bound::kSegmentFnn, 0},
+                      ModeCase{EngineOptions::Bound::kSegmentFnn, 12},
+                      ModeCase{EngineOptions::Bound::kSegmentFnn, 48},
+                      ModeCase{EngineOptions::Bound::kSegmentSm, 0},
+                      ModeCase{EngineOptions::Bound::kSegmentSm, 6}));
+
+TEST(EngineCosineTest, UpperBoundHolds) {
+  const FloatMatrix data = RandomUnitMatrix(40, 32, 8);
+  auto engine_or =
+      PimEngine::Build(data, Distance::kCosine, EngineOptions());
+  ASSERT_TRUE(engine_or.ok());
+  PimEngine& engine = **engine_or;
+  EXPECT_EQ(engine.mode(), EngineMode::kCosine);
+
+  std::vector<double> bounds;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const auto q = RandomUnitVector(32, 200 + seed);
+    ASSERT_TRUE(engine.ComputeBounds(q, &bounds).ok());
+    for (size_t i = 0; i < 40; ++i) {
+      EXPECT_GE(bounds[i], CosineSimilarity(data.row(i), q) - 1e-9);
+    }
+  }
+}
+
+TEST(EnginePearsonTest, UpperBoundHolds) {
+  const FloatMatrix data = RandomUnitMatrix(40, 32, 9);
+  auto engine_or =
+      PimEngine::Build(data, Distance::kPearson, EngineOptions());
+  ASSERT_TRUE(engine_or.ok());
+  PimEngine& engine = **engine_or;
+  EXPECT_EQ(engine.mode(), EngineMode::kPearson);
+
+  std::vector<double> bounds;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const auto q = RandomUnitVector(32, 300 + seed);
+    ASSERT_TRUE(engine.ComputeBounds(q, &bounds).ok());
+    for (size_t i = 0; i < 40; ++i) {
+      EXPECT_GE(bounds[i], PearsonCorrelation(data.row(i), q) - 1e-9);
+    }
+  }
+}
+
+TEST(EngineQueryValidationTest, RejectsBadQueries) {
+  const FloatMatrix data = RandomUnitMatrix(8, 16, 10);
+  auto engine_or =
+      PimEngine::Build(data, Distance::kEuclidean, EngineOptions());
+  ASSERT_TRUE(engine_or.ok());
+  std::vector<double> bounds;
+  // Wrong dimensionality.
+  EXPECT_FALSE(
+      (*engine_or)->ComputeBounds(RandomUnitVector(15, 1), &bounds).ok());
+  // Out-of-range values.
+  std::vector<float> bad = RandomUnitVector(16, 2);
+  bad[0] = 2.0f;
+  EXPECT_FALSE((*engine_or)->ComputeBounds(bad, &bounds).ok());
+}
+
+TEST(EngineStatsTest, PimTimeAccumulatesAndResets) {
+  const FloatMatrix data = RandomUnitMatrix(16, 8, 11);
+  auto engine_or =
+      PimEngine::Build(data, Distance::kEuclidean, EngineOptions());
+  ASSERT_TRUE(engine_or.ok());
+  PimEngine& engine = **engine_or;
+  EXPECT_GT(engine.OfflineNs(), 0.0);
+  EXPECT_GT(engine.OfflineBytesWritten(), 0u);
+  EXPECT_DOUBLE_EQ(engine.PimComputeNs(), 0.0);
+  std::vector<double> bounds;
+  ASSERT_TRUE(engine.ComputeBounds(RandomUnitVector(8, 3), &bounds).ok());
+  EXPECT_GT(engine.PimComputeNs(), 0.0);
+  engine.ResetOnlineStats();
+  EXPECT_DOUBLE_EQ(engine.PimComputeNs(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.TransferBitsPerCandidate(), 96.0);  // 3 * 32.
+}
+
+// Hardware-fidelity cross-check: the engine's batch dot products (direct
+// integer emulation) equal what the cycle-level crossbar pipeline computes
+// on the same quantized data.
+TEST(EngineFidelityTest, MatchesCycleLevelCrossbar) {
+  const size_t n = 3;
+  const size_t d = 4;
+  const FloatMatrix data = RandomUnitMatrix(n, d, 12);
+  EngineOptions options;
+  options.alpha = 100.0;  // keep operands small: floor values < 128.
+  options.operand_bits = 8;
+  auto engine_or = PimEngine::Build(data, Distance::kEuclidean, options);
+  ASSERT_TRUE(engine_or.ok());
+  PimEngine& engine = **engine_or;
+  ASSERT_EQ(engine.mode(), EngineMode::kDirectEd);
+
+  const auto q = RandomUnitVector(d, 13);
+  auto handle_or = engine.RunQuery(q);
+  ASSERT_TRUE(handle_or.ok());
+
+  // Rebuild the same layout on explicit crossbars: one logical column per
+  // object, the object's quantized vector along the rows.
+  const Quantizer quant(options.alpha);
+  Crossbar xbar(32, 2);
+  std::vector<int32_t> ints(d);
+  for (size_t i = 0; i < n; ++i) {
+    quant.QuantizeRow(data.row(i), ints);
+    std::vector<uint32_t> operands(ints.begin(), ints.end());
+    ASSERT_TRUE(
+        xbar.ProgramVector(static_cast<int>(i), operands, 8).ok());
+  }
+  quant.QuantizeRow(q, ints);
+  const std::vector<uint32_t> input(ints.begin(), ints.end());
+  auto pipeline = xbar.DotProduct(input, 8, 8, 2);
+  ASSERT_TRUE(pipeline.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(handle_or->dots1[i], pipeline->values[i]) << "object " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pimine

@@ -1,0 +1,95 @@
+#include "core/hamming_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pimine {
+namespace {
+
+BitMatrix RandomCodes(size_t rows, size_t bits, uint64_t seed) {
+  BitMatrix codes(rows, bits);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t b = 0; b < bits; ++b) {
+      codes.Set(i, b, rng.NextBool());
+    }
+  }
+  return codes;
+}
+
+class HammingEngineWidthTest : public ::testing::TestWithParam<size_t> {};
+
+// The PIM path (two AND-popcount dot products) must equal XOR popcount for
+// every code width, including non-multiples of 64.
+TEST_P(HammingEngineWidthTest, MatchesXorPopcount) {
+  const size_t bits = GetParam();
+  const BitMatrix codes = RandomCodes(30, bits, bits * 7 + 1);
+  auto engine_or = PimHammingEngine::Build(codes);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  PimHammingEngine& engine = **engine_or;
+
+  const BitMatrix queries = RandomCodes(5, bits, bits * 13 + 2);
+  std::vector<int32_t> distances;
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    ASSERT_TRUE(engine.ComputeDistances(queries.row(qi), &distances).ok());
+    ASSERT_EQ(distances.size(), 30u);
+    for (size_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(distances[i],
+                BitMatrix::HammingDistance(codes.row(i), queries.row(qi)))
+          << "bits=" << bits << " object=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HammingEngineWidthTest,
+                         ::testing::Values(1, 7, 64, 65, 128, 100, 256, 512,
+                                           1024, 1000));
+
+TEST(HammingEngineTest, RejectsBadInput) {
+  EXPECT_FALSE(PimHammingEngine::Build(BitMatrix()).ok());
+
+  const BitMatrix codes = RandomCodes(10, 128, 3);
+  auto engine_or = PimHammingEngine::Build(codes);
+  ASSERT_TRUE(engine_or.ok());
+  std::vector<int32_t> out;
+  const BitMatrix wrong = RandomCodes(1, 192, 4);
+  EXPECT_FALSE((*engine_or)->ComputeDistances(wrong.row(0), &out).ok());
+}
+
+TEST(HammingEngineTest, CapacityRespected) {
+  PimConfig config;
+  config.num_crossbars = 1;
+  const BitMatrix codes = RandomCodes(70000, 1024, 5);
+  EXPECT_EQ(PimHammingEngine::Build(codes, config).status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(HammingEngineTest, StatsAccumulate) {
+  const BitMatrix codes = RandomCodes(20, 256, 6);
+  auto engine_or = PimHammingEngine::Build(codes);
+  ASSERT_TRUE(engine_or.ok());
+  PimHammingEngine& engine = **engine_or;
+  EXPECT_GT(engine.OfflineNs(), 0.0);
+
+  std::vector<int32_t> out;
+  const BitMatrix query = RandomCodes(1, 256, 7);
+  ASSERT_TRUE(engine.ComputeDistances(query.row(0), &out).ok());
+  EXPECT_GT(engine.PimComputeNs(), 0.0);
+  EXPECT_EQ(engine.ResultBytesToHost(), 20u * sizeof(uint64_t));
+  engine.ResetOnlineStats();
+  EXPECT_DOUBLE_EQ(engine.PimComputeNs(), 0.0);
+  EXPECT_EQ(engine.ResultBytesToHost(), 0u);
+}
+
+TEST(HammingEngineTest, SelfDistanceIsZero) {
+  const BitMatrix codes = RandomCodes(8, 96, 8);
+  auto engine_or = PimHammingEngine::Build(codes);
+  ASSERT_TRUE(engine_or.ok());
+  std::vector<int32_t> out;
+  ASSERT_TRUE((*engine_or)->ComputeDistances(codes.row(3), &out).ok());
+  EXPECT_EQ(out[3], 0);
+}
+
+}  // namespace
+}  // namespace pimine

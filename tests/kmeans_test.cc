@@ -1,0 +1,214 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "kmeans/drake.h"
+#include "kmeans/elkan.h"
+#include "kmeans/hamerly.h"
+#include "kmeans/kmeans_common.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/yinyang.h"
+#include "test_helpers.h"
+
+namespace pimine {
+namespace {
+
+FloatMatrix ClusteredData(size_t n, size_t d, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "test";
+  spec.dims = static_cast<int32_t>(d);
+  spec.profile = ClusterProfile::kClustered;
+  spec.num_clusters = 6;
+  spec.cluster_std = 0.07;
+  return DatasetGenerator::Generate(spec, static_cast<int64_t>(n), seed);
+}
+
+struct TrajectoryCase {
+  int k;
+  bool use_pim;
+};
+
+class KmeansEquivalenceTest
+    : public ::testing::TestWithParam<TrajectoryCase> {};
+
+// Elkan, Drake and Yinyang are exact accelerations of Lloyd; with the same
+// seed every variant — PIM or not — must land on identical assignments and
+// inertia (the paper's "accuracy is not compromised" claim for k-means).
+TEST_P(KmeansEquivalenceTest, AllVariantsFollowLloydTrajectory) {
+  const auto [k, use_pim] = GetParam();
+  const FloatMatrix data = ClusteredData(400, 24, 17);
+
+  KmeansOptions base_options;
+  base_options.k = k;
+  base_options.max_iterations = 6;
+  base_options.seed = 123;
+
+  LloydKmeans lloyd;
+  auto golden = lloyd.Run(data, base_options);
+  ASSERT_TRUE(golden.ok());
+
+  KmeansOptions options = base_options;
+  options.use_pim = use_pim;
+
+  std::vector<std::unique_ptr<KmeansAlgorithm>> algorithms;
+  algorithms.push_back(std::make_unique<LloydKmeans>());
+  algorithms.push_back(std::make_unique<ElkanKmeans>());
+  algorithms.push_back(std::make_unique<DrakeKmeans>());
+  algorithms.push_back(std::make_unique<YinyangKmeans>());
+  algorithms.push_back(std::make_unique<HamerlyKmeans>());
+
+  for (auto& algorithm : algorithms) {
+    auto result = algorithm->Run(data, options);
+    ASSERT_TRUE(result.ok()) << algorithm->name() << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->iterations, golden->iterations) << algorithm->name();
+    EXPECT_NEAR(result->inertia, golden->inertia, 1e-6)
+        << algorithm->name() << (use_pim ? " (PIM)" : "");
+    ASSERT_EQ(result->assignments.size(), golden->assignments.size());
+    size_t mismatches = 0;
+    for (size_t i = 0; i < golden->assignments.size(); ++i) {
+      if (result->assignments[i] != golden->assignments[i]) ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0u) << algorithm->name()
+                              << (use_pim ? " (PIM)" : "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KmeansEquivalenceTest,
+    ::testing::Values(TrajectoryCase{2, false}, TrajectoryCase{8, false},
+                      TrajectoryCase{32, false}, TrajectoryCase{8, true},
+                      TrajectoryCase{32, true}, TrajectoryCase{64, true}));
+
+TEST(KmeansBasicTest, ConvergesAndImproves) {
+  const FloatMatrix data = ClusteredData(300, 16, 3);
+  KmeansOptions options;
+  options.k = 6;
+  options.max_iterations = 20;
+  LloydKmeans lloyd;
+  auto result = lloyd.Run(data, options);
+  ASSERT_TRUE(result.ok());
+  // Converges well before the cap on well-separated clusters.
+  EXPECT_LT(result->iterations, 20);
+  EXPECT_GT(result->iterations, 0);
+  EXPECT_GT(result->inertia, 0.0);
+  EXPECT_EQ(result->assignments.size(), 300u);
+  for (int32_t a : result->assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 6);
+  }
+}
+
+TEST(KmeansBasicTest, PimReducesExactComputations) {
+  const FloatMatrix data = ClusteredData(500, 64, 5);
+  KmeansOptions options;
+  options.k = 32;
+  options.max_iterations = 5;
+
+  LloydKmeans lloyd;
+  auto base = lloyd.Run(data, options);
+  ASSERT_TRUE(base.ok());
+
+  options.use_pim = true;
+  auto pim = lloyd.Run(data, options);
+  ASSERT_TRUE(pim.ok());
+  EXPECT_LT(pim->stats.exact_count, base->stats.exact_count / 2);
+  EXPECT_LT(pim->stats.traffic.bytes_from_memory,
+            base->stats.traffic.bytes_from_memory / 2);
+  EXPECT_GT(pim->stats.pim_ns, 0.0);
+}
+
+TEST(KmeansBoundAlgorithmsTest, ComputeFewerDistancesThanLloyd) {
+  const FloatMatrix data = ClusteredData(600, 32, 9);
+  KmeansOptions options;
+  options.k = 24;
+  options.max_iterations = 8;
+
+  LloydKmeans lloyd;
+  auto base = lloyd.Run(data, options);
+  ASSERT_TRUE(base.ok());
+
+  ElkanKmeans elkan;
+  auto accel = elkan.Run(data, options);
+  ASSERT_TRUE(accel.ok());
+  EXPECT_LT(accel->stats.exact_count, base->stats.exact_count);
+
+  YinyangKmeans yinyang;
+  auto yy = yinyang.Run(data, options);
+  ASSERT_TRUE(yy.ok());
+  EXPECT_LT(yy->stats.exact_count, base->stats.exact_count);
+}
+
+TEST(KmeansValidationTest, RejectsBadInput) {
+  const FloatMatrix data = ClusteredData(20, 8, 1);
+  LloydKmeans lloyd;
+  KmeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(lloyd.Run(data, options).ok());
+  options.k = 21;
+  EXPECT_FALSE(lloyd.Run(data, options).ok());
+  options.k = 4;
+  options.max_iterations = 0;
+  EXPECT_FALSE(lloyd.Run(data, options).ok());
+  options.max_iterations = 5;
+  EXPECT_FALSE(lloyd.Run(FloatMatrix(), options).ok());
+}
+
+TEST(KmeansDeterminismTest, SameSeedSameResult) {
+  const FloatMatrix data = ClusteredData(200, 12, 8);
+  KmeansOptions options;
+  options.k = 8;
+  options.max_iterations = 4;
+  options.seed = 99;
+  ElkanKmeans elkan;
+  auto a = elkan.Run(data, options);
+  auto b = elkan.Run(data, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KmeansInitTest, DistinctCentersAndDeterminism) {
+  const FloatMatrix data = ClusteredData(50, 8, 2);
+  const FloatMatrix c1 = InitCenters(data, 10, 5);
+  const FloatMatrix c2 = InitCenters(data, 10, 5);
+  ASSERT_EQ(c1.rows(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(c1(i, j), c2(i, j));
+    }
+    for (size_t i2 = i + 1; i2 < 10; ++i2) {
+      bool identical = true;
+      for (size_t j = 0; j < 8; ++j) {
+        if (c1(i, j) != c1(i2, j)) identical = false;
+      }
+      EXPECT_FALSE(identical) << "duplicate initial centers " << i << ","
+                              << i2;
+    }
+  }
+}
+
+TEST(KmeansUpdateTest, EmptyClusterKeepsCenter) {
+  FloatMatrix data(4, 2);
+  data(0, 0) = 0.0f;
+  data(1, 0) = 0.2f;
+  data(2, 0) = 0.8f;
+  data(3, 0) = 1.0f;
+  FloatMatrix centers(3, 2);
+  centers(2, 0) = 0.5f;
+  centers(2, 1) = 0.5f;
+  // Nobody assigned to cluster 2.
+  const std::vector<int32_t> assignments = {0, 0, 1, 1};
+  std::vector<double> moved;
+  const FloatMatrix updated = UpdateCenters(data, assignments, centers,
+                                            &moved);
+  EXPECT_FLOAT_EQ(updated(2, 0), 0.5f);
+  EXPECT_FLOAT_EQ(updated(2, 1), 0.5f);
+  EXPECT_DOUBLE_EQ(moved[2], 0.0);
+  EXPECT_FLOAT_EQ(updated(0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(updated(1, 0), 0.9f);
+}
+
+}  // namespace
+}  // namespace pimine

@@ -1,0 +1,184 @@
+#include "pim/pim_device.h"
+
+#include <gtest/gtest.h>
+
+#include "pim/buffer_array.h"
+#include "pim/timing.h"
+#include "util/random.h"
+
+namespace pimine {
+namespace {
+
+IntMatrix RandomIntMatrix(size_t rows, size_t cols, uint32_t limit,
+                          uint64_t seed) {
+  IntMatrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    for (int32_t& v : m.mutable_row(i)) {
+      v = static_cast<int32_t>(rng.NextBounded(limit));
+    }
+  }
+  return m;
+}
+
+TEST(PimDeviceTest, DotProductsMatchIntegerMath) {
+  PimDevice device;
+  const IntMatrix data = RandomIntMatrix(50, 37, 1 << 20, 1);
+  ASSERT_TRUE(device.ProgramDataset(data).ok());
+
+  Rng rng(2);
+  std::vector<int32_t> query(37);
+  for (auto& v : query) v = static_cast<int32_t>(rng.NextBounded(1 << 20));
+
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(device.DotProductAll(query, &out).ok());
+  ASSERT_EQ(out.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    uint64_t expected = 0;
+    for (size_t j = 0; j < 37; ++j) {
+      expected += static_cast<uint64_t>(data(i, j)) *
+                  static_cast<uint64_t>(query[j]);
+    }
+    EXPECT_EQ(out[i], expected);
+  }
+}
+
+TEST(PimDeviceTest, RejectsBadPrograms) {
+  PimDevice device;
+  EXPECT_FALSE(device.ProgramDataset(IntMatrix()).ok());
+
+  IntMatrix negative(2, 2);
+  negative(0, 0) = -1;
+  EXPECT_FALSE(device.ProgramDataset(negative).ok());
+
+  IntMatrix too_wide(1, 1);
+  too_wide(0, 0) = 256;
+  EXPECT_FALSE(device.ProgramDataset(too_wide, /*operand_bits=*/8).ok());
+}
+
+TEST(PimDeviceTest, RejectsOversizedDataset) {
+  PimConfig config;
+  config.num_crossbars = 1;
+  PimDevice device(config);
+  // 1000 vectors x 256 dims x 16 cells ≫ one 256x256 crossbar.
+  const IntMatrix data = RandomIntMatrix(1000, 256, 100, 3);
+  const Status status = device.ProgramDataset(data);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(PimDeviceTest, QueryValidation) {
+  PimDevice device;
+  std::vector<uint64_t> out;
+  // Not programmed.
+  EXPECT_EQ(device.DotProductAll(std::vector<int32_t>{1}, &out).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(device.ProgramDataset(RandomIntMatrix(4, 8, 10, 4)).ok());
+  // Wrong dimensionality.
+  EXPECT_FALSE(device.DotProductAll(std::vector<int32_t>(7, 1), &out).ok());
+  // Negative input.
+  std::vector<int32_t> bad(8, 1);
+  bad[3] = -2;
+  EXPECT_FALSE(device.DotProductAll(bad, &out).ok());
+}
+
+TEST(PimDeviceTest, StatsAccumulate) {
+  PimDevice device;
+  const IntMatrix data = RandomIntMatrix(100, 64, 1000, 5);
+  ASSERT_TRUE(device.ProgramDataset(data).ok());
+  EXPECT_EQ(device.stats().programmed_vectors, 100);
+  EXPECT_EQ(device.stats().programmed_dims, 64);
+  EXPECT_GT(device.stats().data_crossbars, 0);
+  EXPECT_EQ(device.stats().gather_crossbars, 0);  // 64 <= 256.
+  EXPECT_GT(device.stats().program_ns, 0.0);
+
+  std::vector<uint64_t> out;
+  const std::vector<int32_t> query(64, 1);
+  ASSERT_TRUE(device.DotProductAll(query, &out).ok());
+  ASSERT_TRUE(device.DotProductAll(query, &out).ok());
+  EXPECT_EQ(device.stats().batch_ops, 2u);
+  EXPECT_EQ(device.stats().results_produced, 200u);
+  EXPECT_EQ(device.stats().result_bytes_to_host, 200u * sizeof(uint64_t));
+  EXPECT_GT(device.stats().compute_ns, 0.0);
+
+  device.ResetOnlineStats();
+  EXPECT_EQ(device.stats().batch_ops, 0u);
+  EXPECT_GT(device.stats().program_ns, 0.0);  // offline stats retained.
+}
+
+TEST(PimDeviceTest, EnduranceTracksReprogramming) {
+  PimDevice device;
+  const IntMatrix data = RandomIntMatrix(10, 8, 10, 6);
+  ASSERT_TRUE(device.ProgramDataset(data).ok());
+  const double after_one = device.EnduranceRemainingFraction();
+  ASSERT_TRUE(device.ProgramDataset(data).ok());
+  EXPECT_LT(device.EnduranceRemainingFraction(), after_one);
+  EXPECT_GT(device.EnduranceRemainingFraction(), 0.999);
+}
+
+TEST(PimDeviceTest, AuxStorageCapacity) {
+  PimConfig config;
+  config.memory_array_bytes = 1000;
+  PimDevice device(config);
+  EXPECT_TRUE(device.StoreAux(600).ok());
+  EXPECT_TRUE(device.StoreAux(400).ok());
+  EXPECT_EQ(device.StoreAux(1).code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(PimDeviceTest, WraparoundImplementsTruncation) {
+  // Values large enough that the 64-bit accumulator wraps: the device must
+  // return the least-significant 64 bits (the paper's overflow rule).
+  PimConfig config;
+  config.operand_bits = 32;
+  PimDevice device(config);
+  IntMatrix data(1, 8);
+  for (int32_t& v : data.mutable_row(0)) v = (1 << 30);
+  ASSERT_TRUE(device.ProgramDataset(data).ok());
+  std::vector<int32_t> query(8, 1 << 30);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(device.DotProductAll(query, &out).ok());
+  // 8 * 2^60 = 2^63 -- still fits; now force a wrap with more dims.
+  IntMatrix data2(1, 32);
+  for (int32_t& v : data2.mutable_row(0)) v = (1 << 30);
+  PimDevice device2(config);
+  ASSERT_TRUE(device2.ProgramDataset(data2).ok());
+  std::vector<int32_t> query2(32, 1 << 30);
+  ASSERT_TRUE(device2.DotProductAll(query2, &out).ok());
+  // 32 * 2^60 = 2^65 -> LS-64 truncation keeps 2^65 mod 2^64 = 0? No:
+  // 32 * 2^60 = 2^5 * 2^60 = 2^65, mod 2^64 = 0.
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(BufferArrayTest, TracksOccupancyAndForcedDrains) {
+  BufferArray buffer(100);
+  buffer.Deposit(60);
+  EXPECT_EQ(buffer.occupied_bytes(), 60u);
+  EXPECT_EQ(buffer.forced_drains(), 0u);
+  buffer.Deposit(60);  // exceeds capacity -> one forced drain.
+  EXPECT_EQ(buffer.forced_drains(), 1u);
+  EXPECT_LE(buffer.occupied_bytes(), 100u);
+  buffer.Drain(1000);
+  EXPECT_EQ(buffer.occupied_bytes(), 0u);
+  EXPECT_EQ(buffer.total_deposited_bytes(), 120u);
+  buffer.Reset();
+  EXPECT_EQ(buffer.total_deposited_bytes(), 0u);
+}
+
+TEST(PimTimingTest, LatencyScalesWithGatherDepthAndBits) {
+  PimConfig config;
+  PimTimingModel timing(config);
+  // 32-bit input on a 2-bit DAC: 16 cycles.
+  EXPECT_EQ(timing.InputCycles(32), 16);
+  EXPECT_EQ(timing.InputCycles(1), 1);
+  // Deeper gather tree -> strictly more latency.
+  EXPECT_LT(timing.BatchDotLatencyNs(256, 32),
+            timing.BatchDotLatencyNs(257, 32));
+  // Wider input -> more latency.
+  EXPECT_LT(timing.BatchDotLatencyNs(256, 8),
+            timing.BatchDotLatencyNs(256, 32));
+  EXPECT_GT(timing.ProgramLatencyNs(10), 0.0);
+}
+
+}  // namespace
+}  // namespace pimine

@@ -1,0 +1,88 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace pimine {
+namespace {
+
+TEST(PlanCostTest, ManualExample) {
+  // One bound: T=10 bits, prunes 90%; exact costs 1000 bits.
+  const std::vector<BoundCandidate> candidates = {
+      {"B1", 10.0, 0.9, false}};
+  const std::vector<size_t> selected = {0};
+  // Eq. 13: 10 + 0.1 * 1000 = 110.
+  EXPECT_DOUBLE_EQ(PlanCostBits(candidates, selected, 1000.0), 110.0);
+  // Empty plan: exact for everyone.
+  EXPECT_DOUBLE_EQ(PlanCostBits(candidates, {}, 1000.0), 1000.0);
+}
+
+TEST(PlanCostTest, CascadeMultipliesSurvivors) {
+  const std::vector<BoundCandidate> candidates = {
+      {"B1", 10.0, 0.5, false}, {"B2", 20.0, 0.5, false}};
+  const std::vector<size_t> selected = {0, 1};
+  // 10 + 0.5*20 + 0.25*100 = 45.
+  EXPECT_DOUBLE_EQ(PlanCostBits(candidates, selected, 100.0), 45.0);
+}
+
+TEST(ChoosePlanTest, PicksCheapestSubset) {
+  // A dominant cheap bound plus modest exact cost makes every extra bound
+  // pure overhead: {PIM} = 96 + 0.01*500 = 101, {PIM, LB16} = 106.25, ...
+  const std::vector<BoundCandidate> candidates = {
+      {"PIM", 96.0, 0.99, true},
+      {"LB16", 1000.0, 0.95, false},
+      {"LB4", 4000.0, 0.97, false}};
+  const ExecutionPlan plan = ChooseExecutionPlan(candidates, 500.0);
+  ASSERT_EQ(plan.selected.size(), 1u);
+  EXPECT_EQ(plan.selected[0], 0u);
+  EXPECT_NEAR(plan.cost_bits_per_object, 96.0 + 0.01 * 500.0, 1e-9);
+}
+
+TEST(ChoosePlanTest, KeepsSecondBoundWhenItPaysOff) {
+  // The first bound is weak; a second, tighter bound pays for itself.
+  const std::vector<BoundCandidate> candidates = {
+      {"weak", 10.0, 0.5, false}, {"tight", 50.0, 0.9, false}};
+  const ExecutionPlan plan = ChooseExecutionPlan(candidates, 10000.0);
+  // Options: {} = 10000; {0} = 10+5000; {1} = 50+1000=1050;
+  // {0,1} = 10 + 0.5*50 + 0.05*10000 = 535. Best: both.
+  ASSERT_EQ(plan.selected.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.cost_bits_per_object, 535.0);
+}
+
+TEST(ChoosePlanTest, EmptyWhenBoundsUseless) {
+  const std::vector<BoundCandidate> candidates = {
+      {"useless", 500.0, 0.0, false}};
+  const ExecutionPlan plan = ChooseExecutionPlan(candidates, 1000.0);
+  EXPECT_TRUE(plan.selected.empty());
+  EXPECT_DOUBLE_EQ(plan.cost_bits_per_object, 1000.0);
+}
+
+TEST(ChoosePlanTest, EmptyCandidateSet) {
+  const ExecutionPlan plan = ChooseExecutionPlan({}, 777.0);
+  EXPECT_TRUE(plan.selected.empty());
+  EXPECT_DOUBLE_EQ(plan.cost_bits_per_object, 777.0);
+}
+
+TEST(MeasurePruningRatioTest, LowerAndUpperBoundDirections) {
+  const std::vector<double> bounds = {1.0, 2.0, 3.0, 4.0};
+  // Lower bounds (distance): prune when bound > threshold.
+  EXPECT_DOUBLE_EQ(MeasurePruningRatio(bounds, 2.5, false), 0.5);
+  EXPECT_DOUBLE_EQ(MeasurePruningRatio(bounds, 0.5, false), 1.0);
+  // Upper bounds (similarity): prune when bound < threshold.
+  EXPECT_DOUBLE_EQ(MeasurePruningRatio(bounds, 2.5, true), 0.5);
+  EXPECT_DOUBLE_EQ(MeasurePruningRatio({}, 1.0, false), 0.0);
+}
+
+TEST(PlanToStringTest, HumanReadable) {
+  const std::vector<BoundCandidate> candidates = {
+      {"PIM", 96.0, 0.99, true}, {"LB4", 4000.0, 0.97, false}};
+  ExecutionPlan plan;
+  plan.selected = {0, 1};
+  plan.cost_bits_per_object = 123.0;
+  const std::string s = plan.ToString(candidates);
+  EXPECT_NE(s.find("PIM"), std::string::npos);
+  EXPECT_NE(s.find("LB4"), std::string::npos);
+  EXPECT_NE(s.find("exact"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pimine

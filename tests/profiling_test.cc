@@ -1,0 +1,70 @@
+#include "profiling/function_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "profiling/modeled_time.h"
+#include "profiling/run_stats.h"
+
+namespace pimine {
+namespace {
+
+TEST(FunctionProfilerTest, AccumulatesPerTag) {
+  FunctionProfiler profiler;
+  profiler.Add("ED", 100);
+  profiler.Add("LB_FNN", 50);
+  profiler.Add("ED", 25);
+  EXPECT_EQ(profiler.Get("ED"), 125);
+  EXPECT_EQ(profiler.Get("LB_FNN"), 50);
+  EXPECT_EQ(profiler.Get("missing"), 0);
+  EXPECT_EQ(profiler.TotalAttributedNs(), 175);
+  ASSERT_EQ(profiler.entries().size(), 2u);
+  EXPECT_EQ(profiler.entries()[0].first, "ED");  // first-use order.
+}
+
+TEST(FunctionProfilerTest, MergeAndReset) {
+  FunctionProfiler a;
+  a.Add("ED", 10);
+  FunctionProfiler b;
+  b.Add("ED", 5);
+  b.Add("update", 7);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("ED"), 15);
+  EXPECT_EQ(a.Get("update"), 7);
+  a.Reset();
+  EXPECT_EQ(a.TotalAttributedNs(), 0);
+}
+
+TEST(ScopedFunctionTimerTest, ChargesElapsedTime) {
+  FunctionProfiler profiler;
+  {
+    ScopedFunctionTimer timer(&profiler, "work");
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  }
+  EXPECT_GT(profiler.Get("work"), 0);
+}
+
+TEST(ModeledTimeTest, ComposesHostAndPim) {
+  RunStats stats;
+  stats.traffic.arithmetic_ops = 1000000;
+  stats.traffic.bytes_from_memory = 1 << 22;
+  stats.footprint_bytes = 1ull << 30;
+  stats.pim_ns = 5000.0;
+  const HostCostModel model;
+  const ModeledTime time = ComposeModeledTime(stats, model);
+  EXPECT_GT(time.host.total_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(time.pim_ns, 5000.0);
+  EXPECT_NEAR(time.total_ns(), time.host.total_ns() + 5000.0, 1e-9);
+  EXPECT_NEAR(time.total_ms(), time.total_ns() / 1e6, 1e-12);
+  EXPECT_NE(time.ToString().find("pim="), std::string::npos);
+}
+
+TEST(PimOracleTest, Equation2) {
+  // Eq. 2: oracle = total - offloadable, floored at 0.
+  EXPECT_DOUBLE_EQ(PimOracleNs(100.0, 80.0), 20.0);
+  EXPECT_DOUBLE_EQ(PimOracleNs(100.0, 120.0), 0.0);
+  EXPECT_DOUBLE_EQ(PimOracleNs(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pimine

@@ -1,0 +1,33 @@
+#ifndef PIMINE_TESTS_TEST_HELPERS_H_
+#define PIMINE_TESTS_TEST_HELPERS_H_
+
+#include <vector>
+
+#include "data/matrix.h"
+#include "util/random.h"
+
+namespace pimine {
+namespace testing_util {
+
+/// Random matrix with values in [0, 1] (already "normalized").
+inline FloatMatrix RandomUnitMatrix(size_t rows, size_t cols, uint64_t seed) {
+  FloatMatrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    for (float& v : m.mutable_row(i)) v = rng.NextFloat();
+  }
+  return m;
+}
+
+/// Random vector with values in [0, 1].
+inline std::vector<float> RandomUnitVector(size_t dims, uint64_t seed) {
+  std::vector<float> v(dims);
+  Rng rng(seed);
+  for (float& x : v) x = rng.NextFloat();
+  return v;
+}
+
+}  // namespace testing_util
+}  // namespace pimine
+
+#endif  // PIMINE_TESTS_TEST_HELPERS_H_

@@ -1,0 +1,126 @@
+// Tests of the traffic accounting that drives every modeled number: the
+// counted bytes must track what the algorithms actually touch, and the
+// PIM variants' lazy combines must be charged per inspected result.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/generator.h"
+#include "knn/standard_knn.h"
+#include "knn/standard_pim_knn.h"
+#include "sim/traffic.h"
+#include "test_helpers.h"
+#include "util/top_k.h"
+#include "util/random.h"
+
+namespace pimine {
+namespace {
+
+using testing_util::RandomUnitMatrix;
+using testing_util::RandomUnitVector;
+
+FloatMatrix Clustered(size_t n, size_t d, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "traffic";
+  spec.dims = static_cast<int32_t>(d);
+  spec.profile = ClusterProfile::kClustered;
+  spec.num_clusters = 8;
+  spec.cluster_std = 0.08;
+  return DatasetGenerator::Generate(spec, static_cast<int64_t>(n), seed);
+}
+
+TEST(TrafficAccountingTest, StandardScanBoundedByFullPayload) {
+  const size_t n = 1000;
+  const size_t d = 64;
+  const FloatMatrix data = Clustered(n, d, 1);
+  const FloatMatrix queries = RandomUnitMatrix(4, d, 2);
+
+  StandardKnn standard;
+  ASSERT_TRUE(standard.Prepare(data).ok());
+  auto result = standard.Search(queries, 5);
+  ASSERT_TRUE(result.ok());
+
+  const uint64_t full = 4ull * n * d * sizeof(float);
+  // Early abandoning can only reduce the scan's traffic...
+  EXPECT_LE(result->stats.traffic.bytes_from_memory, full);
+  // ...but a meaningful fraction must still be read.
+  EXPECT_GE(result->stats.traffic.bytes_from_memory, full / 20);
+  EXPECT_EQ(result->stats.traffic.pim_results_loaded, 0u);
+}
+
+TEST(TrafficAccountingTest, PimVariantLoadsResultsNotVectors) {
+  const size_t n = 2000;
+  const size_t d = 128;
+  const FloatMatrix data = Clustered(n, d, 3);
+  const FloatMatrix queries = RandomUnitMatrix(3, d, 4);
+
+  StandardPimKnn pim(Distance::kEuclidean, EngineOptions());
+  ASSERT_TRUE(pim.Prepare(data).ok());
+  auto result = pim.Search(queries, 5);
+  ASSERT_TRUE(result.ok());
+
+  // One combine per object per query: exactly that many PIM result loads
+  // (the Fig. 8 "3*b bits" story).
+  EXPECT_EQ(result->stats.traffic.pim_results_loaded, 3ull * n);
+  // Vector payload read only for the refined candidates.
+  EXPECT_LT(result->stats.traffic.bytes_from_memory,
+            3ull * n * d * sizeof(float) / 4);
+}
+
+TEST(TrafficAccountingTest, LazyCombineChargesPerInspection) {
+  const FloatMatrix data = RandomUnitMatrix(100, 16, 5);
+  auto engine_or =
+      PimEngine::Build(data, Distance::kEuclidean, EngineOptions());
+  ASSERT_TRUE(engine_or.ok());
+  PimEngine& engine = **engine_or;
+
+  auto handle_or = engine.RunQuery(RandomUnitVector(16, 6));
+  ASSERT_TRUE(handle_or.ok());
+
+  TrafficScope scope;
+  engine.BoundFor(*handle_or, 0);
+  engine.BoundFor(*handle_or, 1);
+  const TrafficCounters delta = scope.Delta();
+  EXPECT_EQ(delta.pim_results_loaded, 2u);
+}
+
+// Reference check of TopK against a full sort, randomized.
+TEST(TopKReferenceTest, MatchesSortedPrefix) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 50 + rng.NextBounded(200);
+    const size_t k = 1 + rng.NextBounded(20);
+    std::vector<double> values(n);
+    for (double& v : values) {
+      v = rng.NextDouble();
+      // Inject duplicates to exercise tie handling.
+      if (rng.NextBool(0.2)) v = 0.5;
+    }
+    TopK topk(k);
+    for (size_t i = 0; i < n; ++i) {
+      topk.Push(values[i], static_cast<int32_t>(i));
+    }
+    const auto got = topk.TakeSorted();
+
+    std::vector<Neighbor> expected;
+    for (size_t i = 0; i < n; ++i) {
+      expected.push_back({values[i], static_cast<int32_t>(i)});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    expected.resize(std::min(k, n));
+    ASSERT_EQ(got.size(), expected.size()) << "trial " << trial;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id) << "trial " << trial;
+      EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pimine

@@ -1,0 +1,176 @@
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "util/top_k.h"
+
+namespace pimine {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    EXPECT_LT(rng.NextBounded(1), 1u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(4);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  RunningStats stats;
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 10.0};
+  double sum = 0.0;
+  for (double v : values) {
+    stats.AddWithRange(v);
+    sum += v;
+  }
+  const double mean = sum / values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size();
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 10.0);
+  EXPECT_EQ(stats.count(), 5u);
+}
+
+TEST(StatsTest, MeanStdOfSpan) {
+  const std::vector<float> v = {1.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 1.0);
+  const auto ms = ComputeMeanStd(v);
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 1.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<float>{}), 0.0);
+}
+
+TEST(BitsTest, Helpers) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(~0ULL), 64);
+  EXPECT_EQ(CeilDiv(7, 2), 4u);
+  EXPECT_EQ(CeilDiv(8, 2), 4u);
+  EXPECT_EQ(NumSlices(6, 2), 3);
+  EXPECT_EQ(NumSlices(32, 2), 16);
+  EXPECT_EQ(NumSlices(1, 2), 1);
+  EXPECT_EQ(ExtractSlice(0b011001, 0, 2), 0b01u);
+  EXPECT_EQ(ExtractSlice(0b011001, 1, 2), 0b10u);
+  EXPECT_EQ(ExtractSlice(0b011001, 2, 2), 0b01u);
+  EXPECT_TRUE(IsPowerOfTwo(256));
+  EXPECT_FALSE(IsPowerOfTwo(255));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(255), 7);
+  EXPECT_EQ(FloorLog2(256), 8);
+}
+
+TEST(TopKTest, KeepsSmallest) {
+  TopK topk(3);
+  EXPECT_EQ(topk.threshold(), HUGE_VAL);
+  topk.Push(5.0, 0);
+  topk.Push(1.0, 1);
+  topk.Push(3.0, 2);
+  EXPECT_TRUE(topk.full());
+  EXPECT_DOUBLE_EQ(topk.threshold(), 5.0);
+  topk.Push(2.0, 3);  // evicts 5.0.
+  EXPECT_DOUBLE_EQ(topk.threshold(), 3.0);
+  topk.Push(9.0, 4);  // ignored.
+  const auto sorted = topk.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 1);
+  EXPECT_EQ(sorted[1].id, 3);
+  EXPECT_EQ(sorted[2].id, 2);
+}
+
+TEST(TopKTest, TieBreaksById) {
+  TopK topk(2);
+  topk.Push(1.0, 5);
+  topk.Push(1.0, 2);
+  topk.Push(1.0, 9);  // tie with threshold: not inserted (strict <).
+  const auto sorted = topk.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 2);
+  EXPECT_EQ(sorted[1].id, 5);
+}
+
+TEST(TopKTest, KOne) {
+  TopK topk(1);
+  topk.Push(4.0, 1);
+  topk.Push(2.0, 2);
+  topk.Push(3.0, 3);
+  const auto sorted = topk.TakeSorted();
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].id, 2);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter(0);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  ParallelFor(pool, 50, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(t.ElapsedNanos(), 0);
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace pimine

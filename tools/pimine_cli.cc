@@ -1,0 +1,297 @@
+// pimine command-line driver: run any of the library's mining algorithms
+// against the paper's dataset profiles (or your own sizes) from the shell.
+//
+//   pimine_cli knn     --dataset=MSD --algorithm=fnn-pim --k=10 [--n=20000]
+//   pimine_cli kmeans  --dataset=NUS-WIDE --algorithm=yinyang --k=64 --pim
+//   pimine_cli outlier --dataset=MSD --k=5 --top=10 [--pim]
+//   pimine_cli motif   --length=4000 --window=64 [--pim]
+//   pimine_cli plan    --dataset=MSD --crossbars=512
+//   pimine_cli config
+//
+// Every run prints measured wall time, modeled time (the NVSim+Quartz-style
+// composition), and the operation counts behind it.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/memory_planner.h"
+#include "core/partitioned_engine.h"
+#include "kmeans/drake.h"
+#include "kmeans/elkan.h"
+#include "kmeans/hamerly.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/yinyang.h"
+#include "knn/fnn_knn.h"
+#include "knn/fnn_pim_knn.h"
+#include "knn/motif.h"
+#include "knn/ost_knn.h"
+#include "knn/ost_pim_knn.h"
+#include "knn/outlier.h"
+#include "knn/sm_knn.h"
+#include "knn/sm_pim_knn.h"
+#include "knn/standard_knn.h"
+#include "knn/standard_pim_knn.h"
+#include "profiling/modeled_time.h"
+#include "sim/platform.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace pimine {
+namespace cli {
+namespace {
+
+using bench::Fmt;
+using bench::LoadWorkload;
+using bench::ScaledEngineOptions;
+using bench::TablePrinter;
+
+int Usage() {
+  std::cerr <<
+      "usage: pimine_cli <command> [--flags]\n"
+      "commands:\n"
+      "  knn      --dataset=<name> --algorithm=<standard|ost|sm|fnn>[-pim]\n"
+      "           [--k=10] [--n=0] [--queries=20] [--distance=ED|CS|PCC]\n"
+      "           [--alpha=1e6] [--crossbars=0 (0=scaled)] [--optimize]\n"
+      "  kmeans   --dataset=<name> --algorithm=<standard|elkan|drake|\n"
+      "           yinyang|hamerly> [--k=64] [--n=0] [--iterations=5]\n"
+      "           [--pim] [--seed=42]\n"
+      "  outlier  --dataset=<name> [--k=5] [--top=10] [--n=4000] [--pim]\n"
+      "  motif    [--length=4000] [--window=64] [--pim] [--seed=1]\n"
+      "  plan     --dataset=<name> [--n=0] [--crossbars=131072]\n"
+      "           [--copies=2]\n"
+      "  config   (prints the Table 1/5/6 configuration)\n";
+  return 2;
+}
+
+EngineOptions EngineFromFlags(const FlagParser& flags,
+                              const bench::BenchWorkload& workload) {
+  const int64_t crossbars = flags.GetInt("crossbars", 0);
+  EngineOptions options =
+      crossbars == 0 ? ScaledEngineOptions(workload) : EngineOptions();
+  if (crossbars > 0) options.pim_config.num_crossbars = crossbars;
+  options.alpha = flags.GetDouble("alpha", options.alpha);
+  return options;
+}
+
+void PrintRunStats(const RunStats& stats, const HostCostModel& model) {
+  const ModeledTime modeled = ComposeModeledTime(stats, model);
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"wall_ms (measured)", Fmt(stats.wall_ms)});
+  table.AddRow({"model_ms (host+PIM)", Fmt(modeled.total_ms())});
+  table.AddRow({"  host model_ms", Fmt(modeled.host.total_ns() / 1e6)});
+  table.AddRow({"  PIM model_ms", Fmt(stats.pim_ns / 1e6, 4)});
+  table.AddRow({"exact distance computations",
+                std::to_string(stats.exact_count)});
+  table.AddRow({"bound evaluations", std::to_string(stats.bound_count)});
+  table.AddRow({"bytes from memory",
+                std::to_string(stats.traffic.bytes_from_memory)});
+  table.AddRow({"PIM results loaded",
+                std::to_string(stats.traffic.pim_results_loaded)});
+  table.Print();
+}
+
+int RunKnn(const FlagParser& flags) {
+  PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "algorithm", "k", "n",
+                                    "queries", "distance", "alpha",
+                                    "crossbars", "optimize"}));
+  const auto workload =
+      LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
+                   flags.GetInt("queries", 20));
+  const EngineOptions options = EngineFromFlags(flags, workload);
+  const std::string distance_name = flags.GetString("distance", "ED");
+  const Distance distance = distance_name == "CS"    ? Distance::kCosine
+                            : distance_name == "PCC" ? Distance::kPearson
+                                                     : Distance::kEuclidean;
+
+  const std::string name = flags.GetString("algorithm", "standard");
+  std::unique_ptr<KnnAlgorithm> algorithm;
+  if (name == "standard") {
+    algorithm = std::make_unique<StandardKnn>(distance);
+  } else if (name == "standard-pim") {
+    algorithm = std::make_unique<StandardPimKnn>(distance, options);
+  } else if (name == "ost") {
+    algorithm = std::make_unique<OstKnn>();
+  } else if (name == "ost-pim") {
+    algorithm = std::make_unique<OstPimKnn>(options);
+  } else if (name == "sm") {
+    algorithm = std::make_unique<SmKnn>();
+  } else if (name == "sm-pim") {
+    algorithm = std::make_unique<SmPimKnn>(options);
+  } else if (name == "fnn") {
+    algorithm = std::make_unique<FnnKnn>();
+  } else if (name == "fnn-pim") {
+    algorithm = std::make_unique<FnnPimKnn>(options,
+                                            flags.GetBool("optimize", false));
+  } else {
+    std::cerr << "unknown kNN algorithm '" << name << "'\n";
+    return Usage();
+  }
+
+  PIMINE_CHECK_OK(algorithm->Prepare(workload.data));
+  auto result =
+      algorithm->Search(workload.queries,
+                        static_cast<int>(flags.GetInt("k", 10)));
+  PIMINE_CHECK(result.ok()) << result.status().ToString();
+  std::cout << algorithm->name() << " on " << workload.spec.name << " ("
+            << workload.data.rows() << " x " << workload.data.cols()
+            << "), k=" << flags.GetInt("k", 10) << ", "
+            << workload.queries.rows() << " queries\n";
+  PrintRunStats(result->stats, HostCostModel());
+  return 0;
+}
+
+int RunKmeans(const FlagParser& flags) {
+  PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "algorithm", "k", "n",
+                                    "iterations", "pim", "seed", "alpha",
+                                    "crossbars"}));
+  const auto workload =
+      LoadWorkload(flags.GetString("dataset", "NUS-WIDE"),
+                   flags.GetInt("n", 0), 1);
+  KmeansOptions options;
+  options.k = static_cast<int>(flags.GetInt("k", 64));
+  options.max_iterations = static_cast<int>(flags.GetInt("iterations", 5));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.use_pim = flags.GetBool("pim", false);
+  options.engine_options = EngineFromFlags(flags, workload);
+
+  const std::string name = flags.GetString("algorithm", "standard");
+  std::unique_ptr<KmeansAlgorithm> algorithm;
+  if (name == "standard") {
+    algorithm = std::make_unique<LloydKmeans>();
+  } else if (name == "elkan") {
+    algorithm = std::make_unique<ElkanKmeans>();
+  } else if (name == "drake") {
+    algorithm = std::make_unique<DrakeKmeans>();
+  } else if (name == "yinyang") {
+    algorithm = std::make_unique<YinyangKmeans>();
+  } else if (name == "hamerly") {
+    algorithm = std::make_unique<HamerlyKmeans>();
+  } else {
+    std::cerr << "unknown k-means algorithm '" << name << "'\n";
+    return Usage();
+  }
+
+  auto result = algorithm->Run(workload.data, options);
+  PIMINE_CHECK(result.ok()) << result.status().ToString();
+  std::cout << algorithm->name() << (options.use_pim ? "-PIM" : "") << " on "
+            << workload.spec.name << ", k=" << options.k << ": "
+            << result->iterations << " iterations, inertia "
+            << result->inertia << "\n";
+  PrintRunStats(result->stats, HostCostModel());
+  return 0;
+}
+
+int RunOutlier(const FlagParser& flags) {
+  PIMINE_CHECK_OK(flags.CheckKnown(
+      {"dataset", "k", "top", "n", "pim", "alpha", "crossbars"}));
+  const auto workload = LoadWorkload(flags.GetString("dataset", "MSD"),
+                                     flags.GetInt("n", 4000), 1);
+  OutlierOptions options;
+  options.k = static_cast<int>(flags.GetInt("k", 5));
+  options.num_outliers = static_cast<int>(flags.GetInt("top", 10));
+
+  Result<OutlierResult> result = [&]() -> Result<OutlierResult> {
+    if (flags.GetBool("pim", false)) {
+      OrcaPimOutlierDetector detector(EngineFromFlags(flags, workload));
+      return detector.Detect(workload.data, options);
+    }
+    OrcaOutlierDetector detector;
+    return detector.Detect(workload.data, options);
+  }();
+  PIMINE_CHECK(result.ok()) << result.status().ToString();
+
+  std::cout << "top-" << options.num_outliers << " outliers by "
+            << options.k << "-NN distance on " << workload.spec.name << ":\n";
+  for (const Neighbor& outlier : result->outliers) {
+    std::printf("  object %-7d score %.6f\n", outlier.id, outlier.distance);
+  }
+  PrintRunStats(result->stats, HostCostModel());
+  return 0;
+}
+
+int RunMotif(const FlagParser& flags) {
+  PIMINE_CHECK_OK(
+      flags.CheckKnown({"length", "window", "pim", "seed", "alpha"}));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  std::vector<float> series(
+      static_cast<size_t>(flags.GetInt("length", 4000)));
+  double level = 0.0;
+  for (float& v : series) {
+    level += rng.NextGaussian(0.0, 1.0);
+    v = static_cast<float>(level);
+  }
+  auto windows = ExtractWindows(series, flags.GetInt("window", 64));
+  PIMINE_CHECK(windows.ok()) << windows.status().ToString();
+
+  MotifOptions options;
+  options.window = flags.GetInt("window", 64);
+  Result<MotifResult> result = [&]() -> Result<MotifResult> {
+    if (flags.GetBool("pim", false)) {
+      EngineOptions engine_options;
+      engine_options.alpha = flags.GetDouble("alpha", 1e6);
+      PimMotifDiscovery detector(engine_options);
+      return detector.Find(*windows, options);
+    }
+    MotifDiscovery detector;
+    return detector.Find(*windows, options);
+  }();
+  PIMINE_CHECK(result.ok()) << result.status().ToString();
+  std::cout << "motif: windows " << result->first << " and "
+            << result->second << " (squared ED " << result->distance
+            << ") among " << windows->rows() << " windows\n";
+  PrintRunStats(result->stats, HostCostModel());
+  return 0;
+}
+
+int RunPlan(const FlagParser& flags) {
+  PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "n", "crossbars", "copies"}));
+  const auto workload = LoadWorkload(flags.GetString("dataset", "MSD"),
+                                     flags.GetInt("n", 0), 1);
+  PimConfig config;
+  config.num_crossbars = flags.GetInt("crossbars", config.num_crossbars);
+  auto plan = PlanPimLayout(static_cast<int64_t>(workload.data.rows()),
+                            static_cast<int64_t>(workload.data.cols()), 32,
+                            static_cast<int>(flags.GetInt("copies", 2)),
+                            config);
+  if (!plan.ok()) {
+    std::cout << "no feasible layout: " << plan.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Theorem 4 layout for " << workload.spec.name << " ("
+            << workload.data.rows() << " x " << workload.data.cols()
+            << ") on " << config.num_crossbars
+            << " crossbars: " << plan->ToString() << "\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags_or = FlagParser::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status().ToString() << "\n";
+    return Usage();
+  }
+  const FlagParser& flags = *flags_or;
+
+  if (command == "knn") return RunKnn(flags);
+  if (command == "kmeans") return RunKmeans(flags);
+  if (command == "outlier") return RunOutlier(flags);
+  if (command == "motif") return RunMotif(flags);
+  if (command == "plan") return RunPlan(flags);
+  if (command == "config") {
+    std::cout << FormatNvmTable() << "\n"
+              << FormatPlatformConfig(DefaultPlatform());
+    return 0;
+  }
+  std::cerr << "unknown command '" << command << "'\n";
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace pimine
+
+int main(int argc, char** argv) { return pimine::cli::Main(argc, argv); }
