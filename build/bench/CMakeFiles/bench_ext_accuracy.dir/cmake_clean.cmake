@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_accuracy.dir/bench_ext_accuracy.cc.o"
+  "CMakeFiles/bench_ext_accuracy.dir/bench_ext_accuracy.cc.o.d"
+  "bench_ext_accuracy"
+  "bench_ext_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cachesim.dir/bench_ext_cachesim.cc.o"
+  "CMakeFiles/bench_ext_cachesim.dir/bench_ext_cachesim.cc.o.d"
+  "bench_ext_cachesim"
+  "bench_ext_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_motif.dir/bench_ext_motif.cc.o"
+  "CMakeFiles/bench_ext_motif.dir/bench_ext_motif.cc.o.d"
+  "bench_ext_motif"
+  "bench_ext_motif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_motif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

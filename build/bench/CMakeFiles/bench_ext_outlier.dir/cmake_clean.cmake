@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_outlier.dir/bench_ext_outlier.cc.o"
+  "CMakeFiles/bench_ext_outlier.dir/bench_ext_outlier.cc.o.d"
+  "bench_ext_outlier"
+  "bench_ext_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

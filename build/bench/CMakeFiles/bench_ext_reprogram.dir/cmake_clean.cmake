@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_reprogram.dir/bench_ext_reprogram.cc.o"
+  "CMakeFiles/bench_ext_reprogram.dir/bench_ext_reprogram.cc.o.d"
+  "bench_ext_reprogram"
+  "bench_ext_reprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_profile_func.dir/bench_fig06_profile_func.cc.o"
+  "CMakeFiles/bench_fig06_profile_func.dir/bench_fig06_profile_func.cc.o.d"
+  "bench_fig06_profile_func"
+  "bench_fig06_profile_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_profile_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

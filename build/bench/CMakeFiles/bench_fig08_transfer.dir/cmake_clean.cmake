@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_transfer.dir/bench_fig08_transfer.cc.o"
+  "CMakeFiles/bench_fig08_transfer.dir/bench_fig08_transfer.cc.o.d"
+  "bench_fig08_transfer"
+  "bench_fig08_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

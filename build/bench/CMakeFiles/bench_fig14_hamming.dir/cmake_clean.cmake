@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hamming.dir/bench_fig14_hamming.cc.o"
+  "CMakeFiles/bench_fig14_hamming.dir/bench_fig14_hamming.cc.o.d"
+  "bench_fig14_hamming"
+  "bench_fig14_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

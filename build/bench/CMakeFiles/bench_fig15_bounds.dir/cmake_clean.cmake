@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_bounds.dir/bench_fig15_bounds.cc.o"
+  "CMakeFiles/bench_fig15_bounds.dir/bench_fig15_bounds.cc.o.d"
+  "bench_fig15_bounds"
+  "bench_fig15_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_plan.dir/bench_fig16_plan.cc.o"
+  "CMakeFiles/bench_fig16_plan.dir/bench_fig16_plan.cc.o.d"
+  "bench_fig16_plan"
+  "bench_fig16_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_preprocess.dir/bench_fig17_preprocess.cc.o"
+  "CMakeFiles/bench_fig17_preprocess.dir/bench_fig17_preprocess.cc.o.d"
+  "bench_fig17_preprocess"
+  "bench_fig17_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

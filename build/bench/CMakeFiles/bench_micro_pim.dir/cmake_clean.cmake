@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pim.dir/bench_micro_pim.cc.o"
+  "CMakeFiles/bench_micro_pim.dir/bench_micro_pim.cc.o.d"
+  "bench_micro_pim"
+  "bench_micro_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libpimine_bench_common.a"
+  "../lib/libpimine_bench_common.pdb"
+  "CMakeFiles/pimine_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/pimine_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/pimine_bench_common.dir/profile_workloads.cc.o"
+  "CMakeFiles/pimine_bench_common.dir/profile_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpimine_bench_common.a"
+)

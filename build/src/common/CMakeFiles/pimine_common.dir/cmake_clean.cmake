@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_common.dir/status.cc.o"
+  "CMakeFiles/pimine_common.dir/status.cc.o.d"
+  "libpimine_common.a"
+  "libpimine_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpimine_common.a"
+)

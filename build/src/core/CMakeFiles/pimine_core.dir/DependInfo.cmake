@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/pimine_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/decompose.cc" "src/core/CMakeFiles/pimine_core.dir/decompose.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/decompose.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/pimine_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/hamming_engine.cc" "src/core/CMakeFiles/pimine_core.dir/hamming_engine.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/hamming_engine.cc.o.d"
+  "/root/repo/src/core/memory_planner.cc" "src/core/CMakeFiles/pimine_core.dir/memory_planner.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/memory_planner.cc.o.d"
+  "/root/repo/src/core/partitioned_engine.cc" "src/core/CMakeFiles/pimine_core.dir/partitioned_engine.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/partitioned_engine.cc.o.d"
+  "/root/repo/src/core/pim_bounds.cc" "src/core/CMakeFiles/pimine_core.dir/pim_bounds.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/pim_bounds.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/pimine_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/quantize.cc" "src/core/CMakeFiles/pimine_core.dir/quantize.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/quantize.cc.o.d"
+  "/root/repo/src/core/segments.cc" "src/core/CMakeFiles/pimine_core.dir/segments.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/segments.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/pimine_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/pimine_core.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pimine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pimine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pimine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pimine_pim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_core.dir/bounds.cc.o"
+  "CMakeFiles/pimine_core.dir/bounds.cc.o.d"
+  "CMakeFiles/pimine_core.dir/decompose.cc.o"
+  "CMakeFiles/pimine_core.dir/decompose.cc.o.d"
+  "CMakeFiles/pimine_core.dir/engine.cc.o"
+  "CMakeFiles/pimine_core.dir/engine.cc.o.d"
+  "CMakeFiles/pimine_core.dir/hamming_engine.cc.o"
+  "CMakeFiles/pimine_core.dir/hamming_engine.cc.o.d"
+  "CMakeFiles/pimine_core.dir/memory_planner.cc.o"
+  "CMakeFiles/pimine_core.dir/memory_planner.cc.o.d"
+  "CMakeFiles/pimine_core.dir/partitioned_engine.cc.o"
+  "CMakeFiles/pimine_core.dir/partitioned_engine.cc.o.d"
+  "CMakeFiles/pimine_core.dir/pim_bounds.cc.o"
+  "CMakeFiles/pimine_core.dir/pim_bounds.cc.o.d"
+  "CMakeFiles/pimine_core.dir/plan.cc.o"
+  "CMakeFiles/pimine_core.dir/plan.cc.o.d"
+  "CMakeFiles/pimine_core.dir/quantize.cc.o"
+  "CMakeFiles/pimine_core.dir/quantize.cc.o.d"
+  "CMakeFiles/pimine_core.dir/segments.cc.o"
+  "CMakeFiles/pimine_core.dir/segments.cc.o.d"
+  "CMakeFiles/pimine_core.dir/similarity.cc.o"
+  "CMakeFiles/pimine_core.dir/similarity.cc.o.d"
+  "libpimine_core.a"
+  "libpimine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/catalog.cc" "src/data/CMakeFiles/pimine_data.dir/catalog.cc.o" "gcc" "src/data/CMakeFiles/pimine_data.dir/catalog.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/pimine_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/pimine_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/pimine_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/pimine_data.dir/io.cc.o.d"
+  "/root/repo/src/data/normalize.cc" "src/data/CMakeFiles/pimine_data.dir/normalize.cc.o" "gcc" "src/data/CMakeFiles/pimine_data.dir/normalize.cc.o.d"
+  "/root/repo/src/data/simhash.cc" "src/data/CMakeFiles/pimine_data.dir/simhash.cc.o" "gcc" "src/data/CMakeFiles/pimine_data.dir/simhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pimine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_data.dir/catalog.cc.o"
+  "CMakeFiles/pimine_data.dir/catalog.cc.o.d"
+  "CMakeFiles/pimine_data.dir/generator.cc.o"
+  "CMakeFiles/pimine_data.dir/generator.cc.o.d"
+  "CMakeFiles/pimine_data.dir/io.cc.o"
+  "CMakeFiles/pimine_data.dir/io.cc.o.d"
+  "CMakeFiles/pimine_data.dir/normalize.cc.o"
+  "CMakeFiles/pimine_data.dir/normalize.cc.o.d"
+  "CMakeFiles/pimine_data.dir/simhash.cc.o"
+  "CMakeFiles/pimine_data.dir/simhash.cc.o.d"
+  "libpimine_data.a"
+  "libpimine_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kmeans/drake.cc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/drake.cc.o" "gcc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/drake.cc.o.d"
+  "/root/repo/src/kmeans/elkan.cc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/elkan.cc.o" "gcc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/elkan.cc.o.d"
+  "/root/repo/src/kmeans/hamerly.cc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/hamerly.cc.o" "gcc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/hamerly.cc.o.d"
+  "/root/repo/src/kmeans/kmeans_common.cc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/kmeans_common.cc.o" "gcc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/kmeans_common.cc.o.d"
+  "/root/repo/src/kmeans/lloyd.cc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/lloyd.cc.o" "gcc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/lloyd.cc.o.d"
+  "/root/repo/src/kmeans/yinyang.cc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/yinyang.cc.o" "gcc" "src/kmeans/CMakeFiles/pimine_kmeans.dir/yinyang.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pimine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/pimine_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pimine_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pimine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pimine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pimine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_kmeans.dir/drake.cc.o"
+  "CMakeFiles/pimine_kmeans.dir/drake.cc.o.d"
+  "CMakeFiles/pimine_kmeans.dir/elkan.cc.o"
+  "CMakeFiles/pimine_kmeans.dir/elkan.cc.o.d"
+  "CMakeFiles/pimine_kmeans.dir/hamerly.cc.o"
+  "CMakeFiles/pimine_kmeans.dir/hamerly.cc.o.d"
+  "CMakeFiles/pimine_kmeans.dir/kmeans_common.cc.o"
+  "CMakeFiles/pimine_kmeans.dir/kmeans_common.cc.o.d"
+  "CMakeFiles/pimine_kmeans.dir/lloyd.cc.o"
+  "CMakeFiles/pimine_kmeans.dir/lloyd.cc.o.d"
+  "CMakeFiles/pimine_kmeans.dir/yinyang.cc.o"
+  "CMakeFiles/pimine_kmeans.dir/yinyang.cc.o.d"
+  "libpimine_kmeans.a"
+  "libpimine_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knn/approximate_pim_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/approximate_pim_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/approximate_pim_knn.cc.o.d"
+  "/root/repo/src/knn/fnn_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/fnn_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/fnn_knn.cc.o.d"
+  "/root/repo/src/knn/fnn_pim_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/fnn_pim_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/fnn_pim_knn.cc.o.d"
+  "/root/repo/src/knn/hamming_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/hamming_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/hamming_knn.cc.o.d"
+  "/root/repo/src/knn/knn_common.cc" "src/knn/CMakeFiles/pimine_knn.dir/knn_common.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/knn_common.cc.o.d"
+  "/root/repo/src/knn/motif.cc" "src/knn/CMakeFiles/pimine_knn.dir/motif.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/motif.cc.o.d"
+  "/root/repo/src/knn/ost_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/ost_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/ost_knn.cc.o.d"
+  "/root/repo/src/knn/ost_pim_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/ost_pim_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/ost_pim_knn.cc.o.d"
+  "/root/repo/src/knn/outlier.cc" "src/knn/CMakeFiles/pimine_knn.dir/outlier.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/outlier.cc.o.d"
+  "/root/repo/src/knn/sm_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/sm_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/sm_knn.cc.o.d"
+  "/root/repo/src/knn/sm_pim_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/sm_pim_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/sm_pim_knn.cc.o.d"
+  "/root/repo/src/knn/standard_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/standard_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/standard_knn.cc.o.d"
+  "/root/repo/src/knn/standard_pim_knn.cc" "src/knn/CMakeFiles/pimine_knn.dir/standard_pim_knn.cc.o" "gcc" "src/knn/CMakeFiles/pimine_knn.dir/standard_pim_knn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pimine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/pimine_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pimine_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pimine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pimine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pimine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

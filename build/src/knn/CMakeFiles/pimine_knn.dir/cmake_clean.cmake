@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_knn.dir/approximate_pim_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/approximate_pim_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/fnn_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/fnn_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/fnn_pim_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/fnn_pim_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/hamming_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/hamming_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/knn_common.cc.o"
+  "CMakeFiles/pimine_knn.dir/knn_common.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/motif.cc.o"
+  "CMakeFiles/pimine_knn.dir/motif.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/ost_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/ost_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/ost_pim_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/ost_pim_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/outlier.cc.o"
+  "CMakeFiles/pimine_knn.dir/outlier.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/sm_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/sm_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/sm_pim_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/sm_pim_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/standard_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/standard_knn.cc.o.d"
+  "CMakeFiles/pimine_knn.dir/standard_pim_knn.cc.o"
+  "CMakeFiles/pimine_knn.dir/standard_pim_knn.cc.o.d"
+  "libpimine_knn.a"
+  "libpimine_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

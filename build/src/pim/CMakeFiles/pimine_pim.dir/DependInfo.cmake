@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/buffer_array.cc" "src/pim/CMakeFiles/pimine_pim.dir/buffer_array.cc.o" "gcc" "src/pim/CMakeFiles/pimine_pim.dir/buffer_array.cc.o.d"
+  "/root/repo/src/pim/crossbar.cc" "src/pim/CMakeFiles/pimine_pim.dir/crossbar.cc.o" "gcc" "src/pim/CMakeFiles/pimine_pim.dir/crossbar.cc.o.d"
+  "/root/repo/src/pim/crossbar_math.cc" "src/pim/CMakeFiles/pimine_pim.dir/crossbar_math.cc.o" "gcc" "src/pim/CMakeFiles/pimine_pim.dir/crossbar_math.cc.o.d"
+  "/root/repo/src/pim/pim_config.cc" "src/pim/CMakeFiles/pimine_pim.dir/pim_config.cc.o" "gcc" "src/pim/CMakeFiles/pimine_pim.dir/pim_config.cc.o.d"
+  "/root/repo/src/pim/pim_device.cc" "src/pim/CMakeFiles/pimine_pim.dir/pim_device.cc.o" "gcc" "src/pim/CMakeFiles/pimine_pim.dir/pim_device.cc.o.d"
+  "/root/repo/src/pim/timing.cc" "src/pim/CMakeFiles/pimine_pim.dir/timing.cc.o" "gcc" "src/pim/CMakeFiles/pimine_pim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pimine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pimine_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_pim.dir/buffer_array.cc.o"
+  "CMakeFiles/pimine_pim.dir/buffer_array.cc.o.d"
+  "CMakeFiles/pimine_pim.dir/crossbar.cc.o"
+  "CMakeFiles/pimine_pim.dir/crossbar.cc.o.d"
+  "CMakeFiles/pimine_pim.dir/crossbar_math.cc.o"
+  "CMakeFiles/pimine_pim.dir/crossbar_math.cc.o.d"
+  "CMakeFiles/pimine_pim.dir/pim_config.cc.o"
+  "CMakeFiles/pimine_pim.dir/pim_config.cc.o.d"
+  "CMakeFiles/pimine_pim.dir/pim_device.cc.o"
+  "CMakeFiles/pimine_pim.dir/pim_device.cc.o.d"
+  "CMakeFiles/pimine_pim.dir/timing.cc.o"
+  "CMakeFiles/pimine_pim.dir/timing.cc.o.d"
+  "libpimine_pim.a"
+  "libpimine_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/function_profiler.cc" "src/profiling/CMakeFiles/pimine_profiling.dir/function_profiler.cc.o" "gcc" "src/profiling/CMakeFiles/pimine_profiling.dir/function_profiler.cc.o.d"
+  "/root/repo/src/profiling/modeled_time.cc" "src/profiling/CMakeFiles/pimine_profiling.dir/modeled_time.cc.o" "gcc" "src/profiling/CMakeFiles/pimine_profiling.dir/modeled_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pimine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pimine_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_profiling.dir/function_profiler.cc.o"
+  "CMakeFiles/pimine_profiling.dir/function_profiler.cc.o.d"
+  "CMakeFiles/pimine_profiling.dir/modeled_time.cc.o"
+  "CMakeFiles/pimine_profiling.dir/modeled_time.cc.o.d"
+  "libpimine_profiling.a"
+  "libpimine_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

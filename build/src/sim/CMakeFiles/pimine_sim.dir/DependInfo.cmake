@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_sim.cc" "src/sim/CMakeFiles/pimine_sim.dir/cache_sim.cc.o" "gcc" "src/sim/CMakeFiles/pimine_sim.dir/cache_sim.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/pimine_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/pimine_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/platform.cc" "src/sim/CMakeFiles/pimine_sim.dir/platform.cc.o" "gcc" "src/sim/CMakeFiles/pimine_sim.dir/platform.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "src/sim/CMakeFiles/pimine_sim.dir/traffic.cc.o" "gcc" "src/sim/CMakeFiles/pimine_sim.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pimine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_sim.dir/cache_sim.cc.o"
+  "CMakeFiles/pimine_sim.dir/cache_sim.cc.o.d"
+  "CMakeFiles/pimine_sim.dir/cost_model.cc.o"
+  "CMakeFiles/pimine_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/pimine_sim.dir/platform.cc.o"
+  "CMakeFiles/pimine_sim.dir/platform.cc.o.d"
+  "CMakeFiles/pimine_sim.dir/traffic.cc.o"
+  "CMakeFiles/pimine_sim.dir/traffic.cc.o.d"
+  "libpimine_sim.a"
+  "libpimine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

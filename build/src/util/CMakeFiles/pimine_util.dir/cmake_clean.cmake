@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_util.dir/flags.cc.o"
+  "CMakeFiles/pimine_util.dir/flags.cc.o.d"
+  "CMakeFiles/pimine_util.dir/random.cc.o"
+  "CMakeFiles/pimine_util.dir/random.cc.o.d"
+  "CMakeFiles/pimine_util.dir/stats.cc.o"
+  "CMakeFiles/pimine_util.dir/stats.cc.o.d"
+  "CMakeFiles/pimine_util.dir/thread_pool.cc.o"
+  "CMakeFiles/pimine_util.dir/thread_pool.cc.o.d"
+  "libpimine_util.a"
+  "libpimine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithms_property_test.dir/algorithms_property_test.cc.o"
+  "CMakeFiles/algorithms_property_test.dir/algorithms_property_test.cc.o.d"
+  "algorithms_property_test"
+  "algorithms_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithms_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

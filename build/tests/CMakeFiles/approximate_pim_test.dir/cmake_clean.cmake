@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_pim_test.dir/approximate_pim_test.cc.o"
+  "CMakeFiles/approximate_pim_test.dir/approximate_pim_test.cc.o.d"
+  "approximate_pim_test"
+  "approximate_pim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_pim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pimine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/pimine_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmeans/CMakeFiles/pimine_kmeans.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/pimine_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pimine_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pimine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pimine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pimine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

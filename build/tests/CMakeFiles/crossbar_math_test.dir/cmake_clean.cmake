@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_math_test.dir/crossbar_math_test.cc.o"
+  "CMakeFiles/crossbar_math_test.dir/crossbar_math_test.cc.o.d"
+  "crossbar_math_test"
+  "crossbar_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_geometry_test.dir/engine_geometry_test.cc.o"
+  "CMakeFiles/engine_geometry_test.dir/engine_geometry_test.cc.o.d"
+  "engine_geometry_test"
+  "engine_geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamming_engine_test.dir/hamming_engine_test.cc.o"
+  "CMakeFiles/hamming_engine_test.dir/hamming_engine_test.cc.o.d"
+  "hamming_engine_test"
+  "hamming_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamming_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

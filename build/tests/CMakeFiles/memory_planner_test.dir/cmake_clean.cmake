@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_planner_test.dir/memory_planner_test.cc.o"
+  "CMakeFiles/memory_planner_test.dir/memory_planner_test.cc.o.d"
+  "memory_planner_test"
+  "memory_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_config_test.dir/pim_config_test.cc.o"
+  "CMakeFiles/pim_config_test.dir/pim_config_test.cc.o.d"
+  "pim_config_test"
+  "pim_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

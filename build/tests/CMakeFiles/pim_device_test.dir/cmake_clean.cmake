@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_device_test.dir/pim_device_test.cc.o"
+  "CMakeFiles/pim_device_test.dir/pim_device_test.cc.o.d"
+  "pim_device_test"
+  "pim_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_accounting_test.dir/traffic_accounting_test.cc.o"
+  "CMakeFiles/traffic_accounting_test.dir/traffic_accounting_test.cc.o.d"
+  "traffic_accounting_test"
+  "traffic_accounting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

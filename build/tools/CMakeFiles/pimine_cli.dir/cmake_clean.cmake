@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimine_cli.dir/pimine_cli.cc.o"
+  "CMakeFiles/pimine_cli.dir/pimine_cli.cc.o.d"
+  "pimine_cli"
+  "pimine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
