@@ -1,0 +1,229 @@
+// Micro-benchmark for the blocked batch kernels and the parallel batch-query
+// layer. Two sections, emitted as one JSON document on stdout:
+//
+//   kernels:  scalar per-row kernel vs blocked batch kernel throughput for
+//             d in {128, 420, 960} (full scans, no pruning, so the two
+//             paths do identical arithmetic work).
+//   scaling:  batched StandardKnn wall time at 1/2/4/8 worker threads, with
+//             scalar and blocked kernels, including a bit-identity check of
+//             neighbours and aggregated traffic against the serial run.
+//
+// Speedups are measured on whatever machine runs this — a single-core
+// container will honestly report ~1x thread scaling; the determinism checks
+// hold regardless.
+//
+// Usage: bench_micro_batch_kernels [n] [num_queries]   (default 20000, 8)
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "core/similarity.h"
+#include "data/generator.h"
+#include "knn/standard_knn.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace pimine {
+namespace bench {
+namespace {
+
+FloatMatrix MakeData(size_t n, size_t d, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "micro";
+  spec.dims = static_cast<int32_t>(d);
+  spec.profile = ClusterProfile::kClustered;
+  spec.num_clusters = 16;
+  spec.cluster_std = 0.08;
+  return DatasetGenerator::Generate(spec, static_cast<int64_t>(n), seed);
+}
+
+double BestOf(int repetitions, const std::function<void()>& fn) {
+  double best = HUGE_VAL;
+  for (int r = 0; r < repetitions; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+void KernelSection(std::ostream& out, size_t n) {
+  out << "  \"kernels\": [\n";
+  bool first = true;
+  for (size_t d : {size_t{128}, size_t{420}, size_t{960}}) {
+    const FloatMatrix data = MakeData(n, d, kBenchSeed + d);
+    const std::vector<float> q(data.row(0).begin(), data.row(0).end());
+    const std::span<const float> query(q);
+    std::vector<double> out_scalar(n);
+    std::vector<double> out_blocked(n);
+    const size_t block = 512;
+
+    const double scalar_ms = BestOf(5, [&] {
+      for (size_t i = 0; i < n; ++i) {
+        out_scalar[i] = SquaredEuclidean(data.row(i), query);
+      }
+    });
+    const double blocked_ms = BestOf(5, [&] {
+      for (size_t begin = 0; begin < n; begin += block) {
+        const size_t end = std::min(n, begin + block);
+        SquaredEuclideanBatch(data.data() + begin * d, end - begin, query,
+                              out_blocked.data() + begin);
+      }
+    });
+    // Blocked results must agree with scalar to floating-point noise.
+    double max_rel = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double denom = std::max(1e-30, std::abs(out_scalar[i]));
+      max_rel = std::max(max_rel,
+                         std::abs(out_scalar[i] - out_blocked[i]) / denom);
+    }
+    PIMINE_CHECK(max_rel < 1e-9) << "blocked kernel diverged: " << max_rel;
+
+    const double rows_per_ms = static_cast<double>(n);
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"kernel\": \"squared_euclidean\", \"d\": " << d
+        << ", \"rows\": " << n
+        << ", \"scalar_ms\": " << Fmt(scalar_ms, 4)
+        << ", \"blocked_ms\": " << Fmt(blocked_ms, 4)
+        << ", \"scalar_mrows_s\": "
+        << Fmt(rows_per_ms / std::max(1e-9, scalar_ms) / 1e3, 3)
+        << ", \"blocked_mrows_s\": "
+        << Fmt(rows_per_ms / std::max(1e-9, blocked_ms) / 1e3, 3)
+        << ", \"kernel_speedup\": "
+        << Fmt(scalar_ms / std::max(1e-9, blocked_ms), 3) << "}";
+  }
+  out << "\n  ],\n";
+}
+
+bool SameNeighbors(const KnnRunResult& a, const KnnRunResult& b) {
+  if (a.neighbors.size() != b.neighbors.size()) return false;
+  for (size_t q = 0; q < a.neighbors.size(); ++q) {
+    if (a.neighbors[q].size() != b.neighbors[q].size()) return false;
+    for (size_t j = 0; j < a.neighbors[q].size(); ++j) {
+      if (a.neighbors[q][j].id != b.neighbors[q][j].id ||
+          a.neighbors[q][j].distance != b.neighbors[q][j].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ScalingSection(std::ostream& out, size_t n, size_t num_queries) {
+  const size_t d = 420;  // the acceptance-point dimensionality (MSD-like).
+  const int k = 10;
+  const FloatMatrix data = MakeData(n, d, kBenchSeed);
+  DatasetSpec spec;
+  spec.name = "micro";
+  spec.dims = static_cast<int32_t>(d);
+  spec.profile = ClusterProfile::kClustered;
+  spec.num_clusters = 16;
+  spec.cluster_std = 0.08;
+  const FloatMatrix queries = DatasetGenerator::GenerateQueries(
+      spec, data, static_cast<int64_t>(num_queries), kBenchSeed + 1);
+
+  StandardKnn knn;
+  PIMINE_CHECK_OK(knn.Prepare(data));
+
+  // Serial scalar baseline: the reference for both wall time and identity.
+  auto baseline = knn.Search(queries, k);
+  PIMINE_CHECK(baseline.ok());
+  Timer baseline_timer;
+  baseline = knn.Search(queries, k);
+  PIMINE_CHECK(baseline.ok());
+  const double baseline_ms = baseline_timer.ElapsedMillis();
+
+  out << "  \"scaling\": [\n";
+  bool first = true;
+  for (bool blocked : {false, true}) {
+    // Per-kernel serial reference (blocked kernels are only required to be
+    // identical to their own serial run).
+    ExecPolicy serial;
+    serial.blocked_kernels = blocked;
+    knn.set_exec_policy(serial);
+    auto reference = knn.Search(queries, k);
+    PIMINE_CHECK(reference.ok());
+
+    for (int threads : {1, 2, 4, 8}) {
+      ExecPolicy policy;
+      policy.num_threads = threads;
+      policy.blocked_kernels = blocked;
+      knn.set_exec_policy(policy);
+      auto warm = knn.Search(queries, k);
+      PIMINE_CHECK(warm.ok());
+      Timer timer;
+      auto run = knn.Search(queries, k);
+      PIMINE_CHECK(run.ok());
+      const double ms = timer.ElapsedMillis();
+
+      const bool identical =
+          SameNeighbors(*reference, *run) &&
+          reference->stats.traffic == run->stats.traffic;
+      PIMINE_CHECK(identical)
+          << "parallel run diverged from serial (threads=" << threads
+          << ", blocked=" << blocked << ")";
+
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"threads\": " << threads
+          << ", \"blocked_kernels\": " << (blocked ? "true" : "false")
+          << ", \"wall_ms\": " << Fmt(ms, 3)
+          << ", \"speedup_vs_serial_scalar\": "
+          << Fmt(baseline_ms / std::max(1e-9, ms), 3)
+          << ", \"identical_to_serial\": "
+          << (identical ? "true" : "false") << "}";
+    }
+  }
+  out << "\n  ],\n";
+}
+
+void Run(size_t n, size_t num_queries) {
+  std::cout << "{\n";
+  std::cout << "  \"bench\": \"micro_batch_kernels\",\n";
+  std::cout << "  \"n\": " << n << ",\n";
+  std::cout << "  \"num_queries\": " << num_queries << ",\n";
+  std::cout << "  \"hardware_threads\": "
+            << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+  KernelSection(std::cout, n);
+  ScalingSection(std::cout, n, num_queries);
+  std::cout << "  \"note\": \"thread speedups are bounded by the hardware "
+               "thread count of the machine running this binary\"\n";
+  std::cout << "}\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pimine
+
+namespace {
+
+bool ParsePositive(const char* arg, size_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(arg, &end, 10);
+  if (end == arg || *end != '\0' || v <= 0) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 20000;
+  size_t num_queries = 8;
+  if ((argc > 1 && !ParsePositive(argv[1], &n)) ||
+      (argc > 2 && !ParsePositive(argv[2], &num_queries))) {
+    std::cerr << "usage: " << argv[0] << " [n] [num_queries]\n"
+              << "  n            dataset size, positive integer (default "
+                 "20000)\n"
+              << "  num_queries  batch size, positive integer (default 8)\n";
+    return 2;
+  }
+  pimine::bench::Run(n, num_queries);
+  return 0;
+}

@@ -157,7 +157,6 @@ Status PimEngine::BuildDirectEd(const FloatMatrix& data) {
   offline_ns_ = device1_->stats().program_ns;
   offline_bytes_written_ =
       num_objects_ * dims_ * (operand_bits_ / 8) + phi_.size() * sizeof(double);
-  scratch_ints_.resize(dims_);
   return Status::OK();
 }
 
@@ -192,9 +191,6 @@ Status PimEngine::BuildSegment(const FloatMatrix& data, bool with_stds) {
 
   offline_ns_ = program_ns;
   offline_bytes_written_ = bytes;
-  scratch_ints_.resize(static_cast<size_t>(s));
-  scratch_means_.resize(static_cast<size_t>(s));
-  scratch_stds_.resize(static_cast<size_t>(s));
   return Status::OK();
 }
 
@@ -225,7 +221,6 @@ Status PimEngine::BuildDotUpper(const FloatMatrix& data, bool pearson) {
   offline_ns_ = device1_->stats().program_ns;
   offline_bytes_written_ =
       num_objects_ * dims_ * (operand_bits_ / 8) + aux_bytes;
-  scratch_ints_.resize(dims_);
   return Status::OK();
 }
 
@@ -242,49 +237,63 @@ Status PimEngine::CheckQuery(std::span<const float> query) const {
 }
 
 Result<PimEngine::QueryHandle> PimEngine::RunQuery(
-    std::span<const float> query) {
+    std::span<const float> query) const {
+  QueryScratch scratch;
+  return RunQuery(query, &scratch);
+}
+
+Result<PimEngine::QueryHandle> PimEngine::RunQuery(
+    std::span<const float> query, QueryScratch* scratch) const {
+  PIMINE_CHECK(scratch != nullptr);
   PIMINE_RETURN_IF_ERROR(CheckQuery(query));
   QueryHandle handle;
   switch (mode_) {
     case EngineMode::kDirectEd: {
-      quantizer_.QuantizeRow(query, scratch_ints_);
+      scratch->ints.resize(dims_);
+      quantizer_.QuantizeRow(query, scratch->ints);
       handle.phi_q = quantizer_.PhiEd(query);
       PIMINE_RETURN_IF_ERROR(
-          device1_->DotProductAll(scratch_ints_, &handle.dots1));
+          device1_->DotProductAll(scratch->ints, &handle.dots1));
       break;
     }
     case EngineMode::kSegmentFnn:
     case EngineMode::kSegmentSm: {
-      ComputeSegments(query, num_segments_, scratch_means_, scratch_stds_);
-      quantizer_.QuantizeRow(scratch_means_, scratch_ints_);
+      const size_t s = static_cast<size_t>(num_segments_);
+      scratch->ints.resize(s);
+      scratch->means.resize(s);
+      scratch->stds.resize(s);
+      ComputeSegments(query, num_segments_, scratch->means, scratch->stds);
+      quantizer_.QuantizeRow(scratch->means, scratch->ints);
       PIMINE_RETURN_IF_ERROR(
-          device1_->DotProductAll(scratch_ints_, &handle.dots1));
+          device1_->DotProductAll(scratch->ints, &handle.dots1));
       if (mode_ == EngineMode::kSegmentFnn) {
-        handle.phi_q = quantizer_.PhiFnn(scratch_means_, scratch_stds_);
-        quantizer_.QuantizeRow(scratch_stds_, scratch_ints_);
+        handle.phi_q = quantizer_.PhiFnn(scratch->means, scratch->stds);
+        quantizer_.QuantizeRow(scratch->stds, scratch->ints);
         PIMINE_RETURN_IF_ERROR(
-            device2_->DotProductAll(scratch_ints_, &handle.dots2));
+            device2_->DotProductAll(scratch->ints, &handle.dots2));
       } else {
-        handle.phi_q = quantizer_.PhiSm(scratch_means_);
+        handle.phi_q = quantizer_.PhiSm(scratch->means);
       }
       break;
     }
     case EngineMode::kCosine: {
-      quantizer_.QuantizeRow(query, scratch_ints_);
+      scratch->ints.resize(dims_);
+      quantizer_.QuantizeRow(query, scratch->ints);
       handle.sum_floor_q = quantizer_.SumFloors(query);
       handle.norm_q = CsDecomposition::Phi(query);
       PIMINE_RETURN_IF_ERROR(
-          device1_->DotProductAll(scratch_ints_, &handle.dots1));
+          device1_->DotProductAll(scratch->ints, &handle.dots1));
       break;
     }
     case EngineMode::kPearson: {
-      quantizer_.QuantizeRow(query, scratch_ints_);
+      scratch->ints.resize(dims_);
+      quantizer_.QuantizeRow(query, scratch->ints);
       handle.sum_floor_q = quantizer_.SumFloors(query);
       const PccDecomposition::Phi phi = PccDecomposition::ComputePhi(query);
       handle.norm_q = phi.a;
       handle.phi_b_q = phi.b;
       PIMINE_RETURN_IF_ERROR(
-          device1_->DotProductAll(scratch_ints_, &handle.dots1));
+          device1_->DotProductAll(scratch->ints, &handle.dots1));
       break;
     }
   }
@@ -324,13 +333,18 @@ double PimEngine::BoundFor(const QueryHandle& handle, size_t index) const {
 }
 
 Status PimEngine::ComputeBounds(std::span<const float> query,
-                                std::vector<double>* bounds) {
+                                std::vector<double>* bounds,
+                                const ExecPolicy& policy) const {
   PIMINE_CHECK(bounds != nullptr);
   PIMINE_ASSIGN_OR_RETURN(QueryHandle handle, RunQuery(query));
   bounds->resize(num_objects_);
-  for (size_t i = 0; i < num_objects_; ++i) {
-    (*bounds)[i] = BoundFor(handle, i);
-  }
+  double* out = bounds->data();
+  ParallelChunks(policy, num_objects_, policy.block_size,
+                 [&](size_t begin, size_t end, size_t /*slot*/) {
+                   for (size_t i = begin; i < end; ++i) {
+                     out[i] = BoundFor(handle, i);
+                   }
+                 });
   return Status::OK();
 }
 

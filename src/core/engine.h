@@ -15,6 +15,7 @@
 #include "data/matrix.h"
 #include "pim/pim_config.h"
 #include "pim/pim_device.h"
+#include "util/parallel.h"
 
 namespace pimine {
 
@@ -81,6 +82,15 @@ class PimEngine {
     double phi_b_q = 0.0;      // PCC.
   };
 
+  /// Reusable per-call working memory for RunQuery. Engines hold no
+  /// mutable query state, so any number of host threads may run queries
+  /// concurrently, each with its own scratch.
+  struct QueryScratch {
+    std::vector<int32_t> ints;
+    std::vector<float> means;
+    std::vector<float> stds;
+  };
+
   /// Builds the offline state: plans the layout (Theorem 4), programs the
   /// PIM array, and pre-computes Phi for every object. `data` rows must be
   /// in [0, 1].
@@ -89,15 +99,24 @@ class PimEngine {
                                                   const EngineOptions& options);
 
   /// Executes the PIM batch(es) for `query` (same dimensionality as the
-  /// data, values in [0, 1]).
-  Result<QueryHandle> RunQuery(std::span<const float> query);
+  /// data, values in [0, 1]). Thread-safe; allocates scratch internally.
+  Result<QueryHandle> RunQuery(std::span<const float> query) const;
+
+  /// As above with caller-provided scratch — hot loops keep one
+  /// QueryScratch per worker thread to avoid per-query allocation.
+  Result<QueryHandle> RunQuery(std::span<const float> query,
+                               QueryScratch* scratch) const;
 
   /// Lazy combine for object `index`: O(1) host work, 3*b bits of transfer.
   double BoundFor(const QueryHandle& handle, size_t index) const;
 
-  /// Convenience: RunQuery + BoundFor for every object.
+  /// Convenience: RunQuery + BoundFor for every object. The combination
+  /// loop is spread across `policy.num_threads` workers in blocks of
+  /// `policy.block_size`; bounds and traffic totals are identical for any
+  /// policy (each bound is an independent O(1) combine).
   Status ComputeBounds(std::span<const float> query,
-                       std::vector<double>* bounds);
+                       std::vector<double>* bounds,
+                       const ExecPolicy& policy = ExecPolicy()) const;
 
   EngineMode mode() const { return mode_; }
   const MemoryPlan& plan() const { return plan_; }
@@ -154,11 +173,6 @@ class PimEngine {
 
   double offline_ns_ = 0.0;
   uint64_t offline_bytes_written_ = 0;
-
-  // Scratch (reused across RunQuery calls).
-  std::vector<int32_t> scratch_ints_;
-  std::vector<float> scratch_means_;
-  std::vector<float> scratch_stds_;
 };
 
 }  // namespace pimine

@@ -28,13 +28,14 @@ Result<KmeansResult> ElkanKmeans::Run(const FloatMatrix& data,
       n * k * sizeof(double) + data.SizeBytes() / 8;
 
   std::vector<double> upper(n, 0.0);
-  std::vector<bool> upper_stale(n, false);
+  std::vector<uint8_t> upper_stale(n, 0);  // not vector<bool>: workers write
+                                           // distinct entries concurrently.
   std::vector<double> lower(n * k, 0.0);
   std::vector<double> cc(k * k, 0.0);       // center-center distances.
   std::vector<double> nearest_other(k, 0.0);  // s(j) = 0.5 min_{j'} cc.
   std::vector<double> moved(k, 0.0);
 
-  TrafficScope traffic_scope;
+  traffic::AggregateScope traffic_scope;
   Timer total_wall;
   bool initialized = false;
 
@@ -49,31 +50,33 @@ Result<KmeansResult> ElkanKmeans::Run(const FloatMatrix& data,
 
     if (!initialized) {
       // First assign pass fills every bound exactly (Lloyd-equivalent).
-      for (size_t i = 0; i < n; ++i) {
-        const auto p = data.row(i);
-        size_t best_c = 0;
-        double best_d = HUGE_VAL;
-        for (size_t c = 0; c < k; ++c) {
-          double d;
-          if (filter != nullptr && filter->LowerBound(i, c) >= best_d) {
-            ++result.stats.bound_count;
-            d = filter->LowerBound(i, c);  // valid lower bound stored in lb.
-          } else {
-            ScopedFunctionTimer timer(&result.stats.profile, "ED");
-            d = KmeansExactDistance(p, result.centers.row(c));
-            ++result.stats.exact_count;
-            if (d < best_d) {
-              best_d = d;
-              best_c = c;
+      changed = RunAssignWithPolicy(
+          options.exec, n, &result.stats,
+          [&](size_t i, size_t /*slot_index*/, AssignSlot& slot) {
+            const auto p = data.row(i);
+            size_t best_c = 0;
+            double best_d = HUGE_VAL;
+            for (size_t c = 0; c < k; ++c) {
+              double d;
+              if (filter != nullptr && filter->LowerBound(i, c) >= best_d) {
+                ++slot.bound_count;
+                d = filter->LowerBound(i, c);  // valid lower bound kept in lb.
+              } else {
+                ScopedFunctionTimer timer(&slot.profile, "ED");
+                d = KmeansExactDistance(p, result.centers.row(c));
+                ++slot.exact_count;
+                if (d < best_d) {
+                  best_d = d;
+                  best_c = c;
+                }
+              }
+              lower[i * k + c] = d;
             }
-          }
-          lower[i * k + c] = d;
-        }
-        result.assignments[i] = static_cast<int32_t>(best_c);
-        upper[i] = best_d;
-        upper_stale[i] = false;
-        ++changed;
-      }
+            result.assignments[i] = static_cast<int32_t>(best_c);
+            upper[i] = best_d;
+            upper_stale[i] = 0;
+            ++slot.changed;
+          });
       initialized = true;
     } else {
       // Center-center distances and s(j).
@@ -97,52 +100,54 @@ Result<KmeansResult> ElkanKmeans::Run(const FloatMatrix& data,
         }
       }
 
-      for (size_t i = 0; i < n; ++i) {
-        const size_t a = result.assignments[i];
-        if (upper[i] <= nearest_other[a]) continue;
-        const auto p = data.row(i);
-        size_t best_c = a;  // current best center; cc-tests must use it.
-        double best_d = upper[i];
-        bool tightened = !upper_stale[i];
-        for (size_t c = 0; c < k; ++c) {
-          if (c == best_c) continue;
-          if (lower[i * k + c] >= best_d) continue;
-          if (0.5 * cc[best_c * k + c] >= best_d) continue;
-          if (!tightened) {
-            ScopedFunctionTimer timer(&result.stats.profile, "ED");
-            best_d = KmeansExactDistance(p, result.centers.row(a));
-            ++result.stats.exact_count;
-            lower[i * k + a] = best_d;
-            upper[i] = best_d;
-            upper_stale[i] = false;
-            tightened = true;
-            if (lower[i * k + c] >= best_d) continue;
-            if (0.5 * cc[best_c * k + c] >= best_d) continue;
-          }
-          if (filter != nullptr) {
-            ++result.stats.bound_count;
-            const double pim_lb = filter->LowerBound(i, c);
-            if (pim_lb >= best_d) {
-              lower[i * k + c] = std::max(lower[i * k + c], pim_lb);
-              continue;
+      changed = RunAssignWithPolicy(
+          options.exec, n, &result.stats,
+          [&](size_t i, size_t /*slot_index*/, AssignSlot& slot) {
+            const size_t a = result.assignments[i];
+            if (upper[i] <= nearest_other[a]) return;
+            const auto p = data.row(i);
+            size_t best_c = a;  // current best center; cc-tests must use it.
+            double best_d = upper[i];
+            bool tightened = upper_stale[i] == 0;
+            for (size_t c = 0; c < k; ++c) {
+              if (c == best_c) continue;
+              if (lower[i * k + c] >= best_d) continue;
+              if (0.5 * cc[best_c * k + c] >= best_d) continue;
+              if (!tightened) {
+                ScopedFunctionTimer timer(&slot.profile, "ED");
+                best_d = KmeansExactDistance(p, result.centers.row(a));
+                ++slot.exact_count;
+                lower[i * k + a] = best_d;
+                upper[i] = best_d;
+                upper_stale[i] = 0;
+                tightened = true;
+                if (lower[i * k + c] >= best_d) continue;
+                if (0.5 * cc[best_c * k + c] >= best_d) continue;
+              }
+              if (filter != nullptr) {
+                ++slot.bound_count;
+                const double pim_lb = filter->LowerBound(i, c);
+                if (pim_lb >= best_d) {
+                  lower[i * k + c] = std::max(lower[i * k + c], pim_lb);
+                  continue;
+                }
+              }
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              const double d = KmeansExactDistance(p, result.centers.row(c));
+              ++slot.exact_count;
+              lower[i * k + c] = d;
+              if (d < best_d) {
+                best_d = d;
+                best_c = c;
+              }
             }
-          }
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
-          const double d = KmeansExactDistance(p, result.centers.row(c));
-          ++result.stats.exact_count;
-          lower[i * k + c] = d;
-          if (d < best_d) {
-            best_d = d;
-            best_c = c;
-          }
-        }
-        if (best_c != a) {
-          result.assignments[i] = static_cast<int32_t>(best_c);
-          upper[i] = best_d;
-          upper_stale[i] = false;
-          ++changed;
-        }
-      }
+            if (best_c != a) {
+              result.assignments[i] = static_cast<int32_t>(best_c);
+              upper[i] = best_d;
+              upper_stale[i] = 0;
+              ++slot.changed;
+            }
+          });
     }
 
     // Update step + bound maintenance.
@@ -159,7 +164,7 @@ Result<KmeansResult> ElkanKmeans::Run(const FloatMatrix& data,
           lb[c] = std::max(0.0, lb[c] - moved[c]);
         }
         upper[i] += moved[result.assignments[i]];
-        upper_stale[i] = true;
+        upper_stale[i] = 1;
       }
       traffic::CountRead(n * k * sizeof(double));
       traffic::CountWrite(n * k * sizeof(double));

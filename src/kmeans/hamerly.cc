@@ -32,14 +32,14 @@ Result<KmeansResult> HamerlyKmeans::Run(const FloatMatrix& data,
   std::vector<double> nearest_other(k, 0.0);
   std::vector<double> moved(k, 0.0);
 
-  TrafficScope traffic_scope;
+  traffic::AggregateScope traffic_scope;
   Timer total_wall;
   bool initialized = false;
 
   // Full re-evaluation of point i: finds the closest center exactly and a
   // valid lower bound on the second-closest distance. PIM-pruned centers
   // contribute their (valid) lower bound to the second-min tracking.
-  auto rescan_point = [&](size_t i) {
+  auto rescan_point = [&](size_t i, AssignSlot& slot) {
     const auto p = data.row(i);
     double min1 = HUGE_VAL;  // exact distance to the closest center.
     double min2 = HUGE_VAL;  // lower bound on the second-closest distance.
@@ -47,19 +47,19 @@ Result<KmeansResult> HamerlyKmeans::Run(const FloatMatrix& data,
     for (size_t c = 0; c < k; ++c) {
       double value;
       if (filter != nullptr) {
-        ++result.stats.bound_count;
+        ++slot.bound_count;
         const double pim_lb = filter->LowerBound(i, c);
         if (pim_lb >= min1) {
           value = pim_lb;  // cannot be the closest; bound suffices.
         } else {
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
+          ScopedFunctionTimer timer(&slot.profile, "ED");
           value = KmeansExactDistance(p, result.centers.row(c));
-          ++result.stats.exact_count;
+          ++slot.exact_count;
         }
       } else {
-        ScopedFunctionTimer timer(&result.stats.profile, "ED");
+        ScopedFunctionTimer timer(&slot.profile, "ED");
         value = KmeansExactDistance(p, result.centers.row(c));
-        ++result.stats.exact_count;
+        ++slot.exact_count;
       }
       if (value < min1) {
         min2 = min1;
@@ -84,10 +84,12 @@ Result<KmeansResult> HamerlyKmeans::Run(const FloatMatrix& data,
     }
 
     if (!initialized) {
-      for (size_t i = 0; i < n; ++i) {
-        rescan_point(i);
-        ++changed;
-      }
+      changed = RunAssignWithPolicy(
+          options.exec, n, &result.stats,
+          [&](size_t i, size_t /*slot_index*/, AssignSlot& slot) {
+            rescan_point(i, slot);
+            ++slot.changed;
+          });
       initialized = true;
     } else {
       // s(j) = half the distance to j's nearest other center.
@@ -105,21 +107,24 @@ Result<KmeansResult> HamerlyKmeans::Run(const FloatMatrix& data,
         }
       }
 
-      for (size_t i = 0; i < n; ++i) {
-        const size_t a = result.assignments[i];
-        const double gate = std::max(nearest_other[a], lower[i]);
-        if (upper[i] <= gate) continue;
-        // Tighten the upper bound; re-test before the full rescan.
-        {
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
-          upper[i] = KmeansExactDistance(data.row(i), result.centers.row(a));
-          ++result.stats.exact_count;
-        }
-        if (upper[i] <= gate) continue;
-        const int32_t before = result.assignments[i];
-        rescan_point(i);
-        if (result.assignments[i] != before) ++changed;
-      }
+      changed = RunAssignWithPolicy(
+          options.exec, n, &result.stats,
+          [&](size_t i, size_t /*slot_index*/, AssignSlot& slot) {
+            const size_t a = result.assignments[i];
+            const double gate = std::max(nearest_other[a], lower[i]);
+            if (upper[i] <= gate) return;
+            // Tighten the upper bound; re-test before the full rescan.
+            {
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              upper[i] =
+                  KmeansExactDistance(data.row(i), result.centers.row(a));
+              ++slot.exact_count;
+            }
+            if (upper[i] <= gate) return;
+            const int32_t before = result.assignments[i];
+            rescan_point(i, slot);
+            if (result.assignments[i] != before) ++slot.changed;
+          });
     }
 
     {

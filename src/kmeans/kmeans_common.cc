@@ -11,6 +11,28 @@
 
 namespace pimine {
 
+size_t RunAssignWithPolicy(
+    const ExecPolicy& policy, size_t num_points, RunStats* stats,
+    const std::function<void(size_t, size_t, AssignSlot&)>& assign_point) {
+  const size_t chunk = std::max<size_t>(1, policy.block_size);
+  std::vector<AssignSlot> slots(NumSlots(policy, num_points, chunk));
+  ParallelChunks(policy, num_points, chunk,
+                 [&](size_t begin, size_t end, size_t slot_index) {
+                   AssignSlot& slot = slots[slot_index];
+                   for (size_t i = begin; i < end; ++i) {
+                     assign_point(i, slot_index, slot);
+                   }
+                 });
+  size_t changed = 0;
+  for (const AssignSlot& slot : slots) {
+    stats->exact_count += slot.exact_count;
+    stats->bound_count += slot.bound_count;
+    stats->profile.Merge(slot.profile);
+    changed += slot.changed;
+  }
+  return changed;
+}
+
 double KmeansResult::MeanIterationMs() const {
   if (iteration_wall_ms.empty()) return 0.0;
   double sum = 0.0;

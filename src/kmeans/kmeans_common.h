@@ -2,6 +2,7 @@
 #define PIMINE_KMEANS_KMEANS_COMMON_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/engine.h"
 #include "data/matrix.h"
 #include "profiling/run_stats.h"
+#include "util/parallel.h"
 
 namespace pimine {
 
@@ -26,6 +28,12 @@ struct KmeansOptions {
   /// Theorem 1) before any exact distance computation (§VI-D).
   bool use_pim = false;
   EngineOptions engine_options;
+  /// Host-side execution policy for the per-point assign step. Points are
+  /// independent within one assign pass, so chunks spread across
+  /// `exec.num_threads` workers; assignments, centers and aggregated
+  /// traffic are identical for every thread count (see DESIGN.md). Update
+  /// steps and bound maintenance stay serial. Default: serial.
+  ExecPolicy exec;
 };
 
 /// Result of a clustering run.
@@ -51,6 +59,25 @@ class KmeansAlgorithm {
   virtual Result<KmeansResult> Run(const FloatMatrix& data,
                                    const KmeansOptions& options) = 0;
 };
+
+/// Per-worker accumulation slot for a parallel assign step: workers charge
+/// their counters, reassignment tally and per-function wall time here and
+/// the harness folds the slots into RunStats in slot order once the pass
+/// drains.
+struct AssignSlot {
+  uint64_t exact_count = 0;
+  uint64_t bound_count = 0;
+  uint64_t changed = 0;
+  FunctionProfiler profile;
+};
+
+/// Runs `assign_point(i, slot_index, slot)` for every point in [0,
+/// num_points) in chunks of `policy.block_size` across the policy's workers
+/// (inline when serial). Slot stats are merged into `stats` in slot order;
+/// returns the total number of reassignments the workers tallied.
+size_t RunAssignWithPolicy(
+    const ExecPolicy& policy, size_t num_points, RunStats* stats,
+    const std::function<void(size_t, size_t, AssignSlot&)>& assign_point);
 
 /// Draws k distinct rows of `data` as initial centers (deterministic in
 /// `seed`).

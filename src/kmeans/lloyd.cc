@@ -45,7 +45,7 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
           ? data.rows() * (options.k + 2) * sizeof(double)
           : data.SizeBytes() + result.centers.SizeBytes();
 
-  TrafficScope traffic_scope;
+  traffic::AggregateScope traffic_scope;
   Timer total_wall;
   const size_t n = data.rows();
   const size_t k = static_cast<size_t>(options.k);
@@ -59,50 +59,52 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
       PIMINE_RETURN_IF_ERROR(filter->BeginIteration(result.centers));
     }
 
-    // Assign step.
-    size_t changed = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const auto p = data.row(i);
-      const size_t start = result.assignments[i];
-      size_t best_c = start;
-      double best_d;
-      if (filter == nullptr) {
-        ScopedFunctionTimer timer(&result.stats.profile, "ED");
-        best_d = KmeansExactDistance(p, result.centers.row(start));
-        ++result.stats.exact_count;
-        for (size_t c = 0; c < k; ++c) {
-          if (c == start) continue;
-          const double d = KmeansExactDistance(p, result.centers.row(c));
-          ++result.stats.exact_count;
-          if (d < best_d) {
-            best_d = d;
-            best_c = c;
+    // Assign step. Points are independent: each worker reads the shared
+    // centers/filter and writes only its own assignment entries.
+    const size_t changed = RunAssignWithPolicy(
+        options.exec, n, &result.stats,
+        [&](size_t i, size_t /*slot_index*/, AssignSlot& slot) {
+          const auto p = data.row(i);
+          const size_t start = result.assignments[i];
+          size_t best_c = start;
+          double best_d;
+          if (filter == nullptr) {
+            ScopedFunctionTimer timer(&slot.profile, "ED");
+            best_d = KmeansExactDistance(p, result.centers.row(start));
+            ++slot.exact_count;
+            for (size_t c = 0; c < k; ++c) {
+              if (c == start) continue;
+              const double d = KmeansExactDistance(p, result.centers.row(c));
+              ++slot.exact_count;
+              if (d < best_d) {
+                best_d = d;
+                best_c = c;
+              }
+            }
+          } else {
+            {
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              best_d = KmeansExactDistance(p, result.centers.row(start));
+              ++slot.exact_count;
+            }
+            for (size_t c = 0; c < k; ++c) {
+              if (c == start) continue;
+              ++slot.bound_count;
+              if (filter->LowerBound(i, c) >= best_d) continue;
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              const double d = KmeansExactDistance(p, result.centers.row(c));
+              ++slot.exact_count;
+              if (d < best_d) {
+                best_d = d;
+                best_c = c;
+              }
+            }
           }
-        }
-      } else {
-        {
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
-          best_d = KmeansExactDistance(p, result.centers.row(start));
-          ++result.stats.exact_count;
-        }
-        for (size_t c = 0; c < k; ++c) {
-          if (c == start) continue;
-          ++result.stats.bound_count;
-          if (filter->LowerBound(i, c) >= best_d) continue;
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
-          const double d = KmeansExactDistance(p, result.centers.row(c));
-          ++result.stats.exact_count;
-          if (d < best_d) {
-            best_d = d;
-            best_c = c;
+          if (best_c != static_cast<size_t>(result.assignments[i])) {
+            result.assignments[i] = static_cast<int32_t>(best_c);
+            ++slot.changed;
           }
-        }
-      }
-      if (best_c != static_cast<size_t>(result.assignments[i])) {
-        result.assignments[i] = static_cast<int32_t>(best_c);
-        ++changed;
-      }
-    }
+        });
 
     // Update step.
     {

@@ -75,13 +75,25 @@ Result<KmeansResult> YinyangKmeans::Run(const FloatMatrix& data,
   std::vector<double> lower(n * t, 0.0);  // per-group lower bounds.
   std::vector<double> moved(k, 0.0);
   std::vector<double> group_delta(t, 0.0);
-  // Per-point scan scratch (group-min tracking).
-  std::vector<uint8_t> g_scanned(t, 0);
-  std::vector<double> g_min1(t, 0.0);
-  std::vector<double> g_min2(t, 0.0);
-  std::vector<int32_t> g_min1c(t, -1);
+  // Per-worker scan scratch (init distances + group-min tracking).
+  struct Scratch {
+    std::vector<double> dist;
+    std::vector<uint8_t> g_scanned;
+    std::vector<double> g_min1;
+    std::vector<double> g_min2;
+    std::vector<int32_t> g_min1c;
+  };
+  const size_t chunk = std::max<size_t>(1, options.exec.block_size);
+  std::vector<Scratch> scratch(NumSlots(options.exec, n, chunk));
+  for (Scratch& s : scratch) {
+    s.dist.resize(k);
+    s.g_scanned.resize(t);
+    s.g_min1.resize(t);
+    s.g_min2.resize(t);
+    s.g_min1c.resize(t);
+  }
 
-  TrafficScope traffic_scope;
+  traffic::AggregateScope traffic_scope;
   Timer total_wall;
   bool initialized = false;
 
@@ -98,128 +110,136 @@ Result<KmeansResult> YinyangKmeans::Run(const FloatMatrix& data,
       // Initial pass: per-pair values fill the group bounds. With the PIM
       // filter, far-away centers keep their (valid) PIM lower bound
       // instead of an exact distance — same treatment as Elkan's init.
-      std::vector<double> dist(k);
-      for (size_t i = 0; i < n; ++i) {
-        const auto p = data.row(i);
-        size_t best_c = 0;
-        double best_d = HUGE_VAL;
-        for (size_t c = 0; c < k; ++c) {
-          if (filter != nullptr) {
-            ++result.stats.bound_count;
-            const double pim_lb = filter->LowerBound(i, c);
-            if (pim_lb >= best_d) {
-              dist[c] = pim_lb;
-              continue;
+      RunAssignWithPolicy(
+          options.exec, n, &result.stats,
+          [&](size_t i, size_t slot_index, AssignSlot& slot) {
+            std::vector<double>& dist = scratch[slot_index].dist;
+            const auto p = data.row(i);
+            size_t best_c = 0;
+            double best_d = HUGE_VAL;
+            for (size_t c = 0; c < k; ++c) {
+              if (filter != nullptr) {
+                ++slot.bound_count;
+                const double pim_lb = filter->LowerBound(i, c);
+                if (pim_lb >= best_d) {
+                  dist[c] = pim_lb;
+                  continue;
+                }
+              }
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              dist[c] = KmeansExactDistance(p, result.centers.row(c));
+              ++slot.exact_count;
+              if (dist[c] < best_d) {
+                best_d = dist[c];
+                best_c = c;
+              }
             }
-          }
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
-          dist[c] = KmeansExactDistance(p, result.centers.row(c));
-          ++result.stats.exact_count;
-          if (dist[c] < best_d) {
-            best_d = dist[c];
-            best_c = c;
-          }
-        }
-        result.assignments[i] = static_cast<int32_t>(best_c);
-        upper[i] = best_d;
-        for (size_t g = 0; g < t; ++g) {
-          double m = HUGE_VAL;
-          for (int32_t c : members[g]) {
-            if (static_cast<size_t>(c) == best_c) continue;
-            m = std::min(m, dist[c]);
-          }
-          lower[i * t + g] = m;
-        }
-      }
+            result.assignments[i] = static_cast<int32_t>(best_c);
+            upper[i] = best_d;
+            for (size_t g = 0; g < t; ++g) {
+              double m = HUGE_VAL;
+              for (int32_t c : members[g]) {
+                if (static_cast<size_t>(c) == best_c) continue;
+                m = std::min(m, dist[c]);
+              }
+              lower[i * t + g] = m;
+            }
+          });
       initialized = true;
       ++changed;
     } else {
-      for (size_t i = 0; i < n; ++i) {
-        const size_t a = result.assignments[i];
-        double* lb = lower.data() + i * t;
-        double global_lb = HUGE_VAL;
-        for (size_t g = 0; g < t; ++g) global_lb = std::min(global_lb, lb[g]);
-        if (upper[i] <= global_lb) continue;
+      changed = RunAssignWithPolicy(
+          options.exec, n, &result.stats,
+          [&](size_t i, size_t slot_index, AssignSlot& slot) {
+            const size_t a = result.assignments[i];
+            double* lb = lower.data() + i * t;
+            double global_lb = HUGE_VAL;
+            for (size_t g = 0; g < t; ++g) {
+              global_lb = std::min(global_lb, lb[g]);
+            }
+            if (upper[i] <= global_lb) return;
 
-        const auto p = data.row(i);
-        double best_d;
-        {
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
-          best_d = KmeansExactDistance(p, result.centers.row(a));
-          ++result.stats.exact_count;
-        }
-        upper[i] = best_d;
-        if (best_d <= global_lb) continue;
-        size_t best_c = a;
+            const auto p = data.row(i);
+            double best_d;
+            {
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              best_d = KmeansExactDistance(p, result.centers.row(a));
+              ++slot.exact_count;
+            }
+            upper[i] = best_d;
+            if (best_d <= global_lb) return;
+            size_t best_c = a;
 
-        // Group bounds are finalized only after the final assignment is
-        // known (a later group can steal the assignment, which changes
-        // which candidate every earlier group must exclude).
-        std::fill(g_scanned.begin(), g_scanned.end(), 0);
-        for (size_t g = 0; g < t; ++g) {
-          if (lb[g] >= best_d) continue;  // group filter (stays valid as
-                                          // best_d only shrinks).
-          g_scanned[g] = 1;
-          double min1 = HUGE_VAL;   // smallest value in group.
-          double min2 = HUGE_VAL;   // second smallest.
-          int32_t min1_c = -1;
-          for (int32_t c : members[g]) {
-            if (static_cast<size_t>(c) == a) continue;
-            double value;
-            bool exact = true;
-            if (filter != nullptr) {
-              ++result.stats.bound_count;
-              const double pim_lb = filter->LowerBound(i, c);
-              if (pim_lb >= best_d) {
-                value = pim_lb;  // valid lower bound for the group min.
-                exact = false;
-              } else {
-                ScopedFunctionTimer timer(&result.stats.profile, "ED");
-                value = KmeansExactDistance(p, result.centers.row(c));
-                ++result.stats.exact_count;
+            Scratch& s = scratch[slot_index];
+            // Group bounds are finalized only after the final assignment is
+            // known (a later group can steal the assignment, which changes
+            // which candidate every earlier group must exclude).
+            std::fill(s.g_scanned.begin(), s.g_scanned.end(), 0);
+            for (size_t g = 0; g < t; ++g) {
+              if (lb[g] >= best_d) continue;  // group filter (stays valid
+                                              // as best_d only shrinks).
+              s.g_scanned[g] = 1;
+              double min1 = HUGE_VAL;   // smallest value in group.
+              double min2 = HUGE_VAL;   // second smallest.
+              int32_t min1_c = -1;
+              for (int32_t c : members[g]) {
+                if (static_cast<size_t>(c) == a) continue;
+                double value;
+                bool exact = true;
+                if (filter != nullptr) {
+                  ++slot.bound_count;
+                  const double pim_lb = filter->LowerBound(i, c);
+                  if (pim_lb >= best_d) {
+                    value = pim_lb;  // valid lower bound for the group min.
+                    exact = false;
+                  } else {
+                    ScopedFunctionTimer timer(&slot.profile, "ED");
+                    value = KmeansExactDistance(p, result.centers.row(c));
+                    ++slot.exact_count;
+                  }
+                } else {
+                  ScopedFunctionTimer timer(&slot.profile, "ED");
+                  value = KmeansExactDistance(p, result.centers.row(c));
+                  ++slot.exact_count;
+                }
+                if (value < min1) {
+                  min2 = min1;
+                  min1 = value;
+                  min1_c = c;
+                } else if (value < min2) {
+                  min2 = value;
+                }
+                if (exact && value < best_d) {
+                  best_d = value;
+                  best_c = c;
+                }
               }
-            } else {
-              ScopedFunctionTimer timer(&result.stats.profile, "ED");
-              value = KmeansExactDistance(p, result.centers.row(c));
-              ++result.stats.exact_count;
+              s.g_min1[g] = min1;
+              s.g_min2[g] = min2;
+              s.g_min1c[g] = min1_c;
             }
-            if (value < min1) {
-              min2 = min1;
-              min1 = value;
-              min1_c = c;
-            } else if (value < min2) {
-              min2 = value;
+            for (size_t g = 0; g < t; ++g) {
+              if (!s.g_scanned[g]) continue;
+              lb[g] = (s.g_min1c[g] >= 0 &&
+                       static_cast<size_t>(s.g_min1c[g]) == best_c)
+                          ? s.g_min2[g]
+                          : s.g_min1[g];
             }
-            if (exact && value < best_d) {
-              best_d = value;
-              best_c = c;
+            if (best_c != a) {
+              result.assignments[i] = static_cast<int32_t>(best_c);
+              upper[i] = best_d;
+              ++slot.changed;
+              // The old assignment was excluded from every scan, but it
+              // now belongs to its group's bound domain; fold its distance
+              // in.
+              const size_t old_group = group[a];
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              const double d_old =
+                  KmeansExactDistance(p, result.centers.row(a));
+              ++slot.exact_count;
+              lb[old_group] = std::min(lb[old_group], d_old);
             }
-          }
-          g_min1[g] = min1;
-          g_min2[g] = min2;
-          g_min1c[g] = min1_c;
-        }
-        for (size_t g = 0; g < t; ++g) {
-          if (!g_scanned[g]) continue;
-          lb[g] = (g_min1c[g] >= 0 &&
-                   static_cast<size_t>(g_min1c[g]) == best_c)
-                      ? g_min2[g]
-                      : g_min1[g];
-        }
-        if (best_c != a) {
-          result.assignments[i] = static_cast<int32_t>(best_c);
-          upper[i] = best_d;
-          ++changed;
-          // The old assignment was excluded from every scan, but it now
-          // belongs to its group's bound domain; fold its distance in.
-          const size_t old_group = group[a];
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
-          const double d_old =
-              KmeansExactDistance(p, result.centers.row(a));
-          ++result.stats.exact_count;
-          lb[old_group] = std::min(lb[old_group], d_old);
-        }
-      }
+          });
     }
 
     {

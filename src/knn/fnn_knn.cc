@@ -48,67 +48,81 @@ Result<KnnRunResult> FnnKnn::Search(const FloatMatrix& queries, int k) {
   }
 
   KnnRunResult result;
-  result.neighbors.reserve(queries.rows());
-  TrafficScope traffic_scope;
+  result.neighbors.resize(queries.rows());
+  traffic::AggregateScope traffic_scope;
   Timer wall;
 
   const size_t n = data_->rows();
   const size_t num_levels = levels_.size();
 
-  // Per-level query segment scratch.
-  std::vector<std::vector<float>> q_means(num_levels);
-  std::vector<std::vector<float>> q_stds(num_levels);
-  for (size_t lv = 0; lv < num_levels; ++lv) {
-    q_means[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
-    q_stds[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+  // Per-worker scratch: per-level query segments + coarse-bound array.
+  struct Scratch {
+    std::vector<std::vector<float>> q_means;
+    std::vector<std::vector<float>> q_stds;
+    std::vector<double> first_bounds;
+  };
+  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  for (Scratch& s : scratch) {
+    s.q_means.resize(num_levels);
+    s.q_stds.resize(num_levels);
+    for (size_t lv = 0; lv < num_levels; ++lv) {
+      s.q_means[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+      s.q_stds[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+    }
+    s.first_bounds.resize(n);
   }
-  std::vector<double> first_bounds(n);
 
-  for (size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto q = queries.row(qi);
-    TopK topk(static_cast<size_t>(k));
+  Status status = RunQueriesWithPolicy(
+      exec_policy_, queries.rows(), &result.stats,
+      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
+        const auto q = queries.row(qi);
+        Scratch& s = scratch[slot_index];
+        TopK topk(static_cast<size_t>(k));
 
-    // Coarsest level over every object.
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
-      for (size_t lv = 0; lv < num_levels; ++lv) {
-        ComputeSegments(q, levels_[lv].num_segments, q_means[lv], q_stds[lv]);
-      }
-      const SegmentStats& l0 = levels_[0];
-      for (size_t i = 0; i < n; ++i) {
-        first_bounds[i] = LbFnn(l0.means.row(i), l0.stds.row(i), q_means[0],
-                                q_stds[0], l0.segment_length);
-      }
-      result.stats.bound_count += n;
-    }
+        // Coarsest level over every object.
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
+          for (size_t lv = 0; lv < num_levels; ++lv) {
+            ComputeSegments(q, levels_[lv].num_segments, s.q_means[lv],
+                            s.q_stds[lv]);
+          }
+          const SegmentStats& l0 = levels_[0];
+          for (size_t i = 0; i < n; ++i) {
+            s.first_bounds[i] = LbFnn(l0.means.row(i), l0.stds.row(i),
+                                      s.q_means[0], s.q_stds[0],
+                                      l0.segment_length);
+          }
+          slot.bound_count += n;
+        }
 
-    // Refinement in coarse-bound order; finer levels prune survivors.
-    std::vector<uint32_t> order;
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
-      order = ArgsortAscending(first_bounds);
-    }
-    for (uint32_t idx : order) {
-      if (topk.full() && first_bounds[idx] >= topk.threshold()) break;
-      bool pruned = false;
-      for (size_t lv = 1; lv < num_levels && !pruned; ++lv) {
-        ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
-        const SegmentStats& level = levels_[lv];
-        const double lb =
-            LbFnn(level.means.row(idx), level.stds.row(idx), q_means[lv],
-                  q_stds[lv], level.segment_length);
-        ++result.stats.bound_count;
-        pruned = topk.full() && lb >= topk.threshold();
-      }
-      if (pruned) continue;
-      ScopedFunctionTimer timer(&result.stats.profile, "ED");
-      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                    topk.threshold());
-      topk.Push(d, static_cast<int32_t>(idx));
-      ++result.stats.exact_count;
-    }
-    result.neighbors.push_back(topk.TakeSorted());
-  }
+        // Refinement in coarse-bound order; finer levels prune survivors.
+        std::vector<uint32_t> order;
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
+          order = ArgsortAscending(s.first_bounds);
+        }
+        for (uint32_t idx : order) {
+          if (topk.full() && s.first_bounds[idx] >= topk.threshold()) break;
+          bool pruned = false;
+          for (size_t lv = 1; lv < num_levels && !pruned; ++lv) {
+            ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
+            const SegmentStats& level = levels_[lv];
+            const double lb =
+                LbFnn(level.means.row(idx), level.stds.row(idx),
+                      s.q_means[lv], s.q_stds[lv], level.segment_length);
+            ++slot.bound_count;
+            pruned = topk.full() && lb >= topk.threshold();
+          }
+          if (pruned) continue;
+          ScopedFunctionTimer timer(&slot.profile, "ED");
+          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                        topk.threshold());
+          topk.Push(d, static_cast<int32_t>(idx));
+          ++slot.exact_count;
+        }
+        result.neighbors[qi] = topk.TakeSorted();
+      });
+  PIMINE_RETURN_IF_ERROR(status);
 
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();

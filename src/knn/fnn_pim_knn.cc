@@ -175,85 +175,106 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
   }
 
   KnnRunResult result;
-  result.neighbors.reserve(queries.rows());
+  result.neighbors.resize(queries.rows());
   engine_->ResetOnlineStats();
-  TrafficScope traffic_scope;
+  traffic::AggregateScope traffic_scope;
   Timer wall;
 
   const size_t n = data_->rows();
-  std::vector<double> bounds(n);
-  std::vector<std::vector<float>> q_means(levels_.size());
-  std::vector<std::vector<float>> q_stds(levels_.size());
-  for (size_t lv = 0; lv < levels_.size(); ++lv) {
-    q_means[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
-    q_stds[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+  struct Scratch {
+    std::vector<double> bounds;
+    std::vector<std::vector<float>> q_means;
+    std::vector<std::vector<float>> q_stds;
+    PimEngine::QueryScratch query;
+  };
+  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  for (Scratch& s : scratch) {
+    s.bounds.resize(n);
+    s.q_means.resize(levels_.size());
+    s.q_stds.resize(levels_.size());
+    for (size_t lv = 0; lv < levels_.size(); ++lv) {
+      s.q_means[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+      s.q_stds[lv].resize(static_cast<size_t>(levels_[lv].num_segments));
+    }
   }
 
-  for (size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto q = queries.row(qi);
-    TopK topk(static_cast<size_t>(k));
+  Status status = RunQueriesWithPolicy(
+      exec_policy_, queries.rows(), &result.stats,
+      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
+        const auto q = queries.row(qi);
+        Scratch& s = scratch[slot_index];
+        TopK topk(static_cast<size_t>(k));
 
-    // Sort-order filter: the PIM bound when selected, else the first
-    // retained original level, else no filter at all.
-    if (use_pim_filter_) {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
-      PIMINE_ASSIGN_OR_RETURN(PimEngine::QueryHandle handle,
-                              engine_->RunQuery(q));
-      for (size_t i = 0; i < n; ++i) bounds[i] = engine_->BoundFor(handle, i);
-      result.stats.bound_count += n;
-    } else if (!selected_levels_.empty()) {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
-      const SegmentStats& level = levels_[selected_levels_[0]];
-      const size_t lv = selected_levels_[0];
-      ComputeSegments(q, level.num_segments, q_means[lv], q_stds[lv]);
-      for (size_t i = 0; i < n; ++i) {
-        bounds[i] = LbFnn(level.means.row(i), level.stds.row(i), q_means[lv],
-                          q_stds[lv], level.segment_length);
-      }
-      result.stats.bound_count += n;
-    } else {
-      std::fill(bounds.begin(), bounds.end(), 0.0);
-    }
-    const size_t first_refine_level =
-        use_pim_filter_ ? 0 : (selected_levels_.empty() ? 0 : 1);
-
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
-      for (size_t j = first_refine_level; j < selected_levels_.size(); ++j) {
-        const SegmentStats& level = levels_[selected_levels_[j]];
-        ComputeSegments(q, level.num_segments, q_means[selected_levels_[j]],
-                        q_stds[selected_levels_[j]]);
-      }
-    }
-
-    std::vector<uint32_t> order;
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
-      order = ArgsortAscending(bounds);
-    }
-    for (uint32_t idx : order) {
-      if (topk.full() && bounds[idx] >= topk.threshold()) break;
-      bool pruned = false;
-      for (size_t j = first_refine_level;
-           j < selected_levels_.size() && !pruned; ++j) {
-        ScopedFunctionTimer timer(&result.stats.profile, "LB_FNN");
-        const size_t lv = selected_levels_[j];
-        const SegmentStats& level = levels_[lv];
-        const double lb = LbFnn(level.means.row(idx), level.stds.row(idx),
-                                q_means[lv], q_stds[lv],
+        // Sort-order filter: the PIM bound when selected, else the first
+        // retained original level, else no filter at all.
+        if (use_pim_filter_) {
+          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+          auto handle = engine_->RunQuery(q, &s.query);
+          if (!handle.ok()) {
+            slot.status = handle.status();
+            return;
+          }
+          for (size_t i = 0; i < n; ++i) {
+            s.bounds[i] = engine_->BoundFor(*handle, i);
+          }
+          slot.bound_count += n;
+        } else if (!selected_levels_.empty()) {
+          ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
+          const SegmentStats& level = levels_[selected_levels_[0]];
+          const size_t lv = selected_levels_[0];
+          ComputeSegments(q, level.num_segments, s.q_means[lv], s.q_stds[lv]);
+          for (size_t i = 0; i < n; ++i) {
+            s.bounds[i] = LbFnn(level.means.row(i), level.stds.row(i),
+                                s.q_means[lv], s.q_stds[lv],
                                 level.segment_length);
-        ++result.stats.bound_count;
-        pruned = topk.full() && lb >= topk.threshold();
-      }
-      if (pruned) continue;
-      ScopedFunctionTimer timer(&result.stats.profile, "ED");
-      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                    topk.threshold());
-      topk.Push(d, static_cast<int32_t>(idx));
-      ++result.stats.exact_count;
-    }
-    result.neighbors.push_back(topk.TakeSorted());
-  }
+          }
+          slot.bound_count += n;
+        } else {
+          std::fill(s.bounds.begin(), s.bounds.end(), 0.0);
+        }
+        const size_t first_refine_level =
+            use_pim_filter_ ? 0 : (selected_levels_.empty() ? 0 : 1);
+
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
+          for (size_t j = first_refine_level; j < selected_levels_.size();
+               ++j) {
+            const SegmentStats& level = levels_[selected_levels_[j]];
+            ComputeSegments(q, level.num_segments,
+                            s.q_means[selected_levels_[j]],
+                            s.q_stds[selected_levels_[j]]);
+          }
+        }
+
+        std::vector<uint32_t> order;
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+          order = ArgsortAscending(s.bounds);
+        }
+        for (uint32_t idx : order) {
+          if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
+          bool pruned = false;
+          for (size_t j = first_refine_level;
+               j < selected_levels_.size() && !pruned; ++j) {
+            ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
+            const size_t lv = selected_levels_[j];
+            const SegmentStats& level = levels_[lv];
+            const double lb = LbFnn(level.means.row(idx), level.stds.row(idx),
+                                    s.q_means[lv], s.q_stds[lv],
+                                    level.segment_length);
+            ++slot.bound_count;
+            pruned = topk.full() && lb >= topk.threshold();
+          }
+          if (pruned) continue;
+          ScopedFunctionTimer timer(&slot.profile, "ED");
+          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                        topk.threshold());
+          topk.Push(d, static_cast<int32_t>(idx));
+          ++slot.exact_count;
+        }
+        result.neighbors[qi] = topk.TakeSorted();
+      });
+  PIMINE_RETURN_IF_ERROR(status);
 
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();

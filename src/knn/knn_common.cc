@@ -33,4 +33,26 @@ std::vector<Neighbor> FinalizeSimilarityNeighbors(TopK& topk) {
   return out;
 }
 
+Status RunQueriesWithPolicy(
+    const ExecPolicy& policy, size_t num_queries, RunStats* stats,
+    const std::function<void(size_t, size_t, SearchSlot&)>& run_query) {
+  std::vector<SearchSlot> slots(NumSlots(policy, num_queries, 1));
+  ParallelChunks(policy, num_queries, /*chunk=*/1,
+                 [&](size_t begin, size_t end, size_t slot_index) {
+                   SearchSlot& slot = slots[slot_index];
+                   for (size_t qi = begin; qi < end; ++qi) {
+                     if (!slot.status.ok()) return;
+                     run_query(qi, slot_index, slot);
+                   }
+                 });
+  Status first_error;
+  for (const SearchSlot& slot : slots) {
+    stats->exact_count += slot.exact_count;
+    stats->bound_count += slot.bound_count;
+    stats->profile.Merge(slot.profile);
+    if (first_error.ok() && !slot.status.ok()) first_error = slot.status;
+  }
+  return first_error;
+}
+
 }  // namespace pimine

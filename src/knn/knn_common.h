@@ -2,6 +2,7 @@
 #define PIMINE_KNN_KNN_COMMON_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/status.h"
 #include "data/matrix.h"
 #include "profiling/run_stats.h"
+#include "util/parallel.h"
 #include "util/top_k.h"
 
 namespace pimine {
@@ -45,7 +47,37 @@ class KnnAlgorithm {
   /// Bytes written during Prepare (reduced vectors / programmed crossbars),
   /// the quantity behind the paper's "33.3% less write access" claim.
   virtual uint64_t OfflineBytesWritten() const { return 0; }
+
+  /// Host-side execution policy for Search. Queries are independent, so
+  /// batches are spread across `policy.num_threads` workers; neighbours and
+  /// aggregated traffic counters are identical for every thread count (see
+  /// DESIGN.md). The default policy is serial, preserving the paper's
+  /// single-threaded measurement setup.
+  void set_exec_policy(const ExecPolicy& policy) { exec_policy_ = policy; }
+  const ExecPolicy& exec_policy() const { return exec_policy_; }
+
+ protected:
+  ExecPolicy exec_policy_;
 };
+
+/// Per-worker accumulation slot for a parallel Search: worker threads
+/// charge their counters and per-function wall time here and the harness
+/// folds the slots into RunStats in slot order once the batch drains.
+struct SearchSlot {
+  uint64_t exact_count = 0;
+  uint64_t bound_count = 0;
+  FunctionProfiler profile;
+  Status status;  // first per-query failure observed by this worker.
+};
+
+/// Runs `run_query(qi, slot_index, slot)` for every query in [0,
+/// num_queries), one query per work unit, across the policy's workers
+/// (inline when serial). Slot stats are merged into `stats` in slot order;
+/// returns the first error any worker recorded. Workers stop claiming new
+/// queries once their slot holds an error.
+Status RunQueriesWithPolicy(
+    const ExecPolicy& policy, size_t num_queries, RunStats* stats,
+    const std::function<void(size_t, size_t, SearchSlot&)>& run_query);
 
 /// Indices [0, n) sorted so values[out[0]] <= values[out[1]] <= ... Charges
 /// the sort's traffic to the thread-local counters.

@@ -35,39 +35,46 @@ Result<KnnRunResult> OstKnn::Search(const FloatMatrix& queries, int k) {
   }
 
   KnnRunResult result;
-  result.neighbors.reserve(queries.rows());
-  TrafficScope traffic_scope;
+  result.neighbors.resize(queries.rows());
+  traffic::AggregateScope traffic_scope;
   Timer wall;
 
   const size_t n = data_->rows();
-  std::vector<double> bounds(n);
+  // Per-worker bound array, reused across the worker's queries.
+  std::vector<std::vector<double>> bound_scratch(
+      NumSlots(exec_policy_, queries.rows(), 1), std::vector<double>(n));
 
-  for (size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto q = queries.row(qi);
-    TopK topk(static_cast<size_t>(k));
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_OST");
-      const double q_suffix = SuffixNorm(q, d0_);
-      for (size_t i = 0; i < n; ++i) {
-        bounds[i] = LbOst(data_->row(i), q, d0_, suffix_norms_[i], q_suffix);
-      }
-      result.stats.bound_count += n;
-    }
-    std::vector<uint32_t> order;
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_OST");
-      order = ArgsortAscending(bounds);
-    }
-    for (uint32_t idx : order) {
-      if (topk.full() && bounds[idx] >= topk.threshold()) break;
-      ScopedFunctionTimer timer(&result.stats.profile, "ED");
-      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                    topk.threshold());
-      topk.Push(d, static_cast<int32_t>(idx));
-      ++result.stats.exact_count;
-    }
-    result.neighbors.push_back(topk.TakeSorted());
-  }
+  Status status = RunQueriesWithPolicy(
+      exec_policy_, queries.rows(), &result.stats,
+      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
+        const auto q = queries.row(qi);
+        std::vector<double>& bounds = bound_scratch[slot_index];
+        TopK topk(static_cast<size_t>(k));
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_OST");
+          const double q_suffix = SuffixNorm(q, d0_);
+          for (size_t i = 0; i < n; ++i) {
+            bounds[i] =
+                LbOst(data_->row(i), q, d0_, suffix_norms_[i], q_suffix);
+          }
+          slot.bound_count += n;
+        }
+        std::vector<uint32_t> order;
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_OST");
+          order = ArgsortAscending(bounds);
+        }
+        for (uint32_t idx : order) {
+          if (topk.full() && bounds[idx] >= topk.threshold()) break;
+          ScopedFunctionTimer timer(&slot.profile, "ED");
+          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                        topk.threshold());
+          topk.Push(d, static_cast<int32_t>(idx));
+          ++slot.exact_count;
+        }
+        result.neighbors[qi] = topk.TakeSorted();
+      });
+  PIMINE_RETURN_IF_ERROR(status);
 
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();

@@ -32,44 +32,59 @@ Result<KnnRunResult> SmKnn::Search(const FloatMatrix& queries, int k) {
   }
 
   KnnRunResult result;
-  result.neighbors.reserve(queries.rows());
-  TrafficScope traffic_scope;
+  result.neighbors.resize(queries.rows());
+  traffic::AggregateScope traffic_scope;
   Timer wall;
 
   const size_t n = data_->rows();
   const int64_t d0 = stats_.num_segments;
-  std::vector<float> q_means(static_cast<size_t>(d0));
-  std::vector<float> q_stds(static_cast<size_t>(d0));
-  std::vector<double> bounds(n);
 
-  for (size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto q = queries.row(qi);
-    TopK topk(static_cast<size_t>(k));
-    // Filter phase: LB_SM for every object.
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_SM");
-      ComputeSegments(q, d0, q_means, q_stds);
-      for (size_t i = 0; i < n; ++i) {
-        bounds[i] = LbSm(stats_.means.row(i), q_means, stats_.segment_length);
-      }
-      result.stats.bound_count += n;
-    }
-    // Refine phase: exact ED in ascending-bound order.
-    std::vector<uint32_t> order;
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_SM");
-      order = ArgsortAscending(bounds);
-    }
-    for (uint32_t idx : order) {
-      if (topk.full() && bounds[idx] >= topk.threshold()) break;
-      ScopedFunctionTimer timer(&result.stats.profile, "ED");
-      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                    topk.threshold());
-      topk.Push(d, static_cast<int32_t>(idx));
-      ++result.stats.exact_count;
-    }
-    result.neighbors.push_back(topk.TakeSorted());
+  // Per-worker scratch: query segment stats + bound array.
+  struct Scratch {
+    std::vector<float> q_means;
+    std::vector<float> q_stds;
+    std::vector<double> bounds;
+  };
+  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  for (Scratch& s : scratch) {
+    s.q_means.resize(static_cast<size_t>(d0));
+    s.q_stds.resize(static_cast<size_t>(d0));
+    s.bounds.resize(n);
   }
+
+  Status status = RunQueriesWithPolicy(
+      exec_policy_, queries.rows(), &result.stats,
+      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
+        const auto q = queries.row(qi);
+        Scratch& s = scratch[slot_index];
+        TopK topk(static_cast<size_t>(k));
+        // Filter phase: LB_SM for every object.
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_SM");
+          ComputeSegments(q, d0, s.q_means, s.q_stds);
+          for (size_t i = 0; i < n; ++i) {
+            s.bounds[i] =
+                LbSm(stats_.means.row(i), s.q_means, stats_.segment_length);
+          }
+          slot.bound_count += n;
+        }
+        // Refine phase: exact ED in ascending-bound order.
+        std::vector<uint32_t> order;
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_SM");
+          order = ArgsortAscending(s.bounds);
+        }
+        for (uint32_t idx : order) {
+          if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
+          ScopedFunctionTimer timer(&slot.profile, "ED");
+          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                        topk.threshold());
+          topk.Push(d, static_cast<int32_t>(idx));
+          ++slot.exact_count;
+        }
+        result.neighbors[qi] = topk.TakeSorted();
+      });
+  PIMINE_RETURN_IF_ERROR(status);
 
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();

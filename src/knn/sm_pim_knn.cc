@@ -29,39 +29,53 @@ Result<KnnRunResult> SmPimKnn::Search(const FloatMatrix& queries, int k) {
   }
 
   KnnRunResult result;
-  result.neighbors.reserve(queries.rows());
+  result.neighbors.resize(queries.rows());
   engine_->ResetOnlineStats();
-  TrafficScope traffic_scope;
+  traffic::AggregateScope traffic_scope;
   Timer wall;
 
   const size_t n = data_->rows();
-  std::vector<double> bounds(n);
+  struct Scratch {
+    std::vector<double> bounds;
+    PimEngine::QueryScratch query;
+  };
+  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  for (Scratch& s : scratch) s.bounds.resize(n);
 
-  for (size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto q = queries.row(qi);
-    TopK topk(static_cast<size_t>(k));
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
-      PIMINE_ASSIGN_OR_RETURN(PimEngine::QueryHandle handle,
-                              engine_->RunQuery(q));
-      for (size_t i = 0; i < n; ++i) bounds[i] = engine_->BoundFor(handle, i);
-      result.stats.bound_count += n;
-    }
-    std::vector<uint32_t> order;
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
-      order = ArgsortAscending(bounds);
-    }
-    for (uint32_t idx : order) {
-      if (topk.full() && bounds[idx] >= topk.threshold()) break;
-      ScopedFunctionTimer timer(&result.stats.profile, "ED");
-      const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                    topk.threshold());
-      topk.Push(d, static_cast<int32_t>(idx));
-      ++result.stats.exact_count;
-    }
-    result.neighbors.push_back(topk.TakeSorted());
-  }
+  Status status = RunQueriesWithPolicy(
+      exec_policy_, queries.rows(), &result.stats,
+      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
+        const auto q = queries.row(qi);
+        Scratch& s = scratch[slot_index];
+        TopK topk(static_cast<size_t>(k));
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+          auto handle = engine_->RunQuery(q, &s.query);
+          if (!handle.ok()) {
+            slot.status = handle.status();
+            return;
+          }
+          for (size_t i = 0; i < n; ++i) {
+            s.bounds[i] = engine_->BoundFor(*handle, i);
+          }
+          slot.bound_count += n;
+        }
+        std::vector<uint32_t> order;
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+          order = ArgsortAscending(s.bounds);
+        }
+        for (uint32_t idx : order) {
+          if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
+          ScopedFunctionTimer timer(&slot.profile, "ED");
+          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                        topk.threshold());
+          topk.Push(d, static_cast<int32_t>(idx));
+          ++slot.exact_count;
+        }
+        result.neighbors[qi] = topk.TakeSorted();
+      });
+  PIMINE_RETURN_IF_ERROR(status);
 
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();

@@ -29,52 +29,87 @@ Result<KnnRunResult> StandardKnn::Search(const FloatMatrix& queries, int k) {
   }
 
   KnnRunResult result;
-  result.neighbors.reserve(queries.rows());
+  result.neighbors.resize(queries.rows());
   result.stats.footprint_bytes = data_->SizeBytes();
-  TrafficScope traffic_scope;
+  traffic::AggregateScope traffic_scope;
   Timer wall;
 
+  const ExecPolicy& policy = exec_policy_;
   const size_t n = data_->rows();
-  for (size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto q = queries.row(qi);
-    TopK topk(static_cast<size_t>(k));
-    if (distance_ == Distance::kEuclidean) {
-      // Distances are computed in blocks so the "ED" profile tag covers
-      // only the distance function itself; top-k maintenance is charged to
-      // the (unattributed) remainder, like the paper's per-function
-      // breakdown. The pruning threshold refreshes between blocks, which
-      // keeps early abandoning exact.
-      constexpr size_t kBlock = 512;
-      std::vector<double> block(kBlock);
-      for (size_t begin = 0; begin < n; begin += kBlock) {
-        const size_t end = std::min(n, begin + kBlock);
-        {
-          ScopedFunctionTimer timer(&result.stats.profile, "ED");
-          const double threshold = topk.threshold();
-          for (size_t i = begin; i < end; ++i) {
-            block[i - begin] =
-                SquaredEuclideanEarlyAbandon(data_->row(i), q, threshold);
+  const size_t d = data_->cols();
+  const size_t block = std::max<size_t>(1, policy.block_size);
+  // Per-worker distance-block scratch, allocated once per Search (not per
+  // query) and reused across every query the worker claims.
+  std::vector<std::vector<double>> block_scratch(
+      NumSlots(policy, queries.rows(), 1), std::vector<double>(block));
+
+  Status status = RunQueriesWithPolicy(
+      policy, queries.rows(), &result.stats,
+      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
+        const auto q = queries.row(qi);
+        std::vector<double>& distances = block_scratch[slot_index];
+        TopK topk(static_cast<size_t>(k));
+        if (distance_ == Distance::kEuclidean) {
+          // Distances are computed in blocks so the "ED" profile tag covers
+          // only the distance function itself; top-k maintenance is charged
+          // to the (unattributed) remainder, like the paper's per-function
+          // breakdown. The pruning threshold refreshes between blocks,
+          // which keeps early abandoning exact; the blocked kernel computes
+          // full distances instead.
+          for (size_t begin = 0; begin < n; begin += block) {
+            const size_t end = std::min(n, begin + block);
+            {
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              if (policy.blocked_kernels) {
+                SquaredEuclideanBatch(data_->data() + begin * d, end - begin,
+                                      q, distances.data());
+              } else {
+                const double threshold = topk.threshold();
+                for (size_t i = begin; i < end; ++i) {
+                  distances[i - begin] = SquaredEuclideanEarlyAbandon(
+                      data_->row(i), q, threshold);
+                }
+              }
+            }
+            for (size_t i = begin; i < end; ++i) {
+              topk.Push(distances[i - begin], static_cast<int32_t>(i));
+            }
           }
+          slot.exact_count += n;
+          result.neighbors[qi] = topk.TakeSorted();
+        } else {
+          const bool cosine = distance_ == Distance::kCosine;
+          const char* tag = cosine ? "CS" : "PCC";
+          if (policy.blocked_kernels) {
+            for (size_t begin = 0; begin < n; begin += block) {
+              const size_t end = std::min(n, begin + block);
+              {
+                ScopedFunctionTimer timer(&slot.profile, tag);
+                if (cosine) {
+                  CosineSimilarityBatch(data_->data() + begin * d,
+                                        end - begin, q, distances.data());
+                } else {
+                  PearsonBatch(data_->data() + begin * d, end - begin, q,
+                               distances.data());
+                }
+              }
+              for (size_t i = begin; i < end; ++i) {
+                topk.Push(-distances[i - begin], static_cast<int32_t>(i));
+              }
+            }
+          } else {
+            ScopedFunctionTimer timer(&slot.profile, tag);
+            for (size_t i = 0; i < n; ++i) {
+              const double sim = cosine ? CosineSimilarity(data_->row(i), q)
+                                        : PearsonCorrelation(data_->row(i), q);
+              topk.Push(-sim, static_cast<int32_t>(i));
+            }
+          }
+          slot.exact_count += n;
+          result.neighbors[qi] = FinalizeSimilarityNeighbors(topk);
         }
-        for (size_t i = begin; i < end; ++i) {
-          topk.Push(block[i - begin], static_cast<int32_t>(i));
-        }
-      }
-      result.stats.exact_count += n;
-      result.neighbors.push_back(topk.TakeSorted());
-    } else {
-      const char* tag = distance_ == Distance::kCosine ? "CS" : "PCC";
-      ScopedFunctionTimer timer(&result.stats.profile, tag);
-      for (size_t i = 0; i < n; ++i) {
-        const double sim = distance_ == Distance::kCosine
-                               ? CosineSimilarity(data_->row(i), q)
-                               : PearsonCorrelation(data_->row(i), q);
-        topk.Push(-sim, static_cast<int32_t>(i));
-      }
-      result.stats.exact_count += n;
-      result.neighbors.push_back(FinalizeSimilarityNeighbors(topk));
-    }
-  }
+      });
+  PIMINE_RETURN_IF_ERROR(status);
 
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();

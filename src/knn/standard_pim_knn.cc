@@ -33,58 +33,72 @@ Result<KnnRunResult> StandardPimKnn::Search(const FloatMatrix& queries,
   }
 
   KnnRunResult result;
-  result.neighbors.reserve(queries.rows());
+  result.neighbors.resize(queries.rows());
   engine_->ResetOnlineStats();
-  TrafficScope traffic_scope;
+  traffic::AggregateScope traffic_scope;
   Timer wall;
 
   const size_t n = data_->rows();
   const bool maximize = IsSimilarityMeasure(distance_);
-  std::vector<double> bounds(n);
 
-  for (size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto q = queries.row(qi);
-    TopK topk(static_cast<size_t>(k));
+  // Per-worker scratch: bound array + engine query scratch.
+  struct Scratch {
+    std::vector<double> bounds;
+    PimEngine::QueryScratch query;
+  };
+  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  for (Scratch& s : scratch) s.bounds.resize(n);
 
-    // PIM filter phase: one (or two) batch dot-products + O(1) combines.
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
-      PIMINE_ASSIGN_OR_RETURN(PimEngine::QueryHandle handle,
-                              engine_->RunQuery(q));
-      for (size_t i = 0; i < n; ++i) {
-        // Negate similarity upper bounds so ascending order = most
-        // promising first for both measure families.
-        const double b = engine_->BoundFor(handle, i);
-        bounds[i] = maximize ? -b : b;
-      }
-      result.stats.bound_count += n;
-    }
+  Status status = RunQueriesWithPolicy(
+      exec_policy_, queries.rows(), &result.stats,
+      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
+        const auto q = queries.row(qi);
+        Scratch& s = scratch[slot_index];
+        TopK topk(static_cast<size_t>(k));
 
-    std::vector<uint32_t> order;
-    {
-      ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
-      order = ArgsortAscending(bounds);
-    }
-    for (uint32_t idx : order) {
-      if (topk.full() && bounds[idx] >= topk.threshold()) break;
-      if (distance_ == Distance::kEuclidean) {
-        ScopedFunctionTimer timer(&result.stats.profile, "ED");
-        const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                      topk.threshold());
-        topk.Push(d, static_cast<int32_t>(idx));
-      } else {
-        const char* tag = distance_ == Distance::kCosine ? "CS" : "PCC";
-        ScopedFunctionTimer timer(&result.stats.profile, tag);
-        const double sim = distance_ == Distance::kCosine
-                               ? CosineSimilarity(data_->row(idx), q)
-                               : PearsonCorrelation(data_->row(idx), q);
-        topk.Push(-sim, static_cast<int32_t>(idx));
-      }
-      ++result.stats.exact_count;
-    }
-    result.neighbors.push_back(maximize ? FinalizeSimilarityNeighbors(topk)
-                                        : topk.TakeSorted());
-  }
+        // PIM filter phase: one (or two) batch dot-products + O(1) combines.
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+          auto handle = engine_->RunQuery(q, &s.query);
+          if (!handle.ok()) {
+            slot.status = handle.status();
+            return;
+          }
+          for (size_t i = 0; i < n; ++i) {
+            // Negate similarity upper bounds so ascending order = most
+            // promising first for both measure families.
+            const double b = engine_->BoundFor(*handle, i);
+            s.bounds[i] = maximize ? -b : b;
+          }
+          slot.bound_count += n;
+        }
+
+        std::vector<uint32_t> order;
+        {
+          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+          order = ArgsortAscending(s.bounds);
+        }
+        for (uint32_t idx : order) {
+          if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
+          if (distance_ == Distance::kEuclidean) {
+            ScopedFunctionTimer timer(&slot.profile, "ED");
+            const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                          topk.threshold());
+            topk.Push(d, static_cast<int32_t>(idx));
+          } else {
+            const char* tag = distance_ == Distance::kCosine ? "CS" : "PCC";
+            ScopedFunctionTimer timer(&slot.profile, tag);
+            const double sim = distance_ == Distance::kCosine
+                                   ? CosineSimilarity(data_->row(idx), q)
+                                   : PearsonCorrelation(data_->row(idx), q);
+            topk.Push(-sim, static_cast<int32_t>(idx));
+          }
+          ++slot.exact_count;
+        }
+        result.neighbors[qi] = maximize ? FinalizeSimilarityNeighbors(topk)
+                                        : topk.TakeSorted();
+      });
+  PIMINE_RETURN_IF_ERROR(status);
 
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();

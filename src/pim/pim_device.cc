@@ -100,16 +100,19 @@ Status PimDevice::DotProductAll(std::span<const int32_t> query,
     (*out)[v] = acc;
   }
 
-  ++stats_.batch_ops;
-  stats_.compute_ns +=
-      timing_.BatchDotLatencyNs(static_cast<int64_t>(s), operand_bits_);
-  stats_.compute_energy_pj += timing_.BatchDotEnergyPj(
-      stats_.data_crossbars + stats_.gather_crossbars, operand_bits_);
-  stats_.results_produced += n;
-  const uint64_t batch_bytes = n * sizeof(uint64_t);
-  stats_.result_bytes_to_host += batch_bytes;
-  buffer_.Deposit(batch_bytes);
-  buffer_.Drain(batch_bytes);  // host consumes the batch before the next.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batch_ops;
+    stats_.compute_ns +=
+        timing_.BatchDotLatencyNs(static_cast<int64_t>(s), operand_bits_);
+    stats_.compute_energy_pj += timing_.BatchDotEnergyPj(
+        stats_.data_crossbars + stats_.gather_crossbars, operand_bits_);
+    stats_.results_produced += n;
+    const uint64_t batch_bytes = n * sizeof(uint64_t);
+    stats_.result_bytes_to_host += batch_bytes;
+    buffer_.Deposit(batch_bytes);
+    buffer_.Drain(batch_bytes);  // host consumes the batch before the next.
+  }
   return Status::OK();
 }
 

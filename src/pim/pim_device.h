@@ -2,6 +2,7 @@
 #define PIMINE_PIM_PIM_DEVICE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -63,6 +64,10 @@ class PimDevice {
   /// Matches `query` against every programmed vector. Query values must be
   /// non-negative. Results are written into `out` (resized to N) and the
   /// batch is deposited into the buffer array. Time is charged to stats.
+  /// Safe to call concurrently from several host threads once programmed:
+  /// each batch's stats/buffer accounting is applied atomically, and the
+  /// per-batch charges are identical regardless of interleaving, so the
+  /// modeled totals match a serial run exactly.
   Status DotProductAll(std::span<const int32_t> query,
                        std::vector<uint64_t>* out);
 
@@ -87,6 +92,8 @@ class PimDevice {
   IntMatrix data_;
   int operand_bits_ = 32;
   PimDeviceStats stats_;
+  /// Guards stats_ and buffer_ against concurrent DotProductAll batches.
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace pimine

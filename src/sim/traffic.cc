@@ -1,6 +1,9 @@
 #include "sim/traffic.h"
 
+#include <algorithm>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 namespace pimine {
 
@@ -26,6 +29,14 @@ TrafficCounters TrafficCounters::operator-(
   return out;
 }
 
+bool TrafficCounters::operator==(const TrafficCounters& other) const {
+  return bytes_from_memory == other.bytes_from_memory &&
+         bytes_to_memory == other.bytes_to_memory &&
+         arithmetic_ops == other.arithmetic_ops &&
+         long_ops == other.long_ops && branches == other.branches &&
+         pim_results_loaded == other.pim_results_loaded;
+}
+
 std::string TrafficCounters::ToString() const {
   std::ostringstream os;
   os << "read=" << bytes_from_memory << "B write=" << bytes_to_memory
@@ -35,13 +46,60 @@ std::string TrafficCounters::ToString() const {
 }
 
 namespace traffic {
+namespace {
+
+// Registry of every live thread's counter block plus the folded totals of
+// exited threads. Deliberately leaked: worker threads (e.g. the shared
+// ThreadPool's) may run their thread_local destructors during static
+// destruction, after a function-local static registry would already be gone.
+struct Registry {
+  std::mutex mu;
+  std::vector<const TrafficCounters*> live;
+  TrafficCounters retired;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// Thread-local registry membership: registers the counter block on first
+// use, retires it (folding its totals into the process accumulator so
+// GlobalSnapshot stays monotonic) on thread exit.
+struct ThreadEntry {
+  TrafficCounters counters;
+
+  ThreadEntry() {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.live.push_back(&counters);
+  }
+
+  ~ThreadEntry() {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.retired += counters;
+    registry.live.erase(
+        std::find(registry.live.begin(), registry.live.end(), &counters));
+  }
+};
+
+}  // namespace
 
 TrafficCounters& Local() {
-  thread_local TrafficCounters counters;
-  return counters;
+  thread_local ThreadEntry entry;
+  return entry.counters;
 }
 
 void Reset() { Local() = TrafficCounters(); }
+
+TrafficCounters GlobalSnapshot() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  TrafficCounters total = registry.retired;
+  for (const TrafficCounters* counters : registry.live) total += *counters;
+  return total;
+}
 
 }  // namespace traffic
 

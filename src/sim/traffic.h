@@ -27,19 +27,30 @@ struct TrafficCounters {
 
   TrafficCounters& operator+=(const TrafficCounters& other);
   TrafficCounters operator-(const TrafficCounters& other) const;
+  bool operator==(const TrafficCounters& other) const;
   std::string ToString() const;
 };
 
 /// Thread-local counter access. Kernels call the Count* helpers at coarse
-/// granularity (per row / per candidate) so instrumentation overhead stays
-/// negligible relative to the measured work.
+/// granularity (per row / per block of candidates) so instrumentation
+/// overhead stays negligible relative to the measured work.
 namespace traffic {
 
-/// Current thread's counters (mutable reference).
+/// Current thread's counters (mutable reference). The first access from a
+/// thread registers its counter block in the process-wide registry that
+/// AggregateScope drains; the block is retired (its totals folded into a
+/// process accumulator) when the thread exits.
 TrafficCounters& Local();
 
 /// Zeroes the current thread's counters.
 void Reset();
+
+/// Process-wide counter snapshot: the sum of every live thread's counters
+/// plus the totals retired by exited threads. Call only while no
+/// instrumented work is in flight on other threads (e.g. after
+/// ThreadPool::Wait()); the registry does not synchronize with counting
+/// threads beyond the caller's own happens-before edges.
+TrafficCounters GlobalSnapshot();
 
 inline void CountRead(uint64_t bytes);
 inline void CountWrite(uint64_t bytes);
@@ -57,9 +68,30 @@ inline void CountLongOps(uint64_t ops) { Local().long_ops += ops; }
 inline void CountBranches(uint64_t n) { Local().branches += n; }
 inline void CountPimResults(uint64_t n) { Local().pim_results_loaded += n; }
 
+/// RAII scope reporting the counter delta accumulated *across all threads*
+/// during its lifetime. This is what makes parallel runs report exactly the
+/// serial traffic: worker threads count into their own thread-local blocks
+/// (no contention on the hot path) and the scope drains the per-thread
+/// deltas through the registry. Construct before submitting work and read
+/// Delta() only after the pool has drained (ThreadPool::Wait() provides the
+/// required happens-before edge); concurrent unrelated instrumented work
+/// would be folded into the delta.
+class AggregateScope {
+ public:
+  AggregateScope() : start_(GlobalSnapshot()) {}
+
+  /// Counters accumulated (process-wide) since construction.
+  TrafficCounters Delta() const { return GlobalSnapshot() - start_; }
+
+ private:
+  TrafficCounters start_;
+};
+
 }  // namespace traffic
 
-/// RAII scope that reports the counter delta observed during its lifetime.
+/// RAII scope that reports the counter delta observed during its lifetime
+/// on the *calling thread only*. Use traffic::AggregateScope for runs that
+/// fan work out across a ThreadPool.
 class TrafficScope {
  public:
   TrafficScope() : start_(traffic::Local()) {}

@@ -1,0 +1,63 @@
+#ifndef PIMINE_UTIL_PARALLEL_H_
+#define PIMINE_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace pimine {
+
+/// Host-side execution policy for batch-query APIs (kNN Search, k-means
+/// Run, PimEngine::ComputeBounds). The policy only changes *how fast* the
+/// host side runs, never *what* it computes: any policy produces results,
+/// traffic counters and modeled PIM/host timings identical to the
+/// single-threaded default (see DESIGN.md, "Host-side parallelism vs. the
+/// paper's timing model").
+struct ExecPolicy {
+  /// Worker threads for the batch. <= 1 executes inline on the caller.
+  int num_threads = 1;
+  /// Candidate rows per blocked-kernel call / per parallel work chunk.
+  size_t block_size = 512;
+  /// Use the SIMD-friendly blocked batch kernels (SquaredEuclideanBatch
+  /// and friends) instead of the scalar per-row kernels where an algorithm
+  /// supports both. Blocked kernels compute full distances (no early
+  /// abandoning) with a different floating-point association, so flipping
+  /// this flag is the one policy change that is *not* bit-identical to the
+  /// default — serial and parallel runs of the *same* flag always are.
+  bool blocked_kernels = false;
+
+  bool parallel() const { return num_threads > 1; }
+
+  static ExecPolicy Serial() { return ExecPolicy{}; }
+  static ExecPolicy WithThreads(int n) {
+    ExecPolicy p;
+    p.num_threads = n;
+    return p;
+  }
+};
+
+/// Number of worker slots ParallelChunks will use for `n` items in chunks
+/// of `chunk`: 1 for serial policies, else min(num_threads, #chunks).
+/// Callers size per-worker scratch/stat slots with this.
+size_t NumSlots(const ExecPolicy& policy, size_t n, size_t chunk);
+
+/// Runs fn(begin, end, slot) over [0, n) in chunks of `chunk` items.
+/// Serial policies invoke fn(0, n, 0) inline; parallel policies submit
+/// NumSlots() workers to the shared pool, each greedily claiming chunks,
+/// and block until every chunk has finished. `slot` < NumSlots() is stable
+/// for the duration of one worker, so fn may use slot-indexed scratch
+/// without synchronization. Chunk boundaries are deterministic; chunk ->
+/// worker assignment is not, so any cross-chunk state must be slot-local
+/// and merged by the caller in slot order.
+void ParallelChunks(const ExecPolicy& policy, size_t n, size_t chunk,
+                    const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Process-wide worker pool backing ParallelChunks, lazily created and
+/// grown to at least `min_threads` workers. Prefer ParallelChunks; this
+/// accessor exists for harnesses that need raw Submit/Wait.
+ThreadPool& SharedPool(size_t min_threads);
+
+}  // namespace pimine
+
+#endif  // PIMINE_UTIL_PARALLEL_H_

@@ -1,0 +1,268 @@
+// Serial vs. parallel execution must be indistinguishable except in wall
+// time: identical neighbours/assignments/centers (bit-for-bit) and exactly
+// equal aggregated traffic counters for every algorithm that honours an
+// ExecPolicy. This is the load-bearing invariant behind DESIGN.md's
+// "Host-side parallelism vs. the paper's timing model".
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "kmeans/elkan.h"
+#include "kmeans/hamerly.h"
+#include "kmeans/kmeans_common.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/yinyang.h"
+#include "knn/fnn_knn.h"
+#include "knn/fnn_pim_knn.h"
+#include "knn/knn_common.h"
+#include "knn/ost_knn.h"
+#include "knn/ost_pim_knn.h"
+#include "knn/sm_knn.h"
+#include "knn/sm_pim_knn.h"
+#include "knn/standard_knn.h"
+#include "knn/standard_pim_knn.h"
+#include "test_helpers.h"
+
+namespace pimine {
+namespace {
+
+struct Workload {
+  FloatMatrix data;
+  FloatMatrix queries;
+};
+
+Workload MakeWorkload(size_t n, size_t d, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "test";
+  spec.dims = static_cast<int32_t>(d);
+  spec.profile = ClusterProfile::kClustered;
+  spec.num_clusters = 8;
+  spec.cluster_std = 0.08;
+  Workload w;
+  w.data = DatasetGenerator::Generate(spec, static_cast<int64_t>(n), seed);
+  w.queries = DatasetGenerator::GenerateQueries(spec, w.data, 9, seed + 1);
+  return w;
+}
+
+// Bit-identical, not "close": parallel runs reorder queries across workers
+// but never reassociate any per-query floating-point computation.
+void ExpectIdenticalKnnRuns(const KnnRunResult& serial,
+                            const KnnRunResult& parallel,
+                            const std::string& label) {
+  ASSERT_EQ(serial.neighbors.size(), parallel.neighbors.size()) << label;
+  for (size_t q = 0; q < serial.neighbors.size(); ++q) {
+    ASSERT_EQ(serial.neighbors[q].size(), parallel.neighbors[q].size())
+        << label << " query " << q;
+    for (size_t j = 0; j < serial.neighbors[q].size(); ++j) {
+      EXPECT_EQ(serial.neighbors[q][j].id, parallel.neighbors[q][j].id)
+          << label << " query " << q << " rank " << j;
+      EXPECT_EQ(serial.neighbors[q][j].distance,
+                parallel.neighbors[q][j].distance)
+          << label << " query " << q << " rank " << j;
+    }
+  }
+  EXPECT_EQ(serial.stats.exact_count, parallel.stats.exact_count) << label;
+  EXPECT_EQ(serial.stats.bound_count, parallel.stats.bound_count) << label;
+  EXPECT_TRUE(serial.stats.traffic == parallel.stats.traffic)
+      << label << ": aggregated traffic counters diverged";
+  EXPECT_EQ(serial.stats.pim_ns, parallel.stats.pim_ns) << label;
+}
+
+struct KnnCase {
+  std::string label;
+  std::function<std::unique_ptr<KnnAlgorithm>()> make;
+};
+
+std::vector<KnnCase> AllKnnCases() {
+  std::vector<KnnCase> cases;
+  cases.push_back({"Standard/ED", [] {
+                     return std::make_unique<StandardKnn>();
+                   }});
+  cases.push_back({"Standard/CS", [] {
+                     return std::make_unique<StandardKnn>(Distance::kCosine);
+                   }});
+  cases.push_back({"Standard/PCC", [] {
+                     return std::make_unique<StandardKnn>(Distance::kPearson);
+                   }});
+  cases.push_back({"SM", [] { return std::make_unique<SmKnn>(); }});
+  cases.push_back({"OST", [] { return std::make_unique<OstKnn>(); }});
+  cases.push_back({"FNN", [] { return std::make_unique<FnnKnn>(); }});
+  cases.push_back({"StandardPIM/ED", [] {
+                     return std::make_unique<StandardPimKnn>(
+                         Distance::kEuclidean, EngineOptions());
+                   }});
+  cases.push_back({"StandardPIM/CS", [] {
+                     return std::make_unique<StandardPimKnn>(
+                         Distance::kCosine, EngineOptions());
+                   }});
+  cases.push_back({"SmPIM", [] {
+                     return std::make_unique<SmPimKnn>(EngineOptions());
+                   }});
+  cases.push_back({"OstPIM", [] {
+                     return std::make_unique<OstPimKnn>(EngineOptions());
+                   }});
+  cases.push_back({"FnnPIM", [] {
+                     return std::make_unique<FnnPimKnn>(EngineOptions(),
+                                                        /*optimize=*/true);
+                   }});
+  return cases;
+}
+
+TEST(ParallelDeterminismTest, KnnParallelSearchMatchesSerialExactly) {
+  const Workload w = MakeWorkload(500, 48, 42);
+  const int k = 8;
+
+  for (const KnnCase& c : AllKnnCases()) {
+    auto algorithm = c.make();
+    ASSERT_TRUE(algorithm->Prepare(w.data).ok()) << c.label;
+
+    auto serial = algorithm->Search(w.queries, k);
+    ASSERT_TRUE(serial.ok()) << c.label;
+
+    for (int threads : {2, 4, 8}) {
+      algorithm->set_exec_policy(ExecPolicy::WithThreads(threads));
+      auto parallel = algorithm->Search(w.queries, k);
+      ASSERT_TRUE(parallel.ok()) << c.label;
+      ExpectIdenticalKnnRuns(*serial, *parallel,
+                             c.label + " x" + std::to_string(threads));
+    }
+  }
+}
+
+// Flipping blocked_kernels changes floating-point association (full
+// distances, multi-accumulator reduction), so its results are only required
+// to be *self*-consistent: serial blocked == parallel blocked, bit for bit,
+// and traffic totals stay exactly those of the scalar path.
+TEST(ParallelDeterminismTest, BlockedKernelsSerialMatchesParallelExactly) {
+  const Workload w = MakeWorkload(400, 37, 7);  // odd d exercises tails.
+  const int k = 5;
+
+  for (Distance distance :
+       {Distance::kEuclidean, Distance::kCosine, Distance::kPearson}) {
+    StandardKnn algorithm(distance);
+    ASSERT_TRUE(algorithm.Prepare(w.data).ok());
+
+    auto scalar = algorithm.Search(w.queries, k);
+    ASSERT_TRUE(scalar.ok());
+
+    ExecPolicy blocked;
+    blocked.blocked_kernels = true;
+    blocked.block_size = 96;
+    algorithm.set_exec_policy(blocked);
+    auto serial_blocked = algorithm.Search(w.queries, k);
+    ASSERT_TRUE(serial_blocked.ok());
+
+    blocked.num_threads = 4;
+    algorithm.set_exec_policy(blocked);
+    auto parallel_blocked = algorithm.Search(w.queries, k);
+    ASSERT_TRUE(parallel_blocked.ok());
+
+    const std::string label =
+        "blocked distance=" + std::to_string(static_cast<int>(distance));
+    ExpectIdenticalKnnRuns(*serial_blocked, *parallel_blocked, label);
+
+    // Same neighbour ids as the scalar path (distances may differ in the
+    // last ulp) and, for ED where the scalar path early-abandons, at least
+    // as much modeled read traffic.
+    for (size_t q = 0; q < scalar->neighbors.size(); ++q) {
+      for (size_t j = 0; j < scalar->neighbors[q].size(); ++j) {
+        EXPECT_EQ(scalar->neighbors[q][j].id,
+                  serial_blocked->neighbors[q][j].id)
+            << label << " query " << q << " rank " << j;
+      }
+    }
+    if (distance == Distance::kEuclidean) {
+      EXPECT_GE(serial_blocked->stats.traffic.bytes_from_memory,
+                scalar->stats.traffic.bytes_from_memory)
+          << label;
+    } else {
+      EXPECT_TRUE(serial_blocked->stats.traffic == scalar->stats.traffic)
+          << label << ": full-scan similarity traffic must not change";
+    }
+  }
+}
+
+void ExpectIdenticalKmeansRuns(const KmeansResult& serial,
+                               const KmeansResult& parallel,
+                               const std::string& label) {
+  EXPECT_EQ(serial.iterations, parallel.iterations) << label;
+  ASSERT_EQ(serial.assignments.size(), parallel.assignments.size()) << label;
+  for (size_t i = 0; i < serial.assignments.size(); ++i) {
+    ASSERT_EQ(serial.assignments[i], parallel.assignments[i])
+        << label << " point " << i;
+  }
+  ASSERT_EQ(serial.centers.rows(), parallel.centers.rows()) << label;
+  for (size_t c = 0; c < serial.centers.rows(); ++c) {
+    const auto a = serial.centers.row(c);
+    const auto b = parallel.centers.row(c);
+    for (size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j], b[j]) << label << " center " << c << " dim " << j;
+    }
+  }
+  EXPECT_EQ(serial.inertia, parallel.inertia) << label;
+  EXPECT_EQ(serial.stats.exact_count, parallel.stats.exact_count) << label;
+  EXPECT_EQ(serial.stats.bound_count, parallel.stats.bound_count) << label;
+  EXPECT_TRUE(serial.stats.traffic == parallel.stats.traffic)
+      << label << ": aggregated traffic counters diverged";
+  EXPECT_EQ(serial.stats.pim_ns, parallel.stats.pim_ns) << label;
+}
+
+struct KmeansCase {
+  std::string label;
+  std::function<std::unique_ptr<KmeansAlgorithm>()> make;
+};
+
+std::vector<KmeansCase> AllKmeansCases() {
+  std::vector<KmeansCase> cases;
+  cases.push_back({"Lloyd", [] { return std::make_unique<LloydKmeans>(); }});
+  cases.push_back({"Elkan", [] { return std::make_unique<ElkanKmeans>(); }});
+  cases.push_back(
+      {"Hamerly", [] { return std::make_unique<HamerlyKmeans>(); }});
+  cases.push_back(
+      {"Yinyang", [] { return std::make_unique<YinyangKmeans>(); }});
+  return cases;
+}
+
+TEST(ParallelDeterminismTest, KmeansParallelAssignMatchesSerialExactly) {
+  const Workload w = MakeWorkload(420, 24, 17);
+
+  for (bool use_pim : {false, true}) {
+    for (const KmeansCase& c : AllKmeansCases()) {
+      KmeansOptions options;
+      options.k = 12;
+      options.max_iterations = 5;
+      options.seed = 123;
+      options.use_pim = use_pim;
+
+      auto algorithm = c.make();
+      auto serial = algorithm->Run(w.data, options);
+      ASSERT_TRUE(serial.ok()) << c.label;
+
+      options.exec = ExecPolicy::WithThreads(4);
+      options.exec.block_size = 64;  // several chunks per pass at n=420.
+      auto parallel = algorithm->Run(w.data, options);
+      ASSERT_TRUE(parallel.ok()) << c.label;
+
+      ExpectIdenticalKmeansRuns(
+          *serial, *parallel,
+          c.label + (use_pim ? "+PIM" : "") + " x4");
+    }
+  }
+}
+
+// The parallel harness must propagate per-query failures, not crash or
+// deadlock: force an error by searching with a handle-free engine state.
+TEST(ParallelDeterminismTest, ParallelSearchPropagatesErrors) {
+  StandardKnn algorithm;
+  algorithm.set_exec_policy(ExecPolicy::WithThreads(4));
+  auto result = algorithm.Search(testing_util::RandomUnitMatrix(4, 8, 1), 2);
+  EXPECT_FALSE(result.ok());  // Prepare never ran.
+}
+
+}  // namespace
+}  // namespace pimine
