@@ -1,15 +1,30 @@
 // Micro-benchmarks (google-benchmark) of the PIM substrate: cycle-level
 // crossbar dot products, batched device matches, layout math, and the
 // crossbar-geometry ablations called out in DESIGN.md §5.
+//
+// `bench_micro_pim --batch_sweep [n] [s]` switches to a standalone
+// batched-vs-single sweep (Q in {1, 4, 16, 64}) that emits one JSON
+// document in the bench_micro_batch_kernels shape, with built-in
+// bit-identity and modeled-stats self-checks. Default n=4096, s=256.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
 #include "data/matrix.h"
 #include "pim/crossbar.h"
 #include "pim/crossbar_math.h"
 #include "pim/pim_device.h"
 #include "pim/timing.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace pimine {
 namespace {
@@ -99,7 +114,169 @@ void BM_PlanLayout(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanLayout);
 
+// --- batched-vs-single device sweep (--batch_sweep) ----------------------
+
+std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+double BestOfMs(int repetitions, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repetitions; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+/// Modeled-stat fields that must be invariant under batching, compared
+/// bit-for-bit between a batched device and a single-query device.
+bool InvariantStatsEqual(const PimDeviceStats& a, const PimDeviceStats& b) {
+  return a.queries_processed == b.queries_processed &&
+         a.compute_ns == b.compute_ns &&
+         a.compute_energy_pj == b.compute_energy_pj &&
+         a.results_produced == b.results_produced &&
+         a.result_bytes_to_host == b.result_bytes_to_host;
+}
+
+int BatchSweep(size_t n, size_t s) {
+  constexpr size_t kTotalQueries = 64;  // divisible by every swept Q.
+  Rng rng(7);
+  IntMatrix data(n, s);
+  for (size_t i = 0; i < n; ++i) {
+    for (int32_t& v : data.mutable_row(i)) {
+      v = static_cast<int32_t>(rng.NextBounded(1 << 20));
+    }
+  }
+  std::vector<int32_t> queries(kTotalQueries * s);
+  for (int32_t& v : queries) {
+    v = static_cast<int32_t>(rng.NextBounded(1 << 20));
+  }
+
+  // Single-query reference device: results and modeled stats for all
+  // kTotalQueries queries, one DotProductAll each.
+  PimDevice single;
+  PIMINE_CHECK_OK(single.ProgramDataset(data));
+  std::vector<uint64_t> expected(kTotalQueries * n);
+  std::vector<uint64_t> out;
+  for (size_t q = 0; q < kTotalQueries; ++q) {
+    PIMINE_CHECK_OK(single.DotProductAll(
+        std::span<const int32_t>(queries).subspan(q * s, s), &out));
+    std::copy(out.begin(), out.end(), expected.begin() + q * n);
+  }
+  const PimDeviceStats single_stats = single.stats();
+
+  std::cout << "{\n"
+            << "  \"bench\": \"micro_pim_batch\",\n"
+            << "  \"n\": " << n << ",\n"
+            << "  \"s\": " << s << ",\n"
+            << "  \"total_queries\": " << kTotalQueries << ",\n"
+            << "  \"sweep\": [\n";
+
+  double q1_ms = 0.0;
+  bool first = true;
+  for (size_t batch : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    PimDevice device;
+    PIMINE_CHECK_OK(device.ProgramDataset(data));
+    std::vector<uint64_t> batch_out;
+
+    const auto run_all = [&] {
+      for (size_t q0 = 0; q0 < kTotalQueries; q0 += batch) {
+        PIMINE_CHECK_OK(device.DotProductBatch(
+            std::span<const int32_t>(queries).subspan(q0 * s, batch * s),
+            batch, &batch_out));
+      }
+    };
+    run_all();  // warm-up; also the copy checked for bit-identity below.
+
+    // Bit-identity self-check against the single-query reference (the last
+    // batch of run_all covers queries [kTotalQueries - batch, kTotalQueries)).
+    for (size_t q = kTotalQueries - batch; q < kTotalQueries; ++q) {
+      const size_t bq = q - (kTotalQueries - batch);
+      for (size_t v = 0; v < n; ++v) {
+        PIMINE_CHECK(batch_out[bq * n + v] == expected[q * n + v])
+            << "batched result diverged at Q=" << batch << " q=" << q
+            << " v=" << v;
+      }
+    }
+
+    const double ms = BestOfMs(5, run_all);
+    if (batch == 1) q1_ms = ms;
+
+    // Modeled-stats self-check: every invariant field must equal the
+    // single-query device's after the same total number of queries. The
+    // warm-up plus 5 timed repetitions ran 6 * kTotalQueries queries, so
+    // compare against 6x by re-running the single-query device 5 more times.
+    PimDevice ref;
+    PIMINE_CHECK_OK(ref.ProgramDataset(data));
+    for (int rep = 0; rep < 6; ++rep) {
+      for (size_t q = 0; q < kTotalQueries; ++q) {
+        PIMINE_CHECK_OK(ref.DotProductAll(
+            std::span<const int32_t>(queries).subspan(q * s, s), &out));
+      }
+    }
+    PIMINE_CHECK(InvariantStatsEqual(device.stats(), ref.stats()))
+        << "batched stats diverged at Q=" << batch << ":\n  batched: "
+        << device.stats().ToString() << "\n  single:  " << ref.stats().ToString();
+    const uint64_t expected_batches =
+        6 * (kTotalQueries / batch);
+    PIMINE_CHECK(device.stats().batch_ops == expected_batches);
+    PIMINE_CHECK(device.stats().queries_per_batch.at(
+                     static_cast<int64_t>(batch)) == expected_batches);
+
+    const double queries_per_s =
+        static_cast<double>(kTotalQueries) / (ms / 1e3);
+    // Modeled times for ONE pass over the kTotalQueries queries.
+    const double serial_ns = device.stats().compute_ns / 6.0;
+    const double pipelined_ns = device.stats().pipelined_ns / 6.0;
+    if (!first) std::cout << ",\n";
+    first = false;
+    std::cout << "    {\"q\": " << batch
+              << ", \"wall_ms\": " << Fmt(ms, 4)
+              << ", \"queries_per_s\": " << Fmt(queries_per_s, 1)
+              << ", \"speedup_vs_q1\": "
+              << Fmt(q1_ms / std::max(1e-9, ms), 3)
+              << ", \"modeled_serial_ns\": " << Fmt(serial_ns, 1)
+              << ", \"modeled_pipelined_ns\": " << Fmt(pipelined_ns, 1)
+              << ", \"modeled_speedup\": "
+              << Fmt(serial_ns / std::max(1e-9, pipelined_ns), 3)
+              << ", \"identical_to_single\": true}";
+  }
+  std::cout << "\n  ],\n"
+            << "  \"note\": \"identical_to_single is PIMINE_CHECKed: results "
+               "are bit-identical and all batching-invariant modeled stats "
+               "are exactly equal to the per-query path\"\n"
+            << "}\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace pimine
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--batch_sweep") == 0) {
+    size_t n = 4096;
+    size_t s = 256;
+    const auto parse = [](const char* arg, size_t* out) {
+      char* end = nullptr;
+      const long long v = std::strtoll(arg, &end, 10);
+      if (end == arg || *end != '\0' || v <= 0) return false;
+      *out = static_cast<size_t>(v);
+      return true;
+    };
+    if ((argc > 2 && !parse(argv[2], &n)) ||
+        (argc > 3 && !parse(argv[3], &s))) {
+      std::cerr << "usage: " << argv[0] << " --batch_sweep [n] [s]\n";
+      return 2;
+    }
+    return pimine::BatchSweep(n, s);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -244,92 +244,159 @@ Result<PimEngine::QueryHandle> PimEngine::RunQuery(
 
 Result<PimEngine::QueryHandle> PimEngine::RunQuery(
     std::span<const float> query, QueryScratch* scratch) const {
-  PIMINE_CHECK(scratch != nullptr);
-  PIMINE_RETURN_IF_ERROR(CheckQuery(query));
+  PIMINE_ASSIGN_OR_RETURN(QueryHandleBatch batch,
+                          RunQueryBatch(query, /*num_queries=*/1, scratch));
+  // A one-query batch is exactly one single-query operation, so the views
+  // can be moved straight into the scalar handle.
   QueryHandle handle;
+  handle.dots1 = std::move(batch.dots1);
+  handle.dots2 = std::move(batch.dots2);
+  handle.phi_q = batch.phi_q[0];
+  handle.sum_floor_q = batch.sum_floor_q[0];
+  handle.norm_q = batch.norm_q[0];
+  handle.phi_b_q = batch.phi_b_q[0];
+  return handle;
+}
+
+Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
+    std::span<const float> queries, size_t num_queries) const {
+  QueryScratch scratch;
+  return RunQueryBatch(queries, num_queries, &scratch);
+}
+
+Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
+    std::span<const float> queries, size_t num_queries,
+    QueryScratch* scratch) const {
+  PIMINE_CHECK(scratch != nullptr);
+  if (num_queries == 0) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  if (queries.size() != num_queries * dims_) {
+    return Status::InvalidArgument("query batch dimensionality mismatch");
+  }
+  for (size_t q = 0; q < num_queries; ++q) {
+    PIMINE_RETURN_IF_ERROR(CheckQuery(queries.subspan(q * dims_, dims_)));
+  }
+
+  QueryHandleBatch batch;
+  batch.num_queries = num_queries;
+  batch.stride = num_objects_;
+  batch.phi_q.assign(num_queries, 0.0);
+  batch.sum_floor_q.assign(num_queries, 0.0);
+  batch.norm_q.assign(num_queries, 0.0);
+  batch.phi_b_q.assign(num_queries, 0.0);
+
   switch (mode_) {
-    case EngineMode::kDirectEd: {
-      scratch->ints.resize(dims_);
-      quantizer_.QuantizeRow(query, scratch->ints);
-      handle.phi_q = quantizer_.PhiEd(query);
-      PIMINE_RETURN_IF_ERROR(
-          device1_->DotProductAll(scratch->ints, &handle.dots1));
+    case EngineMode::kDirectEd:
+    case EngineMode::kCosine:
+    case EngineMode::kPearson: {
+      // One quantization pass over the whole batch, then one device op.
+      scratch->ints.resize(num_queries * dims_);
+      for (size_t q = 0; q < num_queries; ++q) {
+        const auto query = queries.subspan(q * dims_, dims_);
+        quantizer_.QuantizeRow(
+            query, std::span<int32_t>(scratch->ints)
+                       .subspan(q * dims_, dims_));
+        if (mode_ == EngineMode::kDirectEd) {
+          batch.phi_q[q] = quantizer_.PhiEd(query);
+        } else {
+          batch.sum_floor_q[q] = quantizer_.SumFloors(query);
+          if (mode_ == EngineMode::kCosine) {
+            batch.norm_q[q] = CsDecomposition::Phi(query);
+          } else {
+            const PccDecomposition::Phi phi =
+                PccDecomposition::ComputePhi(query);
+            batch.norm_q[q] = phi.a;
+            batch.phi_b_q[q] = phi.b;
+          }
+        }
+      }
+      PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
+          scratch->ints, num_queries, &batch.dots1));
       break;
     }
     case EngineMode::kSegmentFnn:
     case EngineMode::kSegmentSm: {
       const size_t s = static_cast<size_t>(num_segments_);
-      scratch->ints.resize(s);
+      const bool with_stds = mode_ == EngineMode::kSegmentFnn;
+      scratch->ints.resize(num_queries * s);
+      if (with_stds) scratch->ints2.resize(num_queries * s);
       scratch->means.resize(s);
       scratch->stds.resize(s);
-      ComputeSegments(query, num_segments_, scratch->means, scratch->stds);
-      quantizer_.QuantizeRow(scratch->means, scratch->ints);
-      PIMINE_RETURN_IF_ERROR(
-          device1_->DotProductAll(scratch->ints, &handle.dots1));
-      if (mode_ == EngineMode::kSegmentFnn) {
-        handle.phi_q = quantizer_.PhiFnn(scratch->means, scratch->stds);
-        quantizer_.QuantizeRow(scratch->stds, scratch->ints);
-        PIMINE_RETURN_IF_ERROR(
-            device2_->DotProductAll(scratch->ints, &handle.dots2));
-      } else {
-        handle.phi_q = quantizer_.PhiSm(scratch->means);
+      for (size_t q = 0; q < num_queries; ++q) {
+        const auto query = queries.subspan(q * dims_, dims_);
+        ComputeSegments(query, num_segments_, scratch->means, scratch->stds);
+        quantizer_.QuantizeRow(
+            scratch->means,
+            std::span<int32_t>(scratch->ints).subspan(q * s, s));
+        if (with_stds) {
+          batch.phi_q[q] = quantizer_.PhiFnn(scratch->means, scratch->stds);
+          quantizer_.QuantizeRow(
+              scratch->stds,
+              std::span<int32_t>(scratch->ints2).subspan(q * s, s));
+        } else {
+          batch.phi_q[q] = quantizer_.PhiSm(scratch->means);
+        }
+      }
+      PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
+          scratch->ints, num_queries, &batch.dots1));
+      if (with_stds) {
+        PIMINE_RETURN_IF_ERROR(device2_->DotProductBatch(
+            scratch->ints2, num_queries, &batch.dots2));
       }
       break;
     }
-    case EngineMode::kCosine: {
-      scratch->ints.resize(dims_);
-      quantizer_.QuantizeRow(query, scratch->ints);
-      handle.sum_floor_q = quantizer_.SumFloors(query);
-      handle.norm_q = CsDecomposition::Phi(query);
-      PIMINE_RETURN_IF_ERROR(
-          device1_->DotProductAll(scratch->ints, &handle.dots1));
-      break;
-    }
-    case EngineMode::kPearson: {
-      scratch->ints.resize(dims_);
-      quantizer_.QuantizeRow(query, scratch->ints);
-      handle.sum_floor_q = quantizer_.SumFloors(query);
-      const PccDecomposition::Phi phi = PccDecomposition::ComputePhi(query);
-      handle.norm_q = phi.a;
-      handle.phi_b_q = phi.b;
-      PIMINE_RETURN_IF_ERROR(
-          device1_->DotProductAll(scratch->ints, &handle.dots1));
-      break;
-    }
   }
-  return handle;
+  return batch;
 }
 
-double PimEngine::BoundFor(const QueryHandle& handle, size_t index) const {
+double PimEngine::CombineBound(size_t index, uint64_t dot1, uint64_t dot2,
+                               double phi_q, double sum_floor_q,
+                               double norm_q, double phi_b_q) const {
   PIMINE_DCHECK(index < num_objects_);
   switch (mode_) {
     case EngineMode::kDirectEd:
-      return LbPimEdCombine(phi_[index], handle.phi_q, handle.dots1[index],
+      return LbPimEdCombine(phi_[index], phi_q, dot1,
                             static_cast<int64_t>(dims_), quantizer_.alpha());
     case EngineMode::kSegmentFnn:
-      return LbPimFnnCombine(phi_[index], handle.phi_q, handle.dots1[index],
-                             handle.dots2[index], num_segments_,
+      return LbPimFnnCombine(phi_[index], phi_q, dot1, dot2, num_segments_,
                              segment_length_, quantizer_.alpha());
     case EngineMode::kSegmentSm:
-      return LbPimSmCombine(phi_[index], handle.phi_q, handle.dots1[index],
-                            num_segments_, segment_length_,
-                            quantizer_.alpha());
+      return LbPimSmCombine(phi_[index], phi_q, dot1, num_segments_,
+                            segment_length_, quantizer_.alpha());
     case EngineMode::kCosine: {
-      const double ub_dot = UbPimDotCombine(
-          handle.dots1[index], sum_floor_[index], handle.sum_floor_q,
-          static_cast<int64_t>(dims_), quantizer_.alpha());
-      return UbPimCosine(ub_dot, norm_[index], handle.norm_q);
+      const double ub_dot =
+          UbPimDotCombine(dot1, sum_floor_[index], sum_floor_q,
+                          static_cast<int64_t>(dims_), quantizer_.alpha());
+      return UbPimCosine(ub_dot, norm_[index], norm_q);
     }
     case EngineMode::kPearson: {
-      const double ub_dot = UbPimDotCombine(
-          handle.dots1[index], sum_floor_[index], handle.sum_floor_q,
-          static_cast<int64_t>(dims_), quantizer_.alpha());
+      const double ub_dot =
+          UbPimDotCombine(dot1, sum_floor_[index], sum_floor_q,
+                          static_cast<int64_t>(dims_), quantizer_.alpha());
       return UbPimPearson(ub_dot, static_cast<int64_t>(dims_), phi_b_[index],
-                          handle.phi_b_q, norm_[index], handle.norm_q);
+                          phi_b_q, norm_[index], norm_q);
     }
   }
   PIMINE_CHECK(false) << "unreachable";
   return 0.0;
+}
+
+double PimEngine::BoundFor(const QueryHandle& handle, size_t index) const {
+  return CombineBound(
+      index, handle.dots1[index],
+      mode_ == EngineMode::kSegmentFnn ? handle.dots2[index] : 0,
+      handle.phi_q, handle.sum_floor_q, handle.norm_q, handle.phi_b_q);
+}
+
+double PimEngine::BoundFor(const QueryHandleBatch& batch, size_t query,
+                           size_t index) const {
+  PIMINE_DCHECK(query < batch.num_queries);
+  const size_t off = query * batch.stride + index;
+  return CombineBound(index, batch.dots1[off],
+                      mode_ == EngineMode::kSegmentFnn ? batch.dots2[off] : 0,
+                      batch.phi_q[query], batch.sum_floor_q[query],
+                      batch.norm_q[query], batch.phi_b_q[query]);
 }
 
 Status PimEngine::ComputeBounds(std::span<const float> query,
@@ -351,6 +418,12 @@ Status PimEngine::ComputeBounds(std::span<const float> query,
 double PimEngine::PimComputeNs() const {
   double total = device1_ ? device1_->stats().compute_ns : 0.0;
   if (device2_) total += device2_->stats().compute_ns;
+  return total;
+}
+
+double PimEngine::PimPipelinedNs() const {
+  double total = device1_ ? device1_->stats().pipelined_ns : 0.0;
+  if (device2_) total += device2_->stats().pipelined_ns;
   return total;
 }
 

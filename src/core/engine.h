@@ -82,11 +82,30 @@ class PimEngine {
     double phi_b_q = 0.0;      // PCC.
   };
 
-  /// Reusable per-call working memory for RunQuery. Engines hold no
-  /// mutable query state, so any number of host threads may run queries
-  /// concurrently, each with its own scratch.
+  /// Result of one *batched* PIM operation covering `num_queries` queries:
+  /// one shared dot-product buffer (query q's results occupy
+  /// dots1[q*stride, (q+1)*stride)) plus per-query scalar terms. Produced
+  /// by RunQueryBatch; consumed through BoundFor(batch, query, index).
+  /// Bound values are bit-identical to running each query through
+  /// RunQuery/BoundFor on its own.
+  struct QueryHandleBatch {
+    size_t num_queries = 0;
+    size_t stride = 0;            // == num_objects().
+    std::vector<uint64_t> dots1;  // num_queries * stride values.
+    std::vector<uint64_t> dots2;  // kSegmentFnn only.
+    // One entry per query; only the mode-relevant vectors are meaningful.
+    std::vector<double> phi_q;
+    std::vector<double> sum_floor_q;  // CS/PCC.
+    std::vector<double> norm_q;       // CS: |q|;  PCC: phi_a(q).
+    std::vector<double> phi_b_q;      // PCC.
+  };
+
+  /// Reusable per-call working memory for RunQuery / RunQueryBatch.
+  /// Engines hold no mutable query state, so any number of host threads
+  /// may run queries concurrently, each with its own scratch.
   struct QueryScratch {
     std::vector<int32_t> ints;
+    std::vector<int32_t> ints2;  // RunQueryBatch, kSegmentFnn: std inputs.
     std::vector<float> means;
     std::vector<float> stds;
   };
@@ -107,8 +126,29 @@ class PimEngine {
   Result<QueryHandle> RunQuery(std::span<const float> query,
                                QueryScratch* scratch) const;
 
+  /// Executes ONE batched PIM operation for `num_queries` queries packed
+  /// row-major in `queries` (num_queries * dims() values, each row a valid
+  /// RunQuery input). The whole batch is quantized in one pass and matched
+  /// by a single PimDevice::DotProductBatch per device, so the device
+  /// charges one batch_op (and the pipelined batch latency) instead of
+  /// num_queries separate operations. Bounds derived from the returned
+  /// handle are bit-identical to per-query RunQuery, and all modeled stats
+  /// except batch_ops / queries_per_batch / pipelined_ns are too.
+  Result<QueryHandleBatch> RunQueryBatch(std::span<const float> queries,
+                                         size_t num_queries,
+                                         QueryScratch* scratch) const;
+
+  /// As above, allocating scratch internally.
+  Result<QueryHandleBatch> RunQueryBatch(std::span<const float> queries,
+                                         size_t num_queries) const;
+
   /// Lazy combine for object `index`: O(1) host work, 3*b bits of transfer.
   double BoundFor(const QueryHandle& handle, size_t index) const;
+
+  /// Batched-handle combine: the bound for `batch` query `query` against
+  /// object `index`. Bit-identical to BoundFor(RunQuery(that query), index).
+  double BoundFor(const QueryHandleBatch& batch, size_t query,
+                  size_t index) const;
 
   /// Convenience: RunQuery + BoundFor for every object. The combination
   /// loop is spread across `policy.num_threads` workers in blocks of
@@ -131,7 +171,11 @@ class PimEngine {
   double TransferBitsPerCandidate() const { return 3.0 * operand_bits_; }
 
   /// Modeled PIM-side time accumulated by RunQuery calls (NVSim role).
+  /// Serial-equivalent: invariant under device batching.
   double PimComputeNs() const;
+  /// Modeled device-occupancy time with batch pipelining; equals
+  /// PimComputeNs() bit-for-bit when every operation carried one query.
+  double PimPipelinedNs() const;
   /// Modeled offline time: crossbar programming + Phi storage.
   double OfflineNs() const { return offline_ns_; }
   /// Bytes written during the offline stage (programming + Phi terms).
@@ -151,6 +195,12 @@ class PimEngine {
   Status BuildDotUpper(const FloatMatrix& data, bool pearson);
 
   Status CheckQuery(std::span<const float> query) const;
+
+  /// Mode dispatch shared by both BoundFor overloads: combines one
+  /// object's offline terms with one query's dot products and scalars.
+  double CombineBound(size_t index, uint64_t dot1, uint64_t dot2,
+                      double phi_q, double sum_floor_q, double norm_q,
+                      double phi_b_q) const;
 
   EngineMode mode_;
   EngineOptions options_;

@@ -121,7 +121,8 @@ Result<KmeansResult> DrakeKmeans::Run(const FloatMatrix& data,
 
     if (filter != nullptr) {
       ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
-      PIMINE_RETURN_IF_ERROR(filter->BeginIteration(result.centers));
+      PIMINE_RETURN_IF_ERROR(filter->BeginIteration(
+          result.centers, std::max<size_t>(1, options.exec.device_batch)));
     }
 
     if (!initialized) {

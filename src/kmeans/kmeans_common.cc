@@ -124,17 +124,29 @@ Result<std::unique_ptr<PimAssignFilter>> PimAssignFilter::Build(
       new PimAssignFilter(std::move(engine)));
 }
 
-Status PimAssignFilter::BeginIteration(const FloatMatrix& centers) {
-  handles_.resize(centers.rows());
-  for (size_t c = 0; c < centers.rows(); ++c) {
-    PIMINE_ASSIGN_OR_RETURN(handles_[c], engine_->RunQuery(centers.row(c)));
+Status PimAssignFilter::BeginIteration(const FloatMatrix& centers,
+                                       size_t device_batch) {
+  group_size_ = std::max<size_t>(1, device_batch);
+  const size_t k = centers.rows();
+  const size_t d = centers.cols();
+  batches_.clear();
+  batches_.reserve((k + group_size_ - 1) / group_size_);
+  // Center rows are contiguous, so each group is one flat span.
+  for (size_t c = 0; c < k; c += group_size_) {
+    const size_t group = std::min(group_size_, k - c);
+    PIMINE_ASSIGN_OR_RETURN(
+        PimEngine::QueryHandleBatch batch,
+        engine_->RunQueryBatch(
+            std::span<const float>(centers.data() + c * d, group * d), group));
+    batches_.push_back(std::move(batch));
   }
   return Status::OK();
 }
 
 double PimAssignFilter::LowerBound(size_t point, size_t center) const {
-  PIMINE_DCHECK(center < handles_.size());
-  const double lb_sq = engine_->BoundFor(handles_[center], point);
+  PIMINE_DCHECK(center / group_size_ < batches_.size());
+  const double lb_sq = engine_->BoundFor(batches_[center / group_size_],
+                                         center % group_size_, point);
   return lb_sq > 0.0 ? std::sqrt(lb_sq) : 0.0;
 }
 

@@ -104,9 +104,13 @@ class PimAssignFilter {
   static Result<std::unique_ptr<PimAssignFilter>> Build(
       const FloatMatrix& data, const EngineOptions& options);
 
-  /// Runs the k PIM batches for the current centers (call at the start of
-  /// every assign step; centers move every iteration).
-  Status BeginIteration(const FloatMatrix& centers);
+  /// Runs the PIM operations for the current centers (call at the start of
+  /// every assign step; centers move every iteration). Centers are grouped
+  /// into device batches of `device_batch` (the last group may be short),
+  /// each issued as one PimEngine::RunQueryBatch — bounds and all modeled
+  /// stats except the device's batch accounting are identical for every
+  /// grouping. Callers pass max(1, options.exec.device_batch).
+  Status BeginIteration(const FloatMatrix& centers, size_t device_batch = 1);
 
   /// Lower bound on the *real* (non-squared) distance between `point` and
   /// `center`. O(1) host work.
@@ -122,7 +126,8 @@ class PimAssignFilter {
       : engine_(std::move(engine)) {}
 
   std::unique_ptr<PimEngine> engine_;
-  std::vector<PimEngine::QueryHandle> handles_;
+  std::vector<PimEngine::QueryHandleBatch> batches_;
+  size_t group_size_ = 1;  // device_batch of the current iteration.
 };
 
 }  // namespace pimine

@@ -1,5 +1,6 @@
 #include "kmeans/lloyd.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/similarity.h"
@@ -56,7 +57,8 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
 
     if (filter != nullptr) {
       ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
-      PIMINE_RETURN_IF_ERROR(filter->BeginIteration(result.centers));
+      PIMINE_RETURN_IF_ERROR(filter->BeginIteration(
+          result.centers, std::max<size_t>(1, options.exec.device_batch)));
     }
 
     // Assign step. Points are independent: each worker reads the shared

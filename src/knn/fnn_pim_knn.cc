@@ -187,7 +187,7 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
     std::vector<std::vector<float>> q_stds;
     PimEngine::QueryScratch query;
   };
-  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) {
     s.bounds.resize(n);
     s.q_means.resize(levels_.size());
@@ -198,81 +198,98 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
     }
   }
 
-  Status status = RunQueriesWithPolicy(
+  Status status = RunQueryBatchesWithPolicy(
       exec_policy_, queries.rows(), &result.stats,
-      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
-        const auto q = queries.row(qi);
+      [&](size_t begin, size_t end, size_t slot_index, SearchSlot& slot) {
         Scratch& s = scratch[slot_index];
-        TopK topk(static_cast<size_t>(k));
+        const size_t batch_size = end - begin;
 
-        // Sort-order filter: the PIM bound when selected, else the first
-        // retained original level, else no filter at all.
+        // When the Eq. 13 plan kept the PIM bound, run the whole device
+        // batch up front; the plan may also have dropped it, in which case
+        // no device op is issued at all.
+        PimEngine::QueryHandleBatch batch;
         if (use_pim_filter_) {
           ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
-          auto handle = engine_->RunQuery(q, &s.query);
-          if (!handle.ok()) {
-            slot.status = handle.status();
+          auto r = engine_->RunQueryBatch(
+              std::span<const float>(queries.data() + begin * queries.cols(),
+                                     batch_size * queries.cols()),
+              batch_size, &s.query);
+          if (!r.ok()) {
+            slot.status = r.status();
             return;
           }
-          for (size_t i = 0; i < n; ++i) {
-            s.bounds[i] = engine_->BoundFor(*handle, i);
-          }
-          slot.bound_count += n;
-        } else if (!selected_levels_.empty()) {
-          ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
-          const SegmentStats& level = levels_[selected_levels_[0]];
-          const size_t lv = selected_levels_[0];
-          ComputeSegments(q, level.num_segments, s.q_means[lv], s.q_stds[lv]);
-          for (size_t i = 0; i < n; ++i) {
-            s.bounds[i] = LbFnn(level.means.row(i), level.stds.row(i),
-                                s.q_means[lv], s.q_stds[lv],
-                                level.segment_length);
-          }
-          slot.bound_count += n;
-        } else {
-          std::fill(s.bounds.begin(), s.bounds.end(), 0.0);
-        }
-        const size_t first_refine_level =
-            use_pim_filter_ ? 0 : (selected_levels_.empty() ? 0 : 1);
-
-        {
-          ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
-          for (size_t j = first_refine_level; j < selected_levels_.size();
-               ++j) {
-            const SegmentStats& level = levels_[selected_levels_[j]];
-            ComputeSegments(q, level.num_segments,
-                            s.q_means[selected_levels_[j]],
-                            s.q_stds[selected_levels_[j]]);
-          }
+          batch = std::move(r).value();
         }
 
-        std::vector<uint32_t> order;
-        {
-          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
-          order = ArgsortAscending(s.bounds);
-        }
-        for (uint32_t idx : order) {
-          if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
-          bool pruned = false;
-          for (size_t j = first_refine_level;
-               j < selected_levels_.size() && !pruned; ++j) {
+        for (size_t qi = begin; qi < end; ++qi) {
+          const auto q = queries.row(qi);
+          const size_t bq = qi - begin;
+          TopK topk(static_cast<size_t>(k));
+
+          // Sort-order filter: the PIM bound when selected, else the first
+          // retained original level, else no filter at all.
+          if (use_pim_filter_) {
+            ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+            for (size_t i = 0; i < n; ++i) {
+              s.bounds[i] = engine_->BoundFor(batch, bq, i);
+            }
+            slot.bound_count += n;
+          } else if (!selected_levels_.empty()) {
             ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
-            const size_t lv = selected_levels_[j];
-            const SegmentStats& level = levels_[lv];
-            const double lb = LbFnn(level.means.row(idx), level.stds.row(idx),
-                                    s.q_means[lv], s.q_stds[lv],
-                                    level.segment_length);
-            ++slot.bound_count;
-            pruned = topk.full() && lb >= topk.threshold();
+            const SegmentStats& level = levels_[selected_levels_[0]];
+            const size_t lv = selected_levels_[0];
+            ComputeSegments(q, level.num_segments, s.q_means[lv], s.q_stds[lv]);
+            for (size_t i = 0; i < n; ++i) {
+              s.bounds[i] = LbFnn(level.means.row(i), level.stds.row(i),
+                                  s.q_means[lv], s.q_stds[lv],
+                                  level.segment_length);
+            }
+            slot.bound_count += n;
+          } else {
+            std::fill(s.bounds.begin(), s.bounds.end(), 0.0);
           }
-          if (pruned) continue;
-          ScopedFunctionTimer timer(&slot.profile, "ED");
-          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                        topk.threshold());
-          topk.Push(d, static_cast<int32_t>(idx));
-          ++slot.exact_count;
+          const size_t first_refine_level =
+              use_pim_filter_ ? 0 : (selected_levels_.empty() ? 0 : 1);
+
+          {
+            ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
+            for (size_t j = first_refine_level; j < selected_levels_.size();
+                 ++j) {
+              const SegmentStats& level = levels_[selected_levels_[j]];
+              ComputeSegments(q, level.num_segments,
+                              s.q_means[selected_levels_[j]],
+                              s.q_stds[selected_levels_[j]]);
+            }
+          }
+
+          std::vector<uint32_t> order;
+          {
+            ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+            order = ArgsortAscending(s.bounds);
+          }
+          for (uint32_t idx : order) {
+            if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
+            bool pruned = false;
+            for (size_t j = first_refine_level;
+                 j < selected_levels_.size() && !pruned; ++j) {
+              ScopedFunctionTimer timer(&slot.profile, "LB_FNN");
+              const size_t lv = selected_levels_[j];
+              const SegmentStats& level = levels_[lv];
+              const double lb = LbFnn(level.means.row(idx), level.stds.row(idx),
+                                      s.q_means[lv], s.q_stds[lv],
+                                      level.segment_length);
+              ++slot.bound_count;
+              pruned = topk.full() && lb >= topk.threshold();
+            }
+            if (pruned) continue;
+            ScopedFunctionTimer timer(&slot.profile, "ED");
+            const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                          topk.threshold());
+            topk.Push(d, static_cast<int32_t>(idx));
+            ++slot.exact_count;
+          }
+          result.neighbors[qi] = topk.TakeSorted();
         }
-        result.neighbors[qi] = topk.TakeSorted();
       });
   PIMINE_RETURN_IF_ERROR(status);
 

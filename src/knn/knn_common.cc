@@ -33,6 +33,40 @@ std::vector<Neighbor> FinalizeSimilarityNeighbors(TopK& topk) {
   return out;
 }
 
+size_t NumBatchSlots(const ExecPolicy& policy, size_t num_queries) {
+  const size_t chunk = std::max<size_t>(1, policy.device_batch);
+  return NumSlots(policy, num_queries, chunk);
+}
+
+Status RunQueryBatchesWithPolicy(
+    const ExecPolicy& policy, size_t num_queries, RunStats* stats,
+    const std::function<void(size_t, size_t, size_t, SearchSlot&)>&
+        run_batch) {
+  const size_t chunk = std::max<size_t>(1, policy.device_batch);
+  std::vector<SearchSlot> slots(NumSlots(policy, num_queries, chunk));
+  // A serial policy hands the whole range to one invocation, so the
+  // callback re-splits its range on device_batch boundaries: parallel
+  // chunks are already chunk-aligned, which makes the realized batches
+  // (and therefore the device's batch accounting) identical for every
+  // thread count.
+  ParallelChunks(policy, num_queries, chunk,
+                 [&](size_t begin, size_t end, size_t slot_index) {
+                   SearchSlot& slot = slots[slot_index];
+                   for (size_t b = begin; b < end; b += chunk) {
+                     if (!slot.status.ok()) return;
+                     run_batch(b, std::min(end, b + chunk), slot_index, slot);
+                   }
+                 });
+  Status first_error;
+  for (const SearchSlot& slot : slots) {
+    stats->exact_count += slot.exact_count;
+    stats->bound_count += slot.bound_count;
+    stats->profile.Merge(slot.profile);
+    if (first_error.ok() && !slot.status.ok()) first_error = slot.status;
+  }
+  return first_error;
+}
+
 Status RunQueriesWithPolicy(
     const ExecPolicy& policy, size_t num_queries, RunStats* stats,
     const std::function<void(size_t, size_t, SearchSlot&)>& run_query) {

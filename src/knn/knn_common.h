@@ -79,6 +79,20 @@ Status RunQueriesWithPolicy(
     const ExecPolicy& policy, size_t num_queries, RunStats* stats,
     const std::function<void(size_t, size_t, SearchSlot&)>& run_query);
 
+/// Batched variant for PIM algorithms: workers claim whole device batches
+/// of `policy.device_batch` queries (the final batch may be short) and
+/// `run_batch(begin, end, slot_index, slot)` answers queries [begin, end)
+/// with ONE PimEngine::RunQueryBatch. Merging and error handling match
+/// RunQueriesWithPolicy; batch boundaries depend only on device_batch, so
+/// results and modeled stats are reproducible for any thread count.
+Status RunQueryBatchesWithPolicy(
+    const ExecPolicy& policy, size_t num_queries, RunStats* stats,
+    const std::function<void(size_t, size_t, size_t, SearchSlot&)>& run_batch);
+
+/// Worker slots a batched Search needs for `num_queries` under `policy`
+/// (scratch-sizing counterpart of NumSlots for device batches).
+size_t NumBatchSlots(const ExecPolicy& policy, size_t num_queries);
+
 /// Indices [0, n) sorted so values[out[0]] <= values[out[1]] <= ... Charges
 /// the sort's traffic to the thread-local counters.
 std::vector<uint32_t> ArgsortAscending(std::span<const double> values);

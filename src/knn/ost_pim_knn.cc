@@ -56,48 +56,66 @@ Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
   const size_t n = data_->rows();
   struct Scratch {
     std::vector<double> bounds;
+    std::vector<float> prefixes;  // gathered query prefixes (d0 values each).
     PimEngine::QueryScratch query;
   };
-  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) s.bounds.resize(n);
 
-  Status status = RunQueriesWithPolicy(
+  Status status = RunQueryBatchesWithPolicy(
       exec_policy_, queries.rows(), &result.stats,
-      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
-        const auto q = queries.row(qi);
+      [&](size_t begin, size_t end, size_t slot_index, SearchSlot& slot) {
         Scratch& s = scratch[slot_index];
-        TopK topk(static_cast<size_t>(k));
+        const size_t batch_size = end - begin;
+        const size_t d0 = static_cast<size_t>(d0_);
+        PimEngine::QueryHandleBatch batch;
         {
           ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
-          const double q_suffix = SuffixNorm(q, d0_);
-          auto handle = engine_->RunQuery(
-              q.subspan(0, static_cast<size_t>(d0_)), &s.query);
-          if (!handle.ok()) {
-            slot.status = handle.status();
+          // The engine sees only prefixes, which are not contiguous across
+          // query rows — gather them into batch scratch first.
+          s.prefixes.resize(batch_size * d0);
+          for (size_t qi = begin; qi < end; ++qi) {
+            const auto q = queries.row(qi);
+            std::copy(q.begin(), q.begin() + d0,
+                      s.prefixes.begin() + (qi - begin) * d0);
+          }
+          auto r = engine_->RunQueryBatch(s.prefixes, batch_size, &s.query);
+          if (!r.ok()) {
+            slot.status = r.status();
             return;
           }
-          for (size_t i = 0; i < n; ++i) {
-            const double norm_diff = suffix_norms_[i] - q_suffix;
-            const double prefix_lb =
-                std::max(0.0, engine_->BoundFor(*handle, i));
-            s.bounds[i] = prefix_lb + norm_diff * norm_diff;
+          batch = std::move(r).value();
+        }
+        for (size_t qi = begin; qi < end; ++qi) {
+          const auto q = queries.row(qi);
+          const size_t bq = qi - begin;
+          TopK topk(static_cast<size_t>(k));
+          {
+            ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+            const double q_suffix = SuffixNorm(q, d0_);
+            for (size_t i = 0; i < n; ++i) {
+              const double norm_diff = suffix_norms_[i] - q_suffix;
+              const double prefix_lb =
+                  std::max(0.0, engine_->BoundFor(batch, bq, i));
+              s.bounds[i] = prefix_lb + norm_diff * norm_diff;
+            }
+            slot.bound_count += n;
           }
-          slot.bound_count += n;
+          std::vector<uint32_t> order;
+          {
+            ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+            order = ArgsortAscending(s.bounds);
+          }
+          for (uint32_t idx : order) {
+            if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
+            ScopedFunctionTimer timer(&slot.profile, "ED");
+            const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                          topk.threshold());
+            topk.Push(d, static_cast<int32_t>(idx));
+            ++slot.exact_count;
+          }
+          result.neighbors[qi] = topk.TakeSorted();
         }
-        std::vector<uint32_t> order;
-        {
-          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
-          order = ArgsortAscending(s.bounds);
-        }
-        for (uint32_t idx : order) {
-          if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
-          ScopedFunctionTimer timer(&slot.profile, "ED");
-          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                        topk.threshold());
-          topk.Push(d, static_cast<int32_t>(idx));
-          ++slot.exact_count;
-        }
-        result.neighbors[qi] = topk.TakeSorted();
       });
   PIMINE_RETURN_IF_ERROR(status);
 

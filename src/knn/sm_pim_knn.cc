@@ -39,41 +39,53 @@ Result<KnnRunResult> SmPimKnn::Search(const FloatMatrix& queries, int k) {
     std::vector<double> bounds;
     PimEngine::QueryScratch query;
   };
-  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) s.bounds.resize(n);
 
-  Status status = RunQueriesWithPolicy(
+  Status status = RunQueryBatchesWithPolicy(
       exec_policy_, queries.rows(), &result.stats,
-      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
-        const auto q = queries.row(qi);
+      [&](size_t begin, size_t end, size_t slot_index, SearchSlot& slot) {
         Scratch& s = scratch[slot_index];
-        TopK topk(static_cast<size_t>(k));
+        const size_t batch_size = end - begin;
+        PimEngine::QueryHandleBatch batch;
         {
           ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
-          auto handle = engine_->RunQuery(q, &s.query);
-          if (!handle.ok()) {
-            slot.status = handle.status();
+          auto r = engine_->RunQueryBatch(
+              std::span<const float>(queries.data() + begin * queries.cols(),
+                                     batch_size * queries.cols()),
+              batch_size, &s.query);
+          if (!r.ok()) {
+            slot.status = r.status();
             return;
           }
-          for (size_t i = 0; i < n; ++i) {
-            s.bounds[i] = engine_->BoundFor(*handle, i);
+          batch = std::move(r).value();
+        }
+        for (size_t qi = begin; qi < end; ++qi) {
+          const auto q = queries.row(qi);
+          const size_t bq = qi - begin;
+          TopK topk(static_cast<size_t>(k));
+          {
+            ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+            for (size_t i = 0; i < n; ++i) {
+              s.bounds[i] = engine_->BoundFor(batch, bq, i);
+            }
+            slot.bound_count += n;
           }
-          slot.bound_count += n;
+          std::vector<uint32_t> order;
+          {
+            ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+            order = ArgsortAscending(s.bounds);
+          }
+          for (uint32_t idx : order) {
+            if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
+            ScopedFunctionTimer timer(&slot.profile, "ED");
+            const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                          topk.threshold());
+            topk.Push(d, static_cast<int32_t>(idx));
+            ++slot.exact_count;
+          }
+          result.neighbors[qi] = topk.TakeSorted();
         }
-        std::vector<uint32_t> order;
-        {
-          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
-          order = ArgsortAscending(s.bounds);
-        }
-        for (uint32_t idx : order) {
-          if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
-          ScopedFunctionTimer timer(&slot.profile, "ED");
-          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                        topk.threshold());
-          topk.Push(d, static_cast<int32_t>(idx));
-          ++slot.exact_count;
-        }
-        result.neighbors[qi] = topk.TakeSorted();
       });
   PIMINE_RETURN_IF_ERROR(status);
 

@@ -46,57 +46,71 @@ Result<KnnRunResult> StandardPimKnn::Search(const FloatMatrix& queries,
     std::vector<double> bounds;
     PimEngine::QueryScratch query;
   };
-  std::vector<Scratch> scratch(NumSlots(exec_policy_, queries.rows(), 1));
+  std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) s.bounds.resize(n);
 
-  Status status = RunQueriesWithPolicy(
+  Status status = RunQueryBatchesWithPolicy(
       exec_policy_, queries.rows(), &result.stats,
-      [&](size_t qi, size_t slot_index, SearchSlot& slot) {
-        const auto q = queries.row(qi);
+      [&](size_t begin, size_t end, size_t slot_index, SearchSlot& slot) {
         Scratch& s = scratch[slot_index];
-        TopK topk(static_cast<size_t>(k));
+        const size_t batch_size = end - begin;
 
-        // PIM filter phase: one (or two) batch dot-products + O(1) combines.
+        // PIM filter phase: one (or two) batched dot-product ops for the
+        // whole device batch (query rows are contiguous in the matrix).
+        PimEngine::QueryHandleBatch batch;
         {
           ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
-          auto handle = engine_->RunQuery(q, &s.query);
-          if (!handle.ok()) {
-            slot.status = handle.status();
+          auto r = engine_->RunQueryBatch(
+              std::span<const float>(queries.data() + begin * queries.cols(),
+                                     batch_size * queries.cols()),
+              batch_size, &s.query);
+          if (!r.ok()) {
+            slot.status = r.status();
             return;
           }
-          for (size_t i = 0; i < n; ++i) {
-            // Negate similarity upper bounds so ascending order = most
-            // promising first for both measure families.
-            const double b = engine_->BoundFor(*handle, i);
-            s.bounds[i] = maximize ? -b : b;
-          }
-          slot.bound_count += n;
+          batch = std::move(r).value();
         }
 
-        std::vector<uint32_t> order;
-        {
-          ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
-          order = ArgsortAscending(s.bounds);
-        }
-        for (uint32_t idx : order) {
-          if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
-          if (distance_ == Distance::kEuclidean) {
-            ScopedFunctionTimer timer(&slot.profile, "ED");
-            const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
-                                                          topk.threshold());
-            topk.Push(d, static_cast<int32_t>(idx));
-          } else {
-            const char* tag = distance_ == Distance::kCosine ? "CS" : "PCC";
-            ScopedFunctionTimer timer(&slot.profile, tag);
-            const double sim = distance_ == Distance::kCosine
-                                   ? CosineSimilarity(data_->row(idx), q)
-                                   : PearsonCorrelation(data_->row(idx), q);
-            topk.Push(-sim, static_cast<int32_t>(idx));
+        for (size_t qi = begin; qi < end; ++qi) {
+          const auto q = queries.row(qi);
+          const size_t bq = qi - begin;
+          TopK topk(static_cast<size_t>(k));
+          {
+            ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+            for (size_t i = 0; i < n; ++i) {
+              // Negate similarity upper bounds so ascending order = most
+              // promising first for both measure families.
+              const double b = engine_->BoundFor(batch, bq, i);
+              s.bounds[i] = maximize ? -b : b;
+            }
+            slot.bound_count += n;
           }
-          ++slot.exact_count;
+
+          std::vector<uint32_t> order;
+          {
+            ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
+            order = ArgsortAscending(s.bounds);
+          }
+          for (uint32_t idx : order) {
+            if (topk.full() && s.bounds[idx] >= topk.threshold()) break;
+            if (distance_ == Distance::kEuclidean) {
+              ScopedFunctionTimer timer(&slot.profile, "ED");
+              const double d = SquaredEuclideanEarlyAbandon(
+                  data_->row(idx), q, topk.threshold());
+              topk.Push(d, static_cast<int32_t>(idx));
+            } else {
+              const char* tag = distance_ == Distance::kCosine ? "CS" : "PCC";
+              ScopedFunctionTimer timer(&slot.profile, tag);
+              const double sim = distance_ == Distance::kCosine
+                                     ? CosineSimilarity(data_->row(idx), q)
+                                     : PearsonCorrelation(data_->row(idx), q);
+              topk.Push(-sim, static_cast<int32_t>(idx));
+            }
+            ++slot.exact_count;
+          }
+          result.neighbors[qi] = maximize ? FinalizeSimilarityNeighbors(topk)
+                                          : topk.TakeSorted();
         }
-        result.neighbors[qi] = maximize ? FinalizeSimilarityNeighbors(topk)
-                                        : topk.TakeSorted();
       });
   PIMINE_RETURN_IF_ERROR(status);
 

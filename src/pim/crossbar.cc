@@ -76,13 +76,18 @@ Result<Crossbar::DotResult> Crossbar::DotProduct(
 
   // Cycle-by-cycle emulation of the pipeline in Fig. 2: each DAC cycle
   // injects one h'-bit input slice; the analog column currents are sampled,
-  // digitized, and shifted into the running sums by the S&A unit.
+  // digitized, and shifted into the running sums by the S&A unit. The DAC
+  // drives every column with the same slice, so each cycle's input slices
+  // are extracted once per row, not once per (row, column) pair.
+  std::vector<uint64_t> input_slices(input.size());
   for (int t = 0; t < input_cycles; ++t) {
+    for (size_t row = 0; row < input.size(); ++row) {
+      input_slices[row] = ExtractSlice(input[row], t, dac_bits);
+    }
     for (int col = 0; col < logical_cols * slices; ++col) {
       uint64_t column_current = 0;
       for (size_t row = 0; row < input.size(); ++row) {
-        const uint64_t in_slice = ExtractSlice(input[row], t, dac_bits);
-        column_current += in_slice * cells_[row * dim_ + col];
+        column_current += input_slices[row] * cells_[row * dim_ + col];
       }
       const int logical = col / slices;
       const int cell_slice = col % slices;

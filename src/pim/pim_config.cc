@@ -35,7 +35,7 @@ std::string PimConfig::ToString() const {
      << " ns; " << num_crossbars << " crossbars ("
      << TotalCellBits() / 8 / (1024 * 1024) << " MB PIM array); buffer "
      << buffer_bytes / (1024 * 1024) << " MB eDRAM; bus " << internal_bus_gbps
-     << " GB/s";
+     << " GB/s; batches " << (pipelined_batches ? "pipelined" : "sequential");
   return os.str();
 }
 

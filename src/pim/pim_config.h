@@ -41,6 +41,12 @@ struct PimConfig {
   /// When true, buffer array lets PIM and CPU overlap (§III-A); modeled as
   /// hiding PIM latency behind host work where possible.
   bool buffer_overlap = true;
+  /// When true, a multi-query device batch streams its inputs back-to-back
+  /// through the crossbar pipeline (Fig. 2): after the first query fills the
+  /// pipeline, every further query costs one extra stage time instead of a
+  /// full pass. When false, batches are modeled as Q sequential passes
+  /// (ablation knob; functional results never depend on it).
+  bool pipelined_batches = true;
 
   /// PIM array capacity in data bits: C crossbars of m*m cells, h bits each.
   uint64_t TotalCellBits() const {

@@ -2,6 +2,7 @@
 #define PIMINE_PIM_PIM_DEVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <span>
 #include <string>
@@ -27,10 +28,28 @@ struct PimDeviceStats {
   double program_ns = 0.0;
   uint64_t programming_events = 0;  // full-array programs (endurance).
   uint64_t aux_bytes_stored = 0;    // Φ values kept in the memory array.
-  // Online costs.
+  // Online costs. Device batches group Q >= 1 queries into one operation;
+  // every field except `batch_ops`, `queries_per_batch` and `pipelined_ns`
+  // is invariant under the grouping: running the same queries at any
+  // device-batch size (and from any number of host threads) produces
+  // bit-identical values.
+  /// Batched operations issued (one per DotProductAll / DotProductBatch).
   uint64_t batch_ops = 0;
+  /// Total queries matched across all batches.
+  uint64_t queries_processed = 0;
+  /// How many batches carried exactly Q queries, keyed by Q.
+  std::map<int64_t, uint64_t> queries_per_batch;
+  /// Serial-equivalent modeled time: every query charged the full
+  /// single-query pass latency. Invariant under batching — this is the
+  /// figure the paper's single-query experiments report.
   double compute_ns = 0.0;
-  /// Modeled crossbar + ADC energy of the batches (picojoules).
+  /// Modeled device-occupancy time with batch pipelining
+  /// (PimTimingModel::BatchDotLatencyNs(s, bits, Q) per batch). Equals
+  /// compute_ns bit-for-bit when every batch has Q = 1; smaller when
+  /// queries stream back-to-back.
+  double pipelined_ns = 0.0;
+  /// Modeled crossbar + ADC energy of the batches (picojoules). Energy is
+  /// proportional to work, so it is not amortized by batching.
   double compute_energy_pj = 0.0;
   uint64_t results_produced = 0;
   uint64_t result_bytes_to_host = 0;
@@ -70,6 +89,22 @@ class PimDevice {
   /// modeled totals match a serial run exactly.
   Status DotProductAll(std::span<const int32_t> query,
                        std::vector<uint64_t>* out);
+
+  /// Batched form of DotProductAll: matches `num_queries` queries (row-major
+  /// in `queries`, each data_.cols() values, all non-negative) against every
+  /// programmed vector in one device operation. `out` is resized to
+  /// num_queries * N; query q's dot products occupy out[q*N, (q+1)*N) — the
+  /// per-query views callers slice out are laid out exactly like a
+  /// DotProductAll result. Functionally bit-identical to num_queries
+  /// DotProductAll calls (uint64 wraparound per object is associative, so
+  /// the tiled kernel cannot change any result); stats are charged once per
+  /// batch under the stats mutex, with compute/energy/result accounting
+  /// equal to the per-query path and the pipelined batch latency recorded
+  /// in stats.pipelined_ns. The host-side kernel is a cache-blocked,
+  /// register-tiled integer GEMM (objects x queries); build with
+  /// PIMINE_ENABLE_NATIVE=ON to let it use the host's widest SIMD ISA.
+  Status DotProductBatch(std::span<const int32_t> queries, size_t num_queries,
+                         std::vector<uint64_t>* out);
 
   /// Auxiliary storage in the ReRAM memory array (pre-computed Φ values).
   Status StoreAux(uint64_t bytes);

@@ -15,7 +15,13 @@ int PimTimingModel::InputCycles(int bits) const {
 }
 
 double PimTimingModel::BatchDotLatencyNs(int64_t s, int input_bits) const {
+  return BatchDotLatencyNs(s, input_bits, /*queries=*/1);
+}
+
+double PimTimingModel::BatchDotLatencyNs(int64_t s, int input_bits,
+                                         int64_t queries) const {
   PIMINE_CHECK(s > 0);
+  PIMINE_CHECK(queries > 0);
   const double stage_ns =
       static_cast<double>(InputCycles(input_bits)) *
       (config_.read_ns + config_.peripheral_ns);
@@ -24,7 +30,14 @@ double PimTimingModel::BatchDotLatencyNs(int64_t s, int input_bits) const {
   // slice-wise, Fig. 11); with m = 256 the tree is at most 2 deep for every
   // dimensionality in the paper.
   const int stages = GatherDepth(s, config_.crossbar_dim);
-  return stage_ns * static_cast<double>(stages);
+  if (!config_.pipelined_batches) {
+    return stage_ns * static_cast<double>(stages) *
+           static_cast<double>(queries);
+  }
+  // Back-to-back streaming: query q enters the data stage while query q-1
+  // occupies the first gather stage, so a batch drains in stages + Q - 1
+  // stage times. Q = 1 reduces exactly to stage_ns * stages (Table 5).
+  return stage_ns * static_cast<double>(stages + queries - 1);
 }
 
 double PimTimingModel::ProgramLatencyNs(uint64_t rows) const {

@@ -26,6 +26,14 @@ struct ExecPolicy {
   /// this flag is the one policy change that is *not* bit-identical to the
   /// default — serial and parallel runs of the *same* flag always are.
   bool blocked_kernels = false;
+  /// Queries per PIM device batch for algorithms that run on a PimEngine:
+  /// workers claim whole batches of this many queries and issue one
+  /// DotProductBatch (tiled GEMM) per batch instead of one DotProductAll
+  /// per query. Functional results, traffic and the serial-equivalent
+  /// modeled PIM time are bit-identical for every value; only wall time,
+  /// the device's batch_ops/queries_per_batch accounting and the modeled
+  /// pipelined_ns depend on it. 1 = the paper's per-query operation.
+  size_t device_batch = 1;
 
   bool parallel() const { return num_threads > 1; }
 

@@ -255,6 +255,70 @@ TEST(ParallelDeterminismTest, KmeansParallelAssignMatchesSerialExactly) {
   }
 }
 
+// Batched device operations compose with host threading: for every PIM kNN
+// algorithm, any (device_batch, num_threads) combination must reproduce the
+// serial per-query run bit for bit, including the serial-equivalent modeled
+// PIM time. 33 queries make device_batch=32 exercise a trailing partial
+// batch and device_batch=7 a mid-chunk re-split.
+TEST(ParallelDeterminismTest, DeviceBatchMatchesSerialExactly) {
+  DatasetSpec spec;
+  spec.name = "test";
+  spec.dims = 32;
+  spec.profile = ClusterProfile::kClustered;
+  spec.num_clusters = 8;
+  spec.cluster_std = 0.08;
+  const FloatMatrix data = DatasetGenerator::Generate(spec, 400, 97);
+  const FloatMatrix queries =
+      DatasetGenerator::GenerateQueries(spec, data, 33, 98);
+  const int k = 6;
+
+  for (const KnnCase& c : AllKnnCases()) {
+    if (c.label.find("PIM") == std::string::npos) continue;
+    auto algorithm = c.make();
+    ASSERT_TRUE(algorithm->Prepare(data).ok()) << c.label;
+
+    auto serial = algorithm->Search(queries, k);
+    ASSERT_TRUE(serial.ok()) << c.label;
+
+    for (size_t device_batch : {size_t{7}, size_t{32}}) {
+      for (int threads : {1, 4}) {
+        ExecPolicy policy = ExecPolicy::WithThreads(threads);
+        policy.device_batch = device_batch;
+        algorithm->set_exec_policy(policy);
+        auto batched = algorithm->Search(queries, k);
+        ASSERT_TRUE(batched.ok()) << c.label;
+        ExpectIdenticalKnnRuns(*serial, *batched,
+                               c.label + " batch" +
+                                   std::to_string(device_batch) + " x" +
+                                   std::to_string(threads));
+      }
+    }
+  }
+}
+
+// Same for the k-means PIM assign filter: grouped center batches must not
+// change assignments, centers, or any modeled counter.
+TEST(ParallelDeterminismTest, KmeansDeviceBatchMatchesSerialExactly) {
+  const Workload w = MakeWorkload(420, 24, 17);
+  KmeansOptions options;
+  options.k = 12;  // device_batch=7 leaves a trailing group of 5 centers.
+  options.max_iterations = 5;
+  options.seed = 123;
+  options.use_pim = true;
+
+  for (const KmeansCase& c : AllKmeansCases()) {
+    auto algorithm = c.make();
+    auto serial = algorithm->Run(w.data, options);
+    ASSERT_TRUE(serial.ok()) << c.label;
+
+    KmeansOptions batched_options = options;
+    batched_options.exec.device_batch = 7;
+    auto batched = algorithm->Run(w.data, batched_options);
+    ASSERT_TRUE(batched.ok()) << c.label;
+    ExpectIdenticalKmeansRuns(*serial, *batched, c.label + " batch7");
+  }
+}
+
 // The parallel harness must propagate per-query failures, not crash or
 // deadlock: force an error by searching with a handle-free engine state.
 TEST(ParallelDeterminismTest, ParallelSearchPropagatesErrors) {

@@ -54,9 +54,11 @@ int Usage() {
       "  knn      --dataset=<name> --algorithm=<standard|ost|sm|fnn>[-pim]\n"
       "           [--k=10] [--n=0] [--queries=20] [--distance=ED|CS|PCC]\n"
       "           [--alpha=1e6] [--crossbars=0 (0=scaled)] [--optimize]\n"
+      "           [--threads=1] [--block=512] [--device_batch=1]\n"
       "  kmeans   --dataset=<name> --algorithm=<standard|elkan|drake|\n"
       "           yinyang|hamerly> [--k=64] [--n=0] [--iterations=5]\n"
-      "           [--pim] [--seed=42]\n"
+      "           [--pim] [--seed=42] [--threads=1] [--block=512]\n"
+      "           [--device_batch=1]\n"
       "  outlier  --dataset=<name> [--k=5] [--top=10] [--n=4000] [--pim]\n"
       "  motif    [--length=4000] [--window=64] [--pim] [--seed=1]\n"
       "  plan     --dataset=<name> [--n=0] [--crossbars=131072]\n"
@@ -73,6 +75,18 @@ EngineOptions EngineFromFlags(const FlagParser& flags,
   if (crossbars > 0) options.pim_config.num_crossbars = crossbars;
   options.alpha = flags.GetDouble("alpha", options.alpha);
   return options;
+}
+
+/// --threads / --block / --device_batch map onto ExecPolicy; the defaults
+/// reproduce the paper's serial per-query measurement setup.
+ExecPolicy ExecFromFlags(const FlagParser& flags) {
+  ExecPolicy policy;
+  policy.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  policy.block_size = static_cast<size_t>(
+      flags.GetInt("block", static_cast<int64_t>(policy.block_size)));
+  policy.device_batch =
+      static_cast<size_t>(flags.GetInt("device_batch", 1));
+  return policy;
 }
 
 void PrintRunStats(const RunStats& stats, const HostCostModel& model) {
@@ -95,7 +109,8 @@ void PrintRunStats(const RunStats& stats, const HostCostModel& model) {
 int RunKnn(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "algorithm", "k", "n",
                                     "queries", "distance", "alpha",
-                                    "crossbars", "optimize"}));
+                                    "crossbars", "optimize", "threads",
+                                    "block", "device_batch"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 20));
@@ -129,6 +144,7 @@ int RunKnn(const FlagParser& flags) {
     return Usage();
   }
 
+  algorithm->set_exec_policy(ExecFromFlags(flags));
   PIMINE_CHECK_OK(algorithm->Prepare(workload.data));
   auto result =
       algorithm->Search(workload.queries,
@@ -145,7 +161,8 @@ int RunKnn(const FlagParser& flags) {
 int RunKmeans(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "algorithm", "k", "n",
                                     "iterations", "pim", "seed", "alpha",
-                                    "crossbars"}));
+                                    "crossbars", "threads", "block",
+                                    "device_batch"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "NUS-WIDE"),
                    flags.GetInt("n", 0), 1);
@@ -155,6 +172,7 @@ int RunKmeans(const FlagParser& flags) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.use_pim = flags.GetBool("pim", false);
   options.engine_options = EngineFromFlags(flags, workload);
+  options.exec = ExecFromFlags(flags);
 
   const std::string name = flags.GetString("algorithm", "standard");
   std::unique_ptr<KmeansAlgorithm> algorithm;
