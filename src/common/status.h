@@ -19,6 +19,10 @@ enum class StatusCode {
   kUnimplemented,
   kIOError,
   kInternal,
+  /// An unrecoverable PIM device fault: the checksum flagged a corrupted
+  /// result and the recovery policy exhausted retries/remaps without a
+  /// clean pass (pim/fault_model.h).
+  kDeviceFault,
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
@@ -62,6 +66,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeviceFault(std::string msg) {
+    return Status(StatusCode::kDeviceFault, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -146,10 +146,17 @@ Result<std::unique_ptr<PimEngine>> PimEngine::Build(
   return Status::Internal("unreachable engine bound selection");
 }
 
+std::unique_ptr<PimDevice> PimEngine::MakeDevice(bool second) const {
+  FaultConfig fault = options_.fault_config;
+  if (second) fault.seed ^= 0x9e3779b97f4a7c15ULL;
+  return std::make_unique<PimDevice>(options_.pim_config, fault,
+                                     options_.recovery);
+}
+
 Status PimEngine::BuildDirectEd(const FloatMatrix& data) {
   num_objects_ = data.rows();
   dims_ = data.cols();
-  device1_ = std::make_unique<PimDevice>(options_.pim_config);
+  device1_ = MakeDevice(/*second=*/false);
   PIMINE_RETURN_IF_ERROR(
       device1_->ProgramDataset(quantizer_.Quantize(data), operand_bits_));
   phi_ = quantizer_.PhiEdAll(data);
@@ -166,14 +173,14 @@ Status PimEngine::BuildSegment(const FloatMatrix& data, bool with_stds) {
   const int64_t s = num_segments_;
   SegmentStats stats = ComputeSegmentStats(data, s);
 
-  device1_ = std::make_unique<PimDevice>(options_.pim_config);
+  device1_ = MakeDevice(/*second=*/false);
   PIMINE_RETURN_IF_ERROR(device1_->ProgramDataset(
       quantizer_.Quantize(stats.means), operand_bits_));
   double program_ns = device1_->stats().program_ns;
   uint64_t bytes = num_objects_ * s * (operand_bits_ / 8);
 
   if (with_stds) {
-    device2_ = std::make_unique<PimDevice>(options_.pim_config);
+    device2_ = MakeDevice(/*second=*/true);
     PIMINE_RETURN_IF_ERROR(device2_->ProgramDataset(
         quantizer_.Quantize(stats.stds), operand_bits_));
     program_ns += device2_->stats().program_ns;
@@ -197,7 +204,7 @@ Status PimEngine::BuildSegment(const FloatMatrix& data, bool with_stds) {
 Status PimEngine::BuildDotUpper(const FloatMatrix& data, bool pearson) {
   num_objects_ = data.rows();
   dims_ = data.cols();
-  device1_ = std::make_unique<PimDevice>(options_.pim_config);
+  device1_ = MakeDevice(/*second=*/false);
   PIMINE_RETURN_IF_ERROR(
       device1_->ProgramDataset(quantizer_.Quantize(data), operand_bits_));
 
@@ -255,6 +262,8 @@ Result<PimEngine::QueryHandle> PimEngine::RunQuery(
   handle.sum_floor_q = batch.sum_floor_q[0];
   handle.norm_q = batch.norm_q[0];
   handle.phi_b_q = batch.phi_b_q[0];
+  handle.suspect1 = std::move(batch.suspect1);
+  handle.suspect2 = std::move(batch.suspect2);
   return handle;
 }
 
@@ -264,12 +273,29 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
   return RunQueryBatch(queries, num_queries, &scratch);
 }
 
+namespace {
+
+/// Drops an all-clean suspect vector so downstream consumers keep the
+/// zero-overhead fast path (empty == nothing flagged).
+void CompactSuspect(std::vector<uint8_t>* suspect) {
+  for (uint8_t s : *suspect) {
+    if (s != 0) return;
+  }
+  suspect->clear();
+}
+
+}  // namespace
+
 Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
     std::span<const float> queries, size_t num_queries,
     QueryScratch* scratch) const {
-  PIMINE_CHECK(scratch != nullptr);
+  if (scratch == nullptr) {
+    return Status::InvalidArgument(
+        "RunQueryBatch requires a non-null scratch");
+  }
   if (num_queries == 0) {
-    return Status::InvalidArgument("empty query batch");
+    return Status::InvalidArgument(
+        "empty query batch: RunQueryBatch requires num_queries >= 1");
   }
   if (queries.size() != num_queries * dims_) {
     return Status::InvalidArgument("query batch dimensionality mismatch");
@@ -285,6 +311,11 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
   batch.sum_floor_q.assign(num_queries, 0.0);
   batch.norm_q.assign(num_queries, 0.0);
   batch.phi_b_q.assign(num_queries, 0.0);
+  // Only fault-enabled devices fill suspect flags; fault-free runs never
+  // pay the allocation.
+  const bool with_suspect = options_.fault_config.enabled();
+  std::vector<uint8_t>* suspect1 = with_suspect ? &batch.suspect1 : nullptr;
+  std::vector<uint8_t>* suspect2 = with_suspect ? &batch.suspect2 : nullptr;
 
   switch (mode_) {
     case EngineMode::kDirectEd:
@@ -312,7 +343,7 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
         }
       }
       PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
-          scratch->ints, num_queries, &batch.dots1));
+          scratch->ints, num_queries, &batch.dots1, suspect1));
       break;
     }
     case EngineMode::kSegmentFnn:
@@ -339,15 +370,32 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
         }
       }
       PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
-          scratch->ints, num_queries, &batch.dots1));
+          scratch->ints, num_queries, &batch.dots1, suspect1));
       if (with_stds) {
         PIMINE_RETURN_IF_ERROR(device2_->DotProductBatch(
-            scratch->ints2, num_queries, &batch.dots2));
+            scratch->ints2, num_queries, &batch.dots2, suspect2));
       }
       break;
     }
   }
+  if (with_suspect) {
+    CompactSuspect(&batch.suspect1);
+    CompactSuspect(&batch.suspect2);
+  }
   return batch;
+}
+
+double PimEngine::TrivialBound() const {
+  switch (mode_) {
+    case EngineMode::kDirectEd:
+    case EngineMode::kSegmentFnn:
+    case EngineMode::kSegmentSm:
+      return 0.0;  // squared distances are non-negative.
+    case EngineMode::kCosine:
+    case EngineMode::kPearson:
+      return 1.0;  // cosine / Pearson never exceed 1.
+  }
+  return 0.0;
 }
 
 double PimEngine::CombineBound(size_t index, uint64_t dot1, uint64_t dot2,
@@ -383,6 +431,10 @@ double PimEngine::CombineBound(size_t index, uint64_t dot1, uint64_t dot2,
 }
 
 double PimEngine::BoundFor(const QueryHandle& handle, size_t index) const {
+  if ((!handle.suspect1.empty() && handle.suspect1[index] != 0) ||
+      (!handle.suspect2.empty() && handle.suspect2[index] != 0)) {
+    return TrivialBound();
+  }
   return CombineBound(
       index, handle.dots1[index],
       mode_ == EngineMode::kSegmentFnn ? handle.dots2[index] : 0,
@@ -393,6 +445,10 @@ double PimEngine::BoundFor(const QueryHandleBatch& batch, size_t query,
                            size_t index) const {
   PIMINE_DCHECK(query < batch.num_queries);
   const size_t off = query * batch.stride + index;
+  if ((!batch.suspect1.empty() && batch.suspect1[off] != 0) ||
+      (!batch.suspect2.empty() && batch.suspect2[off] != 0)) {
+    return TrivialBound();
+  }
   return CombineBound(index, batch.dots1[off],
                       mode_ == EngineMode::kSegmentFnn ? batch.dots2[off] : 0,
                       batch.phi_q[query], batch.sum_floor_q[query],
@@ -402,7 +458,10 @@ double PimEngine::BoundFor(const QueryHandleBatch& batch, size_t query,
 Status PimEngine::ComputeBounds(std::span<const float> query,
                                 std::vector<double>* bounds,
                                 const ExecPolicy& policy) const {
-  PIMINE_CHECK(bounds != nullptr);
+  if (bounds == nullptr) {
+    return Status::InvalidArgument(
+        "ComputeBounds requires a non-null output vector");
+  }
   PIMINE_ASSIGN_OR_RETURN(QueryHandle handle, RunQuery(query));
   bounds->resize(num_objects_);
   double* out = bounds->data();
@@ -418,6 +477,13 @@ Status PimEngine::ComputeBounds(std::span<const float> query,
 double PimEngine::PimComputeNs() const {
   double total = device1_ ? device1_->stats().compute_ns : 0.0;
   if (device2_) total += device2_->stats().compute_ns;
+  return total;
+}
+
+FaultStats PimEngine::FaultStatsTotal() const {
+  FaultStats total;
+  if (device1_) total.Merge(device1_->stats().fault);
+  if (device2_) total.Merge(device2_->stats().fault);
   return total;
 }
 

@@ -51,6 +51,12 @@ struct EngineOptions {
   /// For segment modes: use exactly this many segments (0 = let Theorem 4
   /// maximize s).
   int64_t force_segments = 0;
+  /// ReRAM fault injection for the engine's device(s); disabled by default
+  /// (bit-identical to fault-free behaviour). A kSegmentFnn second device
+  /// draws from a decorrelated seed.
+  FaultConfig fault_config;
+  /// Recovery policy the device(s) apply to checksum-flagged results.
+  RecoveryPolicy recovery;
 };
 
 /// The paper's framework in one object (§V): offline, it normalizes the
@@ -80,6 +86,11 @@ class PimEngine {
     double sum_floor_q = 0.0;  // CS/PCC.
     double norm_q = 0.0;       // CS: |q|;  PCC: phi_a(q).
     double phi_b_q = 0.0;      // PCC.
+    /// Per-result fault flags (VerifyMode::kBoundSlack only; empty when
+    /// every result verified clean). BoundFor returns the trivial
+    /// worst-case bound for flagged results, keeping pruning admissible.
+    std::vector<uint8_t> suspect1;
+    std::vector<uint8_t> suspect2;  // kSegmentFnn second device.
   };
 
   /// Result of one *batched* PIM operation covering `num_queries` queries:
@@ -98,6 +109,10 @@ class PimEngine {
     std::vector<double> sum_floor_q;  // CS/PCC.
     std::vector<double> norm_q;       // CS: |q|;  PCC: phi_a(q).
     std::vector<double> phi_b_q;      // PCC.
+    /// Per-result fault flags, laid out like dots1/dots2 (kBoundSlack only;
+    /// empty when every result verified clean).
+    std::vector<uint8_t> suspect1;
+    std::vector<uint8_t> suspect2;
   };
 
   /// Reusable per-call working memory for RunQuery / RunQueryBatch.
@@ -176,6 +191,9 @@ class PimEngine {
   /// Modeled device-occupancy time with batch pipelining; equals
   /// PimComputeNs() bit-for-bit when every operation carried one query.
   double PimPipelinedNs() const;
+  /// Fault-injection and recovery accounting summed over the engine's
+  /// device(s). All-zero when options.fault_config is disabled.
+  FaultStats FaultStatsTotal() const;
   /// Modeled offline time: crossbar programming + Phi storage.
   double OfflineNs() const { return offline_ns_; }
   /// Bytes written during the offline stage (programming + Phi terms).
@@ -195,6 +213,15 @@ class PimEngine {
   Status BuildDotUpper(const FloatMatrix& data, bool pearson);
 
   Status CheckQuery(std::span<const float> query) const;
+
+  /// Constructs device1_/device2_ honoring the fault options; the second
+  /// device's fault seed is decorrelated from the first's.
+  std::unique_ptr<PimDevice> MakeDevice(bool second) const;
+
+  /// Worst-case admissible value substituted for suspect results: 0 for the
+  /// ED family (a squared distance is never negative), 1 for CS/PCC (a
+  /// cosine/correlation never exceeds 1).
+  double TrivialBound() const;
 
   /// Mode dispatch shared by both BoundFor overloads: combines one
   /// object's offline terms with one query's dot products and scalars.

@@ -3,12 +3,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace pimine {
 namespace {
 
 constexpr uint32_t kMagic = 0x504d314d;  // "PM1M"
+
+// File layout: u32 magic @0, u64 rows @4, u64 cols @12, payload @20.
+constexpr long kHeaderBytes = 20;
+
+// Hard ceiling on payload elements: caps the up-front allocation a
+// malformed header can demand and rejects rows*cols overflow (2^46 floats
+// = 256 TiB, far beyond any dataset this simulator models).
+constexpr uint64_t kMaxElements = 1ULL << 46;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -50,20 +59,33 @@ Result<FloatMatrix> LoadMatrix(const std::string& path) {
   if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
       std::fread(&rows, sizeof(rows), 1, f.get()) != 1 ||
       std::fread(&cols, sizeof(cols), 1, f.get()) != 1) {
-    return Status::IOError("short read of header from '" + path + "'");
+    const long got = std::ftell(f.get());
+    return Status::IOError(
+        "truncated header in '" + path + "': expected " +
+        std::to_string(kHeaderBytes) + " bytes at offset 0, file holds " +
+        std::to_string(got < 0 ? 0 : got));
   }
   if (magic != kMagic) {
-    return Status::InvalidArgument("'" + path + "' is not a pimine matrix");
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a pimine matrix (bad magic at "
+                                   "offset 0)");
   }
-  if (rows > (1ULL << 40) || cols > (1ULL << 24)) {
-    return Status::InvalidArgument("implausible matrix shape in '" + path +
-                                   "'");
+  if (rows > (1ULL << 40) || cols > (1ULL << 24) ||
+      (cols != 0 && rows > kMaxElements / cols)) {
+    return Status::InvalidArgument(
+        "implausible matrix shape in '" + path + "': header at offset 4 "
+        "declares " + std::to_string(rows) + " x " + std::to_string(cols));
   }
   std::vector<float> payload(rows * cols);
-  if (!payload.empty() &&
-      std::fread(payload.data(), sizeof(float), payload.size(), f.get()) !=
-          payload.size()) {
-    return Status::IOError("short read of payload from '" + path + "'");
+  if (!payload.empty()) {
+    const size_t got =
+        std::fread(payload.data(), sizeof(float), payload.size(), f.get());
+    if (got != payload.size()) {
+      return Status::IOError(
+          "truncated payload in '" + path + "': expected " +
+          std::to_string(payload.size()) + " floats at offset " +
+          std::to_string(kHeaderBytes) + ", read " + std::to_string(got));
+    }
   }
   return FloatMatrix(rows, cols, std::move(payload));
 }

@@ -225,6 +225,7 @@ Result<KmeansResult> DrakeKmeans::Run(const FloatMatrix& data,
   result.stats.wall_ms = total_wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();
   if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
+  if (filter != nullptr) result.stats.fault = filter->FaultStatsTotal();
   return result;
 }
 

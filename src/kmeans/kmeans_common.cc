@@ -126,7 +126,12 @@ Result<std::unique_ptr<PimAssignFilter>> PimAssignFilter::Build(
 
 Status PimAssignFilter::BeginIteration(const FloatMatrix& centers,
                                        size_t device_batch) {
-  group_size_ = std::max<size_t>(1, device_batch);
+  if (device_batch == 0) {
+    return Status::InvalidArgument(
+        "BeginIteration requires device_batch >= 1 (centers per device "
+        "operation); 0 is not a valid batch size");
+  }
+  group_size_ = device_batch;
   const size_t k = centers.rows();
   const size_t d = centers.cols();
   batches_.clear();

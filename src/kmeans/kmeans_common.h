@@ -109,7 +109,8 @@ class PimAssignFilter {
   /// into device batches of `device_batch` (the last group may be short),
   /// each issued as one PimEngine::RunQueryBatch — bounds and all modeled
   /// stats except the device's batch accounting are identical for every
-  /// grouping. Callers pass max(1, options.exec.device_batch).
+  /// grouping. Callers pass max(1, options.exec.device_batch);
+  /// device_batch == 0 is rejected with InvalidArgument.
   Status BeginIteration(const FloatMatrix& centers, size_t device_batch = 1);
 
   /// Lower bound on the *real* (non-squared) distance between `point` and
@@ -117,6 +118,7 @@ class PimAssignFilter {
   double LowerBound(size_t point, size_t center) const;
 
   double PimComputeNs() const { return engine_->PimComputeNs(); }
+  FaultStats FaultStatsTotal() const { return engine_->FaultStatsTotal(); }
   double OfflineNs() const { return engine_->OfflineNs(); }
   void ResetOnlineStats() { engine_->ResetOnlineStats(); }
   const PimEngine& engine() const { return *engine_; }

@@ -42,7 +42,12 @@ Status RunQueryBatchesWithPolicy(
     const ExecPolicy& policy, size_t num_queries, RunStats* stats,
     const std::function<void(size_t, size_t, size_t, SearchSlot&)>&
         run_batch) {
-  const size_t chunk = std::max<size_t>(1, policy.device_batch);
+  if (policy.device_batch == 0) {
+    return Status::InvalidArgument(
+        "ExecPolicy::device_batch must be >= 1 (one query per device "
+        "operation); 0 is not a valid batch size");
+  }
+  const size_t chunk = policy.device_batch;
   std::vector<SearchSlot> slots(NumSlots(policy, num_queries, chunk));
   // A serial policy hands the whole range to one invocation, so the
   // callback re-splits its range on device_batch boundaries: parallel

@@ -122,6 +122,7 @@ Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();
   result.stats.pim_ns = engine_->PimComputeNs();
+  result.stats.fault = engine_->FaultStatsTotal();
   result.stats.footprint_bytes =
       n * (sizeof(double) * 3) +
       (result.stats.exact_count / std::max<uint64_t>(1, queries.rows())) *

@@ -92,6 +92,7 @@ Result<KnnRunResult> SmPimKnn::Search(const FloatMatrix& queries, int k) {
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();
   result.stats.pim_ns = engine_->PimComputeNs();
+  result.stats.fault = engine_->FaultStatsTotal();
   result.stats.footprint_bytes =
       n * sizeof(double) * 2 +
       (result.stats.exact_count / std::max<uint64_t>(1, queries.rows())) *

@@ -117,6 +117,7 @@ Result<KnnRunResult> StandardPimKnn::Search(const FloatMatrix& queries,
   result.stats.wall_ms = wall.ElapsedMillis();
   result.stats.traffic = traffic_scope.Delta();
   result.stats.pim_ns = engine_->PimComputeNs();
+  result.stats.fault = engine_->FaultStatsTotal();
   // Host working set: bound arrays + the refined rows.
   result.stats.footprint_bytes =
       n * sizeof(double) * 2 +

@@ -1,5 +1,7 @@
 #include "pim/crossbar.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "util/bits.h"
 
@@ -60,6 +62,13 @@ Status Crossbar::ProgramVector(int logical_col,
 Result<Crossbar::DotResult> Crossbar::DotProduct(
     std::span<const uint32_t> input, int input_bits, int operand_bits,
     int dac_bits) const {
+  return DotProduct(input, input_bits, operand_bits, dac_bits,
+                    /*faults=*/nullptr);
+}
+
+Result<Crossbar::DotResult> Crossbar::DotProduct(
+    std::span<const uint32_t> input, int input_bits, int operand_bits,
+    int dac_bits, FaultModel* faults) const {
   if (input.size() > static_cast<size_t>(dim_)) {
     return Status::OutOfRange("input longer than crossbar dimension");
   }
@@ -69,6 +78,15 @@ Result<Crossbar::DotResult> Crossbar::DotProduct(
   const int slices = SlicesPerOperand(operand_bits);
   const int logical_cols = NumLogicalColumns(operand_bits);
   const int input_cycles = NumSlices(input_bits, dac_bits);
+  if (faults != nullptr && !faults->enabled()) faults = nullptr;
+  const uint64_t nonce = faults != nullptr ? faults->NextOpNonce() : 0;
+  // Width of one digitized column sample: dim rows of (dac-slice * cell)
+  // products. Transient flips land inside it; ADC saturation drops its MSB.
+  const uint64_t max_current = static_cast<uint64_t>(dim_) *
+                               ((1ULL << dac_bits) - 1) *
+                               ((1ULL << cell_bits_) - 1);
+  const int sample_bits = FloorLog2(std::max<uint64_t>(1, max_current)) + 1;
+  const uint64_t adc_full_scale = (1ULL << (sample_bits - 1)) - 1;
 
   DotResult out;
   out.values.assign(logical_cols, 0);
@@ -87,7 +105,24 @@ Result<Crossbar::DotResult> Crossbar::DotProduct(
     for (int col = 0; col < logical_cols * slices; ++col) {
       uint64_t column_current = 0;
       for (size_t row = 0; row < input.size(); ++row) {
-        column_current += input_slices[row] * cells_[row * dim_ + col];
+        uint64_t cell = cells_[row * dim_ + col];
+        if (faults != nullptr) {
+          uint8_t level = 0;
+          if (faults->CellStuck(FaultModel::kCrossbarCellSalt,
+                                static_cast<uint64_t>(row) * dim_ + col,
+                                cell_bits_, &level)) {
+            cell = level;
+          }
+        }
+        column_current += input_slices[row] * cell;
+      }
+      if (faults != nullptr) {
+        const uint64_t sample = static_cast<uint64_t>(t) * dim_ + col;
+        if (faults->AdcSaturates(nonce, sample) &&
+            column_current > adc_full_scale) {
+          column_current = adc_full_scale;
+        }
+        column_current ^= faults->TransientMask(nonce, sample, sample_bits);
       }
       const int logical = col / slices;
       const int cell_slice = col % slices;

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "pim/fault_model.h"
 
 namespace pimine {
 
@@ -55,6 +56,17 @@ class Crossbar {
   /// cycle by cycle. `operand_bits` must match what was programmed.
   Result<DotResult> DotProduct(std::span<const uint32_t> input, int input_bits,
                                int operand_bits, int dac_bits) const;
+
+  /// As above, with fault injection from `faults` (may be null): stuck-at
+  /// cells (FaultModel::kCrossbarCellSalt domain, keyed by physical cell
+  /// index), per-sample ADC saturation (the sampled column current loses
+  /// its most-significant bit when it saturates), and transient single-bit
+  /// flips of individual digitized column samples. One op nonce is drawn
+  /// per call, so repeating a call redraws the transient faults while the
+  /// stuck cells stay put.
+  Result<DotResult> DotProduct(std::span<const uint32_t> input, int input_bits,
+                               int operand_bits, int dac_bits,
+                               FaultModel* faults) const;
 
   int dim() const { return dim_; }
   int cell_bits() const { return cell_bits_; }

@@ -1,0 +1,191 @@
+#ifndef PIMINE_PIM_FAULT_MODEL_H_
+#define PIMINE_PIM_FAULT_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace pimine {
+
+/// Fault-process parameters for the ReRAM device model. All processes are
+/// seeded and counter-based (stateless hashing of (seed, position/op)), so
+/// the same configuration reproduces the same fault pattern regardless of
+/// call order: a stuck cell is stuck in every run, and op k's transient
+/// draws depend only on k.
+struct FaultConfig {
+  /// Probability that a cell is stuck at a fixed conductance level
+  /// (stuck-at-0 or stuck-at-full, chosen per cell). Permanent: affects
+  /// every operation that reads the cell until the row group is remapped.
+  double cell_rate = 0.0;
+  /// Per-result probability that one operation's digitized value suffers a
+  /// single-bit flip in a shifted partial sum. Transient: a retry redraws.
+  double transient_rate = 0.0;
+  /// Per-result probability that the ADC saturates, clamping the value to
+  /// (1 << adc_sat_bits) - 1 when it exceeds that ceiling.
+  double adc_sat_rate = 0.0;
+  int adc_sat_bits = 48;
+  uint64_t seed = 0x5EEDF417u;
+
+  /// True when any fault process can fire. With enabled() == false the
+  /// device takes the exact pre-fault code paths (bit-identical results,
+  /// latencies and stats).
+  bool enabled() const {
+    return cell_rate > 0.0 || transient_rate > 0.0 || adc_sat_rate > 0.0;
+  }
+
+  Status Validate() const {
+    const auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+    if (!rate_ok(cell_rate) || !rate_ok(transient_rate) ||
+        !rate_ok(adc_sat_rate)) {
+      return Status::InvalidArgument("fault rates must be in [0, 1]");
+    }
+    if (adc_sat_bits < 1 || adc_sat_bits > 63) {
+      return Status::InvalidArgument("adc_sat_bits must be in [1, 63]");
+    }
+    return Status::OK();
+  }
+};
+
+/// What the device does with a result group the checksum still flags after
+/// retries and remapping are exhausted.
+enum class VerifyMode {
+  /// Re-read the affected rows over the internal bus and recompute the dot
+  /// products on the host: every detected anomaly is resolved exactly, so
+  /// downstream results are bit-identical to the fault-free run.
+  kHostExact,
+  /// Hand the possibly-corrupt values to the caller with a per-result
+  /// suspect flag; the engine widens the affected bounds to their trivial
+  /// worst case so pruning stays admissible (exact top-k / assignments).
+  kBoundSlack,
+  /// Fail the operation with StatusCode::kDeviceFault.
+  kFailOp,
+  /// Disable detection entirely (faulty values flow through unchecked).
+  kNone,
+};
+
+std::string_view VerifyModeName(VerifyMode mode);
+
+/// How the device recovers from checksum mismatches.
+struct RecoveryPolicy {
+  /// Re-issue the flagged group's pass up to this many times (fresh
+  /// transient draws each time; each retry charges one pipeline pass).
+  int max_retries = 2;
+  /// After retries fail, re-program the group onto spare rows (clears its
+  /// stuck cells; charged as row writes via PimTimingModel) and retry once
+  /// more. Each group is remapped at most once.
+  bool remap_on_permanent = true;
+  VerifyMode verify_mode = VerifyMode::kHostExact;
+};
+
+/// Accounting of the fault and recovery processes. Counters are per result
+/// value (one dot product or one checksum read) and per recovery action.
+/// Invariant: injected == detected + escaped — every corrupted value was
+/// either flagged by its group's checksum or slipped through.
+struct FaultStats {
+  /// Corrupted result values produced across all passes (retries re-count:
+  /// each pass is a new operation).
+  uint64_t injected = 0;
+  /// Corrupted values in passes the checksum flagged.
+  uint64_t detected = 0;
+  /// Corrupted values the checksum missed (multi-fault cancellation
+  /// mod 2^16 - 1) or that flowed through with verification off.
+  uint64_t escaped = 0;
+  /// Checksum comparisons performed (one per group pass).
+  uint64_t checksum_checks = 0;
+  /// (query, group) episodes that were flagged at least once.
+  uint64_t groups_flagged = 0;
+  /// Retry passes issued.
+  uint64_t retries = 0;
+  /// Crossbar rows re-programmed by remapping.
+  uint64_t remapped_rows = 0;
+  /// Result values escalated past device recovery (host re-read under
+  /// kHostExact, suspect-flagged under kBoundSlack).
+  uint64_t escalated_to_host = 0;
+  /// Stuck cells sampled while programming (harmful or latent).
+  uint64_t stuck_cells = 0;
+  /// Modeled time spent on recovery (retry passes + remap writes + host
+  /// re-reads), ns. Charged on top of the fault-free compute_ns.
+  double recovery_ns = 0.0;
+
+  bool Any() const {
+    return injected != 0 || checksum_checks != 0 || retries != 0 ||
+           remapped_rows != 0 || escalated_to_host != 0 || stuck_cells != 0 ||
+           recovery_ns != 0.0;
+  }
+
+  void Merge(const FaultStats& other) {
+    injected += other.injected;
+    detected += other.detected;
+    escaped += other.escaped;
+    checksum_checks += other.checksum_checks;
+    groups_flagged += other.groups_flagged;
+    retries += other.retries;
+    remapped_rows += other.remapped_rows;
+    escalated_to_host += other.escalated_to_host;
+    stuck_cells += other.stuck_cells;
+    recovery_ns += other.recovery_ns;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "injected=" << injected << " detected=" << detected
+       << " escaped=" << escaped << " checks=" << checksum_checks
+       << " flagged=" << groups_flagged << " retries=" << retries
+       << " remapped_rows=" << remapped_rows
+       << " escalated=" << escalated_to_host << " stuck_cells=" << stuck_cells
+       << " recovery=" << recovery_ns / 1e6 << "ms";
+    return os.str();
+  }
+};
+
+/// Seeded source of the three fault processes. Owns no device state: the
+/// device (or crossbar) maps its own cell/result indices onto the model's
+/// stateless draws. `salt` separates independent fault domains sharing one
+/// seed (data cells vs. checksum cells vs. a second crossbar).
+class FaultModel {
+ public:
+  /// Salts for the standard fault domains.
+  static constexpr uint64_t kDataCellSalt = 0xDA7ACE11u;
+  static constexpr uint64_t kChecksumCellSalt = 0xC5C5CE11u;
+  static constexpr uint64_t kCrossbarCellSalt = 0xCB0CE11u;
+
+  explicit FaultModel(const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// True iff cell `index` of domain `salt` is stuck; `*level` receives the
+  /// stuck conductance level (0 or the all-ones level for `cell_bits`-bit
+  /// cells). Deterministic in (seed, salt, index).
+  bool CellStuck(uint64_t salt, uint64_t index, int cell_bits,
+                 uint8_t* level) const;
+
+  /// Fresh per-operation nonce. Atomic: serial call sequences reproduce the
+  /// same nonce order; concurrent batches may interleave differently, which
+  /// changes which ops draw transients but never the recovered results.
+  uint64_t NextOpNonce() { return op_counter_.fetch_add(1); }
+
+  /// XOR mask (0 = no fault) flipping one bit of result `result_index` of
+  /// op `nonce`; the flipped bit is uniform in [0, value_bits).
+  uint64_t TransientMask(uint64_t nonce, uint64_t result_index,
+                         int value_bits = 64) const;
+
+  /// True iff the ADC saturates for result `result_index` of op `nonce`.
+  bool AdcSaturates(uint64_t nonce, uint64_t result_index) const;
+
+  /// Value the ADC clamps to when it saturates.
+  uint64_t AdcCeiling() const {
+    return (uint64_t{1} << config_.adc_sat_bits) - 1;
+  }
+
+ private:
+  FaultConfig config_;
+  std::atomic<uint64_t> op_counter_{0};
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_PIM_FAULT_MODEL_H_

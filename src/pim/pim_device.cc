@@ -30,12 +30,22 @@ std::string PimDeviceStats::ToString() const {
     os << q << ":" << count;
   }
   os << "}";
+  if (fault.Any()) os << " faults={" << fault.ToString() << "}";
   return os.str();
 }
 
-PimDevice::PimDevice(const PimConfig& config)
-    : config_(config), timing_(config), buffer_(config.buffer_bytes) {
+PimDevice::PimDevice(const PimConfig& config, const FaultConfig& fault_config,
+                     const RecoveryPolicy& recovery)
+    : config_(config),
+      timing_(config),
+      buffer_(config.buffer_bytes),
+      fault_config_(fault_config),
+      recovery_(recovery) {
   PIMINE_CHECK_OK(config.Validate());
+  PIMINE_CHECK_OK(fault_config.Validate());
+  if (fault_config_.enabled()) {
+    faults_ = std::make_unique<FaultModel>(fault_config_);
+  }
 }
 
 Status PimDevice::ProgramDataset(const IntMatrix& data, int operand_bits) {
@@ -81,7 +91,106 @@ Status PimDevice::ProgramDataset(const IntMatrix& data, int operand_bits) {
       config_.crossbar_dim;
   stats_.program_ns += timing_.ProgramLatencyNs(rows_written);
   ++stats_.programming_events;
+  if (faults_ != nullptr) BuildFaultState();
   return Status::OK();
+}
+
+namespace {
+
+/// Residue modulus of the checksum column: 2^16 == 1 (mod kResidue), so a
+/// 16-bit-aligned single-bit flip shifts the residue by a nonzero
+/// 2^(i mod 16) — every single-fault corruption is detected; only
+/// multi-fault cancellations mod kResidue can escape.
+constexpr uint64_t kResidue = 65535;  // 2^16 - 1.
+
+uint64_t ResidueOf(uint64_t v) { return v % kResidue; }
+
+}  // namespace
+
+void PimDevice::BuildFaultState() {
+  const size_t n = data_.rows();
+  const size_t s = data_.cols();
+  const int cell_bits = config_.cell_bits;
+  const int slices = NumSlices(operand_bits_, cell_bits);
+  fault_group_size_ = std::max<size_t>(
+      1, static_cast<size_t>(config_.crossbar_dim / slices));
+  const size_t num_groups = (n + fault_group_size_ - 1) / fault_group_size_;
+
+  // Stuck cells of the data crossbars, folded per object into sparse
+  // (dimension, read delta) lists: a cell stuck at `level` instead of its
+  // true slice shifts every read of that operand by
+  // (level - true_slice) << (slice * cell_bits).
+  stuck_.assign(n, {});
+  uint64_t stuck_cells = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const auto row = data_.row(v);
+    for (size_t j = 0; j < s; ++j) {
+      const uint64_t cell_base = (v * s + j) * static_cast<uint64_t>(slices);
+      int64_t delta = 0;
+      bool any = false;
+      for (int slice = 0; slice < slices; ++slice) {
+        uint8_t level = 0;
+        if (!faults_->CellStuck(FaultModel::kDataCellSalt, cell_base + slice,
+                                cell_bits, &level)) {
+          continue;
+        }
+        ++stuck_cells;
+        const int64_t truth = static_cast<int64_t>(
+            ExtractSlice(static_cast<uint32_t>(row[j]), slice, cell_bits));
+        const int64_t diff = static_cast<int64_t>(level) - truth;
+        if (diff != 0) {
+          delta += diff << (slice * cell_bits);
+          any = true;
+        }
+      }
+      if (any) {
+        stuck_[v].push_back({static_cast<uint32_t>(j), delta});
+      }
+    }
+  }
+
+  // Per-group checksum columns: column sums of the group's operands mod
+  // 2^16 - 1, stored as one extra 16-bit logical column per crossbar set.
+  // The checksum cells sit on the same die, so they get their own stuck
+  // draws (in a separate salt domain).
+  const int csum_slices = NumSlices(16, cell_bits);
+  csum_.assign(num_groups * s, 0);
+  csum_stuck_.assign(num_groups, {});
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t v0 = g * fault_group_size_;
+    const size_t v1 = std::min(n, v0 + fault_group_size_);
+    for (size_t j = 0; j < s; ++j) {
+      uint64_t sum = 0;
+      for (size_t v = v0; v < v1; ++v) {
+        sum += static_cast<uint32_t>(data_.row(v)[j]);
+      }
+      csum_[g * s + j] = static_cast<uint32_t>(ResidueOf(sum));
+      const uint64_t cell_base =
+          (g * s + j) * static_cast<uint64_t>(csum_slices);
+      int64_t delta = 0;
+      bool any = false;
+      for (int slice = 0; slice < csum_slices; ++slice) {
+        uint8_t level = 0;
+        if (!faults_->CellStuck(FaultModel::kChecksumCellSalt,
+                                cell_base + slice, cell_bits, &level)) {
+          continue;
+        }
+        ++stuck_cells;
+        const int64_t truth = static_cast<int64_t>(
+            ExtractSlice(csum_[g * s + j], slice, cell_bits));
+        const int64_t diff = static_cast<int64_t>(level) - truth;
+        if (diff != 0) {
+          delta += diff << (slice * cell_bits);
+          any = true;
+        }
+      }
+      if (any) {
+        csum_stuck_[g].push_back({static_cast<uint32_t>(j), delta});
+      }
+    }
+  }
+  remapped_.assign(num_groups, 0);
+  stats_.fault.stuck_cells += stuck_cells;
 }
 
 Status PimDevice::DotProductAll(std::span<const int32_t> query,
@@ -204,15 +313,175 @@ void DotProductGemm(const int32_t* data, size_t n, size_t s,
 
 }  // namespace
 
+Status PimDevice::ApplyFaultsAndRecover(std::span<const int32_t> queries,
+                                        size_t num_queries,
+                                        std::vector<uint64_t>* out,
+                                        std::vector<uint8_t>* suspect,
+                                        FaultStats* local) {
+  const size_t n = data_.rows();
+  const size_t s = data_.cols();
+  const size_t num_groups = (n + fault_group_size_ - 1) / fault_group_size_;
+  const bool verify = recovery_.verify_mode != VerifyMode::kNone;
+  if (recovery_.verify_mode == VerifyMode::kBoundSlack && suspect == nullptr) {
+    return Status::FailedPrecondition(
+        "VerifyMode::kBoundSlack requires a suspect buffer");
+  }
+  if (suspect != nullptr) suspect->assign(num_queries * n, 0);
+
+  // Modeled recovery charges: a retry re-streams the query through the
+  // group's pipeline; a remap re-programs the group's crossbar rows; a host
+  // escalation re-reads the group's raw operands over the internal bus.
+  const double retry_ns =
+      timing_.BatchDotLatencyNs(static_cast<int64_t>(s), operand_bits_);
+  const uint64_t group_rows =
+      CeilDiv(static_cast<uint64_t>(s),
+              static_cast<uint64_t>(config_.crossbar_dim)) *
+      static_cast<uint64_t>(config_.crossbar_dim);
+  const double remap_ns = timing_.ProgramLatencyNs(group_rows);
+
+  std::vector<uint64_t> faulty(fault_group_size_);
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const int32_t* qv = queries.data() + q * s;
+    uint64_t* true_dots = out->data() + q * n;
+    for (size_t g = 0; g < num_groups; ++g) {
+      const size_t v0 = g * fault_group_size_;
+      const size_t v1 = std::min(n, v0 + fault_group_size_);
+      const size_t count = v1 - v0;
+
+      // True checksum dot: dot(q, column sums mod 2^16-1). By linearity it
+      // is congruent mod 2^16-1 to the sum of the group's true dots (as
+      // long as no per-object dot wrapped past 2^64; a wrapped dot shows up
+      // as a persistent mismatch and escalates, which stays exact).
+      uint64_t csum_true = 0;
+      const uint32_t* cs_col = csum_.data() + g * s;
+      for (size_t j = 0; j < s; ++j) {
+        csum_true += static_cast<uint64_t>(static_cast<uint32_t>(qv[j])) *
+                     cs_col[j];
+      }
+
+      bool flagged_once = false;
+      int attempts = 0;
+      for (;;) {
+        const uint64_t nonce = faults_->NextOpNonce();
+        uint64_t corrupted = 0;
+        for (size_t v = v0; v < v1; ++v) {
+          uint64_t val = true_dots[v];
+          for (const StuckDelta& sd : stuck_[v]) {
+            val += static_cast<uint64_t>(sd.delta) *
+                   static_cast<uint64_t>(static_cast<uint32_t>(qv[sd.dim]));
+          }
+          if (faults_->AdcSaturates(nonce, v - v0) &&
+              val > faults_->AdcCeiling()) {
+            val = faults_->AdcCeiling();
+          }
+          val ^= faults_->TransientMask(nonce, v - v0);
+          faulty[v - v0] = val;
+          if (val != true_dots[v]) ++corrupted;
+        }
+        uint64_t cs = csum_true;
+        for (const StuckDelta& sd : csum_stuck_[g]) {
+          cs += static_cast<uint64_t>(sd.delta) *
+                static_cast<uint64_t>(static_cast<uint32_t>(qv[sd.dim]));
+        }
+        cs ^= faults_->TransientMask(nonce, count);
+        if (cs != csum_true) ++corrupted;
+        local->injected += corrupted;
+
+        if (verify) ++local->checksum_checks;
+        bool match = true;
+        if (verify) {
+          uint64_t residue = 0;
+          for (size_t v = 0; v < count; ++v) {
+            residue = ResidueOf(residue + ResidueOf(faulty[v]));
+          }
+          match = residue == ResidueOf(cs);
+        }
+        if (match) {
+          // Accepted (clean pass, undetected corruption, or verification
+          // off): the group's digitized values are what the host sees.
+          local->escaped += corrupted;
+          if (corrupted != 0) {
+            std::copy(faulty.begin(), faulty.begin() + count, true_dots + v0);
+          }
+          break;
+        }
+
+        local->detected += corrupted;
+        if (!flagged_once) {
+          ++local->groups_flagged;
+          flagged_once = true;
+        }
+        if (attempts < recovery_.max_retries) {
+          ++attempts;
+          ++local->retries;
+          local->recovery_ns += retry_ns;
+          continue;
+        }
+        if (recovery_.remap_on_permanent && !remapped_[g]) {
+          // Re-program the group onto spare rows: its stuck cells (data and
+          // checksum column) are gone from here on. Retry budget resets for
+          // the post-remap passes.
+          remapped_[g] = 1;
+          for (size_t v = v0; v < v1; ++v) stuck_[v].clear();
+          csum_stuck_[g].clear();
+          local->remapped_rows += group_rows;
+          local->recovery_ns += remap_ns;
+          attempts = 0;
+          continue;
+        }
+
+        // Unrecoverable on-device: escalate per the verify mode.
+        local->escalated_to_host += count;
+        switch (recovery_.verify_mode) {
+          case VerifyMode::kHostExact:
+            // Host re-reads the group's operands and recomputes the dots;
+            // `out` already holds the true values, so just charge the
+            // transfer (count rows of s operands over the internal bus).
+            local->recovery_ns +=
+                static_cast<double>(count * s * sizeof(int32_t)) /
+                config_.internal_bus_gbps;
+            break;
+          case VerifyMode::kBoundSlack:
+            // Hand over the corrupt values, flagged: the engine widens the
+            // affected bounds to their trivial worst case.
+            std::copy(faulty.begin(), faulty.begin() + count, true_dots + v0);
+            for (size_t v = v0; v < v1; ++v) {
+              (*suspect)[q * n + v] = 1;
+            }
+            break;
+          case VerifyMode::kFailOp: {
+            std::ostringstream os;
+            os << "unrecoverable PIM fault: group " << g << " of query " << q
+               << " still fails its residue checksum after "
+               << recovery_.max_retries << " retries"
+               << (recovery_.remap_on_permanent ? " and a remap" : "");
+            return Status::DeviceFault(os.str());
+          }
+          case VerifyMode::kNone:
+            break;  // unreachable: kNone always matches.
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status PimDevice::DotProductBatch(std::span<const int32_t> queries,
                                   size_t num_queries,
-                                  std::vector<uint64_t>* out) {
-  PIMINE_CHECK(out != nullptr);
+                                  std::vector<uint64_t>* out,
+                                  std::vector<uint8_t>* suspect) {
+  if (out == nullptr) {
+    return Status::InvalidArgument(
+        "DotProductBatch requires a non-null output vector");
+  }
   if (!programmed()) {
     return Status::FailedPrecondition("no dataset programmed");
   }
   if (num_queries == 0) {
-    return Status::InvalidArgument("empty query batch");
+    return Status::InvalidArgument(
+        "empty query batch: DotProductBatch requires num_queries >= 1");
   }
   if (queries.size() != num_queries * data_.cols()) {
     return Status::InvalidArgument("query batch dimensionality mismatch");
@@ -231,6 +500,14 @@ Status PimDevice::DotProductBatch(std::span<const int32_t> queries,
   // as one tiled GEMM over the whole batch.
   DotProductGemm(data_.data(), n, s, queries.data(), num_queries,
                  out->data());
+
+  FaultStats local;
+  if (faults_ != nullptr) {
+    PIMINE_RETURN_IF_ERROR(
+        ApplyFaultsAndRecover(queries, num_queries, out, suspect, &local));
+  } else if (suspect != nullptr) {
+    suspect->clear();
+  }
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -256,6 +533,7 @@ Status PimDevice::DotProductBatch(std::span<const int32_t> queries,
                                   static_cast<int64_t>(num_queries));
     stats_.results_produced += num_queries * n;
     stats_.result_bytes_to_host += num_queries * query_bytes;
+    stats_.fault.Merge(local);
   }
   return Status::OK();
 }
@@ -285,6 +563,11 @@ void PimDevice::ResetOnlineStats() {
   stats_.compute_energy_pj = 0.0;
   stats_.results_produced = 0;
   stats_.result_bytes_to_host = 0;
+  // Fault counters are per-run; stuck_cells is a property of the programmed
+  // array (offline), like program_ns.
+  const uint64_t stuck_cells = stats_.fault.stuck_cells;
+  stats_.fault = FaultStats();
+  stats_.fault.stuck_cells = stuck_cells;
   buffer_.Reset();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "data/matrix.h"
 #include "pim/buffer_array.h"
+#include "pim/fault_model.h"
 #include "pim/pim_config.h"
 #include "pim/timing.h"
 
@@ -53,6 +55,9 @@ struct PimDeviceStats {
   double compute_energy_pj = 0.0;
   uint64_t results_produced = 0;
   uint64_t result_bytes_to_host = 0;
+  /// Fault-injection and recovery accounting (all zero — and omitted from
+  /// ToString — when the device runs fault-free).
+  FaultStats fault;
 
   std::string ToString() const;
 };
@@ -68,7 +73,13 @@ struct PimDeviceStats {
 /// model in tests.
 class PimDevice {
  public:
-  explicit PimDevice(const PimConfig& config = PimConfig());
+  /// `fault_config` enables the ReRAM fault model (stuck cells, transient
+  /// flips, ADC saturation) and `recovery` the checksum-based recovery path
+  /// (see fault_model.h). The defaults keep the device fault-free and
+  /// bit-identical to the pre-fault-model behaviour.
+  explicit PimDevice(const PimConfig& config = PimConfig(),
+                     const FaultConfig& fault_config = FaultConfig(),
+                     const RecoveryPolicy& recovery = RecoveryPolicy());
 
   /// Programs a quantized dataset (one vector per row; all values must be
   /// non-negative and fit `operand_bits`). Fails with CapacityExceeded when
@@ -103,8 +114,16 @@ class PimDevice {
   /// in stats.pipelined_ns. The host-side kernel is a cache-blocked,
   /// register-tiled integer GEMM (objects x queries); build with
   /// PIMINE_ENABLE_NATIVE=ON to let it use the host's widest SIMD ISA.
+  /// With the fault model enabled, every result group (the logical columns
+  /// of one data-crossbar set) carries a mod-(2^16 - 1) residue checksum
+  /// column; flagged groups are retried / remapped / escalated per the
+  /// RecoveryPolicy, with recovery time charged to stats.fault.recovery_ns.
+  /// `suspect` (optional) is sized num_queries * N and set to 1 for results
+  /// that remain possibly corrupt (VerifyMode::kBoundSlack only; required
+  /// in that mode). Fault-free devices leave `suspect` empty.
   Status DotProductBatch(std::span<const int32_t> queries, size_t num_queries,
-                         std::vector<uint64_t>* out);
+                         std::vector<uint64_t>* out,
+                         std::vector<uint8_t>* suspect = nullptr);
 
   /// Auxiliary storage in the ReRAM memory array (pre-computed Φ values).
   Status StoreAux(uint64_t bytes);
@@ -119,8 +138,33 @@ class PimDevice {
   const PimConfig& config() const { return config_; }
   const BufferArray& buffer() const { return buffer_; }
   const PimTimingModel& timing() const { return timing_; }
+  const FaultConfig& fault_config() const { return fault_config_; }
+  const RecoveryPolicy& recovery_policy() const { return recovery_; }
+
+  /// Objects per checksum-protected result group (the logical columns of
+  /// one data-crossbar set). 1 when no dataset is programmed.
+  size_t fault_group_size() const { return fault_group_size_; }
 
  private:
+  /// One stuck cell's aggregate effect on a stored operand: reading
+  /// dimension `dim` yields value + delta instead of value.
+  struct StuckDelta {
+    uint32_t dim;
+    int64_t delta;
+  };
+
+  /// Samples stuck cells and builds the checksum columns for the newly
+  /// programmed dataset (fault model enabled only).
+  void BuildFaultState();
+
+  /// Fault phase of DotProductBatch: perturbs, verifies and recovers the
+  /// true dot products in `out` group by group. Appends this batch's fault
+  /// accounting to `local` (merged into stats_ under stats_mu_ later).
+  Status ApplyFaultsAndRecover(std::span<const int32_t> queries,
+                               size_t num_queries, std::vector<uint64_t>* out,
+                               std::vector<uint8_t>* suspect,
+                               FaultStats* local);
+
   PimConfig config_;
   PimTimingModel timing_;
   BufferArray buffer_;
@@ -129,6 +173,19 @@ class PimDevice {
   PimDeviceStats stats_;
   /// Guards stats_ and buffer_ against concurrent DotProductAll batches.
   mutable std::mutex stats_mu_;
+
+  // Fault model state (empty / null when fault_config_ is disabled).
+  FaultConfig fault_config_;
+  RecoveryPolicy recovery_;
+  std::unique_ptr<FaultModel> faults_;
+  size_t fault_group_size_ = 1;
+  std::vector<std::vector<StuckDelta>> stuck_;       // per object.
+  std::vector<std::vector<StuckDelta>> csum_stuck_;  // per group checksum.
+  std::vector<uint32_t> csum_;  // per group: column sums mod 2^16 - 1.
+  std::vector<uint8_t> remapped_;  // per group: spare rows in use.
+  /// Serializes the fault/recovery phase: remapping mutates stuck_ and
+  /// remapped_, which concurrent batches also read.
+  mutable std::mutex fault_mu_;
 };
 
 }  // namespace pimine

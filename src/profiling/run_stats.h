@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "pim/fault_model.h"
 #include "profiling/function_profiler.h"
 #include "sim/traffic.h"
 
@@ -25,6 +26,9 @@ struct RunStats {
   uint64_t exact_count = 0;
   /// Bound evaluations performed (host-combined for PIM variants).
   uint64_t bound_count = 0;
+  /// Fault-injection and recovery accounting of the run's PIM device(s).
+  /// All-zero for baselines and fault-free PIM runs.
+  FaultStats fault;
   /// Per-function wall-time attribution (Fig. 6).
   FunctionProfiler profile;
 };

@@ -11,6 +11,8 @@
 
 #include "core/engine.h"
 #include "data/matrix.h"
+#include "kmeans/kmeans_common.h"
+#include "knn/standard_pim_knn.h"
 #include "pim/crossbar.h"
 #include "pim/crossbar_math.h"
 #include "pim/pim_device.h"
@@ -232,8 +234,11 @@ TEST(PimBatchTest, BatchValidation) {
   const IntMatrix data = RandomIntMatrix(4, 8, 10, 61);
   ASSERT_TRUE(device.ProgramDataset(data).ok());
   std::vector<uint64_t> out;
-  // Empty batch.
-  EXPECT_FALSE(device.DotProductBatch({}, 0, &out).ok());
+  // Empty batch: rejected with a message that names the requirement.
+  const Status empty = device.DotProductBatch({}, 0, &out);
+  EXPECT_FALSE(empty.ok());
+  EXPECT_NE(empty.message().find("num_queries >= 1"), std::string::npos)
+      << empty.ToString();
   // Size not a multiple of the programmed dimensionality.
   EXPECT_FALSE(
       device.DotProductBatch(std::vector<int32_t>(15, 1), 2, &out).ok());
@@ -241,6 +246,43 @@ TEST(PimBatchTest, BatchValidation) {
   std::vector<int32_t> bad(16, 1);
   bad[11] = -3;
   EXPECT_FALSE(device.DotProductBatch(bad, 2, &out).ok());
+}
+
+TEST(PimBatchTest, EngineRejectsEmptyBatchAndNullOutputs) {
+  const FloatMatrix data = testing_util::RandomUnitMatrix(16, 8, 71);
+  auto engine = PimEngine::Build(data, Distance::kEuclidean, EngineOptions());
+  ASSERT_TRUE(engine.ok());
+  const auto batch = (*engine)->RunQueryBatch({}, 0);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(batch.status().message().find("num_queries >= 1"),
+            std::string::npos)
+      << batch.status().ToString();
+}
+
+TEST(PimBatchTest, ZeroDeviceBatchPolicyIsRejectedNotMisread) {
+  // A device_batch of 0 used to be silently promoted to 1; it is now an
+  // explicit error everywhere a policy reaches a batched device op.
+  const FloatMatrix data = testing_util::RandomUnitMatrix(24, 8, 72);
+  const FloatMatrix queries = testing_util::RandomUnitMatrix(2, 8, 73);
+
+  StandardPimKnn knn(Distance::kEuclidean, EngineOptions());
+  ExecPolicy policy;
+  policy.device_batch = 0;
+  knn.set_exec_policy(policy);
+  ASSERT_TRUE(knn.Prepare(data).ok());
+  const auto result = knn.Search(queries, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("device_batch"), std::string::npos)
+      << result.status().ToString();
+
+  auto filter = PimAssignFilter::Build(data, EngineOptions());
+  ASSERT_TRUE(filter.ok());
+  const Status begin = (*filter)->BeginIteration(queries, /*device_batch=*/0);
+  ASSERT_FALSE(begin.ok());
+  EXPECT_EQ(begin.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*filter)->BeginIteration(queries, 1).ok());
 }
 
 }  // namespace

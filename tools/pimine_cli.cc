@@ -55,10 +55,13 @@ int Usage() {
       "           [--k=10] [--n=0] [--queries=20] [--distance=ED|CS|PCC]\n"
       "           [--alpha=1e6] [--crossbars=0 (0=scaled)] [--optimize]\n"
       "           [--threads=1] [--block=512] [--device_batch=1]\n"
+      "           [--fault_rate=0] [--fault_seed=...] \n"
+      "           [--fault_recovery=exact|slack|fail|none]\n"
       "  kmeans   --dataset=<name> --algorithm=<standard|elkan|drake|\n"
       "           yinyang|hamerly> [--k=64] [--n=0] [--iterations=5]\n"
       "           [--pim] [--seed=42] [--threads=1] [--block=512]\n"
-      "           [--device_batch=1]\n"
+      "           [--device_batch=1] [--fault_rate=0] [--fault_seed=...]\n"
+      "           [--fault_recovery=exact|slack|fail|none]\n"
       "  outlier  --dataset=<name> [--k=5] [--top=10] [--n=4000] [--pim]\n"
       "  motif    [--length=4000] [--window=64] [--pim] [--seed=1]\n"
       "  plan     --dataset=<name> [--n=0] [--crossbars=131072]\n"
@@ -74,6 +77,26 @@ EngineOptions EngineFromFlags(const FlagParser& flags,
       crossbars == 0 ? ScaledEngineOptions(workload) : EngineOptions();
   if (crossbars > 0) options.pim_config.num_crossbars = crossbars;
   options.alpha = flags.GetDouble("alpha", options.alpha);
+  // --fault_rate drives both stuck-cell and transient rates; recovery keeps
+  // results exact unless --fault_recovery overrides the verify mode.
+  const double fault_rate = flags.GetDouble("fault_rate", 0.0);
+  options.fault_config.cell_rate = fault_rate;
+  options.fault_config.transient_rate = fault_rate;
+  options.fault_config.seed = static_cast<uint64_t>(flags.GetInt(
+      "fault_seed", static_cast<int64_t>(options.fault_config.seed)));
+  const std::string recovery = flags.GetString("fault_recovery", "exact");
+  if (recovery == "exact") {
+    options.recovery.verify_mode = VerifyMode::kHostExact;
+  } else if (recovery == "slack") {
+    options.recovery.verify_mode = VerifyMode::kBoundSlack;
+  } else if (recovery == "fail") {
+    options.recovery.verify_mode = VerifyMode::kFailOp;
+  } else if (recovery == "none") {
+    options.recovery.verify_mode = VerifyMode::kNone;
+  } else {
+    PIMINE_CHECK(false) << "unknown --fault_recovery '" << recovery
+                        << "' (want exact|slack|fail|none)";
+  }
   return options;
 }
 
@@ -103,6 +126,17 @@ void PrintRunStats(const RunStats& stats, const HostCostModel& model) {
                 std::to_string(stats.traffic.bytes_from_memory)});
   table.AddRow({"PIM results loaded",
                 std::to_string(stats.traffic.pim_results_loaded)});
+  if (stats.fault.Any()) {
+    table.AddRow({"faults injected", std::to_string(stats.fault.injected)});
+    table.AddRow({"faults detected", std::to_string(stats.fault.detected)});
+    table.AddRow({"faults escaped", std::to_string(stats.fault.escaped)});
+    table.AddRow({"fault retries", std::to_string(stats.fault.retries)});
+    table.AddRow({"rows remapped",
+                  std::to_string(stats.fault.remapped_rows)});
+    table.AddRow({"host escalations",
+                  std::to_string(stats.fault.escalated_to_host)});
+    table.AddRow({"recovery model_ms", Fmt(stats.fault.recovery_ns / 1e6, 4)});
+  }
   table.Print();
 }
 
@@ -110,7 +144,8 @@ int RunKnn(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "algorithm", "k", "n",
                                     "queries", "distance", "alpha",
                                     "crossbars", "optimize", "threads",
-                                    "block", "device_batch"}));
+                                    "block", "device_batch", "fault_rate",
+                                    "fault_seed", "fault_recovery"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 20));
@@ -162,7 +197,8 @@ int RunKmeans(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "algorithm", "k", "n",
                                     "iterations", "pim", "seed", "alpha",
                                     "crossbars", "threads", "block",
-                                    "device_batch"}));
+                                    "device_batch", "fault_rate",
+                                    "fault_seed", "fault_recovery"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "NUS-WIDE"),
                    flags.GetInt("n", 0), 1);
