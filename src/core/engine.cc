@@ -8,6 +8,8 @@
 #include "core/decompose.h"
 #include "core/pim_bounds.h"
 #include "core/segments.h"
+#include "obs/obs.h"
+#include "sim/traffic.h"
 
 namespace pimine {
 namespace {
@@ -304,6 +306,13 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
     PIMINE_RETURN_IF_ERROR(CheckQuery(queries.subspan(q * dims_, dims_)));
   }
 
+  // Per-query phase spans: quantize durations are measured per iteration of
+  // the per-query loops below (invariant across batch grouping), device
+  // durations taken from the serial-equivalent timing model (same value for
+  // every query regardless of batching) — so the trace bytes are identical
+  // at any device-batch size. Null when observability is disabled.
+  obs::Obs* const o = obs::Obs::Get();
+
   QueryHandleBatch batch;
   batch.num_queries = num_queries;
   batch.stride = num_objects_;
@@ -324,6 +333,8 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
       // One quantization pass over the whole batch, then one device op.
       scratch->ints.resize(num_queries * dims_);
       for (size_t q = 0; q < num_queries; ++q) {
+        const TrafficCounters before =
+            o != nullptr ? traffic::Local() : TrafficCounters();
         const auto query = queries.subspan(q * dims_, dims_);
         quantizer_.QuantizeRow(
             query, std::span<int32_t>(scratch->ints)
@@ -341,9 +352,21 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
             batch.phi_b_q[q] = phi.b;
           }
         }
+        if (o != nullptr) {
+          o->trace().Complete("engine", "quantize",
+                              obs::TrackFor(static_cast<int64_t>(q)),
+                              o->HostNs(traffic::Local() - before));
+        }
       }
       PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
           scratch->ints, num_queries, &batch.dots1, suspect1));
+      if (o != nullptr) {
+        const double dot_ns = device1_->SerialDotNsPerQuery();
+        for (size_t q = 0; q < num_queries; ++q) {
+          o->trace().Complete("engine", "pim_dot",
+                              obs::TrackFor(static_cast<int64_t>(q)), dot_ns);
+        }
+      }
       break;
     }
     case EngineMode::kSegmentFnn:
@@ -355,6 +378,8 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
       scratch->means.resize(s);
       scratch->stds.resize(s);
       for (size_t q = 0; q < num_queries; ++q) {
+        const TrafficCounters before =
+            o != nullptr ? traffic::Local() : TrafficCounters();
         const auto query = queries.subspan(q * dims_, dims_);
         ComputeSegments(query, num_segments_, scratch->means, scratch->stds);
         quantizer_.QuantizeRow(
@@ -368,12 +393,29 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
         } else {
           batch.phi_q[q] = quantizer_.PhiSm(scratch->means);
         }
+        if (o != nullptr) {
+          o->trace().Complete("engine", "quantize",
+                              obs::TrackFor(static_cast<int64_t>(q)),
+                              o->HostNs(traffic::Local() - before));
+        }
       }
       PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
           scratch->ints, num_queries, &batch.dots1, suspect1));
       if (with_stds) {
         PIMINE_RETURN_IF_ERROR(device2_->DotProductBatch(
             scratch->ints2, num_queries, &batch.dots2, suspect2));
+      }
+      if (o != nullptr) {
+        const double dot_ns = device1_->SerialDotNsPerQuery();
+        const double dot2_ns =
+            with_stds ? device2_->SerialDotNsPerQuery() : 0.0;
+        for (size_t q = 0; q < num_queries; ++q) {
+          const int64_t track = obs::TrackFor(static_cast<int64_t>(q));
+          o->trace().Complete("engine", "pim_dot", track, dot_ns);
+          if (with_stds) {
+            o->trace().Complete("engine", "pim_dot2", track, dot2_ns);
+          }
+        }
       }
       break;
     }
@@ -477,6 +519,12 @@ Status PimEngine::ComputeBounds(std::span<const float> query,
 double PimEngine::PimComputeNs() const {
   double total = device1_ ? device1_->stats().compute_ns : 0.0;
   if (device2_) total += device2_->stats().compute_ns;
+  return total;
+}
+
+double PimEngine::SerialDeviceNsPerQuery() const {
+  double total = device1_ ? device1_->SerialDotNsPerQuery() : 0.0;
+  if (device2_) total += device2_->SerialDotNsPerQuery();
   return total;
 }
 

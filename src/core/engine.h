@@ -188,6 +188,10 @@ class PimEngine {
   /// Modeled PIM-side time accumulated by RunQuery calls (NVSim role).
   /// Serial-equivalent: invariant under device batching.
   double PimComputeNs() const;
+  /// Serial-equivalent modeled device time one query costs this engine
+  /// (device1 + device2 when present). Invariant across device batching
+  /// and host threading — the per-query figure observability spans charge.
+  double SerialDeviceNsPerQuery() const;
   /// Modeled device-occupancy time with batch pipelining; equals
   /// PimComputeNs() bit-for-bit when every operation carried one query.
   double PimPipelinedNs() const;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "kmeans/lloyd.h"
+#include "obs/obs.h"
 #include "sim/traffic.h"
 #include "util/timer.h"
 
@@ -118,6 +119,10 @@ Result<KmeansResult> DrakeKmeans::Run(const FloatMatrix& data,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     Timer iter_wall;
     size_t changed = 0;
+    const double pim_ns_before =
+        filter != nullptr ? filter->PimComputeNs() : 0.0;
+    obs::AggregateSpan iter_span("kmeans", "iteration");
+    iter_span.set_histogram(&result.stats.latency_hist);
 
     if (filter != nullptr) {
       ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
@@ -216,6 +221,13 @@ Result<KmeansResult> DrakeKmeans::Run(const FloatMatrix& data,
       traffic::CountArithmetic(n * (b + 2));
     }
 
+    if (filter != nullptr) {
+      iter_span.AddModeledNs(filter->PimComputeNs() - pim_ns_before);
+    }
+    // Drake runs its assign loop inline (no RunAssignWithPolicy), so it
+    // publishes its own reassignment tally.
+    obs::AddCounter("pimine_kmeans_reassignments_total", changed);
+    obs::AddCounter("pimine_kmeans_iterations_total", 1);
     result.iteration_wall_ms.push_back(iter_wall.ElapsedMillis());
     ++result.iterations;
     if (changed == 0 && iter > 0) break;
@@ -226,6 +238,7 @@ Result<KmeansResult> DrakeKmeans::Run(const FloatMatrix& data,
   result.stats.traffic = traffic_scope.Delta();
   if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
   if (filter != nullptr) result.stats.fault = filter->FaultStatsTotal();
+  PublishKmeansRunMetrics(result.stats);
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/similarity.h"
+#include "obs/obs.h"
 #include "sim/traffic.h"
 #include "util/random.h"
 
@@ -18,6 +19,10 @@ size_t RunAssignWithPolicy(
   std::vector<AssignSlot> slots(NumSlots(policy, num_points, chunk));
   ParallelChunks(policy, num_points, chunk,
                  [&](size_t begin, size_t end, size_t slot_index) {
+                   // Opt-in physical span: this worker's chunk of the pass.
+                   obs::SchedSpan sched(static_cast<int64_t>(begin / chunk),
+                                        static_cast<int64_t>(begin),
+                                        static_cast<int64_t>(end));
                    AssignSlot& slot = slots[slot_index];
                    for (size_t i = begin; i < end; ++i) {
                      assign_point(i, slot_index, slot);
@@ -30,7 +35,24 @@ size_t RunAssignWithPolicy(
     stats->profile.Merge(slot.profile);
     changed += slot.changed;
   }
+  obs::AddCounter("pimine_kmeans_reassignments_total", changed);
   return changed;
+}
+
+void PublishKmeansRunMetrics(const RunStats& stats) {
+  obs::Obs* o = obs::Obs::Get();
+  if (o == nullptr) return;
+  o->metrics().GetCounter("pimine_exact_distances_total")
+      .Add(stats.exact_count);
+  o->metrics().GetCounter("pimine_bound_evaluations_total")
+      .Add(stats.bound_count);
+  o->metrics()
+      .GetCounter("pimine_candidates_pruned_total")
+      .Add(stats.bound_count > stats.exact_count
+               ? stats.bound_count - stats.exact_count
+               : 0);
+  o->metrics().MergeHistogram("pimine_kmeans_iteration_ns",
+                              stats.latency_hist);
 }
 
 double KmeansResult::MeanIterationMs() const {
@@ -139,6 +161,10 @@ Status PimAssignFilter::BeginIteration(const FloatMatrix& centers,
   // Center rows are contiguous, so each group is one flat span.
   for (size_t c = 0; c < k; c += group_size_) {
     const size_t group = std::min(group_size_, k - c);
+    // Engine spans for center c+i land on track c+i regardless of how the
+    // centers are grouped, so the trace stays bit-identical across
+    // device_batch sizes (same discipline as the kNN batched harness).
+    obs::ScopedTrackBase track_base(static_cast<int64_t>(c));
     PIMINE_ASSIGN_OR_RETURN(
         PimEngine::QueryHandleBatch batch,
         engine_->RunQueryBatch(

@@ -79,6 +79,12 @@ size_t RunAssignWithPolicy(
     const ExecPolicy& policy, size_t num_points, RunStats* stats,
     const std::function<void(size_t, size_t, AssignSlot&)>& assign_point);
 
+/// Publishes a finished run's pruning counters and per-iteration latency
+/// histogram (stats.latency_hist) to the metrics registry. No-op while
+/// observability is disabled. Call once at the end of Run(), after the
+/// RunStats fields are final.
+void PublishKmeansRunMetrics(const RunStats& stats);
+
 /// Draws k distinct rows of `data` as initial centers (deterministic in
 /// `seed`).
 FloatMatrix InitCenters(const FloatMatrix& data, int k, uint64_t seed);

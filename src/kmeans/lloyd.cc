@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/similarity.h"
+#include "obs/obs.h"
 #include "sim/traffic.h"
 #include "util/timer.h"
 
@@ -54,6 +55,13 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     Timer iter_wall;
+    // Modeled iteration latency: process-wide host traffic delta (exact at
+    // any thread count) + the device time this iteration's BeginIteration
+    // charges (added below, before any early exit).
+    const double pim_ns_before =
+        filter != nullptr ? filter->PimComputeNs() : 0.0;
+    obs::AggregateSpan iter_span("kmeans", "iteration");
+    iter_span.set_histogram(&result.stats.latency_hist);
 
     if (filter != nullptr) {
       ScopedFunctionTimer timer(&result.stats.profile, "LB_PIM");
@@ -115,6 +123,10 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
           UpdateCenters(data, result.assignments, result.centers, nullptr);
     }
 
+    if (filter != nullptr) {
+      iter_span.AddModeledNs(filter->PimComputeNs() - pim_ns_before);
+    }
+    obs::AddCounter("pimine_kmeans_iterations_total", 1);
     result.iteration_wall_ms.push_back(iter_wall.ElapsedMillis());
     ++result.iterations;
     if (changed == 0 && !first_iteration) break;
@@ -126,6 +138,7 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
   result.stats.traffic = traffic_scope.Delta();
   if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
   if (filter != nullptr) result.stats.fault = filter->FaultStatsTotal();
+  PublishKmeansRunMetrics(result.stats);
   return result;
 }
 

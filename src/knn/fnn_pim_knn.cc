@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "core/bounds.h"
 #include "core/similarity.h"
+#include "obs/obs.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -198,6 +199,13 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
     }
   }
 
+  // Serial-equivalent device time per query, hoisted so every QuerySpan
+  // charges the same value regardless of device-batch grouping. Zero when
+  // the plan dropped the PIM bound (no device op is issued).
+  const double device_ns_per_query =
+      obs::Obs::Enabled() && use_pim_filter_ ? engine_->SerialDeviceNsPerQuery()
+                                             : 0.0;
+
   Status status = RunQueryBatchesWithPolicy(
       exec_policy_, queries.rows(), &result.stats,
       [&](size_t begin, size_t end, size_t slot_index, SearchSlot& slot) {
@@ -222,6 +230,8 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
         }
 
         for (size_t qi = begin; qi < end; ++qi) {
+          obs::QuerySpan query_span(static_cast<int64_t>(qi), &slot.latency,
+                                    device_ns_per_query);
           const auto q = queries.row(qi);
           const size_t bq = qi - begin;
           TopK topk(static_cast<size_t>(k));

@@ -4,10 +4,46 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.h"
 #include "sim/traffic.h"
 #include "util/bits.h"
 
 namespace pimine {
+namespace {
+
+/// Folds the slots' accounting into RunStats (slot order — deterministic)
+/// and publishes the run's counters to the metrics registry when enabled.
+Status MergeSearchSlots(const std::vector<SearchSlot>& slots,
+                        size_t num_queries, RunStats* stats) {
+  Status first_error;
+  for (const SearchSlot& slot : slots) {
+    stats->exact_count += slot.exact_count;
+    stats->bound_count += slot.bound_count;
+    stats->profile.Merge(slot.profile);
+    stats->latency_hist.Merge(slot.latency);
+    if (first_error.ok() && !slot.status.ok()) first_error = slot.status;
+  }
+  if (obs::Obs* o = obs::Obs::Get()) {
+    uint64_t exact = 0;
+    uint64_t bound = 0;
+    for (const SearchSlot& slot : slots) {
+      exact += slot.exact_count;
+      bound += slot.bound_count;
+    }
+    o->metrics().GetCounter("pimine_queries_total").Add(num_queries);
+    o->metrics().GetCounter("pimine_exact_distances_total").Add(exact);
+    o->metrics().GetCounter("pimine_bound_evaluations_total").Add(bound);
+    // Candidates whose bound evaluation spared the exact distance.
+    o->metrics()
+        .GetCounter("pimine_candidates_pruned_total")
+        .Add(bound > exact ? bound - exact : 0);
+    o->metrics().MergeHistogram("pimine_query_latency_ns",
+                                stats->latency_hist);
+  }
+  return first_error;
+}
+
+}  // namespace
 
 std::vector<uint32_t> ArgsortAscending(std::span<const double> values) {
   std::vector<uint32_t> order(values.size());
@@ -54,22 +90,24 @@ Status RunQueryBatchesWithPolicy(
   // chunks are already chunk-aligned, which makes the realized batches
   // (and therefore the device's batch accounting) identical for every
   // thread count.
-  ParallelChunks(policy, num_queries, chunk,
-                 [&](size_t begin, size_t end, size_t slot_index) {
-                   SearchSlot& slot = slots[slot_index];
-                   for (size_t b = begin; b < end; b += chunk) {
-                     if (!slot.status.ok()) return;
-                     run_batch(b, std::min(end, b + chunk), slot_index, slot);
-                   }
-                 });
-  Status first_error;
-  for (const SearchSlot& slot : slots) {
-    stats->exact_count += slot.exact_count;
-    stats->bound_count += slot.bound_count;
-    stats->profile.Merge(slot.profile);
-    if (first_error.ok() && !slot.status.ok()) first_error = slot.status;
-  }
-  return first_error;
+  ParallelChunks(
+      policy, num_queries, chunk,
+      [&](size_t begin, size_t end, size_t slot_index) {
+        // Opt-in physical span: this worker's whole chunk (runs on the pool
+        // thread, so it doubles as the worker span carrying the query range).
+        obs::SchedSpan sched(static_cast<int64_t>(begin / chunk),
+                             static_cast<int64_t>(begin),
+                             static_cast<int64_t>(end));
+        SearchSlot& slot = slots[slot_index];
+        for (size_t b = begin; b < end; b += chunk) {
+          if (!slot.status.ok()) return;
+          // Engine/device code labels per-query spans with global query
+          // ids relative to this batch's first query.
+          obs::ScopedTrackBase track_base(static_cast<int64_t>(b));
+          run_batch(b, std::min(end, b + chunk), slot_index, slot);
+        }
+      });
+  return MergeSearchSlots(slots, num_queries, stats);
 }
 
 Status RunQueriesWithPolicy(
@@ -78,20 +116,18 @@ Status RunQueriesWithPolicy(
   std::vector<SearchSlot> slots(NumSlots(policy, num_queries, 1));
   ParallelChunks(policy, num_queries, /*chunk=*/1,
                  [&](size_t begin, size_t end, size_t slot_index) {
+                   obs::SchedSpan sched(static_cast<int64_t>(begin),
+                                        static_cast<int64_t>(begin),
+                                        static_cast<int64_t>(end));
                    SearchSlot& slot = slots[slot_index];
                    for (size_t qi = begin; qi < end; ++qi) {
                      if (!slot.status.ok()) return;
+                     obs::QuerySpan span(static_cast<int64_t>(qi),
+                                         &slot.latency);
                      run_query(qi, slot_index, slot);
                    }
                  });
-  Status first_error;
-  for (const SearchSlot& slot : slots) {
-    stats->exact_count += slot.exact_count;
-    stats->bound_count += slot.bound_count;
-    stats->profile.Merge(slot.profile);
-    if (first_error.ok() && !slot.status.ok()) first_error = slot.status;
-  }
-  return first_error;
+  return MergeSearchSlots(slots, num_queries, stats);
 }
 
 }  // namespace pimine

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "data/matrix.h"
+#include "obs/histogram.h"
 #include "profiling/run_stats.h"
 #include "util/parallel.h"
 #include "util/top_k.h"
@@ -67,6 +68,10 @@ struct SearchSlot {
   uint64_t exact_count = 0;
   uint64_t bound_count = 0;
   FunctionProfiler profile;
+  /// Per-query modeled latencies recorded by obs::QuerySpan (empty while
+  /// observability is disabled). Integer buckets merge exactly, so folding
+  /// slots in slot order yields the same histogram for any thread count.
+  obs::Histogram latency;
   Status status;  // first per-query failure observed by this worker.
 };
 

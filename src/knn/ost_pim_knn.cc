@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "core/bounds.h"
 #include "core/similarity.h"
+#include "obs/obs.h"
 #include "util/timer.h"
 
 namespace pimine {
@@ -62,6 +63,11 @@ Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
   std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) s.bounds.resize(n);
 
+  // Serial-equivalent device time per query, hoisted so every QuerySpan
+  // charges the same value regardless of device-batch grouping.
+  const double device_ns_per_query =
+      obs::Obs::Enabled() ? engine_->SerialDeviceNsPerQuery() : 0.0;
+
   Status status = RunQueryBatchesWithPolicy(
       exec_policy_, queries.rows(), &result.stats,
       [&](size_t begin, size_t end, size_t slot_index, SearchSlot& slot) {
@@ -87,6 +93,8 @@ Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
           batch = std::move(r).value();
         }
         for (size_t qi = begin; qi < end; ++qi) {
+          obs::QuerySpan query_span(static_cast<int64_t>(qi), &slot.latency,
+                                    device_ns_per_query);
           const auto q = queries.row(qi);
           const size_t bq = qi - begin;
           TopK topk(static_cast<size_t>(k));

@@ -1,0 +1,211 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pimine {
+namespace obs {
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+template <typename Vec>
+std::vector<size_t> SortedIndexByName(const Vec& v) {
+  std::vector<size_t> idx(v.size());
+  for (size_t i = 0; i < v.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return v[a].name < v[b].name; });
+  return idx;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) {
+    if (entry.name == name) return *entry.counter;
+  }
+  counters_.push_back({name, std::make_unique<Counter>()});
+  return *counters_.back().counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : gauges_) {
+    if (entry.name == name) return *entry.gauge;
+  }
+  gauges_.push_back({name, std::make_unique<Gauge>()});
+  return *gauges_.back().gauge;
+}
+
+void MetricsRegistry::MergeHistogram(const std::string& name,
+                                     const Histogram& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : histograms_) {
+    if (entry.name == name) {
+      entry.hist->Merge(samples);
+      return;
+    }
+  }
+  histograms_.push_back({name, std::make_unique<Histogram>()});
+  histograms_.back().hist->Merge(samples);
+}
+
+Histogram MetricsRegistry::GetHistogramSnapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : histograms_) {
+    if (entry.name == name) return *entry.hist;
+  }
+  return Histogram();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) entry.counter->Reset();
+  for (auto& entry : gauges_) entry.gauge->Reset();
+  for (auto& entry : histograms_) entry.hist->Reset();
+}
+
+size_t MetricsRegistry::NumInstruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(1024);
+  for (size_t i : SortedIndexByName(counters_)) {
+    const auto& entry = counters_[i];
+    out.append("# TYPE ").append(entry.name).append(" counter\n");
+    out.append(entry.name)
+        .append(" ")
+        .append(std::to_string(entry.counter->Value()))
+        .append("\n");
+  }
+  for (size_t i : SortedIndexByName(gauges_)) {
+    const auto& entry = gauges_[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", entry.gauge->Value());
+    out.append("# TYPE ").append(entry.name).append(" gauge\n");
+    out.append(entry.name).append(" ").append(buf).append("\n");
+  }
+  for (size_t i : SortedIndexByName(histograms_)) {
+    const auto& entry = histograms_[i];
+    const Histogram& h = *entry.hist;
+    out.append("# TYPE ").append(entry.name).append(" histogram\n");
+    uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      cumulative += h.bucket(b);
+      // Skip interior empty buckets to keep the exposition small, but always
+      // emit a bucket that carries count (cumulative growth) and the first.
+      if (b != 0 && h.bucket(b) == 0 && b != Histogram::kNumBuckets - 1) {
+        continue;
+      }
+      out.append(entry.name)
+          .append("_bucket{le=\"")
+          .append(b == Histogram::kNumBuckets - 1
+                      ? std::string("+Inf")
+                      : std::to_string(Histogram::BucketUpperEdge(b)))
+          .append("\"} ")
+          .append(std::to_string(cumulative))
+          .append("\n");
+    }
+    out.append(entry.name)
+        .append("_sum ")
+        .append(std::to_string(h.sum_ticks()))
+        .append("\n");
+    out.append(entry.name)
+        .append("_count ")
+        .append(std::to_string(h.count()))
+        .append("\n");
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(1024);
+  out.append("{\n\"counters\": {");
+  {
+    bool first = true;
+    for (size_t i : SortedIndexByName(counters_)) {
+      const auto& entry = counters_[i];
+      if (!first) out.push_back(',');
+      first = false;
+      out.append("\n  \"");
+      AppendJsonEscaped(&out, entry.name);
+      out.append("\": ").append(std::to_string(entry.counter->Value()));
+    }
+    out.append(first ? "}" : "\n}");
+  }
+  out.append(",\n\"gauges\": {");
+  {
+    bool first = true;
+    for (size_t i : SortedIndexByName(gauges_)) {
+      const auto& entry = gauges_[i];
+      if (!first) out.push_back(',');
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", entry.gauge->Value());
+      out.append("\n  \"");
+      AppendJsonEscaped(&out, entry.name);
+      out.append("\": ").append(buf);
+    }
+    out.append(first ? "}" : "\n}");
+  }
+  out.append(",\n\"histograms\": {");
+  {
+    bool first = true;
+    for (size_t i : SortedIndexByName(histograms_)) {
+      const auto& entry = histograms_[i];
+      const Histogram& h = *entry.hist;
+      if (!first) out.push_back(',');
+      first = false;
+      out.append("\n  \"");
+      AppendJsonEscaped(&out, entry.name);
+      out.append("\": {\"count\": ").append(std::to_string(h.count()));
+      out.append(", \"sum_ns\": ").append(std::to_string(h.sum_ticks()));
+      out.append(", \"max_ns\": ").append(std::to_string(h.max_ticks()));
+      out.append(", \"p50_ns\": ")
+          .append(std::to_string(h.QuantileUpperBound(0.50)));
+      out.append(", \"p95_ns\": ")
+          .append(std::to_string(h.QuantileUpperBound(0.95)));
+      out.append(", \"p99_ns\": ")
+          .append(std::to_string(h.QuantileUpperBound(0.99)));
+      out.append(", \"buckets\": [");
+      bool first_bucket = true;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        if (h.bucket(b) == 0) continue;
+        if (!first_bucket) out.append(", ");
+        first_bucket = false;
+        out.append("[")
+            .append(std::to_string(Histogram::BucketUpperEdge(b)))
+            .append(", ")
+            .append(std::to_string(h.bucket(b)))
+            .append("]");
+      }
+      out.append("]}");
+    }
+    out.append(first ? "}" : "\n}");
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pimine

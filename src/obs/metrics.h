@@ -1,0 +1,95 @@
+#ifndef PIMINE_OBS_METRICS_H_
+#define PIMINE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace pimine {
+namespace obs {
+
+/// Monotonic counter. Increments are relaxed atomic adds: totals are exact
+/// and independent of thread interleaving (integer addition commutes), the
+/// same invariance discipline as the traffic counters.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge. Set from a single coordinating thread; reads are
+/// safe from any thread.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Named registry of counters, gauges, and histograms. Get*() returns a
+/// stable reference (instruments are heap-allocated and never moved), so
+/// call sites may cache the pointer across the registry's lifetime.
+/// Histograms in the registry are fed by MergeHistogram() from merge points
+/// (one merging thread at a time per the harness contract), guarded by a
+/// mutex for safety.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+
+  /// Folds per-thread/per-slot samples into the named registry histogram.
+  void MergeHistogram(const std::string& name, const Histogram& samples);
+  /// Copy of the named histogram's current state (zero if never merged).
+  Histogram GetHistogramSnapshot(const std::string& name) const;
+
+  /// Zeroes every instrument's value but keeps all registrations (names and
+  /// the references previously handed out stay valid).
+  void Reset();
+
+  size_t NumInstruments() const;
+
+  /// Prometheus text exposition (v0.0.4): counters, gauges, and histograms
+  /// with cumulative `le` buckets plus `_sum` (integer ticks) and `_count`.
+  /// Families are emitted sorted by name — deterministic byte output for
+  /// identical instrument state.
+  std::string ToPrometheus() const;
+  /// Same content as a JSON object, also name-sorted and deterministic.
+  std::string ToJson() const;
+
+ private:
+  struct NamedCounter {
+    std::string name;
+    std::unique_ptr<Counter> counter;
+  };
+  struct NamedGauge {
+    std::string name;
+    std::unique_ptr<Gauge> gauge;
+  };
+  struct NamedHistogram {
+    std::string name;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<NamedCounter> counters_;
+  std::vector<NamedGauge> gauges_;
+  std::vector<NamedHistogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace pimine
+
+#endif  // PIMINE_OBS_METRICS_H_

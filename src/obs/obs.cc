@@ -1,0 +1,107 @@
+#include "obs/obs.h"
+
+#include <memory>
+#include <mutex>
+
+namespace pimine {
+namespace obs {
+namespace {
+
+/// Owns the enabled session. Guarded by g_lifecycle_mu; the published
+/// pointer in Obs::instance_ is what the fast path reads.
+std::mutex g_lifecycle_mu;
+std::unique_ptr<Obs> g_storage;  // NOLINT: intentional process-lifetime state.
+
+thread_local int64_t tls_track_base = kNoTrackBase;
+
+}  // namespace
+
+std::atomic<Obs*> Obs::instance_{nullptr};
+
+Obs::Obs(const ObsOptions& options)
+    : model_(options.host_model), trace_(options.trace) {}
+
+void Obs::Enable(const ObsOptions& options) {
+  std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+  instance_.store(nullptr, std::memory_order_release);
+  g_storage.reset(new Obs(options));
+  instance_.store(g_storage.get(), std::memory_order_release);
+}
+
+void Obs::Disable() {
+  std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+  instance_.store(nullptr, std::memory_order_release);
+  g_storage.reset();
+}
+
+int64_t CurrentTrackBase() { return tls_track_base; }
+
+ScopedTrackBase::ScopedTrackBase(int64_t base) : prev_(tls_track_base) {
+  tls_track_base = base;
+}
+
+ScopedTrackBase::~ScopedTrackBase() { tls_track_base = prev_; }
+
+TraceSpan::TraceSpan(const char* cat, const char* name, int64_t track)
+    : obs_(Obs::Get()), cat_(cat), name_(name), track_(track) {
+  if (obs_ == nullptr) return;
+  start_ = traffic::Local();
+  obs_->trace().Begin(cat_, name_, track_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (obs_ == nullptr) return;
+  const TrafficCounters delta = traffic::Local() - start_;
+  obs_->trace().End(cat_, name_, track_, obs_->HostNs(delta));
+}
+
+QuerySpan::QuerySpan(int64_t query_id, Histogram* latency, double extra_ns)
+    : obs_(Obs::Get()),
+      query_id_(query_id),
+      latency_(latency),
+      extra_ns_(extra_ns) {
+  if (obs_ == nullptr) return;
+  start_ = traffic::Local();
+  obs_->trace().Begin("query", "query", query_id_);
+}
+
+QuerySpan::~QuerySpan() {
+  if (obs_ == nullptr) return;
+  const TrafficCounters delta = traffic::Local() - start_;
+  const double ns = obs_->HostNs(delta) + extra_ns_;
+  obs_->trace().End("query", "query", query_id_, ns, "query_id", query_id_);
+  if (latency_ != nullptr) latency_->Record(ns);
+}
+
+AggregateSpan::AggregateSpan(const char* cat, const char* name, int64_t track)
+    : obs_(Obs::Get()), cat_(cat), name_(name), track_(track) {
+  if (obs_ == nullptr) return;
+  start_ = traffic::GlobalSnapshot();
+  obs_->trace().Begin(cat_, name_, track_);
+}
+
+AggregateSpan::~AggregateSpan() {
+  if (obs_ == nullptr) return;
+  const TrafficCounters delta = traffic::GlobalSnapshot() - start_;
+  const double ns = obs_->HostNs(delta) + extra_ns_;
+  obs_->trace().End(cat_, name_, track_, ns);
+  if (hist_ != nullptr) hist_->Record(ns);
+}
+
+SchedSpan::SchedSpan(int64_t chunk_index, int64_t begin, int64_t end)
+    : obs_(Obs::Get()), chunk_index_(chunk_index), begin_(begin), end_(end) {
+  if (obs_ != nullptr && !obs_->trace().options().sched_events) obs_ = nullptr;
+  if (obs_ == nullptr) return;
+  start_ = traffic::Local();
+  obs_->trace().Begin("sched", "chunk", kSchedTrackBase - chunk_index_);
+}
+
+SchedSpan::~SchedSpan() {
+  if (obs_ == nullptr) return;
+  const TrafficCounters delta = traffic::Local() - start_;
+  obs_->trace().End("sched", "chunk", kSchedTrackBase - chunk_index_,
+                    obs_->HostNs(delta), "begin", begin_, "end", end_);
+}
+
+}  // namespace obs
+}  // namespace pimine

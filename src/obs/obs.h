@@ -1,0 +1,205 @@
+#ifndef PIMINE_OBS_OBS_H_
+#define PIMINE_OBS_OBS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/cost_model.h"
+#include "sim/traffic.h"
+
+namespace pimine {
+namespace obs {
+
+/// Configuration for an observability session.
+struct ObsOptions {
+  TraceOptions trace;
+  /// Modeled-time clock for host-side span durations: spans convert their
+  /// traffic-counter delta to nanoseconds through this model. Use the same
+  /// platform as the engine under observation so trace time lines up with
+  /// RunStats' cost attribution.
+  HostCostModel host_model;
+};
+
+/// Process-wide observability session. Disabled by default: every
+/// instrumentation point starts with `Obs::Get()`, a single relaxed atomic
+/// load returning nullptr, and takes no further action — the null-object
+/// fast path that keeps the disabled build's RunStats and traffic totals
+/// bit-identical to an uninstrumented binary.
+///
+/// Enable()/Disable() must be called from the coordinating thread while no
+/// instrumented work is in flight (same quiescence contract as
+/// traffic::GlobalSnapshot()).
+class Obs {
+ public:
+  /// nullptr when observability is disabled (the fast path).
+  static Obs* Get() { return instance_.load(std::memory_order_acquire); }
+  static bool Enabled() { return Get() != nullptr; }
+
+  static void Enable(const ObsOptions& options = ObsOptions());
+  static void Disable();
+
+  TraceRecorder& trace() { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Modeled host nanoseconds for a traffic-counter delta.
+  double HostNs(const TrafficCounters& delta) const {
+    return model_.EstimateBreakdown(delta, 0).total_ns();
+  }
+
+ private:
+  explicit Obs(const ObsOptions& options);
+
+  HostCostModel model_;
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+
+  static std::atomic<Obs*> instance_;
+};
+
+/// Adds `delta` to the named counter iff observability is enabled. Intended
+/// for merge points / coarse events, not per-candidate hot loops (name
+/// lookup takes the registry mutex).
+inline void AddCounter(const char* name, uint64_t delta) {
+  if (Obs* obs = Obs::Get()) obs->metrics().GetCounter(name).Add(delta);
+}
+
+/// Emits a complete span iff enabled; `ns` is the modeled duration.
+inline void EmitComplete(const char* cat, const char* name, int64_t track,
+                         double ns, const char* arg_name0 = nullptr,
+                         int64_t arg0 = 0, const char* arg_name1 = nullptr,
+                         int64_t arg1 = 0) {
+  if (Obs* obs = Obs::Get()) {
+    obs->trace().Complete(cat, name, track, ns, arg_name0, arg0, arg_name1,
+                          arg1);
+  }
+}
+
+// --- track-base plumbing ---------------------------------------------------
+
+/// Sentinel: no batch track base installed on this thread.
+constexpr int64_t kNoTrackBase = INT64_MIN;
+
+/// Current thread's track base (kNoTrackBase when unset).
+int64_t CurrentTrackBase();
+
+/// Installs a per-thread track base for the duration of a scope. Batched
+/// harnesses set base = first global query index of the batch before calling
+/// into the engine, so engine/device code can label per-query spans with
+/// global query ids via TrackFor() without threading ids through every API.
+class ScopedTrackBase {
+ public:
+  explicit ScopedTrackBase(int64_t base);
+  ~ScopedTrackBase();
+
+  ScopedTrackBase(const ScopedTrackBase&) = delete;
+  ScopedTrackBase& operator=(const ScopedTrackBase&) = delete;
+
+ private:
+  int64_t prev_;
+};
+
+/// Track for the `index`-th query of the current batch: base + index when a
+/// base is installed, else kRunTrack (spans fold into the run-level track,
+/// e.g. k-means assignment passes under their iteration span).
+inline int64_t TrackFor(int64_t index) {
+  const int64_t base = CurrentTrackBase();
+  return base == kNoTrackBase ? kRunTrack : base + index;
+}
+
+// --- RAII spans ------------------------------------------------------------
+
+/// Generic RAII span on the calling thread: duration = modeled host ns of
+/// the thread-local traffic delta accumulated in scope. Zero-cost when
+/// observability is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name, int64_t track = kRunTrack);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Obs* obs_;
+  const char* cat_;
+  const char* name_;
+  int64_t track_;
+  TrafficCounters start_;
+};
+
+/// Per-query span recorded by the worker that owns the query. Duration =
+/// modeled host ns of the thread-local traffic delta + `extra_ns` (the
+/// query's serial-equivalent device time, hoisted by the caller). On close
+/// it records the duration into `latency` (a per-slot histogram, exact-
+/// merged into RunStats later) — both the trace bytes and the histogram
+/// depend only on per-query work, never on thread count or batch grouping.
+class QuerySpan {
+ public:
+  QuerySpan(int64_t query_id, Histogram* latency, double extra_ns = 0.0);
+  ~QuerySpan();
+
+  QuerySpan(const QuerySpan&) = delete;
+  QuerySpan& operator=(const QuerySpan&) = delete;
+
+ private:
+  Obs* obs_;
+  int64_t query_id_;
+  Histogram* latency_;
+  double extra_ns_;
+  TrafficCounters start_;
+};
+
+/// Run-level span covering work fanned out across the pool: duration =
+/// modeled host ns of the *process-wide* traffic delta (AggregateScope
+/// discipline — construct before submitting work, destroy after the pool
+/// drains) + any explicitly added device ns. Used for k-means iterations.
+class AggregateSpan {
+ public:
+  AggregateSpan(const char* cat, const char* name, int64_t track = kRunTrack);
+  ~AggregateSpan();
+
+  /// Adds modeled device nanoseconds (e.g. PIM compute charged upstream).
+  void AddModeledNs(double ns) { extra_ns_ += ns; }
+  /// Also record the final duration into `hist` on close.
+  void set_histogram(Histogram* hist) { hist_ = hist; }
+
+  AggregateSpan(const AggregateSpan&) = delete;
+  AggregateSpan& operator=(const AggregateSpan&) = delete;
+
+ private:
+  Obs* obs_;
+  const char* cat_;
+  const char* name_;
+  int64_t track_;
+  double extra_ns_ = 0.0;
+  Histogram* hist_ = nullptr;
+  TrafficCounters start_;
+};
+
+/// Opt-in (TraceOptions::sched_events) physical scheduling span for one
+/// worker chunk; exempt from the bit-identity guarantee since chunk shape
+/// depends on thread count. Emits on track kSchedTrackBase - chunk_index
+/// with [begin, end) query-range args.
+class SchedSpan {
+ public:
+  SchedSpan(int64_t chunk_index, int64_t begin, int64_t end);
+  ~SchedSpan();
+
+  SchedSpan(const SchedSpan&) = delete;
+  SchedSpan& operator=(const SchedSpan&) = delete;
+
+ private:
+  Obs* obs_;
+  int64_t chunk_index_;
+  int64_t begin_;
+  int64_t end_;
+  TrafficCounters start_;
+};
+
+}  // namespace obs
+}  // namespace pimine
+
+#endif  // PIMINE_OBS_OBS_H_

@@ -9,6 +9,7 @@
 #endif
 
 #include "common/logging.h"
+#include "obs/obs.h"
 #include "pim/crossbar_math.h"
 #include "util/bits.h"
 
@@ -89,9 +90,18 @@ Status PimDevice::ProgramDataset(const IntMatrix& data, int operand_bits) {
   const uint64_t rows_written =
       static_cast<uint64_t>(stats_.data_crossbars + stats_.gather_crossbars) *
       config_.crossbar_dim;
-  stats_.program_ns += timing_.ProgramLatencyNs(rows_written);
+  const double program_ns = timing_.ProgramLatencyNs(rows_written);
+  stats_.program_ns += program_ns;
   ++stats_.programming_events;
   if (faults_ != nullptr) BuildFaultState();
+  obs::AddCounter("pimine_device_programs_total", 1);
+  if (obs::Obs* o = obs::Obs::Get()) {
+    if (o->trace().options().device_events) {
+      o->trace().Complete("device", "program", obs::kDeviceTrack, program_ns,
+                          "vectors", static_cast<int64_t>(n), "dims",
+                          static_cast<int64_t>(s));
+    }
+  }
   return Status::OK();
 }
 
@@ -535,7 +545,41 @@ Status PimDevice::DotProductBatch(std::span<const int32_t> queries,
     stats_.result_bytes_to_host += num_queries * query_bytes;
     stats_.fault.Merge(local);
   }
+  if (obs::Obs* o = obs::Obs::Get()) {
+    // pimine_device_batch_ops_total legitimately varies with device_batch;
+    // every other device counter is invariant under the grouping.
+    o->metrics().GetCounter("pimine_device_batch_ops_total").Increment();
+    o->metrics().GetCounter("pimine_device_queries_total").Add(num_queries);
+    if (local.detected != 0) {
+      o->metrics().GetCounter("pimine_faults_detected_total")
+          .Add(local.detected);
+    }
+    if (local.retries != 0) {
+      o->metrics().GetCounter("pimine_fault_retries_total").Add(local.retries);
+    }
+    if (o->trace().options().device_events) {
+      const double batch_ns = timing_.BatchDotLatencyNs(
+          static_cast<int64_t>(s), operand_bits_,
+          static_cast<int64_t>(num_queries));
+      o->trace().Complete("device", "dot_batch", obs::kDeviceTrack, batch_ns,
+                          "queries", static_cast<int64_t>(num_queries),
+                          "vectors", static_cast<int64_t>(n));
+      if (local.recovery_ns > 0.0) {
+        o->trace().Complete("device", "fault_recovery", obs::kDeviceTrack,
+                            local.recovery_ns, "retries",
+                            static_cast<int64_t>(local.retries),
+                            "remapped_rows",
+                            static_cast<int64_t>(local.remapped_rows));
+      }
+    }
+  }
   return Status::OK();
+}
+
+double PimDevice::SerialDotNsPerQuery() const {
+  if (!programmed()) return 0.0;
+  return timing_.BatchDotLatencyNs(static_cast<int64_t>(data_.cols()),
+                                   operand_bits_);
 }
 
 Status PimDevice::StoreAux(uint64_t bytes) {

@@ -135,6 +135,12 @@ class PimDevice {
   const PimDeviceStats& stats() const { return stats_; }
   void ResetOnlineStats();
 
+  /// Serial-equivalent modeled time one query spends on the device: the full
+  /// single-query pass latency over the programmed dataset, identical for
+  /// every query regardless of device-batch grouping (the per-query figure
+  /// stats_.compute_ns accumulates). 0 before a dataset is programmed.
+  double SerialDotNsPerQuery() const;
+
   const PimConfig& config() const { return config_; }
   const BufferArray& buffer() const { return buffer_; }
   const PimTimingModel& timing() const { return timing_; }

@@ -32,9 +32,16 @@ class FunctionProfiler {
     return entries_;
   }
 
+  /// Drops every accumulator and tag. After Reset() the profiler behaves
+  /// exactly like a freshly constructed one: a subsequent Merge() adopts
+  /// the other profiler's tags in *its* first-use order (pre-reset order is
+  /// forgotten), and Get() returns 0 for all previously known tags. Only
+  /// the underlying vector capacity is retained, as an allocation
+  /// optimization with no observable effect.
   void Reset() { entries_.clear(); }
 
-  /// Merges another profiler's accumulators into this one.
+  /// Merges another profiler's accumulators into this one: existing tags
+  /// add, unseen tags append in `other`'s first-use order.
   void Merge(const FunctionProfiler& other);
 
  private:
@@ -43,12 +50,15 @@ class FunctionProfiler {
   std::vector<std::pair<std::string, int64_t>> entries_;
 };
 
-/// RAII timer charging its scope to `tag`.
+/// RAII timer charging its scope to `tag`. A null `profiler` makes the
+/// timer a no-op, so call sites with optional profiling need no guard.
 class ScopedFunctionTimer {
  public:
   ScopedFunctionTimer(FunctionProfiler* profiler, std::string_view tag)
       : profiler_(profiler), tag_(tag) {}
-  ~ScopedFunctionTimer() { profiler_->Add(tag_, timer_.ElapsedNanos()); }
+  ~ScopedFunctionTimer() {
+    if (profiler_ != nullptr) profiler_->Add(tag_, timer_.ElapsedNanos());
+  }
 
   ScopedFunctionTimer(const ScopedFunctionTimer&) = delete;
   ScopedFunctionTimer& operator=(const ScopedFunctionTimer&) = delete;

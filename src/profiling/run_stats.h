@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "obs/histogram.h"
 #include "pim/fault_model.h"
 #include "profiling/function_profiler.h"
 #include "sim/traffic.h"
@@ -31,6 +32,11 @@ struct RunStats {
   FaultStats fault;
   /// Per-function wall-time attribution (Fig. 6).
   FunctionProfiler profile;
+  /// Modeled-time latency distribution: per-query for kNN paths, per-
+  /// iteration for k-means. Populated only while obs::Obs is enabled
+  /// (empty otherwise), so the default run path stays bit-identical to an
+  /// uninstrumented build. Buckets merge exactly across threads.
+  obs::Histogram latency_hist;
 };
 
 }  // namespace pimine

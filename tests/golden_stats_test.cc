@@ -1,0 +1,187 @@
+// Golden-stats regression harness: runs every kNN Search() path and every
+// k-means algorithm on a fixed seeded workload and compares the
+// deterministic RunStats surface (exact/bound counts, all traffic
+// counters, modeled PIM ns) against snapshots in tests/golden/. Any change
+// to pruning behaviour, traffic accounting, or the device timing model
+// shows up as a byte diff here.
+//
+// Regenerating after an intentional model change:
+//   PIMINE_REGEN_GOLDEN=1 ./golden_stats_test
+// then commit the rewritten tests/golden/*.txt.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "kmeans/drake.h"
+#include "kmeans/elkan.h"
+#include "kmeans/hamerly.h"
+#include "kmeans/kmeans_common.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/yinyang.h"
+#include "knn/fnn_knn.h"
+#include "knn/fnn_pim_knn.h"
+#include "knn/knn_common.h"
+#include "knn/ost_knn.h"
+#include "knn/ost_pim_knn.h"
+#include "knn/sm_knn.h"
+#include "knn/sm_pim_knn.h"
+#include "knn/standard_knn.h"
+#include "knn/standard_pim_knn.h"
+#include "profiling/run_stats.h"
+
+#ifndef PIMINE_GOLDEN_DIR
+#error "PIMINE_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace pimine {
+namespace {
+
+struct Workload {
+  FloatMatrix data;
+  FloatMatrix queries;
+};
+
+Workload MakeWorkload() {
+  DatasetSpec spec;
+  spec.name = "golden";
+  spec.dims = 32;
+  spec.profile = ClusterProfile::kClustered;
+  spec.num_clusters = 8;
+  spec.cluster_std = 0.08;
+  Workload w;
+  w.data = DatasetGenerator::Generate(spec, 300, 42);
+  w.queries = DatasetGenerator::GenerateQueries(spec, w.data, 9, 43);
+  return w;
+}
+
+/// The deterministic (non-wall-clock) RunStats surface, one key per line.
+/// pim_ns uses %.17g: a double round-trips exactly at 17 significant
+/// digits, so the snapshot is bit-faithful.
+std::string Render(const RunStats& stats) {
+  std::ostringstream out;
+  out << "exact_count=" << stats.exact_count << "\n";
+  out << "bound_count=" << stats.bound_count << "\n";
+  out << "bytes_from_memory=" << stats.traffic.bytes_from_memory << "\n";
+  out << "bytes_to_memory=" << stats.traffic.bytes_to_memory << "\n";
+  out << "arithmetic_ops=" << stats.traffic.arithmetic_ops << "\n";
+  out << "long_ops=" << stats.traffic.long_ops << "\n";
+  out << "branches=" << stats.traffic.branches << "\n";
+  out << "pim_results_loaded=" << stats.traffic.pim_results_loaded << "\n";
+  out << "footprint_bytes=" << stats.footprint_bytes << "\n";
+  char pim_ns[64];
+  std::snprintf(pim_ns, sizeof(pim_ns), "%.17g", stats.pim_ns);
+  out << "pim_ns=" << pim_ns << "\n";
+  return out.str();
+}
+
+void CheckAgainstGolden(const std::string& label, const RunStats& stats) {
+  const std::string rendered = Render(stats);
+  const std::string path =
+      std::string(PIMINE_GOLDEN_DIR) + "/" + label + ".txt";
+
+  if (std::getenv("PIMINE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run with PIMINE_REGEN_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), rendered)
+      << label << ": RunStats diverged from " << path
+      << ". If the change is intentional, regenerate with "
+      << "PIMINE_REGEN_GOLDEN=1 ./golden_stats_test and commit the diff.";
+}
+
+struct KnnGoldenCase {
+  std::string label;
+  std::function<std::unique_ptr<KnnAlgorithm>()> make;
+};
+
+std::vector<KnnGoldenCase> KnnCases() {
+  std::vector<KnnGoldenCase> cases;
+  cases.push_back({"knn_standard", [] {
+                     return std::make_unique<StandardKnn>();
+                   }});
+  cases.push_back({"knn_ost", [] { return std::make_unique<OstKnn>(); }});
+  cases.push_back({"knn_sm", [] { return std::make_unique<SmKnn>(); }});
+  cases.push_back({"knn_fnn", [] { return std::make_unique<FnnKnn>(); }});
+  cases.push_back({"knn_standard_pim", [] {
+                     return std::make_unique<StandardPimKnn>(
+                         Distance::kEuclidean, EngineOptions());
+                   }});
+  cases.push_back({"knn_ost_pim", [] {
+                     return std::make_unique<OstPimKnn>(EngineOptions());
+                   }});
+  cases.push_back({"knn_sm_pim", [] {
+                     return std::make_unique<SmPimKnn>(EngineOptions());
+                   }});
+  cases.push_back({"knn_fnn_pim", [] {
+                     return std::make_unique<FnnPimKnn>(EngineOptions(),
+                                                        /*optimize=*/true);
+                   }});
+  return cases;
+}
+
+TEST(GoldenStatsTest, KnnSearchPaths) {
+  const Workload w = MakeWorkload();
+  for (const KnnGoldenCase& c : KnnCases()) {
+    auto algorithm = c.make();
+    ASSERT_TRUE(algorithm->Prepare(w.data).ok()) << c.label;
+    auto result = algorithm->Search(w.queries, 5);
+    ASSERT_TRUE(result.ok()) << c.label;
+    CheckAgainstGolden(c.label, result->stats);
+  }
+}
+
+struct KmeansGoldenCase {
+  std::string label;
+  std::function<std::unique_ptr<KmeansAlgorithm>()> make;
+};
+
+std::vector<KmeansGoldenCase> KmeansCases() {
+  std::vector<KmeansGoldenCase> cases;
+  cases.push_back(
+      {"kmeans_lloyd", [] { return std::make_unique<LloydKmeans>(); }});
+  cases.push_back(
+      {"kmeans_elkan", [] { return std::make_unique<ElkanKmeans>(); }});
+  cases.push_back(
+      {"kmeans_hamerly", [] { return std::make_unique<HamerlyKmeans>(); }});
+  cases.push_back(
+      {"kmeans_yinyang", [] { return std::make_unique<YinyangKmeans>(); }});
+  cases.push_back(
+      {"kmeans_drake", [] { return std::make_unique<DrakeKmeans>(); }});
+  return cases;
+}
+
+TEST(GoldenStatsTest, KmeansAlgorithms) {
+  const Workload w = MakeWorkload();
+  KmeansOptions options;
+  options.k = 8;
+  options.max_iterations = 3;
+  options.seed = 123;
+  options.use_pim = true;  // exercises the PIM filter's pim_ns too.
+  for (const KmeansGoldenCase& c : KmeansCases()) {
+    auto algorithm = c.make();
+    auto result = algorithm->Run(w.data, options);
+    ASSERT_TRUE(result.ok()) << c.label;
+    CheckAgainstGolden(c.label, result->stats);
+  }
+}
+
+}  // namespace
+}  // namespace pimine

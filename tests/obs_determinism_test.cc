@@ -1,0 +1,216 @@
+// The observability guarantee under test: with tracing enabled, the
+// modeled-time trace JSON, the merged latency histograms, and every
+// grouping-invariant counter are *bit-identical* across thread counts and
+// device-batch sizes, and across repeated runs with the same seed. Only
+// pimine_device_batch_ops_total may vary (it counts physical device calls,
+// which legitimately depend on device_batch) and is excluded here.
+//
+// This file also runs under TSan in CI: it exercises concurrent span
+// recording into per-thread buffers plus the cross-thread merges.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "kmeans/kmeans_common.h"
+#include "kmeans/lloyd.h"
+#include "knn/knn_common.h"
+#include "knn/standard_pim_knn.h"
+#include "obs/histogram.h"
+#include "obs/obs.h"
+
+namespace pimine {
+namespace {
+
+struct Workload {
+  FloatMatrix data;
+  FloatMatrix queries;
+};
+
+Workload MakeWorkload(size_t n, size_t d, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "test";
+  spec.dims = static_cast<int32_t>(d);
+  spec.profile = ClusterProfile::kClustered;
+  spec.num_clusters = 8;
+  spec.cluster_std = 0.08;
+  Workload w;
+  w.data = DatasetGenerator::Generate(spec, static_cast<int64_t>(n), seed);
+  w.queries = DatasetGenerator::GenerateQueries(spec, w.data, 33, seed + 1);
+  return w;
+}
+
+/// Everything the bit-identity guarantee covers for one observed run.
+struct ObservedRun {
+  std::string trace_json;
+  obs::Histogram stats_hist;     // RunStats::latency_hist.
+  obs::Histogram registry_hist;  // the registry's merged copy.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+void ExpectIdenticalObservations(const ObservedRun& a, const ObservedRun& b,
+                                 const std::string& label) {
+  EXPECT_EQ(a.trace_json, b.trace_json) << label << ": trace bytes diverged";
+  EXPECT_TRUE(a.stats_hist == b.stats_hist)
+      << label << ": RunStats latency histogram diverged";
+  EXPECT_TRUE(a.registry_hist == b.registry_hist)
+      << label << ": registry histogram diverged";
+  ASSERT_EQ(a.counters.size(), b.counters.size()) << label;
+  for (size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(a.counters[i], b.counters[i])
+        << label << ": counter " << a.counters[i].first;
+  }
+}
+
+std::vector<std::pair<std::string, uint64_t>> SnapshotCounters(
+    const std::vector<std::string>& names) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const std::string& name : names) {
+    out.emplace_back(
+        name, obs::Obs::Get()->metrics().GetCounter(name).Value());
+  }
+  return out;
+}
+
+// Counters whose totals must not depend on threads or device_batch.
+const std::vector<std::string>& InvariantKnnCounters() {
+  static const std::vector<std::string> names = {
+      "pimine_queries_total",           "pimine_exact_distances_total",
+      "pimine_bound_evaluations_total", "pimine_candidates_pruned_total",
+      "pimine_device_queries_total",    "pimine_device_programs_total",
+  };
+  return names;
+}
+
+const std::vector<std::string>& InvariantKmeansCounters() {
+  static const std::vector<std::string> names = {
+      "pimine_exact_distances_total",
+      "pimine_bound_evaluations_total",
+      "pimine_candidates_pruned_total",
+      "pimine_kmeans_iterations_total",
+      "pimine_kmeans_reassignments_total",
+      "pimine_device_queries_total",
+      "pimine_device_programs_total",
+  };
+  return names;
+}
+
+ObservedRun ObserveKnnRun(const Workload& w, int threads,
+                          size_t device_batch) {
+  obs::Obs::Enable();
+  StandardPimKnn algorithm(Distance::kEuclidean, EngineOptions());
+  EXPECT_TRUE(algorithm.Prepare(w.data).ok());
+  ExecPolicy policy = ExecPolicy::WithThreads(threads);
+  policy.device_batch = device_batch;
+  algorithm.set_exec_policy(policy);
+  auto result = algorithm.Search(w.queries, 6);
+  EXPECT_TRUE(result.ok());
+
+  ObservedRun run;
+  obs::Obs* o = obs::Obs::Get();
+  EXPECT_EQ(o->trace().OpenSpans(), 0);  // balance after the run drains.
+  run.trace_json = o->trace().ToChromeJson();
+  run.stats_hist = result->stats.latency_hist;
+  run.registry_hist =
+      o->metrics().GetHistogramSnapshot("pimine_query_latency_ns");
+  run.counters = SnapshotCounters(InvariantKnnCounters());
+  obs::Obs::Disable();
+  return run;
+}
+
+ObservedRun ObserveKmeansRun(const FloatMatrix& data, int threads,
+                             size_t device_batch) {
+  obs::Obs::Enable();
+  KmeansOptions options;
+  options.k = 12;
+  options.max_iterations = 4;
+  options.seed = 123;
+  options.use_pim = true;
+  options.exec = ExecPolicy::WithThreads(threads);
+  options.exec.block_size = 64;
+  options.exec.device_batch = device_batch;
+  LloydKmeans algorithm;
+  auto result = algorithm.Run(data, options);
+  EXPECT_TRUE(result.ok());
+
+  ObservedRun run;
+  obs::Obs* o = obs::Obs::Get();
+  EXPECT_EQ(o->trace().OpenSpans(), 0);
+  run.trace_json = o->trace().ToChromeJson();
+  run.stats_hist = result->stats.latency_hist;
+  run.registry_hist =
+      o->metrics().GetHistogramSnapshot("pimine_kmeans_iteration_ns");
+  run.counters = SnapshotCounters(InvariantKmeansCounters());
+  obs::Obs::Disable();
+  return run;
+}
+
+TEST(ObsDeterminismTest, KnnTraceBitIdenticalAcrossThreadsAndBatches) {
+  const Workload w = MakeWorkload(400, 32, 97);
+  const ObservedRun baseline = ObserveKnnRun(w, /*threads=*/1,
+                                             /*device_batch=*/1);
+  EXPECT_GT(baseline.stats_hist.count(), 0u);
+  EXPECT_NE(baseline.trace_json.find("pim_dot"), std::string::npos);
+
+  for (int threads : {1, 4}) {
+    for (size_t device_batch : {size_t{1}, size_t{16}}) {
+      const ObservedRun run = ObserveKnnRun(w, threads, device_batch);
+      ExpectIdenticalObservations(
+          baseline, run,
+          "kNN x" + std::to_string(threads) + " batch" +
+              std::to_string(device_batch));
+    }
+  }
+}
+
+TEST(ObsDeterminismTest, KnnRunToRunIdenticalWithSameSeed) {
+  const Workload w = MakeWorkload(300, 24, 5);
+  const ObservedRun first = ObserveKnnRun(w, 4, 16);
+  const ObservedRun second = ObserveKnnRun(w, 4, 16);
+  ExpectIdenticalObservations(first, second, "kNN rerun");
+}
+
+TEST(ObsDeterminismTest, KmeansTraceBitIdenticalAcrossThreadsAndBatches) {
+  const Workload w = MakeWorkload(420, 24, 17);
+  const ObservedRun baseline = ObserveKmeansRun(w.data, /*threads=*/1,
+                                                /*device_batch=*/1);
+  EXPECT_GT(baseline.stats_hist.count(), 0u);  // per-iteration samples.
+  EXPECT_NE(baseline.trace_json.find("iteration"), std::string::npos);
+
+  for (int threads : {1, 4}) {
+    for (size_t device_batch : {size_t{1}, size_t{16}}) {
+      const ObservedRun run = ObserveKmeansRun(w.data, threads, device_batch);
+      ExpectIdenticalObservations(
+          baseline, run,
+          "kmeans x" + std::to_string(threads) + " batch" +
+              std::to_string(device_batch));
+    }
+  }
+}
+
+TEST(ObsDeterminismTest, KmeansRunToRunIdenticalWithSameSeed) {
+  const Workload w = MakeWorkload(350, 20, 29);
+  const ObservedRun first = ObserveKmeansRun(w.data, 4, 16);
+  const ObservedRun second = ObserveKmeansRun(w.data, 4, 16);
+  ExpectIdenticalObservations(first, second, "kmeans rerun");
+}
+
+// With observability disabled (the default), the latency histogram must
+// stay empty — the RunStats surface is bit-identical to an uninstrumented
+// binary.
+TEST(ObsDeterminismTest, DisabledRunLeavesHistogramEmpty) {
+  ASSERT_FALSE(obs::Obs::Enabled());
+  const Workload w = MakeWorkload(200, 16, 3);
+  StandardPimKnn algorithm(Distance::kEuclidean, EngineOptions());
+  ASSERT_TRUE(algorithm.Prepare(w.data).ok());
+  auto result = algorithm.Search(w.queries, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.latency_hist.count(), 0u);
+}
+
+}  // namespace
+}  // namespace pimine

@@ -34,6 +34,29 @@ TEST(FunctionProfilerTest, MergeAndReset) {
   EXPECT_EQ(a.TotalAttributedNs(), 0);
 }
 
+TEST(FunctionProfilerTest, MergeIntoResetProfilerAdoptsOtherOrder) {
+  FunctionProfiler a;
+  a.Add("ED", 10);
+  a.Add("update", 3);
+  a.Reset();
+  EXPECT_EQ(a.TotalAttributedNs(), 0);
+  EXPECT_EQ(a.Get("ED"), 0);
+
+  // Post-reset the profiler behaves like a fresh one: the merge adopts b's
+  // tags in b's first-use order, with no trace of the pre-reset state.
+  FunctionProfiler b;
+  b.Add("LB_FNN", 5);
+  b.Add("ED", 2);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("LB_FNN"), 5);
+  EXPECT_EQ(a.Get("ED"), 2);
+  EXPECT_EQ(a.Get("update"), 0);
+  EXPECT_EQ(a.TotalAttributedNs(), 7);
+  ASSERT_EQ(a.entries().size(), 2u);
+  EXPECT_EQ(a.entries()[0].first, "LB_FNN");
+  EXPECT_EQ(a.entries()[1].first, "ED");
+}
+
 TEST(ScopedFunctionTimerTest, ChargesElapsedTime) {
   FunctionProfiler profiler;
   {
@@ -42,6 +65,12 @@ TEST(ScopedFunctionTimerTest, ChargesElapsedTime) {
     for (int i = 0; i < 100000; ++i) x = x + 1.0;
   }
   EXPECT_GT(profiler.Get("work"), 0);
+}
+
+TEST(ScopedFunctionTimerTest, NullProfilerIsNoOp) {
+  // Call sites with optional profiling pass nullptr; must not crash.
+  { ScopedFunctionTimer timer(nullptr, "work"); }
+  SUCCEED();
 }
 
 TEST(ModeledTimeTest, ComposesHostAndPim) {

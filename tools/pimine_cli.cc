@@ -12,11 +12,13 @@
 // composition), and the operation counts behind it.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "bench_common.h"
 #include "core/memory_planner.h"
+#include "obs/obs.h"
 #include "core/partitioned_engine.h"
 #include "kmeans/drake.h"
 #include "kmeans/elkan.h"
@@ -66,8 +68,69 @@ int Usage() {
       "  motif    [--length=4000] [--window=64] [--pim] [--seed=1]\n"
       "  plan     --dataset=<name> [--n=0] [--crossbars=131072]\n"
       "           [--copies=2]\n"
-      "  config   (prints the Table 1/5/6 configuration)\n";
+      "  config   (prints the Table 1/5/6 configuration)\n"
+      "observability (knn / kmeans):\n"
+      "  --trace_out=t.json    chrome://tracing JSON (modeled-time spans)\n"
+      "  --metrics_out=m.prom  metrics dump (.json => JSON, else Prometheus)\n"
+      "  --hist=latency        print the latency histogram summary\n"
+      "  --trace_wall --trace_device --trace_sched   opt-in physical events\n";
   return 2;
+}
+
+/// Observability flags shared by the knn and kmeans commands. Tracing is
+/// enabled before Prepare (so offline device programming is captured) and
+/// exported after the run.
+struct ObsCliConfig {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string hist;
+  bool enabled() const {
+    return !trace_out.empty() || !metrics_out.empty() || !hist.empty();
+  }
+};
+
+ObsCliConfig SetupObservability(const FlagParser& flags) {
+  ObsCliConfig cfg;
+  cfg.trace_out = flags.GetString("trace_out", "");
+  cfg.metrics_out = flags.GetString("metrics_out", "");
+  cfg.hist = flags.GetString("hist", "");
+  if (!cfg.hist.empty()) {
+    PIMINE_CHECK(cfg.hist == "latency")
+        << "unknown --hist '" << cfg.hist << "' (want latency)";
+  }
+  if (!cfg.enabled()) return cfg;
+  obs::ObsOptions options;
+  options.trace.wall_clock = flags.GetBool("trace_wall", false);
+  options.trace.device_events = flags.GetBool("trace_device", false);
+  options.trace.sched_events = flags.GetBool("trace_sched", false);
+  obs::Obs::Enable(options);
+  return cfg;
+}
+
+void FinishObservability(const ObsCliConfig& cfg, const RunStats& stats) {
+  obs::Obs* o = obs::Obs::Get();
+  if (o == nullptr) return;
+  if (!cfg.trace_out.empty()) {
+    std::ofstream out(cfg.trace_out);
+    PIMINE_CHECK(out.good()) << "cannot open --trace_out " << cfg.trace_out;
+    out << o->trace().ToChromeJson();
+    std::cout << "trace: " << cfg.trace_out << " (" << o->trace().NumEvents()
+              << " events; load via chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!cfg.metrics_out.empty()) {
+    std::ofstream out(cfg.metrics_out);
+    PIMINE_CHECK(out.good()) << "cannot open --metrics_out "
+                             << cfg.metrics_out;
+    const bool as_json = cfg.metrics_out.ends_with(".json");
+    out << (as_json ? o->metrics().ToJson() : o->metrics().ToPrometheus());
+    std::cout << "metrics: " << cfg.metrics_out << " ("
+              << (as_json ? "JSON" : "Prometheus") << ")\n";
+  }
+  if (cfg.hist == "latency") {
+    std::cout << "latency histogram (modeled ns): "
+              << stats.latency_hist.Summary() << "\n";
+  }
+  obs::Obs::Disable();
 }
 
 EngineOptions EngineFromFlags(const FlagParser& flags,
@@ -145,7 +208,10 @@ int RunKnn(const FlagParser& flags) {
                                     "queries", "distance", "alpha",
                                     "crossbars", "optimize", "threads",
                                     "block", "device_batch", "fault_rate",
-                                    "fault_seed", "fault_recovery"}));
+                                    "fault_seed", "fault_recovery",
+                                    "trace_out", "metrics_out", "hist",
+                                    "trace_wall", "trace_device",
+                                    "trace_sched"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 20));
@@ -179,6 +245,7 @@ int RunKnn(const FlagParser& flags) {
     return Usage();
   }
 
+  const ObsCliConfig obs_cfg = SetupObservability(flags);
   algorithm->set_exec_policy(ExecFromFlags(flags));
   PIMINE_CHECK_OK(algorithm->Prepare(workload.data));
   auto result =
@@ -190,6 +257,7 @@ int RunKnn(const FlagParser& flags) {
             << "), k=" << flags.GetInt("k", 10) << ", "
             << workload.queries.rows() << " queries\n";
   PrintRunStats(result->stats, HostCostModel());
+  FinishObservability(obs_cfg, result->stats);
   return 0;
 }
 
@@ -198,7 +266,10 @@ int RunKmeans(const FlagParser& flags) {
                                     "iterations", "pim", "seed", "alpha",
                                     "crossbars", "threads", "block",
                                     "device_batch", "fault_rate",
-                                    "fault_seed", "fault_recovery"}));
+                                    "fault_seed", "fault_recovery",
+                                    "trace_out", "metrics_out", "hist",
+                                    "trace_wall", "trace_device",
+                                    "trace_sched"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "NUS-WIDE"),
                    flags.GetInt("n", 0), 1);
@@ -227,6 +298,7 @@ int RunKmeans(const FlagParser& flags) {
     return Usage();
   }
 
+  const ObsCliConfig obs_cfg = SetupObservability(flags);
   auto result = algorithm->Run(workload.data, options);
   PIMINE_CHECK(result.ok()) << result.status().ToString();
   std::cout << algorithm->name() << (options.use_pim ? "-PIM" : "") << " on "
@@ -234,6 +306,7 @@ int RunKmeans(const FlagParser& flags) {
             << result->iterations << " iterations, inertia "
             << result->inertia << "\n";
   PrintRunStats(result->stats, HostCostModel());
+  FinishObservability(obs_cfg, result->stats);
   return 0;
 }
 
