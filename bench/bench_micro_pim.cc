@@ -11,6 +11,13 @@
 // {0, 1e-4, 1e-3, 1e-2} (stuck cells + transients, host-exact recovery) and
 // emits one JSON document with throughput, recovery accounting, and a
 // PIMINE_CHECKed bit-identity guarantee against the fault-free device.
+//
+// `bench_micro_pim --shard_sweep [n] [d]` sweeps the fleet size M over
+// {1, 2, 4, 8} crossed with device batch Q in {1, 16} on a full
+// ShardedPimEngine, PIMINE_CHECKs every bound bit-identical to the
+// single-device run, and emits a "pimine.bench.shard.v1" JSON document
+// (stdout + BENCH_shard.json) with modeled queries/s and the
+// interconnect-overhead fraction. Default n=4096, d=256.
 
 #include <benchmark/benchmark.h>
 
@@ -18,11 +25,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "common/logging.h"
+#include "core/sharded_engine.h"
 #include "data/matrix.h"
 #include "pim/crossbar.h"
 #include "pim/crossbar_math.h"
@@ -360,6 +371,135 @@ int FaultSweep(size_t n, size_t s) {
   return 0;
 }
 
+// --- fleet-size sweep (--shard_sweep) ------------------------------------
+
+int ShardSweep(size_t n, size_t d) {
+  constexpr size_t kTotalQueries = 16;
+  Rng rng(7);
+  FloatMatrix data(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (float& v : data.mutable_row(i)) v = rng.NextFloat();
+  }
+  FloatMatrix queries(kTotalQueries, d);
+  for (size_t i = 0; i < kTotalQueries; ++i) {
+    for (float& v : queries.mutable_row(i)) v = rng.NextFloat();
+  }
+
+  // Reference bounds of the M=1, Q=1 run; every other (M, Q) combination
+  // must reproduce them bit-for-bit.
+  std::vector<double> expected(kTotalQueries * n);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"schema\": \"pimine.bench.shard.v1\",\n"
+       << "  \"n\": " << n << ",\n"
+       << "  \"d\": " << d << ",\n"
+       << "  \"total_queries\": " << kTotalQueries << ",\n"
+       << "  \"sweep\": [\n";
+
+  bool first = true;
+  for (int shards : {1, 2, 4, 8}) {
+    EngineOptions options;
+    options.shard.shards = shards;
+    auto built = ShardedPimEngine::Build(data, Distance::kEuclidean, options);
+    PIMINE_CHECK(built.ok()) << built.status().ToString();
+    const std::unique_ptr<ShardedPimEngine> engine = std::move(built).value();
+
+    for (size_t batch : {size_t{1}, size_t{16}}) {
+      engine->ResetOnlineStats();
+
+      // Accounting + bit-identity pass: one sweep over all queries.
+      for (size_t q0 = 0; q0 < kTotalQueries; q0 += batch) {
+        auto run = engine->RunQueryBatch(
+            std::span<const float>(queries.data() + q0 * d, batch * d), batch);
+        PIMINE_CHECK(run.ok()) << run.status().ToString();
+        const ShardedPimEngine::QueryHandleBatch handle =
+            std::move(run).value();
+        for (size_t bq = 0; bq < batch; ++bq) {
+          for (size_t i = 0; i < n; ++i) {
+            const double b = engine->BoundFor(handle, bq, i);
+            if (shards == 1 && batch == 1) {
+              expected[(q0 + bq) * n + i] = b;
+            } else {
+              PIMINE_CHECK(b == expected[(q0 + bq) * n + i])
+                  << "bound diverged at M=" << shards << " Q=" << batch
+                  << " q=" << q0 + bq << " i=" << i;
+            }
+          }
+        }
+      }
+
+      // Modeled figures for the single accounting pass, snapshotted before
+      // the timed repetitions: device occupancy is the max over the
+      // concurrently-running shards; the interconnect ns come from the
+      // fleet's scatter/gather message counters (zero at M=1).
+      const double pipelined_ns = engine->PimPipelinedNs();
+      const FleetRunStats fleet = engine->FleetStats();
+      const double interconnect_ns = fleet.InterconnectNs();
+      const double modeled_total_ns = pipelined_ns + interconnect_ns;
+      const double modeled_qps =
+          static_cast<double>(kTotalQueries) /
+          (std::max(1e-9, modeled_total_ns) / 1e9);
+      const double interconnect_fraction =
+          modeled_total_ns > 0.0 ? interconnect_ns / modeled_total_ns : 0.0;
+
+      ShardedPimEngine::QueryScratch scratch;
+      const double ms = BestOfMs(3, [&] {
+        for (size_t q0 = 0; q0 < kTotalQueries; q0 += batch) {
+          PIMINE_CHECK_OK(engine
+                              ->RunQueryBatch(
+                                  std::span<const float>(
+                                      queries.data() + q0 * d, batch * d),
+                                  batch, &scratch)
+                              .status());
+        }
+      });
+      const double queries_per_s =
+          static_cast<double>(kTotalQueries) / (ms / 1e3);
+
+      // Crossbar demand of the busiest shard (shard 0 holds the most
+      // rows): the provisioning axis the fleet actually scales — latency
+      // is row-count independent, so M devices each need ~1/M of the
+      // single device's crossbars for the same modeled time.
+      const MemoryPlan& shard_plan = engine->shard_engine(0).plan();
+      const int64_t crossbars_per_shard =
+          shard_plan.data_crossbars + shard_plan.gather_crossbars;
+
+      if (!first) json << ",\n";
+      first = false;
+      json << "    {\"shards\": " << shards
+           << ", \"q\": " << batch
+           << ", \"crossbars_per_shard\": " << crossbars_per_shard
+           << ", \"wall_ms\": " << Fmt(ms, 4)
+           << ", \"queries_per_s\": " << Fmt(queries_per_s, 1)
+           << ", \"modeled_pipelined_ns\": " << Fmt(pipelined_ns, 1)
+           << ", \"interconnect_ns\": " << Fmt(interconnect_ns, 1)
+           << ", \"modeled_queries_per_s\": " << Fmt(modeled_qps, 1)
+           << ", \"interconnect_fraction\": "
+           << Fmt(interconnect_fraction, 4)
+           << ", \"identical_to_single_device\": true}";
+    }
+  }
+  json << "\n  ],\n"
+       << "  \"note\": \"identical_to_single_device is PIMINE_CHECKed: "
+          "every lower bound of every (M, Q) combination is bit-identical "
+          "to the M=1, Q=1 run. modeled_queries_per_s divides the query "
+          "count by max-over-shards pipelined device time plus the "
+          "scatter/gather interconnect time, so the interconnect_fraction "
+          "reports the fleet's communication overhead honestly. The "
+          "crossbar pass is row-count independent, so what scales with M "
+          "is crossbars_per_shard (each device provisions ~1/M of the "
+          "single-device array), not the per-query latency\"\n"
+       << "}\n";
+
+  std::cout << json.str();
+  std::ofstream out("BENCH_shard.json");
+  PIMINE_CHECK(out.good()) << "cannot write BENCH_shard.json";
+  out << json.str();
+  std::cerr << "wrote BENCH_shard.json\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace pimine
 
@@ -368,7 +508,9 @@ int main(int argc, char** argv) {
       argc > 1 && std::strcmp(argv[1], "--batch_sweep") == 0;
   const bool fault_sweep =
       argc > 1 && std::strcmp(argv[1], "--fault_sweep") == 0;
-  if (batch_sweep || fault_sweep) {
+  const bool shard_sweep =
+      argc > 1 && std::strcmp(argv[1], "--shard_sweep") == 0;
+  if (batch_sweep || fault_sweep || shard_sweep) {
     size_t n = 4096;
     size_t s = 256;
     const auto parse = [](const char* arg, size_t* out) {
@@ -383,7 +525,9 @@ int main(int argc, char** argv) {
       std::cerr << "usage: " << argv[0] << " " << argv[1] << " [n] [s]\n";
       return 2;
     }
-    return batch_sweep ? pimine::BatchSweep(n, s) : pimine::FaultSweep(n, s);
+    if (batch_sweep) return pimine::BatchSweep(n, s);
+    if (fault_sweep) return pimine::FaultSweep(n, s);
+    return pimine::ShardSweep(n, s);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -288,12 +288,16 @@ void CompactSuspect(std::vector<uint8_t>* suspect) {
 
 }  // namespace
 
-Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
-    std::span<const float> queries, size_t num_queries,
-    QueryScratch* scratch) const {
+Status PimEngine::PrepareBatch(std::span<const float> queries,
+                               size_t num_queries, QueryScratch* scratch,
+                               QueryHandleBatch* batch) const {
   if (scratch == nullptr) {
     return Status::InvalidArgument(
         "RunQueryBatch requires a non-null scratch");
+  }
+  if (batch == nullptr) {
+    return Status::InvalidArgument(
+        "PrepareBatch requires a non-null batch handle");
   }
   if (num_queries == 0) {
     return Status::InvalidArgument(
@@ -306,31 +310,22 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
     PIMINE_RETURN_IF_ERROR(CheckQuery(queries.subspan(q * dims_, dims_)));
   }
 
-  // Per-query phase spans: quantize durations are measured per iteration of
-  // the per-query loops below (invariant across batch grouping), device
-  // durations taken from the serial-equivalent timing model (same value for
-  // every query regardless of batching) — so the trace bytes are identical
-  // at any device-batch size. Null when observability is disabled.
+  // Per-query quantize spans are measured per iteration of the loops below
+  // (invariant across batch grouping). Null when observability is disabled.
   obs::Obs* const o = obs::Obs::Get();
 
-  QueryHandleBatch batch;
-  batch.num_queries = num_queries;
-  batch.stride = num_objects_;
-  batch.phi_q.assign(num_queries, 0.0);
-  batch.sum_floor_q.assign(num_queries, 0.0);
-  batch.norm_q.assign(num_queries, 0.0);
-  batch.phi_b_q.assign(num_queries, 0.0);
-  // Only fault-enabled devices fill suspect flags; fault-free runs never
-  // pay the allocation.
-  const bool with_suspect = options_.fault_config.enabled();
-  std::vector<uint8_t>* suspect1 = with_suspect ? &batch.suspect1 : nullptr;
-  std::vector<uint8_t>* suspect2 = with_suspect ? &batch.suspect2 : nullptr;
+  batch->num_queries = num_queries;
+  batch->stride = num_objects_;
+  batch->phi_q.assign(num_queries, 0.0);
+  batch->sum_floor_q.assign(num_queries, 0.0);
+  batch->norm_q.assign(num_queries, 0.0);
+  batch->phi_b_q.assign(num_queries, 0.0);
 
   switch (mode_) {
     case EngineMode::kDirectEd:
     case EngineMode::kCosine:
     case EngineMode::kPearson: {
-      // One quantization pass over the whole batch, then one device op.
+      // One quantization pass over the whole batch.
       scratch->ints.resize(num_queries * dims_);
       for (size_t q = 0; q < num_queries; ++q) {
         const TrafficCounters before =
@@ -340,31 +335,22 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
             query, std::span<int32_t>(scratch->ints)
                        .subspan(q * dims_, dims_));
         if (mode_ == EngineMode::kDirectEd) {
-          batch.phi_q[q] = quantizer_.PhiEd(query);
+          batch->phi_q[q] = quantizer_.PhiEd(query);
         } else {
-          batch.sum_floor_q[q] = quantizer_.SumFloors(query);
+          batch->sum_floor_q[q] = quantizer_.SumFloors(query);
           if (mode_ == EngineMode::kCosine) {
-            batch.norm_q[q] = CsDecomposition::Phi(query);
+            batch->norm_q[q] = CsDecomposition::Phi(query);
           } else {
             const PccDecomposition::Phi phi =
                 PccDecomposition::ComputePhi(query);
-            batch.norm_q[q] = phi.a;
-            batch.phi_b_q[q] = phi.b;
+            batch->norm_q[q] = phi.a;
+            batch->phi_b_q[q] = phi.b;
           }
         }
         if (o != nullptr) {
           o->trace().Complete("engine", "quantize",
                               obs::TrackFor(static_cast<int64_t>(q)),
                               o->HostNs(traffic::Local() - before));
-        }
-      }
-      PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
-          scratch->ints, num_queries, &batch.dots1, suspect1));
-      if (o != nullptr) {
-        const double dot_ns = device1_->SerialDotNsPerQuery();
-        for (size_t q = 0; q < num_queries; ++q) {
-          o->trace().Complete("engine", "pim_dot",
-                              obs::TrackFor(static_cast<int64_t>(q)), dot_ns);
         }
       }
       break;
@@ -386,12 +372,12 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
             scratch->means,
             std::span<int32_t>(scratch->ints).subspan(q * s, s));
         if (with_stds) {
-          batch.phi_q[q] = quantizer_.PhiFnn(scratch->means, scratch->stds);
+          batch->phi_q[q] = quantizer_.PhiFnn(scratch->means, scratch->stds);
           quantizer_.QuantizeRow(
               scratch->stds,
               std::span<int32_t>(scratch->ints2).subspan(q * s, s));
         } else {
-          batch.phi_q[q] = quantizer_.PhiSm(scratch->means);
+          batch->phi_q[q] = quantizer_.PhiSm(scratch->means);
         }
         if (o != nullptr) {
           o->trace().Complete("engine", "quantize",
@@ -399,31 +385,100 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
                               o->HostNs(traffic::Local() - before));
         }
       }
-      PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
-          scratch->ints, num_queries, &batch.dots1, suspect1));
-      if (with_stds) {
-        PIMINE_RETURN_IF_ERROR(device2_->DotProductBatch(
-            scratch->ints2, num_queries, &batch.dots2, suspect2));
-      }
-      if (o != nullptr) {
-        const double dot_ns = device1_->SerialDotNsPerQuery();
-        const double dot2_ns =
-            with_stds ? device2_->SerialDotNsPerQuery() : 0.0;
-        for (size_t q = 0; q < num_queries; ++q) {
-          const int64_t track = obs::TrackFor(static_cast<int64_t>(q));
-          o->trace().Complete("engine", "pim_dot", track, dot_ns);
-          if (with_stds) {
-            o->trace().Complete("engine", "pim_dot2", track, dot2_ns);
-          }
-        }
-      }
       break;
     }
   }
-  if (with_suspect) {
-    CompactSuspect(&batch.suspect1);
-    CompactSuspect(&batch.suspect2);
+  return Status::OK();
+}
+
+Status PimEngine::DeviceBatch(const QueryScratch& scratch, size_t num_queries,
+                              QueryHandleBatch* batch,
+                              bool emit_query_spans) const {
+  if (batch == nullptr) {
+    return Status::InvalidArgument(
+        "DeviceBatch requires a non-null batch handle");
   }
+  const bool with_stds = mode_ == EngineMode::kSegmentFnn;
+  const size_t width = num_segments_ > 0
+                           ? static_cast<size_t>(num_segments_)
+                           : dims_;
+  if (scratch.ints.size() != num_queries * width ||
+      (with_stds && scratch.ints2.size() != num_queries * width)) {
+    return Status::InvalidArgument(
+        "scratch does not hold a prepared batch of this geometry; call "
+        "PrepareBatch first");
+  }
+  batch->stride = num_objects_;
+  // Only fault-enabled devices fill suspect flags; fault-free runs never
+  // pay the allocation.
+  const bool with_suspect = options_.fault_config.enabled();
+  std::vector<uint8_t>* suspect1 = with_suspect ? &batch->suspect1 : nullptr;
+  std::vector<uint8_t>* suspect2 = with_suspect ? &batch->suspect2 : nullptr;
+
+  PIMINE_RETURN_IF_ERROR(device1_->DotProductBatch(
+      scratch.ints, num_queries, &batch->dots1, suspect1));
+  if (with_stds) {
+    PIMINE_RETURN_IF_ERROR(device2_->DotProductBatch(
+        scratch.ints2, num_queries, &batch->dots2, suspect2));
+  }
+  // Per-query device spans use the serial-equivalent timing model (same
+  // value for every query regardless of batching), so the trace bytes are
+  // identical at any device-batch size.
+  if (obs::Obs* const o = emit_query_spans ? obs::Obs::Get() : nullptr) {
+    const double dot_ns = device1_->SerialDotNsPerQuery();
+    const double dot2_ns = with_stds ? device2_->SerialDotNsPerQuery() : 0.0;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const int64_t track = obs::TrackFor(static_cast<int64_t>(q));
+      o->trace().Complete("engine", "pim_dot", track, dot_ns);
+      if (with_stds) {
+        o->trace().Complete("engine", "pim_dot2", track, dot2_ns);
+      }
+    }
+  }
+  if (with_suspect) {
+    CompactSuspect(&batch->suspect1);
+    CompactSuspect(&batch->suspect2);
+  }
+  return Status::OK();
+}
+
+Status PimEngine::HostRecomputeBatch(const QueryScratch& scratch,
+                                     size_t num_queries,
+                                     QueryHandleBatch* batch) const {
+  if (batch == nullptr) {
+    return Status::InvalidArgument(
+        "HostRecomputeBatch requires a non-null batch handle");
+  }
+  const bool with_stds = mode_ == EngineMode::kSegmentFnn;
+  const size_t width = num_segments_ > 0
+                           ? static_cast<size_t>(num_segments_)
+                           : dims_;
+  if (scratch.ints.size() != num_queries * width ||
+      (with_stds && scratch.ints2.size() != num_queries * width)) {
+    return Status::InvalidArgument(
+        "scratch does not hold a prepared batch of this geometry; call "
+        "PrepareBatch first");
+  }
+  batch->stride = num_objects_;
+  PIMINE_RETURN_IF_ERROR(
+      device1_->HostRecomputeBatch(scratch.ints, num_queries, &batch->dots1));
+  if (with_stds) {
+    PIMINE_RETURN_IF_ERROR(device2_->HostRecomputeBatch(
+        scratch.ints2, num_queries, &batch->dots2));
+  }
+  // Host recomputation is exact: nothing is suspect.
+  batch->suspect1.clear();
+  batch->suspect2.clear();
+  return Status::OK();
+}
+
+Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
+    std::span<const float> queries, size_t num_queries,
+    QueryScratch* scratch) const {
+  QueryHandleBatch batch;
+  PIMINE_RETURN_IF_ERROR(
+      PrepareBatch(queries, num_queries, scratch, &batch));
+  PIMINE_RETURN_IF_ERROR(DeviceBatch(*scratch, num_queries, &batch));
   return batch;
 }
 

@@ -13,6 +13,7 @@
 #include "core/quantize.h"
 #include "core/similarity.h"
 #include "data/matrix.h"
+#include "pim/fleet.h"
 #include "pim/pim_config.h"
 #include "pim/pim_device.h"
 #include "util/parallel.h"
@@ -57,6 +58,10 @@ struct EngineOptions {
   FaultConfig fault_config;
   /// Recovery policy the device(s) apply to checksum-flagged results.
   RecoveryPolicy recovery;
+  /// Multi-device sharding (consumed by ShardedPimEngine; a plain PimEngine
+  /// ignores it and always runs single-device). shard.shards == 1 keeps the
+  /// exact single-device behaviour.
+  ShardOptions shard;
 };
 
 /// The paper's framework in one object (§V): offline, it normalizes the
@@ -156,6 +161,35 @@ class PimEngine {
   /// As above, allocating scratch internally.
   Result<QueryHandleBatch> RunQueryBatch(std::span<const float> queries,
                                          size_t num_queries) const;
+
+  /// Host half of RunQueryBatch: validates the queries, fills the batch's
+  /// per-query scalar terms, and quantizes every query into
+  /// scratch->ints/ints2 (the device operands), charging the host-side
+  /// quantize traffic and spans exactly once. RunQueryBatch ==
+  /// PrepareBatch + DeviceBatch; the fleet layer calls PrepareBatch once
+  /// and fans the prepared operands out to every shard, so the query-side
+  /// work is never duplicated per shard.
+  Status PrepareBatch(std::span<const float> queries, size_t num_queries,
+                      QueryScratch* scratch, QueryHandleBatch* batch) const;
+
+  /// Device half of RunQueryBatch: matches the operands PrepareBatch left
+  /// in `scratch` (from this engine or a geometry-identical sibling — the
+  /// fleet prepares once on one shard) against this engine's programmed
+  /// dataset, sets batch->stride to this engine's num_objects(), and fills
+  /// dots1/dots2 (+ suspect flags). `emit_query_spans` = false suppresses
+  /// the per-query pim_dot trace spans; the fleet emits one serial-
+  /// equivalent set itself instead of M duplicates.
+  Status DeviceBatch(const QueryScratch& scratch, size_t num_queries,
+                     QueryHandleBatch* batch,
+                     bool emit_query_spans = true) const;
+
+  /// Fail-over substitute for DeviceBatch: computes the same exact dot
+  /// products on the host from the programmed operands
+  /// (PimDevice::HostRecomputeBatch), bypassing the device fault model.
+  /// Results are bit-identical to a fault-free DeviceBatch with empty
+  /// suspect vectors; only fault-escalation accounting is charged.
+  Status HostRecomputeBatch(const QueryScratch& scratch, size_t num_queries,
+                            QueryHandleBatch* batch) const;
 
   /// Lazy combine for object `index`: O(1) host work, 3*b bits of transfer.
   double BoundFor(const QueryHandle& handle, size_t index) const;

@@ -1,0 +1,344 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/obs.h"
+
+namespace pimine {
+namespace {
+
+/// Decorrelates shard j's fault seed from shard 0's: independent physical
+/// devices have independent fault patterns. Same mixer as the placement
+/// hash (stateless, platform-independent).
+uint64_t ShardSeedSalt(uint64_t j) {
+  uint64_t x = j + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ShardMap TrivialShardMap(size_t n) {
+  ShardMap map;
+  map.rows_per_shard.resize(1);
+  map.rows_per_shard[0].resize(n);
+  std::iota(map.rows_per_shard[0].begin(), map.rows_per_shard[0].end(), 0u);
+  map.shard_of.assign(n, 0);
+  map.local_of = map.rows_per_shard[0];
+  return map;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedPimEngine>> ShardedPimEngine::Build(
+    const FloatMatrix& data, Distance distance, const EngineOptions& options) {
+  auto fleet = std::unique_ptr<ShardedPimEngine>(new ShardedPimEngine());
+  fleet->options_ = options;
+  fleet->num_objects_ = data.rows();
+
+  if (options.shard.shards == 1) {
+    // Single device: exactly a PimEngine (same errors, stats and traces).
+    PIMINE_ASSIGN_OR_RETURN(std::unique_ptr<PimEngine> engine,
+                            PimEngine::Build(data, distance, options));
+    fleet->plan_ = engine->plan();
+    fleet->engines_.push_back(std::move(engine));
+    fleet->map_ = TrivialShardMap(data.rows());
+    return fleet;
+  }
+
+  PIMINE_ASSIGN_OR_RETURN(fleet->map_, BuildShardMap(data, options.shard));
+  if (distance == Distance::kHamming) {
+    return Status::InvalidArgument(
+        "use PimHammingEngine for binary-code workloads");
+  }
+  const int64_t n = static_cast<int64_t>(data.rows());
+  const int64_t d = static_cast<int64_t>(data.cols());
+
+  // Resolve the bound family and segment geometry on the FULL dataset,
+  // replicating PimEngine::Build's selection (including its capacity
+  // errors), then force the outcome on every shard: a shard's smaller plan
+  // must not change the bound function, or results would depend on M.
+  EngineOptions shard_options = options;
+  shard_options.shard = ShardOptions();  // each member is one device.
+  if (distance == Distance::kCosine || distance == Distance::kPearson) {
+    if (options.bound != EngineOptions::Bound::kAuto) {
+      return Status::InvalidArgument(
+          "CS/PCC engines only support the automatic bound");
+    }
+    PIMINE_ASSIGN_OR_RETURN(fleet->plan_,
+                            PlanPimLayout(n, d, options.operand_bits, 1,
+                                          options.pim_config));
+    if (fleet->plan_.compressed) {
+      return Status::CapacityExceeded(
+          "CS/PCC require the full-dimensionality dataset on PIM; "
+          "enlarge the PIM array");
+    }
+  } else {
+    EngineOptions::Bound bound = options.bound;
+    MemoryPlan plan;
+    if (bound == EngineOptions::Bound::kAuto) {
+      PIMINE_ASSIGN_OR_RETURN(plan, PlanPimLayout(n, d, options.operand_bits,
+                                                  1, options.pim_config));
+      bound = plan.compressed ? EngineOptions::Bound::kSegmentFnn
+                              : EngineOptions::Bound::kDirectEd;
+    }
+    switch (bound) {
+      case EngineOptions::Bound::kDirectEd: {
+        PIMINE_ASSIGN_OR_RETURN(plan,
+                                PlanPimLayout(n, d, options.operand_bits, 1,
+                                              options.pim_config));
+        if (plan.compressed) {
+          return Status::CapacityExceeded(
+              "full-dimensionality LB_PIM-ED does not fit; use a segment "
+              "bound");
+        }
+        shard_options.bound = EngineOptions::Bound::kDirectEd;
+        break;
+      }
+      case EngineOptions::Bound::kSegmentFnn:
+      case EngineOptions::Bound::kSegmentSm: {
+        const int copies = bound == EngineOptions::Bound::kSegmentFnn ? 2 : 1;
+        PIMINE_ASSIGN_OR_RETURN(plan,
+                                PlanPimLayout(n, d, options.operand_bits,
+                                              copies, options.pim_config));
+        int64_t s = std::min(plan.s, std::max<int64_t>(1, d / 4));
+        if (options.force_segments > 0) {
+          if (options.force_segments > plan.s) {
+            return Status::CapacityExceeded(
+                "forced segment count exceeds the Theorem 4 maximum");
+          }
+          s = options.force_segments;
+        }
+        plan.s = s;
+        plan.compressed = s < d;
+        shard_options.bound = bound;
+        shard_options.force_segments = s;
+        break;
+      }
+      case EngineOptions::Bound::kAuto:
+        return Status::Internal("unreachable engine bound selection");
+    }
+    fleet->plan_ = plan;
+  }
+
+  fleet->engines_.resize(fleet->map_.shards());
+  for (size_t j = 0; j < fleet->map_.shards(); ++j) {
+    const std::vector<uint32_t>& rows = fleet->map_.rows_per_shard[j];
+    FloatMatrix shard_data(rows.size(), static_cast<size_t>(d));
+    for (size_t local = 0; local < rows.size(); ++local) {
+      const auto src = data.row(rows[local]);
+      std::copy(src.begin(), src.end(),
+                shard_data.mutable_row(local).begin());
+    }
+    EngineOptions ej = shard_options;
+    if (j > 0) ej.fault_config.seed ^= ShardSeedSalt(j);
+    PIMINE_ASSIGN_OR_RETURN(fleet->engines_[j],
+                            PimEngine::Build(shard_data, distance, ej));
+  }
+  return fleet;
+}
+
+Result<ShardedPimEngine::QueryHandleBatch> ShardedPimEngine::RunQueryBatch(
+    std::span<const float> queries, size_t num_queries) const {
+  QueryScratch scratch;
+  return RunQueryBatch(queries, num_queries, &scratch);
+}
+
+Result<ShardedPimEngine::QueryHandleBatch> ShardedPimEngine::RunQueryBatch(
+    std::span<const float> queries, size_t num_queries,
+    QueryScratch* scratch) const {
+  QueryHandleBatch out;
+  out.num_queries = num_queries;
+  out.shards.resize(engines_.size());
+  // Query-side work (validation, scalars, quantization) happens ONCE on
+  // shard 0's engine — every shard shares the quantizer and geometry, so
+  // the prepared operands serve the whole fleet and the host traffic stays
+  // identical to the single-device run.
+  PIMINE_RETURN_IF_ERROR(
+      engines_[0]->PrepareBatch(queries, num_queries, scratch,
+                                &out.shards[0]));
+  if (engines_.size() == 1) {
+    PIMINE_RETURN_IF_ERROR(
+        engines_[0]->DeviceBatch(*scratch, num_queries, &out.shards[0]));
+    return out;
+  }
+
+  const size_t m = engines_.size();
+  for (size_t j = 1; j < m; ++j) {
+    PimEngine::QueryHandleBatch& h = out.shards[j];
+    h.num_queries = num_queries;
+    h.phi_q = out.shards[0].phi_q;
+    h.sum_floor_q = out.shards[0].sum_floor_q;
+    h.norm_q = out.shards[0].norm_q;
+    h.phi_b_q = out.shards[0].phi_b_q;
+  }
+
+  // Scatter: every shard matches the same prepared operands against its
+  // rows. Per-query trace spans are suppressed in the per-shard calls and
+  // emitted once below — the shards run concurrently, so the fleet's
+  // serial-equivalent per-query device time is one pass, not M.
+  std::vector<Status> status(m, Status::OK());
+  ParallelChunks(fanout_policy_, m, 1,
+                 [&](size_t begin, size_t end, size_t /*slot*/) {
+                   for (size_t j = begin; j < end; ++j) {
+                     status[j] = engines_[j]->DeviceBatch(
+                         *scratch, num_queries, &out.shards[j],
+                         /*emit_query_spans=*/false);
+                   }
+                 });
+  for (size_t j = 0; j < m; ++j) {
+    if (status[j].ok()) continue;
+    if (status[j].code() == StatusCode::kDeviceFault &&
+        options_.shard.failover) {
+      // Per-shard fail-over: the faulted shard escalates to a host-exact
+      // recompute of only its rows; healthy shards keep their results.
+      PIMINE_RETURN_IF_ERROR(engines_[j]->HostRecomputeBatch(
+          *scratch, num_queries, &out.shards[j]));
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      failed_over_queries_.fetch_add(num_queries, std::memory_order_relaxed);
+      continue;
+    }
+    return status[j];
+  }
+
+  // Interconnect accounting: one broadcast message per shard per device
+  // matrix carrying the batch operands, one gather message per shard per
+  // device matrix carrying that shard's results.
+  const bool with_stds = mode() == EngineMode::kSegmentFnn;
+  const uint64_t matrices = with_stds ? 2 : 1;
+  const uint64_t operand_bytes =
+      (scratch->ints.size() + scratch->ints2.size()) * sizeof(int32_t);
+  uint64_t result_values = 0;
+  for (const PimEngine::QueryHandleBatch& h : out.shards) {
+    result_values += h.dots1.size() + h.dots2.size();
+  }
+  scatter_messages_.fetch_add(m * matrices, std::memory_order_relaxed);
+  scatter_bytes_.fetch_add(m * operand_bytes, std::memory_order_relaxed);
+  gather_messages_.fetch_add(m * matrices, std::memory_order_relaxed);
+  gather_bytes_.fetch_add(result_values * sizeof(uint64_t),
+                          std::memory_order_relaxed);
+
+  // One serial-equivalent set of per-query device spans, identical to the
+  // single-device trace (pass latency is row-count independent).
+  if (obs::Obs* const o = obs::Obs::Get()) {
+    const double dot_ns = engines_[0]->device1().SerialDotNsPerQuery();
+    const double dot2_ns =
+        with_stds ? engines_[0]->device2()->SerialDotNsPerQuery() : 0.0;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const int64_t track = obs::TrackFor(static_cast<int64_t>(q));
+      o->trace().Complete("engine", "pim_dot", track, dot_ns);
+      if (with_stds) {
+        o->trace().Complete("engine", "pim_dot2", track, dot2_ns);
+      }
+    }
+  }
+  return out;
+}
+
+double ShardedPimEngine::BoundFor(const QueryHandleBatch& batch, size_t query,
+                                  size_t index) const {
+  PIMINE_DCHECK(index < num_objects_);
+  if (engines_.size() == 1) {
+    return engines_[0]->BoundFor(batch.shards[0], query, index);
+  }
+  const uint32_t j = map_.shard_of[index];
+  return engines_[j]->BoundFor(batch.shards[j], query, map_.local_of[index]);
+}
+
+double ShardedPimEngine::PimComputeNs() const {
+  double ns = 0.0;
+  for (const auto& e : engines_) ns = std::max(ns, e->PimComputeNs());
+  return ns;
+}
+
+double ShardedPimEngine::PimPipelinedNs() const {
+  double ns = 0.0;
+  for (const auto& e : engines_) ns = std::max(ns, e->PimPipelinedNs());
+  return ns;
+}
+
+FaultStats ShardedPimEngine::FaultStatsTotal() const {
+  FaultStats total;
+  for (const auto& e : engines_) total.Merge(e->FaultStatsTotal());
+  return total;
+}
+
+double ShardedPimEngine::OfflineNs() const {
+  double ns = 0.0;
+  for (const auto& e : engines_) ns = std::max(ns, e->OfflineNs());
+  return ns;
+}
+
+uint64_t ShardedPimEngine::OfflineBytesWritten() const {
+  uint64_t bytes = 0;
+  for (const auto& e : engines_) bytes += e->OfflineBytesWritten();
+  return bytes;
+}
+
+void ShardedPimEngine::ResetOnlineStats() {
+  for (const auto& e : engines_) e->ResetOnlineStats();
+  scatter_messages_.store(0, std::memory_order_relaxed);
+  scatter_bytes_.store(0, std::memory_order_relaxed);
+  gather_messages_.store(0, std::memory_order_relaxed);
+  gather_bytes_.store(0, std::memory_order_relaxed);
+  reduce_messages_.store(0, std::memory_order_relaxed);
+  reduce_bytes_.store(0, std::memory_order_relaxed);
+  failovers_.store(0, std::memory_order_relaxed);
+  failed_over_queries_.store(0, std::memory_order_relaxed);
+}
+
+FleetRunStats ShardedPimEngine::FleetStats() const {
+  FleetRunStats s;
+  s.shards = static_cast<int>(engines_.size());
+  s.placement = options_.shard.placement;
+  s.scatter_messages = scatter_messages_.load(std::memory_order_relaxed);
+  s.scatter_bytes = scatter_bytes_.load(std::memory_order_relaxed);
+  s.gather_messages = gather_messages_.load(std::memory_order_relaxed);
+  s.gather_bytes = gather_bytes_.load(std::memory_order_relaxed);
+  s.reduce_messages = reduce_messages_.load(std::memory_order_relaxed);
+  s.reduce_bytes = reduce_bytes_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.failed_over_queries =
+      failed_over_queries_.load(std::memory_order_relaxed);
+  // Derived at snapshot time from the integer counters: summing
+  // TransferLatencyNs per message == messages * hop_ns + bytes / gbps, so
+  // the figures are independent of charge interleaving.
+  const PimConfig& c = engines_[0]->device1().config();
+  const auto class_ns = [&c](uint64_t messages, uint64_t bytes) {
+    return static_cast<double>(messages) * c.interconnect_hop_ns +
+           static_cast<double>(bytes) / c.interconnect_gbps;
+  };
+  s.scatter_ns = class_ns(s.scatter_messages, s.scatter_bytes);
+  s.gather_ns = class_ns(s.gather_messages, s.gather_bytes);
+  s.reduce_ns = class_ns(s.reduce_messages, s.reduce_bytes);
+  return s;
+}
+
+void ShardedPimEngine::ChargeTreeReduction(uint64_t payload_bytes) const {
+  const size_t m = engines_.size();
+  if (m <= 1) return;
+  // Critical path of a pairwise merge tree: ceil(log2 m) levels, one
+  // payload-sized message per level.
+  uint64_t depth = 0;
+  for (size_t width = m; width > 1; width = (width + 1) / 2) ++depth;
+  reduce_messages_.fetch_add(depth, std::memory_order_relaxed);
+  reduce_bytes_.fetch_add(depth * payload_bytes, std::memory_order_relaxed);
+}
+
+std::vector<Neighbor> MergeShardTopK(
+    const std::vector<std::vector<Neighbor>>& per_shard, size_t k) {
+  std::vector<Neighbor> all;
+  for (const std::vector<Neighbor>& list : per_shard) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace pimine

@@ -1,0 +1,176 @@
+#ifndef PIMINE_CORE_SHARDED_ENGINE_H_
+#define PIMINE_CORE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "data/matrix.h"
+#include "pim/fleet.h"
+#include "util/parallel.h"
+#include "util/top_k.h"
+
+namespace pimine {
+
+/// A fleet of PIM devices acting as one logical engine (DESIGN.md section
+/// 9): the dataset is sharded across M per-shard PimEngines (ShardOptions
+/// placement), each query batch is prepared once on the host, scattered to
+/// every shard, matched in parallel, and the per-shard dot products are
+/// gathered for the host's global combine. Only the device/transfer layer
+/// is sharded — BoundFor routes one global object index to its shard's
+/// results, so the host pipeline above (bounds, sort, refine) is untouched
+/// and every functional result and grouping-invariant counter is
+/// bit-identical to the single-device run for every M. What legitimately
+/// varies with M is the new FleetRunStats scatter/gather/reduce accounting
+/// (and the per-shard device batch_ops, like device_batch already does).
+///
+/// shards == 1 constructs exactly one PimEngine from the original options
+/// and delegates wholesale: behaviour, traces and stats are those of a
+/// plain PimEngine, trivially.
+///
+/// The geometry (bound family, segment count) is always resolved on the
+/// FULL dataset, exactly as PimEngine::Build would, then forced on every
+/// shard — a smaller shard must not pick a different Theorem 4 plan, or
+/// results would depend on M.
+class ShardedPimEngine {
+ public:
+  using QueryScratch = PimEngine::QueryScratch;
+
+  /// One per-shard QueryHandleBatch per fleet member; BoundFor routes
+  /// global object indices into them. size() == shards().
+  struct QueryHandleBatch {
+    size_t num_queries = 0;
+    std::vector<PimEngine::QueryHandleBatch> shards;
+  };
+
+  static Result<std::unique_ptr<ShardedPimEngine>> Build(
+      const FloatMatrix& data, Distance distance,
+      const EngineOptions& options);
+
+  /// One batched fleet operation: PrepareBatch once on the host (query-side
+  /// scalars + quantized operands, charged exactly once), scatter the
+  /// operands to every shard (one DeviceBatch per shard, fanned out under
+  /// set_fanout_policy), gather the results. A shard failing with
+  /// DeviceFault is escalated to a host-exact recompute of that shard when
+  /// ShardOptions::failover is set. Bounds derived from the handle are
+  /// bit-identical to the single-device engine's for every M.
+  Result<QueryHandleBatch> RunQueryBatch(std::span<const float> queries,
+                                         size_t num_queries,
+                                         QueryScratch* scratch) const;
+
+  /// As above, allocating scratch internally.
+  Result<QueryHandleBatch> RunQueryBatch(std::span<const float> queries,
+                                         size_t num_queries) const;
+
+  /// The bound for `batch` query `query` against GLOBAL object `index`:
+  /// routed to shard_of(index) and combined there. Bit-identical to the
+  /// single-device BoundFor.
+  double BoundFor(const QueryHandleBatch& batch, size_t query,
+                  size_t index) const;
+
+  // --- Fleet geometry -------------------------------------------------
+  size_t shards() const { return engines_.size(); }
+  ShardPlacement placement() const { return options_.shard.placement; }
+  const ShardMap& shard_map() const { return map_; }
+  /// The shard-j engine (tests / stats inspection).
+  const PimEngine& shard_engine(size_t j) const { return *engines_[j]; }
+
+  // --- Pass-through accessors (identical across shards) ---------------
+  EngineMode mode() const { return engines_[0]->mode(); }
+  /// The full-dataset memory plan the fleet geometry was resolved from.
+  const MemoryPlan& plan() const { return plan_; }
+  size_t num_objects() const { return num_objects_; }
+  size_t dims() const { return engines_[0]->dims(); }
+  int64_t num_segments() const { return engines_[0]->num_segments(); }
+  int64_t segment_length() const { return engines_[0]->segment_length(); }
+  double alpha() const { return engines_[0]->alpha(); }
+  double TransferBitsPerCandidate() const {
+    return engines_[0]->TransferBitsPerCandidate();
+  }
+  double SerialDeviceNsPerQuery() const {
+    return engines_[0]->SerialDeviceNsPerQuery();
+  }
+  const PimDevice& device1() const { return engines_[0]->device1(); }
+  const PimDevice* device2() const { return engines_[0]->device2(); }
+
+  // --- Fleet-aggregated stats -----------------------------------------
+  /// Serial-equivalent modeled PIM time. Shards hold fewer rows but the
+  /// crossbar pass latency is row-count independent, so every shard
+  /// charges the same per-query time and the fleet figure — the shards
+  /// run concurrently — is the max over shards, which equals the
+  /// single-device value bit-for-bit (a failed-over shard only ever
+  /// charges less).
+  double PimComputeNs() const;
+  /// Max over shards of the pipelined device-occupancy time.
+  double PimPipelinedNs() const;
+  /// Fault/recovery accounting merged over every shard's devices.
+  FaultStats FaultStatsTotal() const;
+  /// Offline time: shards program concurrently, so the max over shards.
+  double OfflineNs() const;
+  /// Offline bytes written across the whole fleet (sum over shards).
+  uint64_t OfflineBytesWritten() const;
+  void ResetOnlineStats();
+
+  /// Snapshot of the fleet interconnect accounting. The ns figures are
+  /// derived from the integer counters at snapshot time
+  /// (PimTimingModel::TransferLatencyNs per message), so they are
+  /// identical for every thread interleaving. All-zero when shards == 1.
+  FleetRunStats FleetStats() const;
+
+  /// Charges one tree reduction of per-shard partials with `payload_bytes`
+  /// per merge message (k-means centroid sums): ceil(log2 M) critical-path
+  /// messages. No-op when shards == 1.
+  void ChargeTreeReduction(uint64_t payload_bytes) const;
+
+  /// Execution policy for the per-shard DeviceBatch fan-out. Default is
+  /// serial (inline on the caller): RunQueryBatch is typically invoked
+  /// from inside a ParallelChunks worker, where a nested parallel fan-out
+  /// on the shared pool could deadlock. Coordinators that call from the
+  /// main thread (k-means BeginIteration) may opt in to a parallel
+  /// fan-out; functional results and stats are identical either way.
+  void set_fanout_policy(const ExecPolicy& policy) {
+    fanout_policy_ = policy;
+  }
+
+ private:
+  ShardedPimEngine() = default;
+
+  EngineOptions options_;
+  MemoryPlan plan_;
+  size_t num_objects_ = 0;
+  ShardMap map_;
+  std::vector<std::unique_ptr<PimEngine>> engines_;
+  ExecPolicy fanout_policy_;  // default-constructed: serial.
+
+  // Fleet interconnect accounting: integer counters only (mutated under
+  // concurrent RunQueryBatch calls; order-independent), ns derived at
+  // snapshot.
+  mutable std::atomic<uint64_t> scatter_messages_{0};
+  mutable std::atomic<uint64_t> scatter_bytes_{0};
+  mutable std::atomic<uint64_t> gather_messages_{0};
+  mutable std::atomic<uint64_t> gather_bytes_{0};
+  mutable std::atomic<uint64_t> reduce_messages_{0};
+  mutable std::atomic<uint64_t> reduce_bytes_{0};
+  mutable std::atomic<uint64_t> failovers_{0};
+  mutable std::atomic<uint64_t> failed_over_queries_{0};
+};
+
+/// Merges per-shard top-k lists into the global top-k. Every input list
+/// must be sorted the way TopK::TakeSorted emits — ascending by
+/// (distance, id) — over pairwise-disjoint id sets, each holding its
+/// shard's k best. Because a TopK fed candidates in ascending id order
+/// retains exactly the k lexicographically-smallest (distance, id) pairs,
+/// the k smallest of the union of per-shard k-bests equal the k smallest
+/// of all candidates: the merge is bit-identical to the single-device
+/// result, ties and all.
+std::vector<Neighbor> MergeShardTopK(
+    const std::vector<std::vector<Neighbor>>& per_shard, size_t k);
+
+}  // namespace pimine
+
+#endif  // PIMINE_CORE_SHARDED_ENGINE_H_

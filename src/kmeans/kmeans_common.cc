@@ -8,6 +8,7 @@
 #include "core/similarity.h"
 #include "obs/obs.h"
 #include "sim/traffic.h"
+#include "util/exact_sum.h"
 #include "util/random.h"
 
 namespace pimine {
@@ -82,20 +83,53 @@ FloatMatrix InitCenters(const FloatMatrix& data, int k, uint64_t seed) {
 FloatMatrix UpdateCenters(const FloatMatrix& data,
                           const std::vector<int32_t>& assignments,
                           const FloatMatrix& previous_centers,
-                          std::vector<double>* moved) {
+                          std::vector<double>* moved,
+                          const PimAssignFilter* filter) {
   const size_t k = previous_centers.rows();
   const size_t d = data.cols();
   PIMINE_CHECK(assignments.size() == data.rows());
 
-  std::vector<double> sums(k * d, 0.0);
+  const size_t shards = filter != nullptr ? filter->shards() : 1;
   std::vector<int64_t> counts(k, 0);
-  for (size_t i = 0; i < data.rows(); ++i) {
-    const int32_t c = assignments[i];
-    PIMINE_DCHECK(c >= 0 && static_cast<size_t>(c) < k);
-    const auto row = data.row(i);
-    double* sum = sums.data() + static_cast<size_t>(c) * d;
-    for (size_t j = 0; j < d; ++j) sum[j] += row[j];
-    ++counts[c];
+  std::vector<ExactSum> sums;
+  if (shards <= 1) {
+    // Flat single-device sum.
+    sums.assign(k * d, ExactSum());
+    for (size_t i = 0; i < data.rows(); ++i) {
+      const int32_t c = assignments[i];
+      PIMINE_DCHECK(c >= 0 && static_cast<size_t>(c) < k);
+      const auto row = data.row(i);
+      ExactSum* sum = sums.data() + static_cast<size_t>(c) * d;
+      for (size_t j = 0; j < d; ++j) sum[j].Add(row[j]);
+      ++counts[c];
+    }
+  } else {
+    // Sharded: each shard accumulates a partial over its own rows, then
+    // the partials merge pairwise. ExactSum addition is exact integer
+    // addition, so the tree result equals the flat sum bit-for-bit for
+    // every shard count; only the fleet reduce accounting below varies.
+    const ShardMap& map = filter->shard_map();
+    std::vector<std::vector<ExactSum>> partials(
+        shards, std::vector<ExactSum>(k * d));
+    for (size_t i = 0; i < data.rows(); ++i) {
+      const int32_t c = assignments[i];
+      PIMINE_DCHECK(c >= 0 && static_cast<size_t>(c) < k);
+      const auto row = data.row(i);
+      ExactSum* sum =
+          partials[map.shard_of[i]].data() + static_cast<size_t>(c) * d;
+      for (size_t j = 0; j < d; ++j) sum[j].Add(row[j]);
+      ++counts[c];
+    }
+    for (size_t stride = 1; stride < shards; stride *= 2) {
+      for (size_t a = 0; a + stride < shards; a += 2 * stride) {
+        std::vector<ExactSum>& into = partials[a];
+        const std::vector<ExactSum>& from = partials[a + stride];
+        for (size_t j = 0; j < k * d; ++j) into[j].Merge(from[j]);
+      }
+    }
+    sums = std::move(partials[0]);
+    filter->ChargeTreeReduction(k * d * sizeof(ExactSum) +
+                                k * sizeof(int64_t));
   }
   traffic::CountRead(data.SizeBytes());
   traffic::CountArithmetic(data.rows() * d);
@@ -111,9 +145,9 @@ FloatMatrix UpdateCenters(const FloatMatrix& data,
     }
     const double inv = 1.0 / static_cast<double>(counts[c]);
     double shift_sq = 0.0;
-    const double* sum = sums.data() + c * d;
+    const ExactSum* sum = sums.data() + c * d;
     for (size_t j = 0; j < d; ++j) {
-      dst[j] = static_cast<float>(sum[j] * inv);
+      dst[j] = static_cast<float>(sum[j].ToDouble() * inv);
       const double diff = static_cast<double>(dst[j]) - prev[j];
       shift_sq += diff * diff;
     }
@@ -140,8 +174,9 @@ Result<std::unique_ptr<PimAssignFilter>> PimAssignFilter::Build(
   // k-means uses the direct Theorem 1 bound (§VI-D: "PIM is used to compute
   // LB_PIM-ED").
   opts.bound = EngineOptions::Bound::kDirectEd;
-  PIMINE_ASSIGN_OR_RETURN(std::unique_ptr<PimEngine> engine,
-                          PimEngine::Build(data, Distance::kEuclidean, opts));
+  PIMINE_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedPimEngine> engine,
+      ShardedPimEngine::Build(data, Distance::kEuclidean, opts));
   return std::unique_ptr<PimAssignFilter>(
       new PimAssignFilter(std::move(engine)));
 }
@@ -166,7 +201,7 @@ Status PimAssignFilter::BeginIteration(const FloatMatrix& centers,
     // device_batch sizes (same discipline as the kNN batched harness).
     obs::ScopedTrackBase track_base(static_cast<int64_t>(c));
     PIMINE_ASSIGN_OR_RETURN(
-        PimEngine::QueryHandleBatch batch,
+        ShardedPimEngine::QueryHandleBatch batch,
         engine_->RunQueryBatch(
             std::span<const float>(centers.data() + c * d, group * d), group));
     batches_.push_back(std::move(batch));

@@ -10,11 +10,14 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "data/matrix.h"
 #include "profiling/run_stats.h"
 #include "util/parallel.h"
 
 namespace pimine {
+
+class PimAssignFilter;
 
 /// Options shared by every k-means algorithm. The same (k, seed) produces
 /// the same initial centers for all algorithms, so Elkan/Drake/Yinyang can
@@ -92,10 +95,19 @@ FloatMatrix InitCenters(const FloatMatrix& data, int k, uint64_t seed);
 /// Update step of Lloyd's algorithm: means of assigned points; clusters
 /// that lost all points keep their previous center. Returns per-center
 /// movement (real Euclidean distance moved) in `moved` when non-null.
+///
+/// Coordinate sums accumulate in ExactSum fixed-point registers, so the
+/// result is a pure function of the multiset of assigned rows — grouping
+/// cannot change it. When `filter` runs a sharded fleet (shards > 1) the
+/// sums are formed as per-shard partials merged by a pairwise tree, which
+/// by that exactness is bit-identical to the flat single-device sum; the
+/// tree's interconnect critical path is charged to the filter's fleet
+/// stats. Host traffic charges are identical for every shard count.
 FloatMatrix UpdateCenters(const FloatMatrix& data,
                           const std::vector<int32_t>& assignments,
                           const FloatMatrix& previous_centers,
-                          std::vector<double>* moved);
+                          std::vector<double>* moved,
+                          const PimAssignFilter* filter = nullptr);
 
 /// Sum of squared distances to assigned centers.
 double ComputeInertia(const FloatMatrix& data, const FloatMatrix& centers,
@@ -113,7 +125,7 @@ class PimAssignFilter {
   /// Runs the PIM operations for the current centers (call at the start of
   /// every assign step; centers move every iteration). Centers are grouped
   /// into device batches of `device_batch` (the last group may be short),
-  /// each issued as one PimEngine::RunQueryBatch — bounds and all modeled
+  /// each issued as one fleet RunQueryBatch — bounds and all modeled
   /// stats except the device's batch accounting are identical for every
   /// grouping. Callers pass max(1, options.exec.device_batch);
   /// device_batch == 0 is rejected with InvalidArgument.
@@ -127,14 +139,27 @@ class PimAssignFilter {
   FaultStats FaultStatsTotal() const { return engine_->FaultStatsTotal(); }
   double OfflineNs() const { return engine_->OfflineNs(); }
   void ResetOnlineStats() { engine_->ResetOnlineStats(); }
-  const PimEngine& engine() const { return *engine_; }
+  const ShardedPimEngine& engine() const { return *engine_; }
+
+  // --- Fleet pass-throughs (trivial for shards == 1) -------------------
+  size_t shards() const { return engine_->shards(); }
+  const ShardMap& shard_map() const { return engine_->shard_map(); }
+  FleetRunStats FleetStats() const { return engine_->FleetStats(); }
+  void ChargeTreeReduction(uint64_t payload_bytes) const {
+    engine_->ChargeTreeReduction(payload_bytes);
+  }
+  /// BeginIteration runs on the coordinator thread (before the parallel
+  /// assign pass), so the fleet fan-out may safely use the run's policy.
+  void set_fanout_policy(const ExecPolicy& policy) {
+    engine_->set_fanout_policy(policy);
+  }
 
  private:
-  explicit PimAssignFilter(std::unique_ptr<PimEngine> engine)
+  explicit PimAssignFilter(std::unique_ptr<ShardedPimEngine> engine)
       : engine_(std::move(engine)) {}
 
-  std::unique_ptr<PimEngine> engine_;
-  std::vector<PimEngine::QueryHandleBatch> batches_;
+  std::unique_ptr<ShardedPimEngine> engine_;
+  std::vector<ShardedPimEngine::QueryHandleBatch> batches_;
   size_t group_size_ = 1;  // device_batch of the current iteration.
 };
 

@@ -37,6 +37,7 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
   if (options.use_pim) {
     PIMINE_ASSIGN_OR_RETURN(filter,
                             PimAssignFilter::Build(data, options.engine_options));
+    filter->set_fanout_policy(options.exec);
   }
 
   KmeansResult result;
@@ -120,7 +121,8 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
     {
       ScopedFunctionTimer timer(&result.stats.profile, "update");
       result.centers =
-          UpdateCenters(data, result.assignments, result.centers, nullptr);
+          UpdateCenters(data, result.assignments, result.centers, nullptr,
+                        filter.get());
     }
 
     if (filter != nullptr) {
@@ -138,6 +140,7 @@ Result<KmeansResult> LloydKmeans::Run(const FloatMatrix& data,
   result.stats.traffic = traffic_scope.Delta();
   if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
   if (filter != nullptr) result.stats.fault = filter->FaultStatsTotal();
+  if (filter != nullptr) result.stats.fleet = filter->FleetStats();
   PublishKmeansRunMetrics(result.stats);
   return result;
 }

@@ -55,6 +55,7 @@ Result<KmeansResult> YinyangKmeans::Run(const FloatMatrix& data,
   if (options.use_pim) {
     PIMINE_ASSIGN_OR_RETURN(filter,
                             PimAssignFilter::Build(data, options.engine_options));
+    filter->set_fanout_policy(options.exec);
   }
 
   KmeansResult result;
@@ -251,7 +252,8 @@ Result<KmeansResult> YinyangKmeans::Run(const FloatMatrix& data,
     {
       ScopedFunctionTimer timer(&result.stats.profile, "update");
       result.centers =
-          UpdateCenters(data, result.assignments, result.centers, &moved);
+          UpdateCenters(data, result.assignments, result.centers, &moved,
+                        filter.get());
     }
     {
       ScopedFunctionTimer timer(&result.stats.profile, "bound update");
@@ -285,6 +287,7 @@ Result<KmeansResult> YinyangKmeans::Run(const FloatMatrix& data,
   result.stats.traffic = traffic_scope.Delta();
   if (filter != nullptr) result.stats.pim_ns = filter->PimComputeNs();
   if (filter != nullptr) result.stats.fault = filter->FaultStatsTotal();
+  if (filter != nullptr) result.stats.fleet = filter->FleetStats();
   PublishKmeansRunMetrics(result.stats);
   return result;
 }

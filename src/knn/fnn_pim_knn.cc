@@ -28,7 +28,7 @@ Status FnnPimKnn::Prepare(const FloatMatrix& data) {
   if (data.empty()) return Status::InvalidArgument("empty dataset");
   data_ = &data;
   PIMINE_ASSIGN_OR_RETURN(
-      engine_, PimEngine::Build(data, Distance::kEuclidean, options_));
+      engine_, ShardedPimEngine::Build(data, Distance::kEuclidean, options_));
 
   // The coarsest original level is the replaced bottleneck; the finer
   // levels remain candidates.
@@ -122,11 +122,11 @@ Status FnnPimKnn::MeasureCandidates(const FloatMatrix& data) {
     // PIM candidate first (cascade order), then the original levels on the
     // survivors of everything before them.
     {
-      PIMINE_ASSIGN_OR_RETURN(PimEngine::QueryHandle handle,
-                              engine_->RunQuery(q));
+      PIMINE_ASSIGN_OR_RETURN(ShardedPimEngine::QueryHandleBatch handle,
+                              engine_->RunQueryBatch(q, /*num_queries=*/1));
       bound_values.resize(n);
       for (size_t i = 0; i < n; ++i) {
-        bound_values[i] = engine_->BoundFor(handle, i);
+        bound_values[i] = engine_->BoundFor(handle, 0, i);
       }
       ratios[0] += MeasurePruningRatio(bound_values, tau, false);
       std::vector<uint32_t> next;
@@ -186,7 +186,7 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
     std::vector<double> bounds;
     std::vector<std::vector<float>> q_means;
     std::vector<std::vector<float>> q_stds;
-    PimEngine::QueryScratch query;
+    ShardedPimEngine::QueryScratch query;
   };
   std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) {
@@ -215,7 +215,7 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
         // When the Eq. 13 plan kept the PIM bound, run the whole device
         // batch up front; the plan may also have dropped it, in which case
         // no device op is issued at all.
-        PimEngine::QueryHandleBatch batch;
+        ShardedPimEngine::QueryHandleBatch batch;
         if (use_pim_filter_) {
           ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
           auto r = engine_->RunQueryBatch(
@@ -307,6 +307,7 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
   result.stats.traffic = traffic_scope.Delta();
   result.stats.pim_ns = engine_->PimComputeNs();
   result.stats.fault = engine_->FaultStatsTotal();
+  result.stats.fleet = engine_->FleetStats();
   result.stats.footprint_bytes =
       n * sizeof(double) * 2 +
       (result.stats.exact_count / std::max<uint64_t>(1, queries.rows())) *

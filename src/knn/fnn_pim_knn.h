@@ -6,6 +6,7 @@
 
 #include "core/engine.h"
 #include "core/plan.h"
+#include "core/sharded_engine.h"
 #include "core/segments.h"
 #include "knn/knn_common.h"
 
@@ -40,7 +41,7 @@ class FnnPimKnn : public KnnAlgorithm {
   /// The chosen plan (meaningful after Prepare; trivial when !optimize).
   const ExecutionPlan& plan() const { return plan_; }
   const std::vector<BoundCandidate>& candidates() const { return candidates_; }
-  const PimEngine* engine() const { return engine_.get(); }
+  const ShardedPimEngine* engine() const { return engine_.get(); }
 
  private:
   /// Measures pruning ratios on sample queries and fills `candidates_`.
@@ -53,7 +54,7 @@ class FnnPimKnn : public KnnAlgorithm {
   int plan_k_;
 
   const FloatMatrix* data_ = nullptr;
-  std::unique_ptr<PimEngine> engine_;
+  std::unique_ptr<ShardedPimEngine> engine_;
   /// Retained original LB_FNN levels (coarsest level is replaced by PIM).
   std::vector<SegmentStats> levels_;
   std::vector<BoundCandidate> candidates_;  // [0] = PIM, then levels.

@@ -30,7 +30,7 @@ Status OstPimKnn::Prepare(const FloatMatrix& data) {
     for (int64_t j = 0; j < d0_; ++j) out[j] = row[j];
   }
   PIMINE_ASSIGN_OR_RETURN(
-      engine_, PimEngine::Build(prefixes, Distance::kEuclidean, options_));
+      engine_, ShardedPimEngine::Build(prefixes, Distance::kEuclidean, options_));
 
   suffix_norms_.resize(data.rows());
   for (size_t i = 0; i < data.rows(); ++i) {
@@ -58,7 +58,7 @@ Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
   struct Scratch {
     std::vector<double> bounds;
     std::vector<float> prefixes;  // gathered query prefixes (d0 values each).
-    PimEngine::QueryScratch query;
+    ShardedPimEngine::QueryScratch query;
   };
   std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) s.bounds.resize(n);
@@ -74,7 +74,7 @@ Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
         Scratch& s = scratch[slot_index];
         const size_t batch_size = end - begin;
         const size_t d0 = static_cast<size_t>(d0_);
-        PimEngine::QueryHandleBatch batch;
+        ShardedPimEngine::QueryHandleBatch batch;
         {
           ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
           // The engine sees only prefixes, which are not contiguous across
@@ -131,6 +131,7 @@ Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
   result.stats.traffic = traffic_scope.Delta();
   result.stats.pim_ns = engine_->PimComputeNs();
   result.stats.fault = engine_->FaultStatsTotal();
+  result.stats.fleet = engine_->FleetStats();
   result.stats.footprint_bytes =
       n * (sizeof(double) * 3) +
       (result.stats.exact_count / std::max<uint64_t>(1, queries.rows())) *

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "knn/knn_common.h"
 
 namespace pimine {
@@ -39,7 +40,7 @@ class OstPimKnn : public KnnAlgorithm {
   int64_t prefix_divisor_;
   int64_t d0_ = 0;
   const FloatMatrix* data_ = nullptr;
-  std::unique_ptr<PimEngine> engine_;  // built on the d0-dim prefixes.
+  std::unique_ptr<ShardedPimEngine> engine_;  // built on the d0-dim prefixes.
   std::vector<double> suffix_norms_;
 };
 

@@ -16,7 +16,7 @@ Status SmPimKnn::Prepare(const FloatMatrix& data) {
   if (data.empty()) return Status::InvalidArgument("empty dataset");
   data_ = &data;
   PIMINE_ASSIGN_OR_RETURN(
-      engine_, PimEngine::Build(data, Distance::kEuclidean, options_));
+      engine_, ShardedPimEngine::Build(data, Distance::kEuclidean, options_));
   return Status::OK();
 }
 
@@ -38,7 +38,7 @@ Result<KnnRunResult> SmPimKnn::Search(const FloatMatrix& queries, int k) {
   const size_t n = data_->rows();
   struct Scratch {
     std::vector<double> bounds;
-    PimEngine::QueryScratch query;
+    ShardedPimEngine::QueryScratch query;
   };
   std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) s.bounds.resize(n);
@@ -53,7 +53,7 @@ Result<KnnRunResult> SmPimKnn::Search(const FloatMatrix& queries, int k) {
       [&](size_t begin, size_t end, size_t slot_index, SearchSlot& slot) {
         Scratch& s = scratch[slot_index];
         const size_t batch_size = end - begin;
-        PimEngine::QueryHandleBatch batch;
+        ShardedPimEngine::QueryHandleBatch batch;
         {
           ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
           auto r = engine_->RunQueryBatch(
@@ -101,6 +101,7 @@ Result<KnnRunResult> SmPimKnn::Search(const FloatMatrix& queries, int k) {
   result.stats.traffic = traffic_scope.Delta();
   result.stats.pim_ns = engine_->PimComputeNs();
   result.stats.fault = engine_->FaultStatsTotal();
+  result.stats.fleet = engine_->FleetStats();
   result.stats.footprint_bytes =
       n * sizeof(double) * 2 +
       (result.stats.exact_count / std::max<uint64_t>(1, queries.rows())) *

@@ -19,7 +19,7 @@ Status StandardPimKnn::Prepare(const FloatMatrix& data) {
   if (data.empty()) return Status::InvalidArgument("empty dataset");
   data_ = &data;
   PIMINE_ASSIGN_OR_RETURN(engine_,
-                          PimEngine::Build(data, distance_, options_));
+                          ShardedPimEngine::Build(data, distance_, options_));
   return Status::OK();
 }
 
@@ -45,7 +45,7 @@ Result<KnnRunResult> StandardPimKnn::Search(const FloatMatrix& queries,
   // Per-worker scratch: bound array + engine query scratch.
   struct Scratch {
     std::vector<double> bounds;
-    PimEngine::QueryScratch query;
+    ShardedPimEngine::QueryScratch query;
   };
   std::vector<Scratch> scratch(NumBatchSlots(exec_policy_, queries.rows()));
   for (Scratch& s : scratch) s.bounds.resize(n);
@@ -61,9 +61,10 @@ Result<KnnRunResult> StandardPimKnn::Search(const FloatMatrix& queries,
         Scratch& s = scratch[slot_index];
         const size_t batch_size = end - begin;
 
-        // PIM filter phase: one (or two) batched dot-product ops for the
-        // whole device batch (query rows are contiguous in the matrix).
-        PimEngine::QueryHandleBatch batch;
+        // PIM filter phase: one (or two) batched dot-product ops per shard
+        // for the whole device batch (query rows are contiguous in the
+        // matrix).
+        ShardedPimEngine::QueryHandleBatch batch;
         {
           ScopedFunctionTimer timer(&slot.profile, "LB_PIM");
           auto r = engine_->RunQueryBatch(
@@ -126,6 +127,7 @@ Result<KnnRunResult> StandardPimKnn::Search(const FloatMatrix& queries,
   result.stats.traffic = traffic_scope.Delta();
   result.stats.pim_ns = engine_->PimComputeNs();
   result.stats.fault = engine_->FaultStatsTotal();
+  result.stats.fleet = engine_->FleetStats();
   // Host working set: bound arrays + the refined rows.
   result.stats.footprint_bytes =
       n * sizeof(double) * 2 +

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "knn/knn_common.h"
 
 namespace pimine {
@@ -28,13 +29,13 @@ class StandardPimKnn : public KnnAlgorithm {
   uint64_t OfflineBytesWritten() const override {
     return engine_ ? engine_->OfflineBytesWritten() : 0;
   }
-  const PimEngine* engine() const { return engine_.get(); }
+  const ShardedPimEngine* engine() const { return engine_.get(); }
 
  private:
   Distance distance_;
   EngineOptions options_;
   const FloatMatrix* data_ = nullptr;
-  std::unique_ptr<PimEngine> engine_;
+  std::unique_ptr<ShardedPimEngine> engine_;
 };
 
 }  // namespace pimine

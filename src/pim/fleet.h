@@ -1,0 +1,110 @@
+#ifndef PIMINE_PIM_FLEET_H_
+#define PIMINE_PIM_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace pimine {
+
+/// How dataset rows are distributed over the logical devices of a fleet.
+/// Every placement produces balanced shards (sizes differ by at most one
+/// row) and is deterministic in (n, shards) — re-building the same fleet
+/// always yields the same map.
+enum class ShardPlacement {
+  /// Rows [0, n) split into contiguous ranges (shard 0 gets the first
+  /// ceil(n/M) rows, ...). Preserves locality of pre-sorted datasets.
+  kContiguous,
+  /// Rows scattered pseudo-randomly (SplitMix64 of the row index orders the
+  /// rows before the balanced split). Load-balances clustered datasets.
+  kHash,
+  /// Rows ordered by their per-dimension mean before the balanced split, so
+  /// rows of similar magnitude (typically the same cluster for normalized
+  /// clustered data) land on the same device.
+  kClusterAware,
+};
+
+std::string_view ShardPlacementName(ShardPlacement placement);
+
+/// Parses "contiguous" / "hash" / "cluster" (CLI spelling).
+Result<ShardPlacement> ParseShardPlacement(std::string_view name);
+
+/// Build-time knobs of a device fleet. The default (one shard) is the
+/// single-device configuration and is bit-identical to a plain PimEngine.
+struct ShardOptions {
+  /// Logical devices M the dataset is sharded across. Must satisfy
+  /// 1 <= shards <= n (rejected with InvalidArgument otherwise).
+  int shards = 1;
+  ShardPlacement placement = ShardPlacement::kContiguous;
+  /// When true, a shard whose device operation fails with DeviceFault
+  /// (RecoveryPolicy VerifyMode::kFailOp exhausted its ladder) is
+  /// escalated to a host-exact recompute of only that shard instead of
+  /// failing the whole fleet operation.
+  bool failover = true;
+};
+
+/// The row <-> shard mapping of one fleet: rows_per_shard[j] lists the
+/// global row ids of shard j in ascending order (the shard-local order),
+/// and shard_of/local_of invert the map for O(1) routing.
+struct ShardMap {
+  std::vector<std::vector<uint32_t>> rows_per_shard;
+  std::vector<uint32_t> shard_of;  // global row -> shard.
+  std::vector<uint32_t> local_of;  // global row -> row within its shard.
+
+  size_t shards() const { return rows_per_shard.size(); }
+};
+
+/// Builds the placement map for `data` under `options`. Fails with
+/// InvalidArgument when options.shards < 1 or options.shards > data.rows().
+Result<ShardMap> BuildShardMap(const FloatMatrix& data,
+                               const ShardOptions& options);
+
+/// Interconnect/fleet accounting of one run over a sharded engine. Unlike
+/// the grouping-invariant RunStats counters, these quantities legitimately
+/// depend on the fleet geometry (shards, device_batch): they model the
+/// host<->device scatter/gather traffic that sharded execution adds. All
+/// zero when shards == 1. The ns figures are derived deterministically
+/// from the integer message/byte counters and the PimConfig interconnect
+/// parameters at snapshot time, so they are identical for every host
+/// thread interleaving.
+struct FleetRunStats {
+  int shards = 1;
+  ShardPlacement placement = ShardPlacement::kContiguous;
+  /// Query broadcasts: one message per shard per device batch, carrying the
+  /// batch's quantized operands.
+  uint64_t scatter_messages = 0;
+  uint64_t scatter_bytes = 0;
+  /// Result gathers: one message per shard per device batch, carrying the
+  /// shard's dot-product results.
+  uint64_t gather_messages = 0;
+  uint64_t gather_bytes = 0;
+  /// Tree reduction of k-means centroid partial sums: critical-path
+  /// messages (one per tree level) and their payloads.
+  uint64_t reduce_messages = 0;
+  uint64_t reduce_bytes = 0;
+  /// Shards escalated to host-exact recompute after a DeviceFault.
+  uint64_t failovers = 0;
+  uint64_t failed_over_queries = 0;
+  /// Modeled interconnect time (PimTimingModel::TransferLatencyNs applied
+  /// to the counters above; see DESIGN.md section 9).
+  double scatter_ns = 0.0;
+  double gather_ns = 0.0;
+  double reduce_ns = 0.0;
+
+  double InterconnectNs() const { return scatter_ns + gather_ns + reduce_ns; }
+  bool Any() const {
+    return scatter_messages != 0 || gather_messages != 0 ||
+           reduce_messages != 0 || failovers != 0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_PIM_FLEET_H_

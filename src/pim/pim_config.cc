@@ -25,6 +25,11 @@ Status PimConfig::Validate() const {
   if (read_ns <= 0.0 || write_ns <= 0.0) {
     return Status::InvalidArgument("latencies must be positive");
   }
+  if (interconnect_gbps <= 0.0 || interconnect_hop_ns < 0.0) {
+    return Status::InvalidArgument(
+        "interconnect_gbps must be positive and interconnect_hop_ns "
+        "non-negative");
+  }
   return Status::OK();
 }
 
@@ -35,7 +40,9 @@ std::string PimConfig::ToString() const {
      << " ns; " << num_crossbars << " crossbars ("
      << TotalCellBits() / 8 / (1024 * 1024) << " MB PIM array); buffer "
      << buffer_bytes / (1024 * 1024) << " MB eDRAM; bus " << internal_bus_gbps
-     << " GB/s; batches " << (pipelined_batches ? "pipelined" : "sequential");
+     << " GB/s; interconnect " << interconnect_gbps << " GB/s + "
+     << interconnect_hop_ns << " ns/hop; batches "
+     << (pipelined_batches ? "pipelined" : "sequential");
   return os.str();
 }
 

@@ -47,6 +47,13 @@ struct PimConfig {
   /// full pass. When false, batches are modeled as Q sequential passes
   /// (ablation knob; functional results never depend on it).
   bool pipelined_batches = true;
+  /// Host<->device interconnect bandwidth for a fleet of PIM devices
+  /// (GB/s). Conservatively below the internal bus: scatter/gather between
+  /// the host and a device shard crosses the off-bank fabric.
+  double interconnect_gbps = 25.0;
+  /// Fixed per-message latency of one interconnect hop (ns): one scatter
+  /// broadcast, one gather reply, or one reduction-tree merge.
+  double interconnect_hop_ns = 100.0;
 
   /// PIM array capacity in data bits: C crossbars of m*m cells, h bits each.
   uint64_t TotalCellBits() const {

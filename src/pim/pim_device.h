@@ -125,6 +125,18 @@ class PimDevice {
                          std::vector<uint64_t>* out,
                          std::vector<uint8_t>* suspect = nullptr);
 
+  /// Host-exact fallback for a device that cannot serve DotProductBatch —
+  /// the fleet fail-over path when a shard surfaces a DeviceFault under
+  /// VerifyMode::kFailOp. The host re-reads the programmed operands over
+  /// the internal bus and recomputes the exact wraparound dot products,
+  /// bypassing the fault model entirely. Charges only fault-recovery
+  /// accounting (stats.fault.escalated_to_host, stats.fault.recovery_ns):
+  /// the crossbars never ran the pass, so compute/energy/batch stats stay
+  /// untouched and the fleet's max-over-shards device time picks a healthy
+  /// shard.
+  Status HostRecomputeBatch(std::span<const int32_t> queries,
+                            size_t num_queries, std::vector<uint64_t>* out);
+
   /// Auxiliary storage in the ReRAM memory array (pre-computed Φ values).
   Status StoreAux(uint64_t bytes);
 

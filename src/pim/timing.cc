@@ -44,6 +44,11 @@ double PimTimingModel::ProgramLatencyNs(uint64_t rows) const {
   return static_cast<double>(rows) * config_.write_ns;
 }
 
+double PimTimingModel::TransferLatencyNs(uint64_t bytes) const {
+  return config_.interconnect_hop_ns +
+         static_cast<double>(bytes) / config_.interconnect_gbps;
+}
+
 double PimTimingModel::BatchDotEnergyPj(int64_t ndata, int input_bits) const {
   // Crude ISAAC-style accounting: each crossbar read cycle costs ~50 pJ for
   // the array plus ADC; enough for relative ablations.

@@ -34,6 +34,13 @@ class PimTimingModel {
   /// Latency of programming `rows` crossbar rows (row-parallel writes).
   double ProgramLatencyNs(uint64_t rows) const;
 
+  /// Latency of one host<->device interconnect message of `bytes` payload:
+  /// a fixed per-hop cost plus the serialization time at the interconnect
+  /// bandwidth. Used for the fleet scatter/gather/reduction accounting
+  /// (config.interconnect_gbps yields ns directly for a byte count, like
+  /// the internal bus convention).
+  double TransferLatencyNs(uint64_t bytes) const;
+
   /// DAC cycles needed to stream a `bits`-wide input.
   int InputCycles(int bits) const;
 

@@ -5,6 +5,7 @@
 
 #include "obs/histogram.h"
 #include "pim/fault_model.h"
+#include "pim/fleet.h"
 #include "profiling/function_profiler.h"
 #include "sim/traffic.h"
 
@@ -30,6 +31,11 @@ struct RunStats {
   /// Fault-injection and recovery accounting of the run's PIM device(s).
   /// All-zero for baselines and fault-free PIM runs.
   FaultStats fault;
+  /// Fleet interconnect accounting of sharded PIM execution (scatter /
+  /// gather / reduction messages and modeled ns). All-zero for baselines
+  /// and single-device (shards == 1) runs; the only RunStats block that
+  /// legitimately varies with the shard count.
+  FleetRunStats fleet;
   /// Per-function wall-time attribution (Fig. 6).
   FunctionProfiler profile;
   /// Modeled-time latency distribution: per-query for kNN paths, per-

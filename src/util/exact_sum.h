@@ -1,0 +1,109 @@
+#ifndef PIMINE_UTIL_EXACT_SUM_H_
+#define PIMINE_UTIL_EXACT_SUM_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace pimine {
+
+/// Exact accumulator for sums of `float` values: a 256-bit two's-complement
+/// fixed-point register in units of 2^-149 (the weight of the least
+/// significant single-precision denormal bit). Every finite float is an
+/// integer multiple of that unit, so Add() is exact, and exact integer
+/// addition is associative — a tree of partial ExactSums merged in any
+/// shape produces bit-identical limbs to one flat left-to-right sum. That
+/// is the property the sharded k-means centroid reduction rests on: the
+/// per-shard partial sums merged pairwise equal the single-device flat sum
+/// exactly, for every shard count.
+///
+/// Capacity: values up to ~2^106 in magnitude with ~2^43 summands of that
+/// size before the register could wrap — far beyond any dataset this
+/// simulator programs. Inputs must be finite (no NaN/inf); callers feed
+/// dataset coordinates, which the loaders validate.
+class ExactSum {
+ public:
+  /// Adds one float exactly.
+  void Add(float value) {
+    uint32_t b;
+    std::memcpy(&b, &value, sizeof(b));
+    const uint32_t frac = b & 0x7fffffu;
+    const int exp = static_cast<int>((b >> 23) & 0xffu);
+    if (frac == 0 && exp == 0) return;  // +-0 contributes nothing.
+    // value = mant * 2^(shift - 149): denormals keep the raw fraction at
+    // shift 0; normals add the hidden bit and shift by exp - 1.
+    const uint64_t mant = exp == 0 ? frac : (frac | 0x800000u);
+    const int shift = exp == 0 ? 0 : exp - 1;
+    uint64_t addend[kLimbs] = {};
+    const int sub = shift & 63;
+    const int limb = shift >> 6;
+    addend[limb] = mant << sub;
+    if (sub != 0 && limb + 1 < kLimbs) {
+      addend[limb + 1] = mant >> (64 - sub);
+    }
+    if ((b >> 31) != 0) Negate(addend);
+    AddLimbs(addend);
+  }
+
+  /// Adds another accumulator exactly (the tree-merge step).
+  void Merge(const ExactSum& other) { AddLimbs(other.limbs_); }
+
+  /// Rounds the exact sum to double. Deterministic: the result is a pure
+  /// function of the limbs, which Add/Merge order cannot change.
+  double ToDouble() const {
+    uint64_t mag[kLimbs];
+    std::memcpy(mag, limbs_, sizeof(mag));
+    const bool negative = (limbs_[kLimbs - 1] >> 63) != 0;
+    if (negative) Negate(mag);
+    // High-to-low limb conversion: each limb i carries weight 2^(64i-149).
+    double value = 0.0;
+    for (int i = kLimbs - 1; i >= 0; --i) {
+      value += Ldexp(static_cast<double>(mag[i]), 64 * i - 149);
+    }
+    return negative ? -value : value;
+  }
+
+  bool operator==(const ExactSum& other) const {
+    return std::memcmp(limbs_, other.limbs_, sizeof(limbs_)) == 0;
+  }
+
+ private:
+  static constexpr int kLimbs = 4;
+
+  static void Negate(uint64_t limbs[kLimbs]) {
+    uint64_t carry = 1;
+    for (int i = 0; i < kLimbs; ++i) {
+      const uint64_t t = ~limbs[i] + carry;
+      carry = t < carry ? 1u : 0u;
+      limbs[i] = t;
+    }
+  }
+
+  void AddLimbs(const uint64_t other[kLimbs]) {
+    uint64_t carry = 0;
+    for (int i = 0; i < kLimbs; ++i) {
+      const uint64_t t = limbs_[i] + other[i];
+      // t wrapped iff it ended below an operand; the two carries cannot
+      // both fire for one limb, so carry stays 0 or 1.
+      const uint64_t t2 = t + carry;
+      carry = (t < other[i] ? 1u : 0u) + (t2 < carry ? 1u : 0u);
+      limbs_[i] = t2;
+    }
+  }
+
+  /// ldexp without pulling <cmath> into every includer: exact power-of-two
+  /// scaling via exponent arithmetic on the multiplier.
+  static double Ldexp(double v, int e) {
+    // 2^e as a double: e in [-149 + 0, 64*3 - 149 + 64] stays well inside
+    // the normal double range, so the bit-built constant is exact.
+    uint64_t bits = static_cast<uint64_t>(1023 + e) << 52;
+    double scale;
+    std::memcpy(&scale, &bits, sizeof(scale));
+    return v * scale;
+  }
+
+  uint64_t limbs_[kLimbs] = {};
+};
+
+}  // namespace pimine
+
+#endif  // PIMINE_UTIL_EXACT_SUM_H_

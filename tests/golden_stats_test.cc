@@ -183,5 +183,58 @@ TEST(GoldenStatsTest, KmeansAlgorithms) {
   }
 }
 
+// Sharded fleets must reproduce the SAME golden files as the single-device
+// runs: every rendered counter is shard-invariant by design (only the
+// FleetRunStats block, which Render() excludes, varies with M).
+TEST(GoldenStatsTest, ShardedKnnMatchesSingleDeviceGoldens) {
+  const Workload w = MakeWorkload();
+  for (int shards : {3, 8}) {
+    EngineOptions options;
+    options.shard.shards = shards;
+    std::vector<KnnGoldenCase> cases;
+    cases.push_back({"knn_standard_pim", [options] {
+                       return std::make_unique<StandardPimKnn>(
+                           Distance::kEuclidean, options);
+                     }});
+    cases.push_back({"knn_ost_pim", [options] {
+                       return std::make_unique<OstPimKnn>(options);
+                     }});
+    cases.push_back({"knn_sm_pim", [options] {
+                       return std::make_unique<SmPimKnn>(options);
+                     }});
+    cases.push_back({"knn_fnn_pim", [options] {
+                       return std::make_unique<FnnPimKnn>(options,
+                                                          /*optimize=*/true);
+                     }});
+    for (const KnnGoldenCase& c : cases) {
+      auto algorithm = c.make();
+      ASSERT_TRUE(algorithm->Prepare(w.data).ok()) << c.label;
+      auto result = algorithm->Search(w.queries, 5);
+      ASSERT_TRUE(result.ok()) << c.label;
+      CheckAgainstGolden(c.label, result->stats);
+      EXPECT_GT(result->stats.fleet.scatter_messages, 0u) << c.label;
+    }
+  }
+}
+
+TEST(GoldenStatsTest, ShardedKmeansMatchesSingleDeviceGoldens) {
+  const Workload w = MakeWorkload();
+  for (int shards : {3, 8}) {
+    KmeansOptions options;
+    options.k = 8;
+    options.max_iterations = 3;
+    options.seed = 123;
+    options.use_pim = true;
+    options.engine_options.shard.shards = shards;
+    for (const KmeansGoldenCase& c : KmeansCases()) {
+      auto algorithm = c.make();
+      auto result = algorithm->Run(w.data, options);
+      ASSERT_TRUE(result.ok()) << c.label;
+      CheckAgainstGolden(c.label, result->stats);
+      EXPECT_GT(result->stats.fleet.reduce_messages, 0u) << c.label;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pimine

@@ -319,6 +319,107 @@ TEST(ParallelDeterminismTest, KmeansDeviceBatchMatchesSerialExactly) {
   }
 }
 
+std::vector<KnnCase> PimKnnCasesWithShards(int shards) {
+  EngineOptions options;
+  options.shard.shards = shards;
+  std::vector<KnnCase> cases;
+  cases.push_back({"StandardPIM/ED", [options] {
+                     return std::make_unique<StandardPimKnn>(
+                         Distance::kEuclidean, options);
+                   }});
+  cases.push_back({"StandardPIM/CS", [options] {
+                     return std::make_unique<StandardPimKnn>(
+                         Distance::kCosine, options);
+                   }});
+  cases.push_back({"SmPIM", [options] {
+                     return std::make_unique<SmPimKnn>(options);
+                   }});
+  cases.push_back({"OstPIM", [options] {
+                     return std::make_unique<OstPimKnn>(options);
+                   }});
+  cases.push_back({"FnnPIM", [options] {
+                     return std::make_unique<FnnPimKnn>(options,
+                                                        /*optimize=*/true);
+                   }});
+  return cases;
+}
+
+// Sharded fleet execution composes with host threading and device
+// batching: shards in {3, 8} crossed with (threads, device_batch) must
+// reproduce the single-device serial run bit for bit — neighbours,
+// traffic, and modeled PIM time. Only the fleet interconnect stats (not
+// compared by ExpectIdenticalKnnRuns) legitimately vary with M.
+TEST(ParallelDeterminismTest, ShardedKnnMatchesSingleDeviceExactly) {
+  const Workload w = MakeWorkload(500, 48, 42);
+  const int k = 8;
+
+  const std::vector<KnnCase> single_cases = PimKnnCasesWithShards(1);
+  for (size_t ci = 0; ci < single_cases.size(); ++ci) {
+    auto single = single_cases[ci].make();
+    ASSERT_TRUE(single->Prepare(w.data).ok()) << single_cases[ci].label;
+    auto reference = single->Search(w.queries, k);
+    ASSERT_TRUE(reference.ok()) << single_cases[ci].label;
+
+    for (int shards : {3, 8}) {
+      auto algorithm = PimKnnCasesWithShards(shards)[ci].make();
+      ASSERT_TRUE(algorithm->Prepare(w.data).ok());
+      for (int threads : {1, 4}) {
+        for (size_t device_batch : {size_t{1}, size_t{16}}) {
+          ExecPolicy policy = ExecPolicy::WithThreads(threads);
+          policy.device_batch = device_batch;
+          algorithm->set_exec_policy(policy);
+          auto sharded = algorithm->Search(w.queries, k);
+          ASSERT_TRUE(sharded.ok());
+          ExpectIdenticalKnnRuns(
+              *reference, *sharded,
+              single_cases[ci].label + " M=" + std::to_string(shards) +
+                  " x" + std::to_string(threads) + " batch" +
+                  std::to_string(device_batch));
+          EXPECT_GT(sharded->stats.fleet.scatter_messages, 0u);
+        }
+      }
+    }
+    EXPECT_EQ(reference->stats.fleet.scatter_messages, 0u)
+        << "single-device runs must not charge interconnect traffic";
+  }
+}
+
+// Same invariant for the k-means PIM assign filter plus the tree-reduced
+// centroid update: assignments, centers (ExactSum makes the reduction
+// shape irrelevant), inertia and all grouping-invariant counters match the
+// single-device run for every fleet size.
+TEST(ParallelDeterminismTest, ShardedKmeansMatchesSingleDeviceExactly) {
+  const Workload w = MakeWorkload(420, 24, 17);
+
+  for (const KmeansCase& c : AllKmeansCases()) {
+    KmeansOptions options;
+    options.k = 12;
+    options.max_iterations = 5;
+    options.seed = 123;
+    options.use_pim = true;
+
+    auto algorithm = c.make();
+    auto reference = algorithm->Run(w.data, options);
+    ASSERT_TRUE(reference.ok()) << c.label;
+
+    for (int shards : {3, 8}) {
+      for (int threads : {1, 4}) {
+        KmeansOptions sharded_options = options;
+        sharded_options.engine_options.shard.shards = shards;
+        sharded_options.exec = ExecPolicy::WithThreads(threads);
+        sharded_options.exec.block_size = 64;
+        auto sharded = algorithm->Run(w.data, sharded_options);
+        ASSERT_TRUE(sharded.ok()) << c.label;
+        ExpectIdenticalKmeansRuns(
+            *reference, *sharded,
+            c.label + " M=" + std::to_string(shards) + " x" +
+                std::to_string(threads));
+        EXPECT_GT(sharded->stats.fleet.reduce_messages, 0u) << c.label;
+      }
+    }
+  }
+}
+
 // The parallel harness must propagate per-query failures, not crash or
 // deadlock: force an error by searching with a handle-free engine state.
 TEST(ParallelDeterminismTest, ParallelSearchPropagatesErrors) {

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate and diff the JSON documents emitted by the bench sweeps.
+
+The sweep modes of bench_micro_pim (--batch_sweep, --fault_sweep,
+--shard_sweep) all emit one JSON object with scalar header fields and a
+"sweep" list of flat entries. This tool works on that shape:
+
+  bench_diff.py --validate BENCH_shard.json
+      Checks the document parses and, for known schemas, that every sweep
+      entry carries the schema's required fields. Exit 0 on success.
+
+  bench_diff.py old.json new.json
+      Matches sweep entries between the two documents by their key fields
+      (shards/q/rate — whatever identifies a configuration) and prints the
+      absolute and relative change of every shared numeric metric. Exits 1
+      when the headers disagree (different workload), 0 otherwise: the diff
+      is informational, thresholds are the caller's business.
+
+stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that identify one sweep configuration (matched between files) and
+# fields every entry must carry, per schema. Documents without a recognised
+# schema fall back to positional matching and parse-only validation.
+SCHEMAS = {
+    "pimine.bench.shard.v1": {
+        "keys": ["shards", "q"],
+        "required": [
+            "shards", "q", "crossbars_per_shard", "wall_ms", "queries_per_s",
+            "modeled_pipelined_ns", "interconnect_ns",
+            "modeled_queries_per_s", "interconnect_fraction",
+            "identical_to_single_device",
+        ],
+        "header": ["n", "d", "total_queries"],
+    },
+}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("sweep"), list):
+        sys.exit(f"error: {path} is not a bench sweep document "
+                 "(object with a 'sweep' list)")
+    return doc
+
+
+def schema_of(doc):
+    return SCHEMAS.get(doc.get("schema") or doc.get("bench"))
+
+
+def validate(path):
+    doc = load(path)
+    schema = schema_of(doc)
+    if schema is None:
+        print(f"{path}: parses; unknown schema "
+              f"'{doc.get('schema') or doc.get('bench')}' (parse-only check)")
+        return
+    missing_header = [f for f in schema["header"] if f not in doc]
+    if missing_header:
+        sys.exit(f"error: {path}: missing header fields {missing_header}")
+    for i, entry in enumerate(doc["sweep"]):
+        missing = [f for f in schema["required"] if f not in entry]
+        if missing:
+            sys.exit(f"error: {path}: sweep[{i}] missing fields {missing}")
+    if not doc["sweep"]:
+        sys.exit(f"error: {path}: empty sweep")
+    print(f"{path}: valid ({doc.get('schema') or doc.get('bench')}, "
+          f"{len(doc['sweep'])} entries)")
+
+
+def entry_key(entry, keys):
+    return tuple(entry.get(k) for k in keys)
+
+
+def diff(old_path, new_path):
+    old, new = load(old_path), load(new_path)
+    schema = schema_of(old)
+    keys = schema["keys"] if schema else []
+    header = schema["header"] if schema else []
+
+    mismatched = [f for f in header if old.get(f) != new.get(f)]
+    if mismatched:
+        for f in mismatched:
+            print(f"header mismatch: {f}: {old.get(f)} -> {new.get(f)}")
+        sys.exit(1)
+
+    if keys:
+        new_by_key = {entry_key(e, keys): e for e in new["sweep"]}
+        pairs = [(e, new_by_key.get(entry_key(e, keys))) for e in old["sweep"]]
+    else:
+        pairs = list(zip(old["sweep"], new["sweep"]))
+
+    for old_entry, new_entry in pairs:
+        label = (", ".join(f"{k}={old_entry.get(k)}" for k in keys)
+                 if keys else "entry")
+        if new_entry is None:
+            print(f"[{label}] only in {old_path}")
+            continue
+        print(f"[{label}]")
+        for field, old_value in old_entry.items():
+            if field in keys or not isinstance(old_value, (int, float)) \
+                    or isinstance(old_value, bool):
+                continue
+            new_value = new_entry.get(field)
+            if not isinstance(new_value, (int, float)):
+                continue
+            delta = new_value - old_value
+            rel = f" ({delta / old_value:+.1%})" if old_value else ""
+            marker = "  " if delta == 0 else "* "
+            print(f"  {marker}{field}: {old_value} -> {new_value}{rel}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--validate", metavar="FILE",
+                        help="schema-check one bench JSON and exit")
+    parser.add_argument("files", nargs="*", metavar="OLD NEW",
+                        help="two bench JSONs to diff")
+    args = parser.parse_args()
+    if args.validate:
+        if args.files:
+            parser.error("--validate takes exactly one file")
+        validate(args.validate)
+    elif len(args.files) == 2:
+        diff(args.files[0], args.files[1])
+    else:
+        parser.error("pass --validate FILE or exactly two files to diff")
+
+
+if __name__ == "__main__":
+    main()

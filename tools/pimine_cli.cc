@@ -57,12 +57,15 @@ int Usage() {
       "           [--k=10] [--n=0] [--queries=20] [--distance=ED|CS|PCC]\n"
       "           [--alpha=1e6] [--crossbars=0 (0=scaled)] [--optimize]\n"
       "           [--threads=1] [--block=512] [--device_batch=1]\n"
+      "           [--shards=1] [--placement=contiguous|hash|cluster]\n"
       "           [--fault_rate=0] [--fault_seed=...] \n"
       "           [--fault_recovery=exact|slack|fail|none]\n"
       "  kmeans   --dataset=<name> --algorithm=<standard|elkan|drake|\n"
       "           yinyang|hamerly> [--k=64] [--n=0] [--iterations=5]\n"
       "           [--pim] [--seed=42] [--threads=1] [--block=512]\n"
-      "           [--device_batch=1] [--fault_rate=0] [--fault_seed=...]\n"
+      "           [--device_batch=1] [--shards=1]\n"
+      "           [--placement=contiguous|hash|cluster]\n"
+      "           [--fault_rate=0] [--fault_seed=...]\n"
       "           [--fault_recovery=exact|slack|fail|none]\n"
       "  outlier  --dataset=<name> [--k=5] [--top=10] [--n=4000] [--pim]\n"
       "  motif    [--length=4000] [--window=64] [--pim] [--seed=1]\n"
@@ -160,6 +163,14 @@ EngineOptions EngineFromFlags(const FlagParser& flags,
     PIMINE_CHECK(false) << "unknown --fault_recovery '" << recovery
                         << "' (want exact|slack|fail|none)";
   }
+  // --shards / --placement pick the fleet geometry (DESIGN.md section 9).
+  // Results are bit-identical for every shard count; only the fleet
+  // interconnect rows below vary.
+  options.shard.shards = static_cast<int>(flags.GetInt("shards", 1));
+  const Result<ShardPlacement> placement =
+      ParseShardPlacement(flags.GetString("placement", "contiguous"));
+  PIMINE_CHECK(placement.ok()) << placement.status().ToString();
+  options.shard.placement = placement.value();
   return options;
 }
 
@@ -200,6 +211,21 @@ void PrintRunStats(const RunStats& stats, const HostCostModel& model) {
                   std::to_string(stats.fault.escalated_to_host)});
     table.AddRow({"recovery model_ms", Fmt(stats.fault.recovery_ns / 1e6, 4)});
   }
+  if (stats.fleet.Any()) {
+    table.AddRow({"fleet shards",
+                  std::to_string(stats.fleet.shards) + " (" +
+                      std::string(ShardPlacementName(stats.fleet.placement)) +
+                      ")"});
+    table.AddRow({"scatter messages",
+                  std::to_string(stats.fleet.scatter_messages)});
+    table.AddRow({"gather messages",
+                  std::to_string(stats.fleet.gather_messages)});
+    table.AddRow({"reduce messages",
+                  std::to_string(stats.fleet.reduce_messages)});
+    table.AddRow({"fleet fail-overs", std::to_string(stats.fleet.failovers)});
+    table.AddRow({"interconnect model_ms",
+                  Fmt(stats.fleet.InterconnectNs() / 1e6, 4)});
+  }
   table.Print();
 }
 
@@ -207,7 +233,8 @@ int RunKnn(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "algorithm", "k", "n",
                                     "queries", "distance", "alpha",
                                     "crossbars", "optimize", "threads",
-                                    "block", "device_batch", "fault_rate",
+                                    "block", "device_batch", "shards",
+                                    "placement", "fault_rate",
                                     "fault_seed", "fault_recovery",
                                     "trace_out", "metrics_out", "hist",
                                     "trace_wall", "trace_device",
@@ -265,7 +292,8 @@ int RunKmeans(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown({"dataset", "algorithm", "k", "n",
                                     "iterations", "pim", "seed", "alpha",
                                     "crossbars", "threads", "block",
-                                    "device_batch", "fault_rate",
+                                    "device_batch", "shards", "placement",
+                                    "fault_rate",
                                     "fault_seed", "fault_recovery",
                                     "trace_out", "metrics_out", "hist",
                                     "trace_wall", "trace_device",
