@@ -476,10 +476,25 @@ Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
     std::span<const float> queries, size_t num_queries,
     QueryScratch* scratch) const {
   QueryHandleBatch batch;
-  PIMINE_RETURN_IF_ERROR(
-      PrepareBatch(queries, num_queries, scratch, &batch));
-  PIMINE_RETURN_IF_ERROR(DeviceBatch(*scratch, num_queries, &batch));
+  PIMINE_RETURN_IF_ERROR(RunQueryBatch(queries, num_queries, scratch, &batch));
   return batch;
+}
+
+Status PimEngine::RunQueryBatch(std::span<const float> queries,
+                                size_t num_queries, QueryScratch* scratch,
+                                QueryHandleBatch* batch) const {
+  if (batch == nullptr) {
+    return Status::InvalidArgument(
+        "RunQueryBatch requires a non-null batch handle");
+  }
+  // A reused handle may carry state from a previous dispatch; clear the
+  // vectors DeviceBatch only fills conditionally (second-device dots,
+  // suspect flags) so "empty" keeps meaning "clean / not present".
+  batch->dots2.clear();
+  batch->suspect1.clear();
+  batch->suspect2.clear();
+  PIMINE_RETURN_IF_ERROR(PrepareBatch(queries, num_queries, scratch, batch));
+  return DeviceBatch(*scratch, num_queries, batch);
 }
 
 double PimEngine::TrivialBound() const {
@@ -593,6 +608,12 @@ FaultStats PimEngine::FaultStatsTotal() const {
 double PimEngine::PimPipelinedNs() const {
   double total = device1_ ? device1_->stats().pipelined_ns : 0.0;
   if (device2_) total += device2_->stats().pipelined_ns;
+  return total;
+}
+
+double PimEngine::ModeledBatchNs(size_t num_queries) const {
+  double total = device1_ ? device1_->BatchDotNs(num_queries) : 0.0;
+  if (device2_) total += device2_->BatchDotNs(num_queries);
   return total;
 }
 

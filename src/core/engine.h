@@ -162,6 +162,14 @@ class PimEngine {
   Result<QueryHandleBatch> RunQueryBatch(std::span<const float> queries,
                                          size_t num_queries) const;
 
+  /// Reusing variant: fills a caller-owned handle instead of returning a
+  /// fresh one, so hot dispatch loops (the serving scheduler) keep one
+  /// QueryHandleBatch per worker and successive batches reuse its buffers —
+  /// no per-dispatch allocation once the vectors reach steady-state
+  /// capacity. Results and stats are identical to the by-value overload.
+  Status RunQueryBatch(std::span<const float> queries, size_t num_queries,
+                       QueryScratch* scratch, QueryHandleBatch* batch) const;
+
   /// Host half of RunQueryBatch: validates the queries, fills the batch's
   /// per-query scalar terms, and quantizes every query into
   /// scratch->ints/ints2 (the device operands), charging the host-side
@@ -229,6 +237,10 @@ class PimEngine {
   /// Modeled device-occupancy time with batch pipelining; equals
   /// PimComputeNs() bit-for-bit when every operation carried one query.
   double PimPipelinedNs() const;
+  /// Modeled pipelined occupancy one RunQueryBatch of `num_queries` queries
+  /// would charge (device1 + device2 when present). Pure — the virtual-
+  /// clock service time the serving scheduler charges per dispatch.
+  double ModeledBatchNs(size_t num_queries) const;
   /// Fault-injection and recovery accounting summed over the engine's
   /// device(s). All-zero when options.fault_config is disabled.
   FaultStats FaultStatsTotal() const;

@@ -150,8 +150,28 @@ Result<ShardedPimEngine::QueryHandleBatch> ShardedPimEngine::RunQueryBatch(
     std::span<const float> queries, size_t num_queries,
     QueryScratch* scratch) const {
   QueryHandleBatch out;
+  PIMINE_RETURN_IF_ERROR(RunQueryBatch(queries, num_queries, scratch, &out));
+  return out;
+}
+
+Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
+                                       size_t num_queries,
+                                       QueryScratch* scratch,
+                                       QueryHandleBatch* result) const {
+  if (result == nullptr) {
+    return Status::InvalidArgument(
+        "RunQueryBatch requires a non-null batch handle");
+  }
+  QueryHandleBatch& out = *result;
   out.num_queries = num_queries;
   out.shards.resize(engines_.size());
+  // A reused handle may carry state from a previous dispatch; clear what
+  // DeviceBatch only fills conditionally so "empty" keeps meaning "clean".
+  for (PimEngine::QueryHandleBatch& h : out.shards) {
+    h.dots2.clear();
+    h.suspect1.clear();
+    h.suspect2.clear();
+  }
   // Query-side work (validation, scalars, quantization) happens ONCE on
   // shard 0's engine — every shard shares the quantizer and geometry, so
   // the prepared operands serve the whole fleet and the host traffic stays
@@ -160,9 +180,7 @@ Result<ShardedPimEngine::QueryHandleBatch> ShardedPimEngine::RunQueryBatch(
       engines_[0]->PrepareBatch(queries, num_queries, scratch,
                                 &out.shards[0]));
   if (engines_.size() == 1) {
-    PIMINE_RETURN_IF_ERROR(
-        engines_[0]->DeviceBatch(*scratch, num_queries, &out.shards[0]));
-    return out;
+    return engines_[0]->DeviceBatch(*scratch, num_queries, &out.shards[0]);
   }
 
   const size_t m = engines_.size();
@@ -234,7 +252,7 @@ Result<ShardedPimEngine::QueryHandleBatch> ShardedPimEngine::RunQueryBatch(
       }
     }
   }
-  return out;
+  return Status::OK();
 }
 
 double ShardedPimEngine::BoundFor(const QueryHandleBatch& batch, size_t query,

@@ -67,6 +67,13 @@ class ShardedPimEngine {
   Result<QueryHandleBatch> RunQueryBatch(std::span<const float> queries,
                                          size_t num_queries) const;
 
+  /// Reusing variant: fills a caller-owned handle (per-shard sub-handles
+  /// and all their buffers are reused across calls), the zero-allocation
+  /// steady-state path of the serving scheduler's dispatch loop. Results
+  /// and stats are identical to the by-value overload.
+  Status RunQueryBatch(std::span<const float> queries, size_t num_queries,
+                       QueryScratch* scratch, QueryHandleBatch* out) const;
+
   /// The bound for `batch` query `query` against GLOBAL object `index`:
   /// routed to shard_of(index) and combined there. Bit-identical to the
   /// single-device BoundFor.
@@ -94,6 +101,12 @@ class ShardedPimEngine {
   }
   double SerialDeviceNsPerQuery() const {
     return engines_[0]->SerialDeviceNsPerQuery();
+  }
+  /// Modeled pipelined occupancy of one fleet dispatch of `num_queries`
+  /// queries: the shards run concurrently and the crossbar pass latency is
+  /// row-count independent, so the fleet figure equals any one shard's.
+  double ModeledBatchNs(size_t num_queries) const {
+    return engines_[0]->ModeledBatchNs(num_queries);
   }
   const PimDevice& device1() const { return engines_[0]->device1(); }
   const PimDevice* device2() const { return engines_[0]->device2(); }

@@ -680,6 +680,13 @@ double PimDevice::SerialDotNsPerQuery() const {
                                    operand_bits_);
 }
 
+double PimDevice::BatchDotNs(size_t num_queries) const {
+  if (!programmed() || num_queries == 0) return 0.0;
+  return timing_.BatchDotLatencyNs(static_cast<int64_t>(data_.cols()),
+                                   operand_bits_,
+                                   static_cast<int64_t>(num_queries));
+}
+
 Status PimDevice::StoreAux(uint64_t bytes) {
   if (stats_.aux_bytes_stored + bytes > config_.memory_array_bytes) {
     return Status::CapacityExceeded("ReRAM memory array full");

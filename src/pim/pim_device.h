@@ -153,6 +153,13 @@ class PimDevice {
   /// stats_.compute_ns accumulates). 0 before a dataset is programmed.
   double SerialDotNsPerQuery() const;
 
+  /// Modeled pipelined occupancy of ONE DotProductBatch carrying
+  /// `num_queries` queries (PimTimingModel::BatchDotLatencyNs over the
+  /// programmed geometry). Pure — charges nothing; the figure the serving
+  /// scheduler uses as the virtual-clock service time of a dispatch.
+  /// 0 before a dataset is programmed.
+  double BatchDotNs(size_t num_queries) const;
+
   const PimConfig& config() const { return config_; }
   const BufferArray& buffer() const { return buffer_; }
   const PimTimingModel& timing() const { return timing_; }

@@ -1,0 +1,111 @@
+#include "serve/admission_queue.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/logging.h"
+
+namespace pimine {
+namespace serve {
+namespace {
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return a > std::numeric_limits<uint64_t>::max() - b
+             ? std::numeric_limits<uint64_t>::max()
+             : a + b;
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(const ServeOptions& options)
+    : max_batch_(options.max_batch),
+      max_wait_ns_(options.max_wait_ns),
+      capacity_(options.queue_capacity),
+      tenants_(options.num_tenants()) {
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    const uint64_t weight =
+        options.tenants.empty()
+            ? 1
+            : std::min<uint64_t>(options.tenants[t].weight, kStrideScale);
+    tenants_[t].stride = kStrideScale / std::max<uint64_t>(1, weight);
+  }
+}
+
+Status AdmissionQueue::Admit(uint64_t id, uint32_t tenant,
+                             uint64_t arrival_ns) {
+  if (tenant >= tenants_.size()) {
+    return Status::InvalidArgument("unknown tenant id " +
+                                   std::to_string(tenant) + " (have " +
+                                   std::to_string(tenants_.size()) + ")");
+  }
+  if (pending_ >= capacity_) {
+    return Status::CapacityExceeded(
+        "admission queue full: " + std::to_string(pending_) + "/" +
+        std::to_string(capacity_) + " queries pending; retry after the "
+        "scheduler drains a batch");
+  }
+  TenantQueue& tq = tenants_[tenant];
+  if (tq.fifo.empty()) {
+    // Stride-scheduling re-activation: no credit for the idle period.
+    tq.pass = std::max(tq.pass, pass_floor_);
+  }
+  tq.fifo.push_back(PendingQuery{id, tenant, arrival_ns});
+  ++pending_;
+  max_depth_ = std::max<uint64_t>(max_depth_, pending_);
+  return Status::OK();
+}
+
+uint64_t AdmissionQueue::OldestArrivalNs() const {
+  PIMINE_DCHECK(pending_ > 0);
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (const TenantQueue& tq : tenants_) {
+    if (!tq.fifo.empty()) {
+      oldest = std::min(oldest, tq.fifo.front().arrival_ns);
+    }
+  }
+  return oldest;
+}
+
+uint64_t AdmissionQueue::DueAtNs() const {
+  PIMINE_DCHECK(pending_ > 0);
+  if (pending_ >= max_batch_) {
+    // The arrival that completed the oldest full batch: the max_batch-th
+    // smallest arrival among pending queries. O(P) gather + partial sort;
+    // P is bounded by queue_capacity and this runs once per dispatch
+    // decision, not per query.
+    std::vector<uint64_t> arrivals;
+    arrivals.reserve(pending_);
+    for (const TenantQueue& tq : tenants_) {
+      for (const PendingQuery& q : tq.fifo) arrivals.push_back(q.arrival_ns);
+    }
+    std::nth_element(arrivals.begin(), arrivals.begin() + (max_batch_ - 1),
+                     arrivals.end());
+    return arrivals[max_batch_ - 1];
+  }
+  return SaturatingAdd(OldestArrivalNs(), max_wait_ns_);
+}
+
+void AdmissionQueue::FormBatch(std::vector<PendingQuery>* out) {
+  PIMINE_DCHECK(pending_ > 0);
+  out->clear();
+  while (out->size() < max_batch_ && pending_ > 0) {
+    size_t best = tenants_.size();
+    for (size_t t = 0; t < tenants_.size(); ++t) {
+      if (tenants_[t].fifo.empty()) continue;
+      if (best == tenants_.size() ||
+          tenants_[t].pass < tenants_[best].pass) {
+        best = t;  // ties resolve to the smaller tenant id (scan order).
+      }
+    }
+    TenantQueue& tq = tenants_[best];
+    out->push_back(tq.fifo.front());
+    tq.fifo.pop_front();
+    --pending_;
+    pass_floor_ = tq.pass;
+    tq.pass += tq.stride;
+  }
+}
+
+}  // namespace serve
+}  // namespace pimine

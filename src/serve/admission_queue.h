@@ -1,0 +1,95 @@
+#ifndef PIMINE_SERVE_ADMISSION_QUEUE_H_
+#define PIMINE_SERVE_ADMISSION_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/serve_options.h"
+
+namespace pimine {
+namespace serve {
+
+/// One query waiting for (or picked into) a dispatch. The payload lives in
+/// the server's request table; the queue moves only this 24-byte ticket.
+struct PendingQuery {
+  uint64_t id = 0;          // admission order, dense from 0.
+  uint32_t tenant = 0;
+  uint64_t arrival_ns = 0;  // virtual (replay) or steady-clock (live) time.
+};
+
+/// Bounded multi-producer admission queue with weighted-fair batch forming
+/// — the data structure between client submissions and the continuous-
+/// batching scheduler.
+///
+/// The structure itself is NOT synchronized: the live server calls it under
+/// one short mutex (admission pushes a ticket and bumps a counter — no
+/// allocation once the per-tenant rings reach steady-state capacity; no
+/// lock is ever taken on the execution path), and the virtual-clock replay
+/// drives it from the single deterministic batch-forming pass. Keeping the
+/// queue lock-free-agnostic is what lets the exact same forming code run
+/// under both clocks, which is the determinism story: batch composition is
+/// a pure function of (admission sequence, knobs), never of thread timing.
+///
+/// Fairness is stride scheduling over per-tenant FIFOs: picking from tenant
+/// t advances its pass by kStrideScale / weight_t, and every pick takes the
+/// non-empty tenant with the smallest (pass, tenant id). A tenant idling
+/// while others are served banks no credit: its pass is forwarded to the
+/// global floor on re-activation. Within a tenant, order is strict FIFO.
+class AdmissionQueue {
+ public:
+  /// Pass-counter scale; one full share for a weight-1 tenant. Weights are
+  /// clamped to it, making every stride >= 1 (no starvation of the floor
+  /// update).
+  static constexpr uint64_t kStrideScale = 1u << 20;
+
+  AdmissionQueue(const ServeOptions& options);
+
+  /// Admits one query. Fails with CapacityExceeded (naming depth and
+  /// capacity) when `queue_capacity` queries are already pending — the
+  /// backpressure contract: the caller learns immediately, nothing is
+  /// dropped later. `tenant` must be < num_tenants and arrivals must be
+  /// non-decreasing across calls.
+  Status Admit(uint64_t id, uint32_t tenant, uint64_t arrival_ns);
+
+  size_t pending() const { return pending_; }
+  bool empty() const { return pending_ == 0; }
+  /// High-water mark of pending() over the queue's lifetime.
+  uint64_t max_depth() const { return max_depth_; }
+
+  /// Earliest arrival among pending queries. Pre: !empty().
+  uint64_t OldestArrivalNs() const;
+
+  /// The virtual instant the current pending set must dispatch, absent
+  /// further arrivals: with >= max_batch pending, the arrival of the
+  /// max_batch-th oldest query (a full batch has existed since then); else
+  /// the oldest query's arrival + max_wait_ns (saturating). Pre: !empty().
+  uint64_t DueAtNs() const;
+
+  /// Pops up to max_batch queries by weighted-fair pick into `out`
+  /// (cleared first). Pre: !empty(). Post: out is non-empty.
+  void FormBatch(std::vector<PendingQuery>* out);
+
+ private:
+  struct TenantQueue {
+    std::deque<PendingQuery> fifo;
+    uint64_t pass = 0;
+    uint64_t stride = kStrideScale;
+  };
+
+  size_t max_batch_;
+  uint64_t max_wait_ns_;
+  size_t capacity_;
+  std::vector<TenantQueue> tenants_;
+  size_t pending_ = 0;
+  uint64_t max_depth_ = 0;
+  /// Pass value of the most recent pick: re-activating tenants fast-forward
+  /// here so an idle period cannot bank an unbounded burst entitlement.
+  uint64_t pass_floor_ = 0;
+};
+
+}  // namespace serve
+}  // namespace pimine
+
+#endif  // PIMINE_SERVE_ADMISSION_QUEUE_H_

@@ -1,0 +1,96 @@
+#ifndef PIMINE_SERVE_SERVE_OPTIONS_H_
+#define PIMINE_SERVE_SERVE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "util/parallel.h"
+
+namespace pimine {
+namespace serve {
+
+/// One serving tenant: a named traffic class with a weighted-fair share of
+/// every contended batch. Weights are relative (a weight-3 tenant gets
+/// three picks per weight-1 pick while both have queries pending); idle
+/// tenants bank no credit.
+struct TenantSpec {
+  std::string name = "default";
+  uint32_t weight = 1;
+};
+
+/// Knobs of the continuous-batching scheduler. The scheduler coalesces
+/// single-query submissions into device batches to keep the Q-pipeline
+/// (PimTimingModel::BatchDotLatencyNs = stage_ns*(stages+Q-1)) full; every
+/// knob trades latency against batch occupancy, never correctness — batch
+/// composition cannot change any query's neighbours.
+struct ServeOptions {
+  /// Queries coalesced into one scheduler dispatch (upper bound). A
+  /// dispatch of B queries issues ceil(B / exec.device_batch) PIM batch
+  /// operations, so max_batch composes with ExecPolicy::device_batch: the
+  /// former bounds admission coalescing, the latter the per-operation GEMM
+  /// width.
+  size_t max_batch = 16;
+  /// Longest time a query may wait in the admission queue for companions
+  /// before the scheduler dispatches a partial batch. 0 = greedy dispatch:
+  /// never hold a query while the device is free (single-query batches take
+  /// the Q=1 fast path, bit-identical to direct RunQuery).
+  uint64_t max_wait_ns = 1000000;
+  /// Per-query latency SLO measured from arrival to modeled completion.
+  /// Queries are still served past the deadline, but every miss is counted
+  /// (globally and per tenant). 0 disables deadline accounting.
+  uint64_t deadline_ns = 0;
+  /// Bounded admission queue: a submission finding `queue_capacity` queries
+  /// already pending is rejected with StatusCode::kCapacityExceeded — the
+  /// explicit backpressure signal; nothing is ever silently dropped.
+  size_t queue_capacity = 1024;
+  /// Worker threads executing formed batches. In virtual-clock replay the
+  /// batch SEQUENCE is always formed by one deterministic pass, so results,
+  /// traffic counters and modeled pim_ns are bit-identical for any value.
+  int scheduler_threads = 1;
+  /// Neighbours returned per query.
+  int k = 10;
+  /// Device-batch width for the PIM operations of one dispatch (and the
+  /// blocked-kernel flag; num_threads is ignored — parallelism comes from
+  /// scheduler_threads so the shared pool is never entered twice).
+  ExecPolicy exec;
+  /// Traffic classes. Empty = one implicit "default" tenant of weight 1.
+  std::vector<TenantSpec> tenants;
+
+  size_t num_tenants() const {
+    return tenants.empty() ? 1 : tenants.size();
+  }
+
+  Status Validate() const {
+    if (max_batch == 0) {
+      return Status::InvalidArgument("ServeOptions::max_batch must be >= 1");
+    }
+    if (queue_capacity == 0) {
+      return Status::InvalidArgument(
+          "ServeOptions::queue_capacity must be >= 1");
+    }
+    if (scheduler_threads < 1) {
+      return Status::InvalidArgument(
+          "ServeOptions::scheduler_threads must be >= 1");
+    }
+    if (k < 1) return Status::InvalidArgument("ServeOptions::k must be >= 1");
+    if (exec.device_batch == 0) {
+      return Status::InvalidArgument(
+          "ExecPolicy::device_batch must be >= 1 (one query per device "
+          "operation); 0 is not a valid batch size");
+    }
+    for (const TenantSpec& t : tenants) {
+      if (t.weight == 0) {
+        return Status::InvalidArgument("tenant '" + t.name +
+                                       "' must have weight >= 1");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace serve
+}  // namespace pimine
+
+#endif  // PIMINE_SERVE_SERVE_OPTIONS_H_

@@ -1,0 +1,547 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/similarity.h"
+#include "knn/knn_common.h"
+#include "obs/obs.h"
+#include "sim/traffic.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace pimine {
+namespace serve {
+namespace {
+
+/// One scheduler dispatch decided by the virtual-clock formation pass.
+struct FormedBatch {
+  uint64_t dispatch_ns = 0;
+  uint64_t completion_ns = 0;
+  double service_ns = 0.0;
+  std::vector<PendingQuery> members;
+};
+
+uint64_t ToTicks(double ns) {
+  return ns <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(ns));
+}
+
+std::vector<TenantServeStats> MakeTenantStats(const ServeOptions& options) {
+  std::vector<TenantServeStats> tenants(options.num_tenants());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    tenants[t].name =
+        options.tenants.empty() ? "default" : options.tenants[t].name;
+  }
+  return tenants;
+}
+
+}  // namespace
+
+/// A live-mode in-flight query: the copied payload plus the promise the
+/// submitting client blocks on.
+struct PimServer::LiveRequest {
+  std::vector<float> query;
+  uint32_t tenant = 0;
+  uint64_t arrival_ns = 0;
+  std::promise<ServedResult> promise;
+};
+
+Result<std::unique_ptr<PimServer>> PimServer::Build(
+    const FloatMatrix& data, Distance distance, const EngineOptions& engine,
+    const ServeOptions& serve) {
+  PIMINE_RETURN_IF_ERROR(serve.Validate());
+  if (serve.k > static_cast<int>(data.rows())) {
+    return Status::InvalidArgument("ServeOptions::k exceeds the dataset size");
+  }
+  std::unique_ptr<PimServer> server(new PimServer());
+  server->options_ = serve;
+  server->data_ = &data;
+  server->distance_ = distance;
+  server->maximize_ = IsSimilarityMeasure(distance);
+  PIMINE_ASSIGN_OR_RETURN(server->engine_,
+                          ShardedPimEngine::Build(data, distance, engine));
+  return server;
+}
+
+PimServer::~PimServer() { Stop(); }
+
+// --------------------------------------------------------------------------
+// Shared dispatch execution
+// --------------------------------------------------------------------------
+
+void PimServer::RunDispatch(std::span<const float> qbuf,
+                            const std::vector<PendingQuery>& members,
+                            double device_ns_per_query, DispatchScratch* s) {
+  const size_t dims = data_->cols();
+  const size_t n = data_->rows();
+  const size_t batch_size = members.size();
+  const int k = options_.k;
+  s->bounds.resize(n);
+  s->neighbors.resize(batch_size);
+
+  // One engine batch operation per device_batch chunk: max_batch bounds
+  // the scheduler's coalescing, device_batch the per-operation GEMM width.
+  const size_t device_batch = options_.exec.device_batch;
+  for (size_t c0 = 0; c0 < batch_size; c0 += device_batch) {
+    const size_t c1 = std::min(batch_size, c0 + device_batch);
+    const size_t chunk = c1 - c0;
+    // Label engine spans with the first member's admission id, matching
+    // the batched harness convention (base + in-batch index = query id).
+    obs::ScopedTrackBase track_base(static_cast<int64_t>(members[c0].id));
+    const Status status = engine_->RunQueryBatch(
+        std::span<const float>(qbuf.data() + c0 * dims, chunk * dims), chunk,
+        &s->query, &s->handle);
+    if (!status.ok()) {
+      if (s->status.ok()) s->status = status;
+      return;
+    }
+
+    for (size_t bq = 0; bq < chunk; ++bq) {
+      const PendingQuery& member = members[c0 + bq];
+      obs::QuerySpan query_span(static_cast<int64_t>(member.id), &s->latency,
+                                device_ns_per_query);
+      const std::span<const float> q(qbuf.data() + (c0 + bq) * dims, dims);
+      TopK topk(static_cast<size_t>(k));
+      for (size_t i = 0; i < n; ++i) {
+        // Negate similarity upper bounds so ascending order = most
+        // promising first for both measure families (StandardPimKnn's
+        // convention — served results must match the offline path).
+        const double b = engine_->BoundFor(s->handle, bq, i);
+        s->bounds[i] = maximize_ ? -b : b;
+      }
+      s->bound_count += n;
+
+      const std::vector<uint32_t> order = ArgsortAscending(s->bounds);
+      for (uint32_t idx : order) {
+        if (topk.full() && s->bounds[idx] >= topk.threshold()) break;
+        if (distance_ == Distance::kEuclidean) {
+          const double d = SquaredEuclideanEarlyAbandon(data_->row(idx), q,
+                                                        topk.threshold());
+          topk.Push(d, static_cast<int32_t>(idx));
+        } else {
+          const double sim = distance_ == Distance::kCosine
+                                 ? CosineSimilarity(data_->row(idx), q)
+                                 : PearsonCorrelation(data_->row(idx), q);
+          topk.Push(-sim, static_cast<int32_t>(idx));
+        }
+        ++s->exact_count;
+      }
+      s->neighbors[c0 + bq] =
+          maximize_ ? FinalizeSimilarityNeighbors(topk) : topk.TakeSorted();
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Virtual-clock replay
+// --------------------------------------------------------------------------
+
+Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
+                                       const FloatMatrix& queries) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition(
+          "Replay cannot run while live serving is started; Stop() first");
+    }
+  }
+  if (queries.cols() != data_->cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  const size_t num_tenants = options_.num_tenants();
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const ArrivalEvent& e = trace.events[i];
+    if (i > 0 && e.arrival_ns < trace.events[i - 1].arrival_ns) {
+      return Status::InvalidArgument(
+          "arrival trace not sorted at event " + std::to_string(i));
+    }
+    if (e.tenant >= num_tenants) {
+      return Status::InvalidArgument("event " + std::to_string(i) +
+                                     " names unknown tenant " +
+                                     std::to_string(e.tenant));
+    }
+    if (e.query_row >= queries.rows()) {
+      return Status::InvalidArgument("event " + std::to_string(i) +
+                                     " query_row out of range");
+    }
+  }
+
+  ReplayOutput out;
+  out.results.resize(trace.events.size());
+  out.stats.tenants = MakeTenantStats(options_);
+  Timer wall;
+
+  // ---- Phase 1: batch formation (single deterministic pass) -------------
+  //
+  // One virtual device timeline: vt_free is the instant the device finishes
+  // its current dispatch. A pending set dispatches at max(DueAt, vt_free) —
+  // arrivals keep accumulating while the device is busy, which is exactly
+  // how continuous batching converts offered load into batch occupancy.
+  AdmissionQueue queue(options_);
+  std::vector<FormedBatch> batches;
+  uint64_t vt_free = 0;
+
+  auto flush = [&](uint64_t horizon, uint64_t drain_floor) {
+    while (!queue.empty()) {
+      const uint64_t due =
+          horizon == std::numeric_limits<uint64_t>::max()
+              // Drain: no further arrivals can complete a batch, so
+              // dispatch as soon as the device frees (Stop() semantics).
+              ? std::max(drain_floor, queue.OldestArrivalNs())
+              : queue.DueAtNs();
+      const uint64_t dispatch = std::max(due, vt_free);
+      if (dispatch >= horizon) break;
+      FormedBatch b;
+      b.dispatch_ns = dispatch;
+      queue.FormBatch(&b.members);
+      double service = 0.0;
+      for (size_t c0 = 0; c0 < b.members.size();
+           c0 += options_.exec.device_batch) {
+        const size_t chunk =
+            std::min(b.members.size() - c0, options_.exec.device_batch);
+        service += engine_->ModeledBatchNs(chunk);
+      }
+      b.service_ns = service;
+      b.completion_ns = dispatch + ToTicks(service);
+      vt_free = b.completion_ns;
+      batches.push_back(std::move(b));
+    }
+  };
+
+  uint64_t last_arrival = 0;
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const ArrivalEvent& e = trace.events[i];
+    flush(e.arrival_ns, 0);
+    last_arrival = e.arrival_ns;
+    ServedResult& r = out.results[i];
+    r.tenant = e.tenant;
+    r.arrival_ns = e.arrival_ns;
+    r.status = queue.Admit(i, e.tenant, e.arrival_ns);
+    ++out.stats.submitted;
+    ++out.stats.tenants[e.tenant].submitted;
+    if (!r.status.ok()) {
+      ++out.stats.rejected;
+      ++out.stats.tenants[e.tenant].rejected;
+    }
+  }
+  flush(std::numeric_limits<uint64_t>::max(), last_arrival);
+  PIMINE_DCHECK(queue.empty());
+
+  // Per-request scheduling accounting, in formation order (deterministic).
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const FormedBatch& b = batches[bi];
+    out.stats.occupancy_hist.Record(static_cast<double>(b.members.size()));
+    out.stats.pipelined_ns += b.service_ns;
+    for (const PendingQuery& m : b.members) {
+      ServedResult& r = out.results[m.id];
+      r.dispatch_ns = b.dispatch_ns;
+      r.completion_ns = b.completion_ns;
+      r.batch_id = bi;
+      const uint64_t wait = b.dispatch_ns - m.arrival_ns;
+      const uint64_t latency = b.completion_ns - m.arrival_ns;
+      r.deadline_missed =
+          options_.deadline_ns > 0 && latency > options_.deadline_ns;
+      ++out.stats.served;
+      out.stats.wait_hist.Record(static_cast<double>(wait));
+      out.stats.latency_hist.Record(static_cast<double>(latency));
+      TenantServeStats& ts = out.stats.tenants[m.tenant];
+      ++ts.served;
+      ts.latency.Record(static_cast<double>(latency));
+      if (r.deadline_missed) {
+        ++out.stats.deadline_misses;
+        ++ts.deadline_misses;
+      }
+    }
+  }
+  out.stats.batches = batches.size();
+  out.stats.max_queue_depth = queue.max_depth();
+  out.stats.makespan_ns = batches.empty() ? 0 : batches.back().completion_ns;
+  out.stats.mean_batch_occupancy =
+      batches.empty() ? 0.0
+                      : static_cast<double>(out.stats.served) /
+                            static_cast<double>(batches.size());
+
+  // ---- Phase 2: execution of the formed batch sequence ------------------
+  //
+  // The sequence is fixed; workers claim whole dispatches (chunk = 1).
+  // Everything a worker accumulates is slot-local and merged in slot
+  // order, and the per-dispatch work depends only on the dispatch itself —
+  // so results, traffic and modeled pim_ns are bit-identical for every
+  // scheduler_threads (see DESIGN.md "Host-side parallelism").
+  engine_->ResetOnlineStats();
+  traffic::AggregateScope traffic_scope;
+  const double device_ns_per_query =
+      obs::Obs::Enabled() ? engine_->SerialDeviceNsPerQuery() : 0.0;
+  const size_t dims = data_->cols();
+
+  ExecPolicy exec_policy;
+  exec_policy.num_threads = options_.scheduler_threads;
+  const size_t num_slots = NumSlots(exec_policy, batches.size(), 1);
+  std::vector<DispatchScratch> scratch(num_slots);
+
+  ParallelChunks(
+      exec_policy, batches.size(), 1,
+      [&](size_t begin, size_t end, size_t slot) {
+        DispatchScratch& s = scratch[slot];
+        for (size_t bi = begin; bi < end && s.status.ok(); ++bi) {
+          const FormedBatch& b = batches[bi];
+          s.qbuf.resize(b.members.size() * dims);
+          for (size_t m = 0; m < b.members.size(); ++m) {
+            const std::span<const float> row =
+                queries.row(trace.events[b.members[m].id].query_row);
+            std::copy(row.begin(), row.end(), s.qbuf.begin() + m * dims);
+          }
+          RunDispatch(s.qbuf, b.members, device_ns_per_query, &s);
+          if (!s.status.ok()) break;
+          for (size_t m = 0; m < b.members.size(); ++m) {
+            out.results[b.members[m].id].neighbors =
+                std::move(s.neighbors[m]);
+          }
+        }
+      });
+
+  for (DispatchScratch& s : scratch) {
+    PIMINE_RETURN_IF_ERROR(s.status);
+    out.stats.exec.exact_count += s.exact_count;
+    out.stats.exec.bound_count += s.bound_count;
+    out.stats.exec.latency_hist.Merge(s.latency);
+  }
+  out.stats.exec.wall_ms = wall.ElapsedMillis();
+  out.stats.exec.traffic = traffic_scope.Delta();
+  out.stats.exec.pim_ns = engine_->PimComputeNs();
+  out.stats.exec.fault = engine_->FaultStatsTotal();
+  out.stats.exec.fleet = engine_->FleetStats();
+  out.stats.exec.footprint_bytes =
+      data_->rows() * sizeof(double) * 2 +
+      (out.stats.served == 0
+           ? 0
+           : (out.stats.exec.exact_count / out.stats.served) * dims *
+                 sizeof(float));
+  ExportObsMetrics(out.stats);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Live mode
+// --------------------------------------------------------------------------
+
+uint64_t PimServer::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+Status PimServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("server already started");
+  running_ = true;
+  stop_ = false;
+  next_id_ = 0;
+  queue_ = std::make_unique<AdmissionQueue>(options_);
+  live_stats_ = ServeStats{};
+  live_stats_.tenants = MakeTenantStats(options_);
+  live_device_ns_per_query_ =
+      obs::Obs::Enabled() ? engine_->SerialDeviceNsPerQuery() : 0.0;
+  start_time_ = std::chrono::steady_clock::now();
+  engine_->ResetOnlineStats();
+  worker_scratch_.clear();
+  workers_.clear();
+  for (int w = 0; w < options_.scheduler_threads; ++w) {
+    worker_scratch_.push_back(std::make_unique<DispatchScratch>());
+  }
+  for (int w = 0; w < options_.scheduler_threads; ++w) {
+    workers_.emplace_back(&PimServer::WorkerLoop, this,
+                          static_cast<size_t>(w));
+  }
+  return Status::OK();
+}
+
+Result<ServedResult> PimServer::Submit(uint32_t tenant,
+                                       std::span<const float> query) {
+  if (query.size() != data_->cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (tenant >= options_.num_tenants()) {
+    return Status::InvalidArgument("unknown tenant " + std::to_string(tenant));
+  }
+  std::future<ServedResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || stop_) {
+      return Status::FailedPrecondition("server not started");
+    }
+    const uint64_t arrival = NowNs();
+    const uint64_t id = next_id_;
+    ++live_stats_.submitted;
+    ++live_stats_.tenants[tenant].submitted;
+    const Status admitted = queue_->Admit(id, tenant, arrival);
+    if (!admitted.ok()) {
+      // Backpressure: the client learns immediately; nothing is dropped
+      // downstream.
+      ++live_stats_.rejected;
+      ++live_stats_.tenants[tenant].rejected;
+      return admitted;
+    }
+    ++next_id_;
+    auto request = std::make_unique<LiveRequest>();
+    request->query.assign(query.begin(), query.end());
+    request->tenant = tenant;
+    request->arrival_ns = arrival;
+    future = request->promise.get_future();
+    live_requests_[id] = std::move(request);
+  }
+  cv_.notify_all();
+  ServedResult result = future.get();
+  if (!result.status.ok()) return result.status;
+  return result;
+}
+
+void PimServer::WorkerLoop(size_t worker_index) {
+  DispatchScratch& scratch = *worker_scratch_[worker_index];
+  std::vector<PendingQuery> members;
+  std::vector<std::unique_ptr<LiveRequest>> requests;
+  const size_t dims = data_->cols();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !queue_->empty(); });
+    if (queue_->empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Continuous batching: dispatch once a full batch is pending or the
+    // oldest query has waited max_wait_ns; otherwise sleep until that
+    // deadline (new arrivals re-evaluate via notify). Stop() dispatches
+    // whatever is pending immediately (the drain).
+    const uint64_t now = NowNs();
+    const uint64_t due = queue_->DueAtNs();
+    if (!stop_ && now < due && queue_->pending() < options_.max_batch) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(due - now));
+      continue;
+    }
+    const uint64_t dispatch_ns = std::max(now, queue_->OldestArrivalNs());
+    queue_->FormBatch(&members);
+    requests.clear();
+    for (const PendingQuery& m : members) {
+      auto it = live_requests_.find(m.id);
+      PIMINE_DCHECK(it != live_requests_.end());
+      requests.push_back(std::move(it->second));
+      live_requests_.erase(it);
+    }
+    lock.unlock();
+
+    scratch.qbuf.resize(members.size() * dims);
+    for (size_t m = 0; m < members.size(); ++m) {
+      std::copy(requests[m]->query.begin(), requests[m]->query.end(),
+                scratch.qbuf.begin() + m * dims);
+    }
+    RunDispatch(scratch.qbuf, members, live_device_ns_per_query_, &scratch);
+    const uint64_t completion_ns = NowNs();
+
+    lock.lock();
+    ++live_stats_.batches;
+    live_stats_.occupancy_hist.Record(static_cast<double>(members.size()));
+    for (size_t m = 0; m < members.size(); ++m) {
+      ServedResult r;
+      r.status = scratch.status;
+      r.tenant = members[m].tenant;
+      r.arrival_ns = members[m].arrival_ns;
+      r.dispatch_ns = dispatch_ns;
+      r.completion_ns = completion_ns;
+      r.batch_id = live_stats_.batches - 1;
+      if (r.status.ok()) {
+        r.neighbors = std::move(scratch.neighbors[m]);
+        const uint64_t latency = completion_ns - r.arrival_ns;
+        r.deadline_missed =
+            options_.deadline_ns > 0 && latency > options_.deadline_ns;
+        ++live_stats_.served;
+        live_stats_.wait_hist.Record(
+            static_cast<double>(dispatch_ns - r.arrival_ns));
+        live_stats_.latency_hist.Record(static_cast<double>(latency));
+        TenantServeStats& ts = live_stats_.tenants[r.tenant];
+        ++ts.served;
+        ts.latency.Record(static_cast<double>(latency));
+        if (r.deadline_missed) {
+          ++live_stats_.deadline_misses;
+          ++ts.deadline_misses;
+        }
+      }
+      requests[m]->promise.set_value(std::move(r));
+    }
+    scratch.status = Status::OK();
+    requests.clear();
+  }
+}
+
+void PimServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  // Workers drain the queue before exiting, so nothing should be pending;
+  // fail any straggler promise rather than leaving a client blocked.
+  for (auto& [id, request] : live_requests_) {
+    ServedResult r;
+    r.status = Status::FailedPrecondition("server stopped");
+    request->promise.set_value(std::move(r));
+  }
+  live_requests_.clear();
+}
+
+ServeStats PimServer::LiveStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeStats stats = live_stats_;
+  if (queue_ != nullptr) stats.max_queue_depth = queue_->max_depth();
+  stats.mean_batch_occupancy =
+      stats.batches == 0 ? 0.0
+                         : static_cast<double>(stats.served) /
+                               static_cast<double>(stats.batches);
+  stats.makespan_ns = NowNs();
+  for (const std::unique_ptr<DispatchScratch>& s : worker_scratch_) {
+    stats.exec.exact_count += s->exact_count;
+    stats.exec.bound_count += s->bound_count;
+    stats.exec.latency_hist.Merge(s->latency);
+  }
+  stats.exec.pim_ns = engine_->PimComputeNs();
+  stats.pipelined_ns = engine_->PimPipelinedNs();
+  stats.exec.fault = engine_->FaultStatsTotal();
+  stats.exec.fleet = engine_->FleetStats();
+  return stats;
+}
+
+void PimServer::ExportObsMetrics(const ServeStats& stats) const {
+  obs::Obs* obs = obs::Obs::Get();
+  if (obs == nullptr) return;
+  obs::MetricsRegistry& metrics = obs->metrics();
+  metrics.GetCounter("pimine_serve_submitted_total").Add(stats.submitted);
+  metrics.GetCounter("pimine_serve_served_total").Add(stats.served);
+  metrics.GetCounter("pimine_serve_rejected_total").Add(stats.rejected);
+  metrics.GetCounter("pimine_serve_deadline_misses_total")
+      .Add(stats.deadline_misses);
+  metrics.GetCounter("pimine_serve_batches_total").Add(stats.batches);
+  metrics.GetGauge("pimine_serve_max_queue_depth")
+      .Set(static_cast<double>(stats.max_queue_depth));
+  metrics.GetGauge("pimine_serve_mean_batch_occupancy")
+      .Set(stats.mean_batch_occupancy);
+  metrics.MergeHistogram("pimine_serve_wait_ns", stats.wait_hist);
+  metrics.MergeHistogram("pimine_serve_latency_ns", stats.latency_hist);
+  metrics.MergeHistogram("pimine_serve_batch_occupancy",
+                         stats.occupancy_hist);
+}
+
+}  // namespace serve
+}  // namespace pimine

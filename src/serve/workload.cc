@@ -1,0 +1,73 @@
+#include "serve/workload.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/random.h"
+
+namespace pimine {
+namespace serve {
+
+Result<ArrivalTrace> GeneratePoissonTrace(const WorkloadSpec& spec) {
+  if (spec.num_requests == 0) {
+    return Status::InvalidArgument("WorkloadSpec::num_requests must be >= 1");
+  }
+  if (!(spec.offered_qps > 0.0)) {
+    return Status::InvalidArgument("WorkloadSpec::offered_qps must be > 0");
+  }
+  if (spec.num_query_rows == 0) {
+    return Status::InvalidArgument("WorkloadSpec::num_query_rows must be >= 1");
+  }
+  std::vector<double> cumulative;
+  if (!spec.tenant_share.empty()) {
+    double total = 0.0;
+    for (size_t t = 0; t < spec.tenant_share.size(); ++t) {
+      if (!(spec.tenant_share[t] > 0.0)) {
+        return Status::InvalidArgument("WorkloadSpec::tenant_share[" +
+                                       std::to_string(t) + "] must be > 0");
+      }
+      total += spec.tenant_share[t];
+      cumulative.push_back(total);
+    }
+    for (double& c : cumulative) c /= total;
+  }
+
+  Rng rng(spec.seed);
+  const double mean_gap_ns = 1e9 / spec.offered_qps;
+  ArrivalTrace trace;
+  trace.events.reserve(spec.num_requests);
+  double clock_ns = 0.0;
+  for (size_t i = 0; i < spec.num_requests; ++i) {
+    // Exponential inter-arrival gap via inverse CDF; 1 - u avoids log(0).
+    clock_ns += -std::log(1.0 - rng.NextDouble()) * mean_gap_ns;
+    ArrivalEvent e;
+    e.arrival_ns = static_cast<uint64_t>(clock_ns);
+    if (!cumulative.empty()) {
+      const double u = rng.NextDouble();
+      while (e.tenant + 1 < cumulative.size() && u >= cumulative[e.tenant]) {
+        ++e.tenant;
+      }
+    }
+    e.query_row = static_cast<uint32_t>(rng.NextBounded(spec.num_query_rows));
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+ArrivalTrace AllAtZeroTrace(size_t num_requests, uint32_t num_tenants,
+                            uint32_t num_query_rows) {
+  ArrivalTrace trace;
+  trace.events.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    ArrivalEvent e;
+    e.arrival_ns = 0;
+    e.tenant = num_tenants == 0 ? 0 : static_cast<uint32_t>(i % num_tenants);
+    e.query_row =
+        num_query_rows == 0 ? 0 : static_cast<uint32_t>(i % num_query_rows);
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+}  // namespace serve
+}  // namespace pimine

@@ -37,6 +37,16 @@ SCHEMAS = {
         ],
         "header": ["n", "d", "total_queries"],
     },
+    "pimine.bench.serve.v1": {
+        "keys": ["load_factor"],
+        "required": [
+            "load_factor", "offered_qps", "served", "rejected", "dispatches",
+            "mean_batch_occupancy", "makespan_ms", "modeled_queries_per_s",
+            "pipelined_ns", "wait_p50_ns", "latency_p50_ns", "latency_p99_ns",
+            "wall_ms",
+        ],
+        "header": ["n", "d", "requests", "max_batch", "device_batch"],
+    },
 }
 
 

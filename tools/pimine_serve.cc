@@ -1,0 +1,261 @@
+// Online serving front-end: a long-running pimine kNN service with
+// continuous device batching (DESIGN.md section 10).
+//
+//   pimine_serve replay --dataset=MSD --requests=512 --qps=2e6
+//       [--max_batch=16] [--max_wait_us=1000] [--deadline_us=0]
+//       [--capacity=1024] [--threads=1] [--k=10] [--device_batch=16]
+//       [--shards=1] [--tenants=gold:4,free:1] [--shares=4,1] [--seed=42]
+//       [--distance=ED|CS|PCC] [--metrics_out=m.prom]
+//
+//   pimine_serve live --dataset=MSD --requests=256 --clients=4
+//       [--max_batch=16] [--max_wait_us=200] [--capacity=1024]
+//       [--threads=2] [--k=10] [--device_batch=16]
+//
+// `replay` drives the scheduler from a deterministic recorded arrival
+// trace against the virtual clock: identical flags print identical
+// numbers, byte for byte, for any --threads. `live` starts real scheduler
+// workers and hammers them from concurrent client threads (wall-clock
+// timings; a smoke/demo mode, not a reproducible measurement).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/obs.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+#include "util/flags.h"
+
+namespace pimine {
+namespace cli {
+namespace {
+
+using bench::Fmt;
+using bench::LoadWorkload;
+using bench::ScaledEngineOptions;
+using bench::TablePrinter;
+
+int Usage() {
+  std::cerr <<
+      "usage: pimine_serve <replay|live> [--flags]\n"
+      "  replay  --dataset=<name> [--requests=512] [--qps=2e6] [--seed=42]\n"
+      "          [--max_batch=16] [--max_wait_us=1000] [--deadline_us=0]\n"
+      "          [--capacity=1024] [--threads=1] [--k=10] [--n=0]\n"
+      "          [--queries=64] [--device_batch=16] [--shards=1]\n"
+      "          [--distance=ED|CS|PCC] [--tenants=gold:4,free:1]\n"
+      "          [--shares=4,1] [--metrics_out=m.prom]\n"
+      "  live    same scheduler flags plus [--clients=4]\n";
+  return 2;
+}
+
+/// "--tenants=gold:4,free:1" -> weighted TenantSpecs.
+std::vector<serve::TenantSpec> ParseTenants(const std::string& spec) {
+  std::vector<serve::TenantSpec> tenants;
+  if (spec.empty()) return tenants;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    serve::TenantSpec tenant;
+    const size_t colon = item.find(':');
+    tenant.name = item.substr(0, colon);
+    if (colon != std::string::npos) {
+      tenant.weight = static_cast<uint32_t>(std::stoul(item.substr(colon + 1)));
+    }
+    tenants.push_back(std::move(tenant));
+  }
+  return tenants;
+}
+
+/// "--shares=4,1" -> relative offered-traffic shares per tenant.
+std::vector<double> ParseShares(const std::string& spec) {
+  std::vector<double> shares;
+  if (spec.empty()) return shares;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) shares.push_back(std::stod(item));
+  return shares;
+}
+
+serve::ServeOptions ServeFromFlags(const FlagParser& flags) {
+  serve::ServeOptions options;
+  options.max_batch = static_cast<size_t>(flags.GetInt("max_batch", 16));
+  options.max_wait_ns =
+      static_cast<uint64_t>(flags.GetInt("max_wait_us", 1000)) * 1000;
+  options.deadline_ns =
+      static_cast<uint64_t>(flags.GetInt("deadline_us", 0)) * 1000;
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("capacity", 1024));
+  options.scheduler_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.k = static_cast<int>(flags.GetInt("k", 10));
+  options.exec.device_batch =
+      static_cast<size_t>(flags.GetInt("device_batch", 16));
+  options.tenants = ParseTenants(flags.GetString("tenants", ""));
+  return options;
+}
+
+void PrintServeStats(const serve::ServeStats& stats) {
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"submitted", std::to_string(stats.submitted)});
+  table.AddRow({"served", std::to_string(stats.served)});
+  table.AddRow({"rejected (backpressure)", std::to_string(stats.rejected)});
+  table.AddRow({"deadline misses", std::to_string(stats.deadline_misses)});
+  table.AddRow({"dispatches", std::to_string(stats.batches)});
+  table.AddRow({"mean batch occupancy", Fmt(stats.mean_batch_occupancy)});
+  table.AddRow({"max queue depth", std::to_string(stats.max_queue_depth)});
+  table.AddRow({"makespan_ms", Fmt(stats.makespan_ns / 1e6, 4)});
+  if (stats.makespan_ns > 0) {
+    table.AddRow({"throughput (queries/s)",
+                  Fmt(stats.served * 1e9 / stats.makespan_ns, 0)});
+  }
+  table.AddRow({"device pipelined_ms", Fmt(stats.pipelined_ns / 1e6, 4)});
+  table.AddRow({"PIM model_ms", Fmt(stats.exec.pim_ns / 1e6, 4)});
+  table.AddRow({"wall_ms (measured)", Fmt(stats.exec.wall_ms)});
+  table.AddRow({"wait histogram", stats.wait_hist.Summary()});
+  table.AddRow({"latency histogram", stats.latency_hist.Summary()});
+  table.Print();
+  if (stats.tenants.size() > 1) {
+    TablePrinter tenants({"tenant", "submitted", "served", "rejected",
+                          "misses", "latency"});
+    for (const serve::TenantServeStats& t : stats.tenants) {
+      tenants.AddRow({t.name, std::to_string(t.submitted),
+                      std::to_string(t.served), std::to_string(t.rejected),
+                      std::to_string(t.deadline_misses),
+                      t.latency.Summary()});
+    }
+    tenants.Print();
+  }
+}
+
+void MaybeDumpMetrics(const FlagParser& flags) {
+  const std::string path = flags.GetString("metrics_out", "");
+  obs::Obs* o = obs::Obs::Get();
+  if (o == nullptr) return;
+  if (!path.empty()) {
+    std::ofstream out(path);
+    PIMINE_CHECK(out.good()) << "cannot open --metrics_out " << path;
+    const bool as_json = path.ends_with(".json");
+    out << (as_json ? o->metrics().ToJson() : o->metrics().ToPrometheus());
+    std::cout << "metrics: " << path << "\n";
+  }
+  obs::Obs::Disable();
+}
+
+int RunReplay(const FlagParser& flags) {
+  PIMINE_CHECK_OK(flags.CheckKnown(
+      {"dataset", "requests", "qps", "seed", "max_batch", "max_wait_us",
+       "deadline_us", "capacity", "threads", "k", "n", "queries",
+       "device_batch", "shards", "distance", "tenants", "shares",
+       "metrics_out"}));
+  const auto workload =
+      LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
+                   flags.GetInt("queries", 64));
+  EngineOptions engine = ScaledEngineOptions(workload);
+  engine.shard.shards = static_cast<int>(flags.GetInt("shards", 1));
+  const std::string distance_name = flags.GetString("distance", "ED");
+  const Distance distance = distance_name == "CS"    ? Distance::kCosine
+                            : distance_name == "PCC" ? Distance::kPearson
+                                                     : Distance::kEuclidean;
+  const serve::ServeOptions serve_options = ServeFromFlags(flags);
+
+  serve::WorkloadSpec spec;
+  spec.num_requests = static_cast<size_t>(flags.GetInt("requests", 512));
+  spec.offered_qps = flags.GetDouble("qps", 2e6);
+  spec.tenant_share = ParseShares(flags.GetString("shares", ""));
+  if (spec.tenant_share.empty()) {
+    spec.tenant_share.assign(serve_options.num_tenants(), 1.0);
+  }
+  spec.num_query_rows = static_cast<uint32_t>(workload.queries.rows());
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  if (!flags.GetString("metrics_out", "").empty()) obs::Obs::Enable();
+
+  auto trace = serve::GeneratePoissonTrace(spec);
+  PIMINE_CHECK(trace.ok()) << trace.status().ToString();
+  auto server =
+      serve::PimServer::Build(workload.data, distance, engine, serve_options);
+  PIMINE_CHECK(server.ok()) << server.status().ToString();
+  auto output = (*server)->Replay(*trace, workload.queries);
+  PIMINE_CHECK(output.ok()) << output.status().ToString();
+
+  std::cout << "replay on " << workload.spec.name << " ("
+            << workload.data.rows() << " x " << workload.data.cols()
+            << "), " << spec.num_requests << " requests at "
+            << Fmt(spec.offered_qps, 0) << " q/s offered, max_batch="
+            << serve_options.max_batch << ", threads="
+            << serve_options.scheduler_threads << "\n";
+  PrintServeStats(output->stats);
+  MaybeDumpMetrics(flags);
+  return 0;
+}
+
+int RunLive(const FlagParser& flags) {
+  PIMINE_CHECK_OK(flags.CheckKnown(
+      {"dataset", "requests", "clients", "max_batch", "max_wait_us",
+       "deadline_us", "capacity", "threads", "k", "n", "queries",
+       "device_batch", "shards", "distance", "tenants"}));
+  const auto workload =
+      LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
+                   flags.GetInt("queries", 64));
+  EngineOptions engine = ScaledEngineOptions(workload);
+  engine.shard.shards = static_cast<int>(flags.GetInt("shards", 1));
+  const serve::ServeOptions serve_options = ServeFromFlags(flags);
+  const size_t requests = static_cast<size_t>(flags.GetInt("requests", 256));
+  const int clients = static_cast<int>(flags.GetInt("clients", 4));
+
+  auto server = serve::PimServer::Build(workload.data, Distance::kEuclidean,
+                                        engine, serve_options);
+  PIMINE_CHECK(server.ok()) << server.status().ToString();
+  PIMINE_CHECK_OK((*server)->Start());
+
+  std::vector<std::thread> client_threads;
+  std::vector<uint64_t> ok_counts(clients, 0);
+  std::vector<uint64_t> rejected_counts(clients, 0);
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      const uint32_t tenant =
+          static_cast<uint32_t>(c % serve_options.num_tenants());
+      for (size_t i = c; i < requests; i += clients) {
+        const auto row = workload.queries.row(i % workload.queries.rows());
+        auto result = (*server)->Submit(tenant, row);
+        if (result.ok()) {
+          ++ok_counts[c];
+        } else {
+          ++rejected_counts[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  (*server)->Stop();
+
+  const serve::ServeStats stats = (*server)->LiveStats();
+  std::cout << "live on " << workload.spec.name << ": " << clients
+            << " clients x " << requests << " requests, threads="
+            << serve_options.scheduler_threads << "\n";
+  PrintServeStats(stats);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags_or = FlagParser::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status().ToString() << "\n";
+    return Usage();
+  }
+  if (command == "replay") return RunReplay(*flags_or);
+  if (command == "live") return RunLive(*flags_or);
+  std::cerr << "unknown command '" << command << "'\n";
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace pimine
+
+int main(int argc, char** argv) { return pimine::cli::Main(argc, argv); }
