@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace pimine {
@@ -45,6 +46,7 @@ Result<std::unique_ptr<ShardedPimEngine>> ShardedPimEngine::Build(
     fleet->plan_ = engine->plan();
     fleet->engines_.push_back(std::move(engine));
     fleet->map_ = TrivialShardMap(data.rows());
+    fleet->shard_counters_.push_back(std::make_unique<ShardCounters>());
     return fleet;
   }
 
@@ -137,6 +139,10 @@ Result<std::unique_ptr<ShardedPimEngine>> ShardedPimEngine::Build(
     PIMINE_ASSIGN_OR_RETURN(fleet->engines_[j],
                             PimEngine::Build(shard_data, distance, ej));
   }
+  fleet->shard_counters_.reserve(fleet->engines_.size());
+  for (size_t j = 0; j < fleet->engines_.size(); ++j) {
+    fleet->shard_counters_.push_back(std::make_unique<ShardCounters>());
+  }
   return fleet;
 }
 
@@ -214,8 +220,9 @@ Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
       // recompute of only its rows; healthy shards keep their results.
       PIMINE_RETURN_IF_ERROR(engines_[j]->HostRecomputeBatch(
           *scratch, num_queries, &out.shards[j]));
-      failovers_.fetch_add(1, std::memory_order_relaxed);
-      failed_over_queries_.fetch_add(num_queries, std::memory_order_relaxed);
+      shard_counters_[j]->failovers.fetch_add(1, std::memory_order_relaxed);
+      shard_counters_[j]->failed_over_queries.fetch_add(
+          num_queries, std::memory_order_relaxed);
       continue;
     }
     return status[j];
@@ -228,15 +235,20 @@ Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
   const uint64_t matrices = with_stds ? 2 : 1;
   const uint64_t operand_bytes =
       (scratch->ints.size() + scratch->ints2.size()) * sizeof(int32_t);
-  uint64_t result_values = 0;
-  for (const PimEngine::QueryHandleBatch& h : out.shards) {
-    result_values += h.dots1.size() + h.dots2.size();
+  // Charged to the shard each message terminates at: every shard receives
+  // one operand broadcast per device matrix and returns one result message
+  // per device matrix carrying its own dot products. Totals over shards
+  // equal the former fleet-level charges exactly.
+  for (size_t j = 0; j < m; ++j) {
+    const PimEngine::QueryHandleBatch& h = out.shards[j];
+    ShardCounters& ctr = *shard_counters_[j];
+    ctr.scatter_messages.fetch_add(matrices, std::memory_order_relaxed);
+    ctr.scatter_bytes.fetch_add(operand_bytes, std::memory_order_relaxed);
+    ctr.gather_messages.fetch_add(matrices, std::memory_order_relaxed);
+    ctr.gather_bytes.fetch_add(
+        (h.dots1.size() + h.dots2.size()) * sizeof(uint64_t),
+        std::memory_order_relaxed);
   }
-  scatter_messages_.fetch_add(m * matrices, std::memory_order_relaxed);
-  scatter_bytes_.fetch_add(m * operand_bytes, std::memory_order_relaxed);
-  gather_messages_.fetch_add(m * matrices, std::memory_order_relaxed);
-  gather_bytes_.fetch_add(result_values * sizeof(uint64_t),
-                          std::memory_order_relaxed);
 
   // One serial-equivalent set of per-query device spans, identical to the
   // single-device trace (pass latency is row-count independent).
@@ -297,29 +309,38 @@ uint64_t ShardedPimEngine::OfflineBytesWritten() const {
 
 void ShardedPimEngine::ResetOnlineStats() {
   for (const auto& e : engines_) e->ResetOnlineStats();
-  scatter_messages_.store(0, std::memory_order_relaxed);
-  scatter_bytes_.store(0, std::memory_order_relaxed);
-  gather_messages_.store(0, std::memory_order_relaxed);
-  gather_bytes_.store(0, std::memory_order_relaxed);
+  for (const auto& ctr : shard_counters_) {
+    ctr->scatter_messages.store(0, std::memory_order_relaxed);
+    ctr->scatter_bytes.store(0, std::memory_order_relaxed);
+    ctr->gather_messages.store(0, std::memory_order_relaxed);
+    ctr->gather_bytes.store(0, std::memory_order_relaxed);
+    ctr->failovers.store(0, std::memory_order_relaxed);
+    ctr->failed_over_queries.store(0, std::memory_order_relaxed);
+  }
   reduce_messages_.store(0, std::memory_order_relaxed);
   reduce_bytes_.store(0, std::memory_order_relaxed);
-  failovers_.store(0, std::memory_order_relaxed);
-  failed_over_queries_.store(0, std::memory_order_relaxed);
 }
 
 FleetRunStats ShardedPimEngine::FleetStats() const {
   FleetRunStats s;
   s.shards = static_cast<int>(engines_.size());
   s.placement = options_.shard.placement;
-  s.scatter_messages = scatter_messages_.load(std::memory_order_relaxed);
-  s.scatter_bytes = scatter_bytes_.load(std::memory_order_relaxed);
-  s.gather_messages = gather_messages_.load(std::memory_order_relaxed);
-  s.gather_bytes = gather_bytes_.load(std::memory_order_relaxed);
+  // Interconnect/failover totals are the exact sums of the per-shard
+  // counters (integer addition; identical to the former fleet-level
+  // fetch_adds for any charge interleaving).
+  for (const auto& ctr : shard_counters_) {
+    s.scatter_messages +=
+        ctr->scatter_messages.load(std::memory_order_relaxed);
+    s.scatter_bytes += ctr->scatter_bytes.load(std::memory_order_relaxed);
+    s.gather_messages +=
+        ctr->gather_messages.load(std::memory_order_relaxed);
+    s.gather_bytes += ctr->gather_bytes.load(std::memory_order_relaxed);
+    s.failovers += ctr->failovers.load(std::memory_order_relaxed);
+    s.failed_over_queries +=
+        ctr->failed_over_queries.load(std::memory_order_relaxed);
+  }
   s.reduce_messages = reduce_messages_.load(std::memory_order_relaxed);
   s.reduce_bytes = reduce_bytes_.load(std::memory_order_relaxed);
-  s.failovers = failovers_.load(std::memory_order_relaxed);
-  s.failed_over_queries =
-      failed_over_queries_.load(std::memory_order_relaxed);
   // Derived at snapshot time from the integer counters: summing
   // TransferLatencyNs per message == messages * hop_ns + bytes / gbps, so
   // the figures are independent of charge interleaving.
@@ -332,6 +353,130 @@ FleetRunStats ShardedPimEngine::FleetStats() const {
   s.gather_ns = class_ns(s.gather_messages, s.gather_bytes);
   s.reduce_ns = class_ns(s.reduce_messages, s.reduce_bytes);
   return s;
+}
+
+ShardedPimEngine::ShardHealth ShardedPimEngine::ShardHealthSnapshot(
+    size_t j) const {
+  PIMINE_DCHECK(j < engines_.size());
+  ShardHealth h;
+  const ShardCounters& ctr = *shard_counters_[j];
+  h.scatter_messages = ctr.scatter_messages.load(std::memory_order_relaxed);
+  h.scatter_bytes = ctr.scatter_bytes.load(std::memory_order_relaxed);
+  h.gather_messages = ctr.gather_messages.load(std::memory_order_relaxed);
+  h.gather_bytes = ctr.gather_bytes.load(std::memory_order_relaxed);
+  h.failovers = ctr.failovers.load(std::memory_order_relaxed);
+  h.failed_over_queries =
+      ctr.failed_over_queries.load(std::memory_order_relaxed);
+  const PimConfig& c = engines_[0]->device1().config();
+  const auto class_ns = [&c](uint64_t messages, uint64_t bytes) {
+    return static_cast<double>(messages) * c.interconnect_hop_ns +
+           static_cast<double>(bytes) / c.interconnect_gbps;
+  };
+  h.scatter_ns = class_ns(h.scatter_messages, h.scatter_bytes);
+  h.gather_ns = class_ns(h.gather_messages, h.gather_bytes);
+  const PimEngine& e = *engines_[j];
+  const PimDeviceStats s1 = e.device1().StatsSnapshot();
+  h.batch_ops = s1.batch_ops;
+  h.queries_processed = s1.queries_processed;
+  h.pim_ns = s1.compute_ns;
+  h.pipelined_ns = s1.pipelined_ns;
+  h.fault = s1.fault;
+  if (e.device2() != nullptr) {
+    const PimDeviceStats s2 = e.device2()->StatsSnapshot();
+    h.batch_ops += s2.batch_ops;
+    h.queries_processed += s2.queries_processed;
+    h.pim_ns += s2.compute_ns;
+    h.pipelined_ns += s2.pipelined_ns;
+    h.fault.Merge(s2.fault);
+  }
+  return h;
+}
+
+void ShardedPimEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
+  obs::MetricsRegistry& r = *registry;
+  r.SetHelp("pimine_fleet_shards", "Fleet members the dataset is sharded across.");
+  r.SetHelp("pimine_fleet_shard_scatter_messages_total",
+            "Operand broadcast messages received by this shard.");
+  r.SetHelp("pimine_fleet_shard_scatter_bytes_total",
+            "Operand bytes received by this shard.");
+  r.SetHelp("pimine_fleet_shard_gather_messages_total",
+            "Result messages returned by this shard.");
+  r.SetHelp("pimine_fleet_shard_gather_bytes_total",
+            "Result bytes returned by this shard.");
+  r.SetHelp("pimine_fleet_shard_scatter_ns",
+            "Modeled scatter transfer time charged to this shard.");
+  r.SetHelp("pimine_fleet_shard_gather_ns",
+            "Modeled gather transfer time charged to this shard.");
+  r.SetHelp("pimine_fleet_shard_failovers_total",
+            "Host-exact recomputes after an unrecovered device fault.");
+  r.SetHelp("pimine_fleet_shard_failed_over_queries_total",
+            "Queries served by host recompute on this shard.");
+  r.SetHelp("pimine_fleet_shard_batch_ops_total",
+            "Device batch operations issued on this shard.");
+  r.SetHelp("pimine_fleet_shard_queries_total",
+            "Queries matched by this shard's devices.");
+  r.SetHelp("pimine_fleet_shard_pim_ns",
+            "Serial-equivalent modeled device compute time of this shard.");
+  r.SetHelp("pimine_fleet_shard_pipelined_ns",
+            "Modeled pipelined device occupancy of this shard.");
+  r.SetHelp("pimine_fleet_shard_faults_injected_total",
+            "Transient faults injected into this shard's devices.");
+  r.SetHelp("pimine_fleet_shard_faults_detected_total",
+            "Faults caught by checksum verification on this shard.");
+  r.SetHelp("pimine_fleet_shard_faults_escaped_total",
+            "Faults that escaped verification on this shard.");
+  r.SetHelp("pimine_fleet_shard_fault_retries_total",
+            "Recovery retries performed on this shard.");
+  r.SetHelp("pimine_fleet_shard_fault_remapped_rows_total",
+            "Rows remapped to spare crossbar rows on this shard.");
+  r.SetHelp("pimine_fleet_shard_fault_recovery_ns",
+            "Modeled fault-recovery time spent on this shard.");
+  r.SetHelp("pimine_fleet_reduce_messages_total",
+            "Tree-reduction messages on the fleet critical path.");
+  r.SetHelp("pimine_fleet_reduce_bytes_total",
+            "Tree-reduction payload bytes on the fleet critical path.");
+  r.GetGauge("pimine_fleet_shards")
+      .Set(static_cast<double>(engines_.size()));
+  for (size_t j = 0; j < engines_.size(); ++j) {
+    const ShardHealth h = ShardHealthSnapshot(j);
+    const obs::MetricLabels labels = {{"shard", std::to_string(j)}};
+    const auto count = [&](const char* family, uint64_t value) {
+      obs::Counter& ctr = r.GetCounter(family, labels);
+      ctr.Reset();
+      ctr.Add(value);
+    };
+    count("pimine_fleet_shard_scatter_messages_total", h.scatter_messages);
+    count("pimine_fleet_shard_scatter_bytes_total", h.scatter_bytes);
+    count("pimine_fleet_shard_gather_messages_total", h.gather_messages);
+    count("pimine_fleet_shard_gather_bytes_total", h.gather_bytes);
+    count("pimine_fleet_shard_failovers_total", h.failovers);
+    count("pimine_fleet_shard_failed_over_queries_total",
+          h.failed_over_queries);
+    count("pimine_fleet_shard_batch_ops_total", h.batch_ops);
+    count("pimine_fleet_shard_queries_total", h.queries_processed);
+    count("pimine_fleet_shard_faults_injected_total", h.fault.injected);
+    count("pimine_fleet_shard_faults_detected_total", h.fault.detected);
+    count("pimine_fleet_shard_faults_escaped_total", h.fault.escaped);
+    count("pimine_fleet_shard_fault_retries_total", h.fault.retries);
+    count("pimine_fleet_shard_fault_remapped_rows_total",
+          h.fault.remapped_rows);
+    r.GetGauge("pimine_fleet_shard_scatter_ns", labels).Set(h.scatter_ns);
+    r.GetGauge("pimine_fleet_shard_gather_ns", labels).Set(h.gather_ns);
+    r.GetGauge("pimine_fleet_shard_pim_ns", labels).Set(h.pim_ns);
+    r.GetGauge("pimine_fleet_shard_pipelined_ns", labels)
+        .Set(h.pipelined_ns);
+    r.GetGauge("pimine_fleet_shard_fault_recovery_ns", labels)
+        .Set(h.fault.recovery_ns);
+  }
+  const auto fleet_count = [&](const char* family, uint64_t value) {
+    obs::Counter& ctr = r.GetCounter(family);
+    ctr.Reset();
+    ctr.Add(value);
+  };
+  fleet_count("pimine_fleet_reduce_messages_total",
+              reduce_messages_.load(std::memory_order_relaxed));
+  fleet_count("pimine_fleet_reduce_bytes_total",
+              reduce_bytes_.load(std::memory_order_relaxed));
 }
 
 void ShardedPimEngine::ChargeTreeReduction(uint64_t payload_bytes) const {

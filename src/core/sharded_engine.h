@@ -17,6 +17,10 @@
 
 namespace pimine {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// A fleet of PIM devices acting as one logical engine (DESIGN.md section
 /// 9): the dataset is sharded across M per-shard PimEngines (ShardOptions
 /// placement), each query batch is prepared once on the host, scattered to
@@ -133,7 +137,44 @@ class ShardedPimEngine {
   /// derived from the integer counters at snapshot time
   /// (PimTimingModel::TransferLatencyNs per message), so they are
   /// identical for every thread interleaving. All-zero when shards == 1.
+  /// Interconnect/failover fields are the exact sums of the per-shard
+  /// counters (reduce_* stays fleet-level: a tree reduction has no single
+  /// owning shard).
   FleetRunStats FleetStats() const;
+
+  /// Health snapshot of one fleet member: its interconnect counters, its
+  /// devices' batch/query/time accounting and fault-recovery counters.
+  /// Safe to call while dispatches are in flight (device stats are copied
+  /// under the device's stats mutex). Summing any integer field over all
+  /// shards reproduces the corresponding FleetStats() aggregate exactly.
+  struct ShardHealth {
+    uint64_t scatter_messages = 0;
+    uint64_t scatter_bytes = 0;
+    uint64_t gather_messages = 0;
+    uint64_t gather_bytes = 0;
+    uint64_t failovers = 0;
+    uint64_t failed_over_queries = 0;
+    /// Derived from this shard's message/byte counters exactly as
+    /// FleetStats() derives the fleet figures (same linear formula, so the
+    /// per-shard values sum to the aggregates bit-for-bit).
+    double scatter_ns = 0.0;
+    double gather_ns = 0.0;
+    /// Device-side accounting summed over this shard's devices.
+    uint64_t batch_ops = 0;
+    uint64_t queries_processed = 0;
+    double pim_ns = 0.0;        // serial-equivalent compute_ns.
+    double pipelined_ns = 0.0;  // modeled device occupancy.
+    FaultStats fault;
+  };
+  ShardHealth ShardHealthSnapshot(size_t j) const;
+
+  /// Writes per-shard labeled families into `registry`
+  /// (pimine_fleet_shard_*{shard="j"}): interconnect messages/bytes/ns,
+  /// device batch/query/occupancy accounting and fault-recovery counters,
+  /// one label combination per shard, plus the fleet-level reduce_* and
+  /// shard-count families. End-of-run totals across shards equal the
+  /// FleetStats() / FaultStatsTotal() aggregates exactly.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
 
   /// Charges one tree reduction of per-shard partials with `payload_bytes`
   /// per merge message (k-means centroid sums): ceil(log2 M) critical-path
@@ -162,15 +203,22 @@ class ShardedPimEngine {
 
   // Fleet interconnect accounting: integer counters only (mutated under
   // concurrent RunQueryBatch calls; order-independent), ns derived at
-  // snapshot.
-  mutable std::atomic<uint64_t> scatter_messages_{0};
-  mutable std::atomic<uint64_t> scatter_bytes_{0};
-  mutable std::atomic<uint64_t> gather_messages_{0};
-  mutable std::atomic<uint64_t> gather_bytes_{0};
+  // snapshot. Kept PER SHARD (heap-allocated: atomics are immovable) so
+  // the telemetry plane can expose each member's health; FleetStats() sums
+  // them, which reproduces the former fleet-level totals exactly.
+  struct ShardCounters {
+    std::atomic<uint64_t> scatter_messages{0};
+    std::atomic<uint64_t> scatter_bytes{0};
+    std::atomic<uint64_t> gather_messages{0};
+    std::atomic<uint64_t> gather_bytes{0};
+    std::atomic<uint64_t> failovers{0};
+    std::atomic<uint64_t> failed_over_queries{0};
+  };
+  mutable std::vector<std::unique_ptr<ShardCounters>> shard_counters_;
+  // Tree reductions merge per-shard partials pairwise — no single owning
+  // shard, so the reduce class stays fleet-level.
   mutable std::atomic<uint64_t> reduce_messages_{0};
   mutable std::atomic<uint64_t> reduce_bytes_{0};
-  mutable std::atomic<uint64_t> failovers_{0};
-  mutable std::atomic<uint64_t> failed_over_queries_{0};
 };
 
 /// Merges per-shard top-k lists into the global top-k. Every input list

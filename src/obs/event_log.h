@@ -1,0 +1,90 @@
+#ifndef PIMINE_OBS_EVENT_LOG_H_
+#define PIMINE_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace pimine {
+namespace obs {
+
+/// One structured per-query serving record (one JSONL line).
+struct QueryEvent {
+  uint64_t query_id = 0;
+  uint32_t tenant = 0;
+  uint64_t arrival_ns = 0;
+  uint64_t dispatch_ns = 0;
+  uint64_t completion_ns = 0;
+  uint64_t batch_id = 0;
+  bool deadline_missed = false;
+  /// Status short name ("OK", "CAPACITY_EXCEEDED", ...).
+  std::string status = "OK";
+};
+
+/// Knobs of the sampled audit stream.
+struct EventLogOptions {
+  /// Fraction of query ids kept, in [0, 1]. 0 disables the log entirely.
+  double sample_rate = 0.0;
+  /// Salt of the hash-based sampling decision (see Sampled()).
+  uint64_t seed = 0;
+  /// Retained events: a bounded ring — the newest `capacity` sampled
+  /// events survive, older ones are counted in dropped().
+  size_t capacity = 4096;
+};
+
+/// Bounded, replayable audit stream of per-query serving events.
+///
+/// Sampling is a pure hash of (seed, query_id) — NOT an RNG draw — so the
+/// kept id set is a function of the trace alone: replaying the same trace
+/// samples the same queries regardless of thread count, shard count, or
+/// how many other streams observed the run. High-traffic serving keeps a
+/// bounded ring; determinism of *which* queries appear is what makes the
+/// stream auditable after the fact.
+///
+/// Internally synchronized; Append is called from scheduler workers in
+/// live mode and from the deterministic accounting pass in replay.
+class EventLog {
+ public:
+  explicit EventLog(const EventLogOptions& options = EventLogOptions());
+
+  /// The deterministic sampling decision: SplitMix64-mixed (seed,
+  /// query_id) compared against rate scaled to the hash range. rate >= 1
+  /// keeps everything, rate <= 0 nothing.
+  static bool Sampled(uint64_t seed, uint64_t query_id, double rate);
+
+  bool enabled() const { return options_.sample_rate > 0.0; }
+  /// Convenience: this log's decision for `query_id`.
+  bool WouldSample(uint64_t query_id) const {
+    return Sampled(options_.seed, query_id, options_.sample_rate);
+  }
+
+  /// Records `event` iff its query id passes the sampling hash.
+  void Append(const QueryEvent& event);
+
+  /// Sampled events currently retained / total sampled / evicted by the
+  /// capacity bound.
+  size_t size() const;
+  uint64_t sampled_total() const;
+  uint64_t dropped() const;
+
+  void Reset();
+
+  /// JSON-Lines export, one object per retained event in append order.
+  /// Deterministic for identical retained events.
+  std::string ToJsonl() const;
+
+  const EventLogOptions& options() const { return options_; }
+
+ private:
+  EventLogOptions options_;
+  mutable std::mutex mu_;
+  std::deque<QueryEvent> events_;
+  uint64_t sampled_total_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace obs
+}  // namespace pimine
+
+#endif  // PIMINE_OBS_EVENT_LOG_H_

@@ -1,0 +1,172 @@
+#include "obs/exposition_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pimine {
+namespace obs {
+namespace {
+
+/// Blocking send of the whole buffer (the bodies are small; a stuck peer
+/// is bounded by the response poll timeout upstream of us closing).
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Peer went away; nothing to salvage on a read-only tap.
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string MakeResponse(const std::string& status_line,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out.append("HTTP/1.0 ").append(status_line).append("\r\n");
+  out.append("Content-Type: ").append(content_type).append("\r\n");
+  out.append("Content-Length: ")
+      .append(std::to_string(body.size()))
+      .append("\r\n");
+  out.append("Connection: close\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ExpositionServer>> ExpositionServer::Start(
+    int port, std::vector<HttpRoute> routes) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("exposition port out of range: " +
+                                   std::to_string(port));
+  }
+  std::unique_ptr<ExpositionServer> server(new ExpositionServer());
+  server->routes_ = std::move(routes);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind(127.0.0.1:" + std::to_string(port) +
+                           "): " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen(): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname(): " + err);
+  }
+  server->listen_fd_ = fd;
+  server->port_ = static_cast<int>(ntohs(bound.sin_port));
+  server->thread_ = std::thread(&ExpositionServer::Loop, server.get());
+  return server;
+}
+
+ExpositionServer::~ExpositionServer() { Stop(); }
+
+void ExpositionServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_release);
+  // Unblock accept(); the loop's poll timeout is the fallback.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ExpositionServer::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;  // timeout / EINTR: re-check stop flag.
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void ExpositionServer::HandleConnection(int fd) {
+  // Read until the end of the request head (or 4 KiB — more than any GET
+  // we answer needs), with a poll-bounded wait per chunk.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendAll(fd, MakeResponse("400 Bad Request", "text/plain; charset=utf-8",
+                             "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    SendAll(fd, MakeResponse("405 Method Not Allowed",
+                             "text/plain; charset=utf-8",
+                             "read-only endpoint: GET only\n"));
+    return;
+  }
+  for (const HttpRoute& route : routes_) {
+    if (route.path == path) {
+      SendAll(fd, MakeResponse("200 OK", route.content_type,
+                               route.handler ? route.handler() : ""));
+      return;
+    }
+  }
+  SendAll(fd, MakeResponse("404 Not Found", "text/plain; charset=utf-8",
+                           "unknown path " + path + "\n"));
+}
+
+}  // namespace obs
+}  // namespace pimine

@@ -1,0 +1,75 @@
+#ifndef PIMINE_OBS_EXPOSITION_SERVER_H_
+#define PIMINE_OBS_EXPOSITION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pimine {
+namespace obs {
+
+/// One read-only HTTP route: GET `path` returns handler() as the body with
+/// the given Content-Type. Handlers run on the server's accept thread and
+/// must be safe to call concurrently with the serving workload (snapshot
+/// semantics — they read, never mutate).
+struct HttpRoute {
+  std::string path;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::function<std::string()> handler;
+};
+
+/// Minimal embedded HTTP/1.0 exposition endpoint (POSIX sockets): serves
+/// GET requests for a fixed route table — /metrics, /healthz,
+/// /timeseries.json in the serving CLI — and nothing else (no keep-alive,
+/// no POST, no TLS). Binds 127.0.0.1 only: this is a local observability
+/// tap, not a public API surface.
+///
+/// The endpoint lives entirely on the wall-clock side of the determinism
+/// boundary: handlers take snapshots of telemetry state, and no replayed
+/// or modeled quantity ever depends on whether, when, or how often the
+/// endpoint was scraped (DESIGN.md section 11).
+class ExpositionServer {
+ public:
+  /// Binds and starts the accept loop. `port` 0 picks an ephemeral port
+  /// (see port()). Fails with IOError when the bind/listen fails (e.g.
+  /// port in use).
+  static Result<std::unique_ptr<ExpositionServer>> Start(
+      int port, std::vector<HttpRoute> routes);
+
+  ~ExpositionServer();
+
+  /// The actually bound port (resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Requests answered so far (any status).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  ExpositionServer() = default;
+  void Loop();
+  void HandleConnection(int fd);
+
+  std::vector<HttpRoute> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace pimine
+
+#endif  // PIMINE_OBS_EXPOSITION_SERVER_H_

@@ -31,6 +31,62 @@ std::vector<size_t> SortedIndexByName(const Vec& v) {
   return idx;
 }
 
+/// Family = the stored name up to the label block ('{').
+std::string FamilyOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// The "{k=\"v\",...}" suffix of a labeled name ("" when unlabeled).
+std::string LabelBlockOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? std::string() : name.substr(brace);
+}
+
+/// Exposition-format escaping for label values: backslash, double quote,
+/// and newline must be escaped; everything else passes through.
+void AppendLabelEscaped(std::string* out, const std::string& value) {
+  for (char c : value) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '"') {
+      out->append("\\\"");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+/// HELP-text escaping: backslash and newline only (quotes are legal).
+void AppendHelpEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+/// Same-family entries grouped for exposition: sorting by (family, label
+/// block) keeps every family's samples contiguous even when an unrelated
+/// family name sorts between "fam" and "fam{...}" byte-wise.
+template <typename Vec>
+std::vector<size_t> SortedIndexByFamily(const Vec& v) {
+  std::vector<size_t> idx(v.size());
+  for (size_t i = 0; i < v.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    const std::string fa = FamilyOf(v[a].name), fb = FamilyOf(v[b].name);
+    if (fa != fb) return fa < fb;
+    return LabelBlockOf(v[a].name) < LabelBlockOf(v[b].name);
+  });
+  return idx;
+}
+
 }  // namespace
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
@@ -49,6 +105,43 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   }
   gauges_.push_back({name, std::make_unique<Gauge>()});
   return *gauges_.back().gauge;
+}
+
+std::string MetricsRegistry::LabeledName(const std::string& family,
+                                         const MetricLabels& labels) {
+  if (labels.empty()) return family;
+  std::string name = family;
+  name.push_back('{');
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) name.push_back(',');
+    name.append(labels[i].first).append("=\"");
+    AppendLabelEscaped(&name, labels[i].second);
+    name.push_back('"');
+  }
+  name.push_back('}');
+  return name;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& family,
+                                     const MetricLabels& labels) {
+  return GetCounter(LabeledName(family, labels));
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& family,
+                                 const MetricLabels& labels) {
+  return GetGauge(LabeledName(family, labels));
+}
+
+void MetricsRegistry::MergeHistogram(const std::string& family,
+                                     const MetricLabels& labels,
+                                     const Histogram& samples) {
+  MergeHistogram(LabeledName(family, labels), samples);
+}
+
+void MetricsRegistry::SetHelp(const std::string& family,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[family] = help;
 }
 
 void MetricsRegistry::MergeHistogram(const std::string& name,
@@ -88,25 +181,53 @@ std::string MetricsRegistry::ToPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   out.reserve(1024);
-  for (size_t i : SortedIndexByName(counters_)) {
+
+  // One HELP + TYPE pair per family, immediately before its samples, every
+  // family's label combinations contiguous — the structure strict
+  // exposition-format parsers require.
+  const auto emit_header = [&](std::string* last_family,
+                               const std::string& family, const char* type) {
+    if (*last_family == family) return;
+    *last_family = family;
+    const auto it = help_.find(family);
+    out.append("# HELP ").append(family).push_back(' ');
+    AppendHelpEscaped(&out, it != help_.end() ? it->second : family);
+    out.push_back('\n');
+    out.append("# TYPE ").append(family).push_back(' ');
+    out.append(type).push_back('\n');
+  };
+
+  std::string last_family;
+  for (size_t i : SortedIndexByFamily(counters_)) {
     const auto& entry = counters_[i];
-    out.append("# TYPE ").append(entry.name).append(" counter\n");
+    emit_header(&last_family, FamilyOf(entry.name), "counter");
     out.append(entry.name)
         .append(" ")
         .append(std::to_string(entry.counter->Value()))
         .append("\n");
   }
-  for (size_t i : SortedIndexByName(gauges_)) {
+  last_family.clear();
+  for (size_t i : SortedIndexByFamily(gauges_)) {
     const auto& entry = gauges_[i];
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", entry.gauge->Value());
-    out.append("# TYPE ").append(entry.name).append(" gauge\n");
+    emit_header(&last_family, FamilyOf(entry.name), "gauge");
     out.append(entry.name).append(" ").append(buf).append("\n");
   }
-  for (size_t i : SortedIndexByName(histograms_)) {
+  last_family.clear();
+  for (size_t i : SortedIndexByFamily(histograms_)) {
     const auto& entry = histograms_[i];
     const Histogram& h = *entry.hist;
-    out.append("# TYPE ").append(entry.name).append(" histogram\n");
+    const std::string family = FamilyOf(entry.name);
+    const std::string labels = LabelBlockOf(entry.name);
+    // "name_bucket{<labels,>le=...}": splice le into an existing label
+    // block, or open a fresh one for unlabeled histograms.
+    const std::string bucket_prefix =
+        labels.empty()
+            ? family + "_bucket{le=\""
+            : family + "_bucket" + labels.substr(0, labels.size() - 1) +
+                  ",le=\"";
+    emit_header(&last_family, family, "histogram");
     uint64_t cumulative = 0;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
       cumulative += h.bucket(b);
@@ -115,8 +236,7 @@ std::string MetricsRegistry::ToPrometheus() const {
       if (b != 0 && h.bucket(b) == 0 && b != Histogram::kNumBuckets - 1) {
         continue;
       }
-      out.append(entry.name)
-          .append("_bucket{le=\"")
+      out.append(bucket_prefix)
           .append(b == Histogram::kNumBuckets - 1
                       ? std::string("+Inf")
                       : std::to_string(Histogram::BucketUpperEdge(b)))
@@ -124,12 +244,16 @@ std::string MetricsRegistry::ToPrometheus() const {
           .append(std::to_string(cumulative))
           .append("\n");
     }
-    out.append(entry.name)
-        .append("_sum ")
+    out.append(family)
+        .append("_sum")
+        .append(labels)
+        .append(" ")
         .append(std::to_string(h.sum_ticks()))
         .append("\n");
-    out.append(entry.name)
-        .append("_count ")
+    out.append(family)
+        .append("_count")
+        .append(labels)
+        .append(" ")
         .append(std::to_string(h.count()))
         .append("\n");
   }

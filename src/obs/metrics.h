@@ -3,15 +3,22 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/histogram.h"
 
 namespace pimine {
 namespace obs {
+
+/// Ordered label set of one instrument, e.g. {{"shard", "3"}}. Labels are
+/// emitted in the given order; callers use a fixed order per family so the
+/// exposition stays byte-deterministic.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonic counter. Increments are relaxed atomic adds: totals are exact
 /// and independent of thread interleaving (integer addition commutes), the
@@ -50,6 +57,24 @@ class MetricsRegistry {
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
 
+  /// Labeled variants: `family{k="v",...}` instruments. The family (the
+  /// name before '{') is what HELP/TYPE describe; every label combination
+  /// is one independent instrument. Label values are escaped per the
+  /// Prometheus exposition format (backslash, quote, newline).
+  Counter& GetCounter(const std::string& family, const MetricLabels& labels);
+  Gauge& GetGauge(const std::string& family, const MetricLabels& labels);
+  void MergeHistogram(const std::string& family, const MetricLabels& labels,
+                      const Histogram& samples);
+
+  /// The full stored name of a labeled instrument (exposed for tests and
+  /// for snapshot lookups): family + '{' + escaped labels + '}'.
+  static std::string LabeledName(const std::string& family,
+                                 const MetricLabels& labels);
+
+  /// Registers the fixed `# HELP` text of a family. Unregistered families
+  /// expose their own name as help — deterministic either way.
+  void SetHelp(const std::string& family, const std::string& help);
+
   /// Folds per-thread/per-slot samples into the named registry histogram.
   void MergeHistogram(const std::string& name, const Histogram& samples);
   /// Copy of the named histogram's current state (zero if never merged).
@@ -61,10 +86,12 @@ class MetricsRegistry {
 
   size_t NumInstruments() const;
 
-  /// Prometheus text exposition (v0.0.4): counters, gauges, and histograms
-  /// with cumulative `le` buckets plus `_sum` (integer ticks) and `_count`.
-  /// Families are emitted sorted by name — deterministic byte output for
-  /// identical instrument state.
+  /// Prometheus text exposition (v0.0.4): one `# HELP` and one `# TYPE`
+  /// line per family followed by its samples (all label combinations),
+  /// histograms with cumulative `le` buckets plus `_sum` (integer ticks)
+  /// and `_count`. Families are emitted sorted (label sets sorted within a
+  /// family) with fixed help strings — deterministic byte output for
+  /// identical instrument state, strict-parser clean.
   std::string ToPrometheus() const;
   /// Same content as a JSON object, also name-sorted and deterministic.
   std::string ToJson() const;
@@ -87,6 +114,7 @@ class MetricsRegistry {
   std::vector<NamedCounter> counters_;
   std::vector<NamedGauge> gauges_;
   std::vector<NamedHistogram> histograms_;
+  std::map<std::string, std::string> help_;  // family -> fixed help text.
 };
 
 }  // namespace obs

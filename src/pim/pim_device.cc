@@ -703,6 +703,11 @@ double PimDevice::EnduranceRemainingFraction() const {
   return used >= 1.0 ? 0.0 : 1.0 - used;
 }
 
+PimDeviceStats PimDevice::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
 void PimDevice::ResetOnlineStats() {
   stats_.batch_ops = 0;
   stats_.queries_processed = 0;

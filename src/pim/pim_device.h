@@ -145,6 +145,10 @@ class PimDevice {
   double EnduranceRemainingFraction() const;
 
   const PimDeviceStats& stats() const { return stats_; }
+  /// Copy of stats_ taken under the stats mutex — the accessor telemetry
+  /// exporters use while DotProductBatch calls may be in flight (stats()
+  /// returns an unguarded reference and is only safe quiescent).
+  PimDeviceStats StatsSnapshot() const;
   void ResetOnlineStats();
 
   /// Serial-equivalent modeled time one query spends on the device: the full

@@ -177,6 +177,12 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
   out.stats.tenants = MakeTenantStats(options_);
   Timer wall;
 
+  // Replay telemetry plane: clocked by the VIRTUAL clock and fed only
+  // from the deterministic single-threaded accounting below, so the JSON
+  // exports are byte-identical for every scheduler_threads/shards value.
+  obs::TimeSeries replay_ts(TimeSeriesOptionsFromServe());
+  obs::EventLog replay_events(EventLogOptionsFromServe());
+
   // ---- Phase 1: batch formation (single deterministic pass) -------------
   //
   // One virtual device timeline: vt_free is the instant the device finishes
@@ -228,6 +234,9 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
     if (!r.status.ok()) {
       ++out.stats.rejected;
       ++out.stats.tenants[e.tenant].rejected;
+    } else {
+      replay_ts.Observe("queue_depth", e.arrival_ns,
+                        static_cast<double>(queue.pending()));
     }
   }
   flush(std::numeric_limits<uint64_t>::max(), last_arrival);
@@ -237,6 +246,8 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
   for (size_t bi = 0; bi < batches.size(); ++bi) {
     const FormedBatch& b = batches[bi];
     out.stats.occupancy_hist.Record(static_cast<double>(b.members.size()));
+    replay_ts.Observe("batch_occupancy", b.dispatch_ns,
+                      static_cast<double>(b.members.size()));
     out.stats.pipelined_ns += b.service_ns;
     for (const PendingQuery& m : b.members) {
       ServedResult& r = out.results[m.id];
@@ -259,6 +270,14 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
       }
     }
   }
+  // One telemetry record per trace event, in trace order (still the
+  // deterministic pass — thread- and shard-independent by construction).
+  for (size_t i = 0; i < out.results.size(); ++i) {
+    RecordQueryTelemetry(out.results[i], i, &replay_ts, &replay_events);
+  }
+  out.timeseries_json = replay_ts.ToJson();
+  out.events_jsonl = replay_events.ToJsonl();
+
   out.stats.batches = batches.size();
   out.stats.max_queue_depth = queue.max_depth();
   out.stats.makespan_ns = batches.empty() ? 0 : batches.back().completion_ns;
@@ -350,6 +369,9 @@ Status PimServer::Start() {
   live_device_ns_per_query_ =
       obs::Obs::Enabled() ? engine_->SerialDeviceNsPerQuery() : 0.0;
   start_time_ = std::chrono::steady_clock::now();
+  live_ts_ = std::make_unique<obs::TimeSeries>(TimeSeriesOptionsFromServe());
+  live_events_ =
+      std::make_unique<obs::EventLog>(EventLogOptionsFromServe());
   engine_->ResetOnlineStats();
   worker_scratch_.clear();
   workers_.clear();
@@ -387,8 +409,16 @@ Result<ServedResult> PimServer::Submit(uint32_t tenant,
       // downstream.
       ++live_stats_.rejected;
       ++live_stats_.tenants[tenant].rejected;
+      ServedResult rejected;
+      rejected.status = admitted;
+      rejected.tenant = tenant;
+      rejected.arrival_ns = arrival;
+      RecordQueryTelemetry(rejected, id, live_ts_.get(),
+                           live_events_.get());
       return admitted;
     }
+    live_ts_->Observe("queue_depth", arrival,
+                      static_cast<double>(queue_->pending()));
     ++next_id_;
     auto request = std::make_unique<LiveRequest>();
     request->query.assign(query.begin(), query.end());
@@ -448,6 +478,8 @@ void PimServer::WorkerLoop(size_t worker_index) {
     lock.lock();
     ++live_stats_.batches;
     live_stats_.occupancy_hist.Record(static_cast<double>(members.size()));
+    live_ts_->Observe("batch_occupancy", dispatch_ns,
+                      static_cast<double>(members.size()));
     for (size_t m = 0; m < members.size(); ++m) {
       ServedResult r;
       r.status = scratch.status;
@@ -473,6 +505,8 @@ void PimServer::WorkerLoop(size_t worker_index) {
           ++ts.deadline_misses;
         }
       }
+      RecordQueryTelemetry(r, members[m].id, live_ts_.get(),
+                           live_events_.get());
       requests[m]->promise.set_value(std::move(r));
     }
     scratch.status = Status::OK();
@@ -523,10 +557,29 @@ ServeStats PimServer::LiveStats() {
   return stats;
 }
 
-void PimServer::ExportObsMetrics(const ServeStats& stats) const {
-  obs::Obs* obs = obs::Obs::Get();
-  if (obs == nullptr) return;
-  obs::MetricsRegistry& metrics = obs->metrics();
+void PimServer::FillServeMetrics(const ServeStats& stats,
+                                 obs::MetricsRegistry* registry) const {
+  obs::MetricsRegistry& metrics = *registry;
+  metrics.SetHelp("pimine_serve_submitted_total",
+                  "Queries submitted to the admission queue.");
+  metrics.SetHelp("pimine_serve_served_total",
+                  "Queries served to completion.");
+  metrics.SetHelp("pimine_serve_rejected_total",
+                  "Queries rejected by admission-queue backpressure.");
+  metrics.SetHelp("pimine_serve_deadline_misses_total",
+                  "Served queries whose latency exceeded deadline_ns.");
+  metrics.SetHelp("pimine_serve_batches_total",
+                  "Scheduler dispatches issued.");
+  metrics.SetHelp("pimine_serve_max_queue_depth",
+                  "High-water mark of the admission queue depth.");
+  metrics.SetHelp("pimine_serve_mean_batch_occupancy",
+                  "served / batches of the run so far.");
+  metrics.SetHelp("pimine_serve_wait_ns",
+                  "Arrival-to-dispatch wait per served query.");
+  metrics.SetHelp("pimine_serve_latency_ns",
+                  "Arrival-to-completion latency per served query.");
+  metrics.SetHelp("pimine_serve_batch_occupancy",
+                  "Queries coalesced per scheduler dispatch.");
   metrics.GetCounter("pimine_serve_submitted_total").Add(stats.submitted);
   metrics.GetCounter("pimine_serve_served_total").Add(stats.served);
   metrics.GetCounter("pimine_serve_rejected_total").Add(stats.rejected);
@@ -541,6 +594,99 @@ void PimServer::ExportObsMetrics(const ServeStats& stats) const {
   metrics.MergeHistogram("pimine_serve_latency_ns", stats.latency_hist);
   metrics.MergeHistogram("pimine_serve_batch_occupancy",
                          stats.occupancy_hist);
+  metrics.SetHelp("pimine_serve_tenant_served_total",
+                  "Queries served, by tenant.");
+  metrics.SetHelp("pimine_serve_tenant_rejected_total",
+                  "Queries rejected, by tenant.");
+  metrics.SetHelp("pimine_serve_tenant_deadline_misses_total",
+                  "Deadline misses, by tenant.");
+  for (const TenantServeStats& t : stats.tenants) {
+    const obs::MetricLabels labels = {{"tenant", t.name}};
+    metrics.GetCounter("pimine_serve_tenant_served_total", labels)
+        .Add(t.served);
+    metrics.GetCounter("pimine_serve_tenant_rejected_total", labels)
+        .Add(t.rejected);
+    metrics.GetCounter("pimine_serve_tenant_deadline_misses_total", labels)
+        .Add(t.deadline_misses);
+  }
+}
+
+void PimServer::ExportObsMetrics(const ServeStats& stats) const {
+  obs::Obs* obs = obs::Obs::Get();
+  if (obs == nullptr) return;
+  FillServeMetrics(stats, &obs->metrics());
+}
+
+obs::TimeSeriesOptions PimServer::TimeSeriesOptionsFromServe() const {
+  obs::TimeSeriesOptions ts;
+  ts.window_ns = options_.ts_window_ns;
+  ts.num_windows = options_.ts_windows;
+  ts.slo_budget = options_.slo_budget;
+  return ts;
+}
+
+obs::EventLogOptions PimServer::EventLogOptionsFromServe() const {
+  obs::EventLogOptions ev;
+  ev.sample_rate = options_.event_sample_rate;
+  ev.seed = options_.event_seed;
+  ev.capacity = options_.event_capacity;
+  return ev;
+}
+
+void PimServer::RecordQueryTelemetry(const ServedResult& r, uint64_t query_id,
+                                     obs::TimeSeries* ts,
+                                     obs::EventLog* events) const {
+  ts->SetSlo("deadline_missed", "served");
+  ts->Count("submitted", r.arrival_ns);
+  obs::QueryEvent event;
+  event.query_id = query_id;
+  event.tenant = r.tenant;
+  event.arrival_ns = r.arrival_ns;
+  event.status = std::string(StatusCodeToString(r.status.code()));
+  if (!r.status.ok()) {
+    // Rejected (or failed) submissions never dispatched: only arrival-side
+    // series move.
+    ts->Count("rejected", r.arrival_ns);
+    if (events->enabled()) events->Append(event);
+    return;
+  }
+  ts->Count("served", r.completion_ns);
+  if (r.deadline_missed) ts->Count("deadline_missed", r.completion_ns);
+  ts->Observe("wait_ns", r.dispatch_ns,
+              static_cast<double>(r.dispatch_ns - r.arrival_ns));
+  ts->Observe("latency_ns", r.completion_ns,
+              static_cast<double>(r.completion_ns - r.arrival_ns));
+  if (events->enabled()) {
+    event.dispatch_ns = r.dispatch_ns;
+    event.completion_ns = r.completion_ns;
+    event.batch_id = r.batch_id;
+    event.deadline_missed = r.deadline_missed;
+    events->Append(event);
+  }
+}
+
+std::string PimServer::MetricsText() {
+  // A FRESH registry per scrape: counters carry absolute run totals, so
+  // repeated scrapes are idempotent snapshots (the global obs registry, by
+  // contrast, accumulates across runs).
+  obs::MetricsRegistry registry;
+  const ServeStats stats = LiveStats();
+  FillServeMetrics(stats, &registry);
+  engine_->ExportMetrics(&registry);
+  return registry.ToPrometheus();
+}
+
+std::string PimServer::TimeSeriesJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_ts_ == nullptr) {
+    return obs::TimeSeries(TimeSeriesOptionsFromServe()).ToJson();
+  }
+  return live_ts_->ToJson();
+}
+
+std::string PimServer::EventsJsonl() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_events_ == nullptr ? std::string() : live_events_->ToJsonl();
 }
 
 }  // namespace serve

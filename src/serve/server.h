@@ -16,7 +16,10 @@
 #include "common/status.h"
 #include "core/sharded_engine.h"
 #include "data/matrix.h"
+#include "obs/event_log.h"
 #include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "profiling/run_stats.h"
 #include "serve/admission_queue.h"
 #include "serve/serve_options.h"
@@ -94,6 +97,13 @@ struct ServeStats {
 struct ReplayOutput {
   std::vector<ServedResult> results;
   ServeStats stats;
+  /// Rolling-window telemetry of the replayed run, clocked by the VIRTUAL
+  /// clock and fed from the deterministic accounting pass — byte-identical
+  /// across scheduler_threads and shard counts (TimeSeries::ToJson()).
+  std::string timeseries_json;
+  /// Sampled per-query JSONL events (ServeOptions::event_sample_rate);
+  /// empty when sampling is disabled. Same determinism contract.
+  std::string events_jsonl;
 };
 
 /// Online serving front-end over a (sharded) PIM engine: clients submit
@@ -156,6 +166,22 @@ class PimServer {
   /// accept a racy-but-consistent mid-run view.
   ServeStats LiveStats();
 
+  // --- Telemetry plane -------------------------------------------------
+
+  /// Prometheus text exposition of the current serving state: the
+  /// pimine_serve_* scheduler families (from LiveStats) plus the
+  /// per-shard pimine_fleet_shard_*{shard="j"} fleet families. Built into
+  /// a FRESH registry per call — scrapes are idempotent snapshots, never
+  /// cumulative re-adds. Safe while serving (the /metrics handler's path).
+  std::string MetricsText();
+
+  /// Live rolling-window telemetry (steady clock). Empty-document (but
+  /// valid) before Start.
+  std::string TimeSeriesJson();
+
+  /// Live sampled per-query events as JSONL ("" when sampling is off).
+  std::string EventsJsonl();
+
   const ShardedPimEngine& engine() const { return *engine_; }
   const ServeOptions& options() const { return options_; }
 
@@ -193,6 +219,18 @@ class PimServer {
   void WorkerLoop(size_t worker_index);
   uint64_t NowNs() const;
   void ExportObsMetrics(const ServeStats& stats) const;
+  /// Writes the pimine_serve_* families for `stats` into `registry`
+  /// (shared by the global-obs export and the fresh-registry /metrics
+  /// snapshot path).
+  void FillServeMetrics(const ServeStats& stats,
+                        obs::MetricsRegistry* registry) const;
+  obs::TimeSeriesOptions TimeSeriesOptionsFromServe() const;
+  obs::EventLogOptions EventLogOptionsFromServe() const;
+  /// Feeds one served/rejected query into a timeseries + event log — the
+  /// single recording path shared by the replay accounting pass and the
+  /// live scheduler (so both planes carry the same series names).
+  void RecordQueryTelemetry(const ServedResult& r, uint64_t query_id,
+                            obs::TimeSeries* ts, obs::EventLog* events) const;
 
   ServeOptions options_;
   const FloatMatrix* data_ = nullptr;
@@ -214,6 +252,11 @@ class PimServer {
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<DispatchScratch>> worker_scratch_;
   std::chrono::steady_clock::time_point start_time_;
+  // Live telemetry plane (created by Start; both are internally
+  // synchronized, so the exposition server snapshots them lock-free with
+  // respect to mu_).
+  std::unique_ptr<obs::TimeSeries> live_ts_;
+  std::unique_ptr<obs::EventLog> live_events_;
 };
 
 }  // namespace serve

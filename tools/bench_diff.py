@@ -9,6 +9,12 @@ The sweep modes of bench_micro_pim (--batch_sweep, --fault_sweep,
       Checks the document parses and, for known schemas, that every sweep
       entry carries the schema's required fields. Exit 0 on success.
 
+--validate also accepts the telemetry documents written by
+`pimine_serve replay --timeseries_out` (schema pimine.obs.timeseries.v1):
+those are header + series + slo rather than header + sweep, and are
+checked structurally (point arity per series type, retention header,
+slo block) instead of per-entry.
+
   bench_diff.py old.json new.json
       Matches sweep entries between the two documents by their key fields
       (shards/q/rate — whatever identifies a configuration) and prints the
@@ -50,13 +56,58 @@ SCHEMAS = {
 }
 
 
+# The rolling-telemetry document of the serving layer (obs::TimeSeries).
+# Not a sweep: one header, a "series" map of sparse per-window points, and
+# the SLO burn-rate block. Point arity is fixed per series type.
+TIMESERIES_SCHEMA = "pimine.obs.timeseries.v1"
+TIMESERIES_HEADER = ["schema", "window_ns", "num_windows", "oldest_window",
+                     "newest_window", "dropped_late", "series", "slo"]
+TIMESERIES_SLO = ["bad", "total", "budget", "short_windows", "long_windows",
+                  "short_burn", "long_burn"]
+# counter point: [window, count, rate_per_s]
+# histogram point: [window, count, sum_ticks, max_ticks, p50, p99]
+TIMESERIES_POINT_ARITY = {"counter": 3, "histogram": 6}
+
+
+def validate_timeseries(path, doc):
+    missing = [f for f in TIMESERIES_HEADER if f not in doc]
+    if missing:
+        sys.exit(f"error: {path}: missing timeseries fields {missing}")
+    missing_slo = [f for f in TIMESERIES_SLO if f not in doc["slo"]]
+    if missing_slo:
+        sys.exit(f"error: {path}: slo block missing {missing_slo}")
+    if not isinstance(doc["series"], dict):
+        sys.exit(f"error: {path}: 'series' is not an object")
+    oldest, newest = doc["oldest_window"], doc["newest_window"]
+    points = 0
+    for name, series in sorted(doc["series"].items()):
+        arity = TIMESERIES_POINT_ARITY.get(series.get("type"))
+        if arity is None:
+            sys.exit(f"error: {path}: series '{name}' has unknown type "
+                     f"'{series.get('type')}'")
+        for p in series.get("points", []):
+            if not isinstance(p, list) or len(p) != arity:
+                sys.exit(f"error: {path}: series '{name}' point {p} is not "
+                         f"a {arity}-element list")
+            if not oldest <= p[0] <= newest:
+                sys.exit(f"error: {path}: series '{name}' window {p[0]} "
+                         f"outside retention [{oldest}, {newest}]")
+            points += 1
+    print(f"{path}: valid ({TIMESERIES_SCHEMA}, {len(doc['series'])} series, "
+          f"{points} points)")
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot load {path}: {e}")
-    if not isinstance(doc, dict) or not isinstance(doc.get("sweep"), list):
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path} is not a JSON object")
+    if doc.get("schema") == TIMESERIES_SCHEMA:
+        return doc
+    if not isinstance(doc.get("sweep"), list):
         sys.exit(f"error: {path} is not a bench sweep document "
                  "(object with a 'sweep' list)")
     return doc
@@ -68,6 +119,9 @@ def schema_of(doc):
 
 def validate(path):
     doc = load(path)
+    if doc.get("schema") == TIMESERIES_SCHEMA:
+        validate_timeseries(path, doc)
+        return
     schema = schema_of(doc)
     if schema is None:
         print(f"{path}: parses; unknown schema "
@@ -92,6 +146,26 @@ def entry_key(entry, keys):
 
 def diff(old_path, new_path):
     old, new = load(old_path), load(new_path)
+    if TIMESERIES_SCHEMA in (old.get("schema"), new.get("schema")):
+        # Telemetry documents carry the determinism contract: they are
+        # either identical or the replay diverged — no tolerance band.
+        if old == new:
+            print("timeseries documents identical")
+            return
+        for field in TIMESERIES_HEADER:
+            if old.get(field) != new.get(field) and field != "series":
+                print(f"timeseries mismatch: {field}: "
+                      f"{old.get(field)} -> {new.get(field)}")
+        only_old = sorted(set(old.get("series", {})) - set(new.get("series", {})))
+        only_new = sorted(set(new.get("series", {})) - set(old.get("series", {})))
+        if only_old:
+            print(f"series only in {old_path}: {only_old}")
+        if only_new:
+            print(f"series only in {new_path}: {only_new}")
+        for name in sorted(set(old.get("series", {})) & set(new.get("series", {}))):
+            if old["series"][name] != new["series"][name]:
+                print(f"series '{name}' diverged")
+        sys.exit(1)
     schema = schema_of(old)
     keys = schema["keys"] if schema else []
     header = schema["header"] if schema else []

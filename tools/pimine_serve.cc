@@ -10,22 +10,35 @@
 //   pimine_serve live --dataset=MSD --requests=256 --clients=4
 //       [--max_batch=16] [--max_wait_us=200] [--capacity=1024]
 //       [--threads=2] [--k=10] [--device_batch=16]
+//       [--metrics_port=9464] [--linger_ms=0]
 //
 // `replay` drives the scheduler from a deterministic recorded arrival
 // trace against the virtual clock: identical flags print identical
 // numbers, byte for byte, for any --threads. `live` starts real scheduler
 // workers and hammers them from concurrent client threads (wall-clock
 // timings; a smoke/demo mode, not a reproducible measurement).
+//
+// --metrics_port mounts the embedded read-only HTTP endpoint on
+// 127.0.0.1 with GET /metrics (Prometheus exposition), /healthz,
+// /timeseries.json (rolling windows) and /events.jsonl (sampled query
+// events); --linger_ms keeps serving mounted after the clients finish so
+// an external scraper can read the end-of-run state (the CI smoke job).
+// Replay instead writes the deterministic telemetry documents with
+// --timeseries_out / --events_out (--event_sample enables sampling).
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/exposition_server.h"
 #include "obs/obs.h"
 #include "serve/server.h"
 #include "serve/workload.h"
@@ -49,7 +62,10 @@ int Usage() {
       "          [--queries=64] [--device_batch=16] [--shards=1]\n"
       "          [--distance=ED|CS|PCC] [--tenants=gold:4,free:1]\n"
       "          [--shares=4,1] [--metrics_out=m.prom]\n"
-      "  live    same scheduler flags plus [--clients=4]\n";
+      "          [--timeseries_out=ts.json] [--events_out=ev.jsonl]\n"
+      "          [--event_sample=0.0] [--event_seed=0]\n"
+      "  live    same scheduler flags plus [--clients=4]\n"
+      "          [--metrics_port=9464] [--linger_ms=0]\n";
   return 2;
 }
 
@@ -94,6 +110,8 @@ serve::ServeOptions ServeFromFlags(const FlagParser& flags) {
   options.exec.device_batch =
       static_cast<size_t>(flags.GetInt("device_batch", 16));
   options.tenants = ParseTenants(flags.GetString("tenants", ""));
+  options.event_sample_rate = flags.GetDouble("event_sample", 0.0);
+  options.event_seed = static_cast<uint64_t>(flags.GetInt("event_seed", 0));
   return options;
 }
 
@@ -149,7 +167,8 @@ int RunReplay(const FlagParser& flags) {
       {"dataset", "requests", "qps", "seed", "max_batch", "max_wait_us",
        "deadline_us", "capacity", "threads", "k", "n", "queries",
        "device_batch", "shards", "distance", "tenants", "shares",
-       "metrics_out"}));
+       "metrics_out", "timeseries_out", "events_out", "event_sample",
+       "event_seed"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 64));
@@ -188,6 +207,20 @@ int RunReplay(const FlagParser& flags) {
             << serve_options.max_batch << ", threads="
             << serve_options.scheduler_threads << "\n";
   PrintServeStats(output->stats);
+  const std::string ts_path = flags.GetString("timeseries_out", "");
+  if (!ts_path.empty()) {
+    std::ofstream out(ts_path);
+    PIMINE_CHECK(out.good()) << "cannot open --timeseries_out " << ts_path;
+    out << output->timeseries_json;
+    std::cout << "timeseries: " << ts_path << "\n";
+  }
+  const std::string ev_path = flags.GetString("events_out", "");
+  if (!ev_path.empty()) {
+    std::ofstream out(ev_path);
+    PIMINE_CHECK(out.good()) << "cannot open --events_out " << ev_path;
+    out << output->events_jsonl;
+    std::cout << "events: " << ev_path << "\n";
+  }
   MaybeDumpMetrics(flags);
   return 0;
 }
@@ -196,7 +229,8 @@ int RunLive(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown(
       {"dataset", "requests", "clients", "max_batch", "max_wait_us",
        "deadline_us", "capacity", "threads", "k", "n", "queries",
-       "device_batch", "shards", "distance", "tenants"}));
+       "device_batch", "shards", "distance", "tenants", "metrics_port",
+       "linger_ms", "event_sample", "event_seed"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 64));
@@ -210,6 +244,30 @@ int RunLive(const FlagParser& flags) {
                                         engine, serve_options);
   PIMINE_CHECK(server.ok()) << server.status().ToString();
   PIMINE_CHECK_OK((*server)->Start());
+
+  // Optional live telemetry endpoint: handlers snapshot server state, so
+  // mounting it cannot change what is served (DESIGN.md section 11).
+  std::unique_ptr<obs::ExpositionServer> exposition;
+  if (flags.GetInt("metrics_port", -1) >= 0) {
+    serve::PimServer* s = server->get();
+    std::vector<obs::HttpRoute> routes;
+    routes.push_back({"/metrics", "text/plain; version=0.0.4; charset=utf-8",
+                      [s] { return s->MetricsText(); }});
+    routes.push_back({"/healthz", "text/plain; charset=utf-8",
+                      [] { return std::string("ok\n"); }});
+    routes.push_back({"/timeseries.json", "application/json",
+                      [s] { return s->TimeSeriesJson(); }});
+    routes.push_back({"/events.jsonl", "application/jsonl",
+                      [s] { return s->EventsJsonl(); }});
+    auto started = obs::ExpositionServer::Start(
+        static_cast<int>(flags.GetInt("metrics_port", -1)),
+        std::move(routes));
+    PIMINE_CHECK(started.ok()) << started.status().ToString();
+    exposition = std::move(*started);
+    std::cout << "telemetry: http://127.0.0.1:" << exposition->port()
+              << "/metrics\n"
+              << std::flush;
+  }
 
   std::vector<std::thread> client_threads;
   std::vector<uint64_t> ok_counts(clients, 0);
@@ -230,7 +288,15 @@ int RunLive(const FlagParser& flags) {
     });
   }
   for (std::thread& t : client_threads) t.join();
+  // Keep the server (and the telemetry endpoint) mounted so an external
+  // scraper can read the complete end-of-run state before shutdown.
+  const int64_t linger_ms = flags.GetInt("linger_ms", 0);
+  if (linger_ms > 0) {
+    std::cout << "lingering " << linger_ms << " ms\n" << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   (*server)->Stop();
+  if (exposition != nullptr) exposition->Stop();
 
   const serve::ServeStats stats = (*server)->LiveStats();
   std::cout << "live on " << workload.spec.name << ": " << clients
