@@ -17,7 +17,16 @@
 // RunQueryBatch overload vs the reuse overload the scheduler uses
 // (QueryHandleBatch + QueryScratch hoisted across dispatches).
 //
-//   bench_serve [n] [requests]     (defaults 1536, 384)
+//   bench_serve [--chaos] [n] [requests]     (defaults 1536, 384)
+//
+// --chaos additionally runs the replica-failover sweep: the same trace
+// replayed against a shards=4 x replicas=2 fleet under a seeded schedule
+// of device deaths (deaths in {0, 1, 2, 4}), with two weighted tenants
+// (gold:4, free:1) and degraded-mode shedding armed. Each row reports the
+// FailoverStats of the run (injected/recovered/shed must balance) and
+// lands in a "chaos_sweep" array of the JSON document; the deaths=0 row is
+// checked bit-identical to a chaos-free fleet and the heaviest row is
+// re-replayed at 4 scheduler threads to pin failover determinism.
 //
 // Emits one "pimine.bench.serve.v1" JSON document to stdout and
 // BENCH_serve.json, validated by tools/bench_diff.py. Includes a built-in
@@ -29,6 +38,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.h"
@@ -92,9 +102,19 @@ double DispatchLoopMs(const ShardedPimEngine& engine,
 }
 
 int Main(int argc, char** argv) {
-  const int64_t n = argc > 1 ? std::atoll(argv[1]) : 1536;
-  const size_t requests = argc > 2 ? static_cast<size_t>(std::atoll(argv[2]))
-                                   : 384;
+  bool chaos_mode = false;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--chaos") {
+      chaos_mode = true;
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+  const int64_t n = !positional.empty() ? std::atoll(positional[0]) : 1536;
+  const size_t requests =
+      positional.size() > 1 ? static_cast<size_t>(std::atoll(positional[1]))
+                            : 384;
   const BenchWorkload workload = LoadWorkload("MSD", n, 48);
 
   // Full crossbar budget: kAuto keeps MSD (d=420 > crossbar_dim) in direct
@@ -221,6 +241,134 @@ int Main(int argc, char** argv) {
         << "replay diverged across scheduler thread counts";
   }
 
+  // Replica-failover chaos sweep (--chaos): a shards=4 x replicas=2 fleet
+  // replays one saturating two-tenant trace under a seeded schedule of
+  // device deaths. deaths=0 must be bit-identical to the chaos-free fleet;
+  // every row's FailoverStats must balance (injected == recovered + shed);
+  // the heaviest row must be thread-count invariant.
+  std::ostringstream chaos_json;
+  if (chaos_mode) {
+    constexpr int kChaosShards = 4;
+    constexpr int kChaosReplicas = 2;
+    EngineOptions fleet_options = engine_options;
+    fleet_options.shard.shards = kChaosShards;
+    fleet_options.shard.replicas = kChaosReplicas;
+
+    serve::ServeOptions serve_base = MakeServeOptions(1);
+    serve_base.tenants = {{"gold", 4}, {"free", 1}};
+
+    serve::WorkloadSpec spec;
+    spec.num_requests = requests;
+    spec.offered_qps = 2.0 * base_qps;
+    spec.tenant_share = {0.5, 0.5};
+    spec.num_query_rows = static_cast<uint32_t>(workload.queries.rows());
+    spec.seed = kBenchSeed + 99;
+    auto trace = serve::GeneratePoissonTrace(spec);
+    PIMINE_CHECK(trace.ok()) << trace.status().ToString();
+
+    // Fault-free reference on the same replicated geometry.
+    auto clean_server = serve::PimServer::Build(
+        workload.data, Distance::kEuclidean, fleet_options, serve_base);
+    PIMINE_CHECK(clean_server.ok()) << clean_server.status().ToString();
+    const serve::ReplayOutput clean =
+        MustReplay(**clean_server, *trace, workload.queries);
+
+    Banner("Chaos: seeded device deaths vs replica failover (shards=" +
+           std::to_string(kChaosShards) + ", replicas=" +
+           std::to_string(kChaosReplicas) + ")");
+    TablePrinter chaos_table({"deaths", "served", "shed q", "degraded",
+                              "injected", "recovered", "shed ops", "slack",
+                              "backoff ns", "balanced"});
+
+    const std::vector<int> deaths_sweep = {0, 1, 2, 4};
+    for (size_t ci = 0; ci < deaths_sweep.size(); ++ci) {
+      const int deaths = deaths_sweep[ci];
+      serve::ServeOptions opts = serve_base;
+      opts.chaos.device_deaths = deaths;
+      opts.chaos.horizon_ns = 100'000;  // Deaths land mid-trace.
+      opts.chaos.seed = kBenchSeed;
+      opts.degrade_watermark = 0.75;  // One dead replica of two trips it.
+      auto srv = serve::PimServer::Build(workload.data, Distance::kEuclidean,
+                                         fleet_options, opts);
+      PIMINE_CHECK(srv.ok()) << srv.status().ToString();
+      Timer timer;
+      const serve::ReplayOutput output =
+          MustReplay(**srv, *trace, workload.queries);
+      const double wall_ms = timer.ElapsedMillis();
+      const FailoverStats fo = (*srv)->engine().FleetStats().failover;
+      PIMINE_CHECK(fo.Balanced()) << "failover imbalance at deaths=" << deaths
+                                  << ": " << fo.ToString();
+
+      if (deaths == 0) {
+        // chaos.enabled() is false: the run must be byte-for-byte the
+        // chaos-free fleet (the "chaos off => pre-chaos server" invariant).
+        PIMINE_CHECK(output.results.size() == clean.results.size());
+        for (size_t i = 0; i < output.results.size(); ++i) {
+          PIMINE_CHECK(output.results[i].neighbors ==
+                       clean.results[i].neighbors)
+              << "deaths=0 diverged from the chaos-free fleet at query " << i;
+        }
+        PIMINE_CHECK(!fo.Any()) << "deaths=0 recorded failover activity";
+      } else if (ci + 1 == deaths_sweep.size()) {
+        // Heaviest row: the seeded schedule must keep results and failover
+        // accounting bit-identical across scheduler thread counts.
+        serve::ServeOptions opts4 = opts;
+        opts4.scheduler_threads = 4;
+        auto srv4 = serve::PimServer::Build(
+            workload.data, Distance::kEuclidean, fleet_options, opts4);
+        PIMINE_CHECK(srv4.ok()) << srv4.status().ToString();
+        const serve::ReplayOutput out4 =
+            MustReplay(**srv4, *trace, workload.queries);
+        PIMINE_CHECK(out4.results.size() == output.results.size());
+        for (size_t i = 0; i < output.results.size(); ++i) {
+          PIMINE_CHECK(out4.results[i].status.ok() ==
+                           output.results[i].status.ok() &&
+                       out4.results[i].neighbors ==
+                           output.results[i].neighbors)
+              << "chaos replay diverged across thread counts at query " << i;
+        }
+        // The balance counters are interleaving-invariant; backoff/retry
+        // charges are not (WHICH dispatch pays depends on when the strike
+        // state lands — a timing-model artifact, never a results one).
+        const FailoverStats fo4 = (*srv4)->engine().FleetStats().failover;
+        PIMINE_CHECK(fo4.injected == fo.injected &&
+                     fo4.recovered == fo.recovered && fo4.shed == fo.shed)
+            << "failover balance diverged across thread counts: "
+            << fo.ToString() << " vs " << fo4.ToString();
+      }
+
+      const serve::ServeStats& stats = output.stats;
+      chaos_table.AddRow({std::to_string(deaths), std::to_string(stats.served),
+                          std::to_string(stats.shed_queries),
+                          std::to_string(stats.degraded_batches),
+                          std::to_string(fo.injected),
+                          std::to_string(fo.recovered),
+                          std::to_string(fo.shed),
+                          std::to_string(fo.slack_fills),
+                          std::to_string(fo.backoff_ns),
+                          fo.Balanced() ? "yes" : "NO"});
+
+      chaos_json << (ci == 0 ? "" : ",\n")
+                 << "    {\"deaths\": " << deaths
+                 << ", \"shards\": " << kChaosShards
+                 << ", \"replicas\": " << kChaosReplicas
+                 << ", \"served\": " << stats.served
+                 << ", \"shed_queries\": " << stats.shed_queries
+                 << ", \"degraded_dispatches\": " << stats.degraded_batches
+                 << ", \"injected\": " << fo.injected
+                 << ", \"recovered\": " << fo.recovered
+                 << ", \"shed_ops\": " << fo.shed
+                 << ", \"attempts_failed\": " << fo.attempts_failed
+                 << ", \"slack_fills\": " << fo.slack_fills
+                 << ", \"retry_messages\": " << fo.retry_messages
+                 << ", \"backoff_ns\": " << fo.backoff_ns
+                 << ", \"failover_ns\": " << Fmt(fo.failover_ns, 0)
+                 << ", \"balanced\": " << (fo.Balanced() ? "true" : "false")
+                 << ", \"wall_ms\": " << Fmt(wall_ms, 4) << "}";
+    }
+    chaos_table.Print();
+  }
+
   // Satellite measurement: the scheduler's hoisted-scratch dispatch path
   // vs allocating a fresh handle per dispatch.
   const int dispatch_iters = 24;
@@ -258,8 +406,11 @@ int Main(int argc, char** argv) {
        << "  \"dispatch_reuse_ms\": " << Fmt(reuse_ms, 4) << ",\n"
        << "  \"identical_across_threads\": "
        << (identical_across_threads ? "true" : "false") << ",\n"
-       << "  \"sweep\": [\n" << sweep_json.str() << "\n  ],\n"
-       << "  \"note\": \"modeled_queries_per_s = served/makespan on the "
+       << "  \"sweep\": [\n" << sweep_json.str() << "\n  ],\n";
+  if (chaos_mode) {
+    json << "  \"chaos_sweep\": [\n" << chaos_json.str() << "\n  ],\n";
+  }
+  json << "  \"note\": \"modeled_queries_per_s = served/makespan on the "
           "virtual clock; it rises with offered load because direct-ED "
           "operands (d > crossbar_dim) pipeline with stages > 1, so "
           "coalescing amortizes stage_ns*(stages+Q-1). Segment-mode "

@@ -472,6 +472,31 @@ Status PimEngine::HostRecomputeBatch(const QueryScratch& scratch,
   return Status::OK();
 }
 
+Status PimEngine::SlackFillBatch(size_t num_queries,
+                                 QueryHandleBatch* batch) const {
+  if (batch == nullptr) {
+    return Status::InvalidArgument(
+        "SlackFillBatch requires a non-null batch handle");
+  }
+  if (num_queries == 0) {
+    return Status::InvalidArgument(
+        "empty query batch: SlackFillBatch requires num_queries >= 1");
+  }
+  batch->num_queries = num_queries;
+  batch->stride = num_objects_;
+  const size_t total = num_queries * num_objects_;
+  batch->dots1.assign(total, 0);
+  batch->suspect1.assign(total, 1);
+  if (mode_ == EngineMode::kSegmentFnn) {
+    batch->dots2.assign(total, 0);
+    batch->suspect2.assign(total, 1);
+  } else {
+    batch->dots2.clear();
+    batch->suspect2.clear();
+  }
+  return Status::OK();
+}
+
 Result<PimEngine::QueryHandleBatch> PimEngine::RunQueryBatch(
     std::span<const float> queries, size_t num_queries,
     QueryScratch* scratch) const {

@@ -199,6 +199,15 @@ class PimEngine {
   Status HostRecomputeBatch(const QueryScratch& scratch, size_t num_queries,
                             QueryHandleBatch* batch) const;
 
+  /// Degraded-mode substitute for DeviceBatch when no device path is
+  /// reachable and the policy is to shed rather than stall: fills the
+  /// batch with every result flagged suspect, so BoundFor returns the
+  /// trivial admissible bound (0 for the ED family, 1 for CS/PCC) and the
+  /// host refine stage still produces exact results — at host-exact cost
+  /// for this engine's candidates (exact-after-refine, never wrong). No
+  /// device or transfer accounting is charged: nothing moved.
+  Status SlackFillBatch(size_t num_queries, QueryHandleBatch* batch) const;
+
   /// Lazy combine for object `index`: O(1) host work, 3*b bits of transfer.
   double BoundFor(const QueryHandle& handle, size_t index) const;
 

@@ -1,7 +1,9 @@
 #include "core/sharded_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -21,6 +23,21 @@ uint64_t ShardSeedSalt(uint64_t j) {
   return x ^ (x >> 31);
 }
 
+/// Decorrelates replica r of shard j from the primary: each copy is its
+/// own physical device with its own fault pattern. Replica 0 never gets a
+/// replica salt, so the primary's build (and with it every no-fault run)
+/// is bit-identical to a replicas == 1 fleet.
+uint64_t ReplicaSeedSalt(uint64_t j, uint64_t r) {
+  return ShardSeedSalt(0x5eed0000ULL + j * ShardOptions::kMaxReplicas + r);
+}
+
+/// Token feeding the seeded backoff jitter: a pure mix of the dispatch
+/// instant and the shard, so concurrent ladders of the same dispatch draw
+/// identical waits regardless of thread interleaving.
+uint64_t BackoffToken(uint64_t now_ns, uint64_t shard) {
+  return ShardSeedSalt(now_ns ^ ShardSeedSalt(shard));
+}
+
 ShardMap TrivialShardMap(size_t n) {
   ShardMap map;
   map.rows_per_shard.resize(1);
@@ -31,6 +48,33 @@ ShardMap TrivialShardMap(size_t n) {
   return map;
 }
 
+/// Assembles a FailoverStats snapshot from a shard's atomic counters; the
+/// ns figure is derived from the integer counters at snapshot time (same
+/// linear TransferLatencyNs formula as the scatter/gather classes), so it
+/// is identical for every charge interleaving.
+template <typename Counters>
+FailoverStats LoadFailover(const Counters& ctr, const PimConfig& c) {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  FailoverStats f;
+  f.injected = ctr.fo_injected.load(kRelaxed);
+  f.recovered = ctr.fo_recovered.load(kRelaxed);
+  f.shed = ctr.fo_shed.load(kRelaxed);
+  f.attempts_failed = ctr.fo_attempts_failed.load(kRelaxed);
+  f.chaos_denied = ctr.fo_chaos_denied.load(kRelaxed);
+  f.device_faults = ctr.fo_device_faults.load(kRelaxed);
+  f.strikes = ctr.fo_strikes.load(kRelaxed);
+  f.struck_out = ctr.fo_struck_out.load(kRelaxed);
+  f.slack_fills = ctr.fo_slack_fills.load(kRelaxed);
+  f.retry_messages = ctr.fo_retry_messages.load(kRelaxed);
+  f.retry_bytes = ctr.fo_retry_bytes.load(kRelaxed);
+  f.backoff_ns = ctr.fo_backoff_ns.load(kRelaxed);
+  f.failover_ns =
+      static_cast<double>(f.retry_messages) * c.interconnect_hop_ns +
+      static_cast<double>(f.retry_bytes) / c.interconnect_gbps +
+      static_cast<double>(f.backoff_ns);
+  return f;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ShardedPimEngine>> ShardedPimEngine::Build(
@@ -38,15 +82,36 @@ Result<std::unique_ptr<ShardedPimEngine>> ShardedPimEngine::Build(
   auto fleet = std::unique_ptr<ShardedPimEngine>(new ShardedPimEngine());
   fleet->options_ = options;
   fleet->num_objects_ = data.rows();
+  PIMINE_RETURN_IF_ERROR(options.shard.ValidateReplication());
+  const int num_replicas = options.shard.replicas;
+
+  // Programs replicas 1..R-1 of one shard: each copy is a full build of
+  // the same shard data with a decorrelated fault seed (its own physical
+  // device), charging its own offline programming pass.
+  const auto add_replicas = [&](size_t j, const FloatMatrix& shard_data,
+                                const EngineOptions& primary_options)
+      -> Status {
+    for (int r = 1; r < num_replicas; ++r) {
+      EngineOptions er = primary_options;
+      er.fault_config.seed ^= ReplicaSeedSalt(j, static_cast<uint64_t>(r));
+      PIMINE_ASSIGN_OR_RETURN(std::unique_ptr<PimEngine> replica,
+                              PimEngine::Build(shard_data, distance, er));
+      fleet->engines_[j].push_back(std::move(replica));
+    }
+    return Status::OK();
+  };
 
   if (options.shard.shards == 1) {
     // Single device: exactly a PimEngine (same errors, stats and traces).
     PIMINE_ASSIGN_OR_RETURN(std::unique_ptr<PimEngine> engine,
                             PimEngine::Build(data, distance, options));
     fleet->plan_ = engine->plan();
-    fleet->engines_.push_back(std::move(engine));
+    fleet->engines_.emplace_back();
+    fleet->engines_[0].push_back(std::move(engine));
+    PIMINE_RETURN_IF_ERROR(add_replicas(0, data, options));
     fleet->map_ = TrivialShardMap(data.rows());
     fleet->shard_counters_.push_back(std::make_unique<ShardCounters>());
+    fleet->InitReplicaState();
     return fleet;
   }
 
@@ -136,14 +201,27 @@ Result<std::unique_ptr<ShardedPimEngine>> ShardedPimEngine::Build(
     }
     EngineOptions ej = shard_options;
     if (j > 0) ej.fault_config.seed ^= ShardSeedSalt(j);
-    PIMINE_ASSIGN_OR_RETURN(fleet->engines_[j],
+    PIMINE_ASSIGN_OR_RETURN(std::unique_ptr<PimEngine> primary,
                             PimEngine::Build(shard_data, distance, ej));
+    fleet->engines_[j].push_back(std::move(primary));
+    PIMINE_RETURN_IF_ERROR(add_replicas(j, shard_data, ej));
   }
   fleet->shard_counters_.reserve(fleet->engines_.size());
   for (size_t j = 0; j < fleet->engines_.size(); ++j) {
     fleet->shard_counters_.push_back(std::make_unique<ShardCounters>());
   }
+  fleet->InitReplicaState();
   return fleet;
+}
+
+void ShardedPimEngine::InitReplicaState() {
+  replica_state_.resize(engines_.size());
+  for (size_t j = 0; j < engines_.size(); ++j) {
+    replica_state_[j].clear();
+    for (size_t r = 0; r < engines_[j].size(); ++r) {
+      replica_state_[j].push_back(std::make_unique<ReplicaState>());
+    }
+  }
 }
 
 Result<ShardedPimEngine::QueryHandleBatch> ShardedPimEngine::RunQueryBatch(
@@ -164,6 +242,15 @@ Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
                                        size_t num_queries,
                                        QueryScratch* scratch,
                                        QueryHandleBatch* result) const {
+  return RunQueryBatch(queries, num_queries, scratch, result,
+                       DispatchOptions());
+}
+
+Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
+                                       size_t num_queries,
+                                       QueryScratch* scratch,
+                                       QueryHandleBatch* result,
+                                       const DispatchOptions& dispatch) const {
   if (result == nullptr) {
     return Status::InvalidArgument(
         "RunQueryBatch requires a non-null batch handle");
@@ -183,13 +270,14 @@ Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
   // the prepared operands serve the whole fleet and the host traffic stays
   // identical to the single-device run.
   PIMINE_RETURN_IF_ERROR(
-      engines_[0]->PrepareBatch(queries, num_queries, scratch,
-                                &out.shards[0]));
-  if (engines_.size() == 1) {
-    return engines_[0]->DeviceBatch(*scratch, num_queries, &out.shards[0]);
+      primary(0).PrepareBatch(queries, num_queries, scratch, &out.shards[0]));
+  const size_t m = engines_.size();
+  if (m == 1 && engines_[0].size() == 1 && chaos_ == nullptr) {
+    // Single device, no replicas, no chaos plane: the pre-replica path,
+    // bit-identical (per-query spans included).
+    return primary(0).DeviceBatch(*scratch, num_queries, &out.shards[0]);
   }
 
-  const size_t m = engines_.size();
   for (size_t j = 1; j < m; ++j) {
     PimEngine::QueryHandleBatch& h = out.shards[j];
     h.num_queries = num_queries;
@@ -200,33 +288,24 @@ Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
   }
 
   // Scatter: every shard matches the same prepared operands against its
-  // rows. Per-query trace spans are suppressed in the per-shard calls and
-  // emitted once below — the shards run concurrently, so the fleet's
-  // serial-equivalent per-query device time is one pass, not M.
+  // rows, walking its replica ladder on a fault. Per-query trace spans are
+  // suppressed in the per-shard calls when M > 1 and emitted once below —
+  // the shards run concurrently, so the fleet's serial-equivalent
+  // per-query device time is one pass, not M.
+  const bool multi = m > 1;
   std::vector<Status> status(m, Status::OK());
   ParallelChunks(fanout_policy_, m, 1,
                  [&](size_t begin, size_t end, size_t /*slot*/) {
                    for (size_t j = begin; j < end; ++j) {
-                     status[j] = engines_[j]->DeviceBatch(
-                         *scratch, num_queries, &out.shards[j],
-                         /*emit_query_spans=*/false);
+                     status[j] = DeviceBatchWithFailover(
+                         j, *scratch, num_queries, &out.shards[j], dispatch,
+                         /*emit_query_spans=*/!multi);
                    }
                  });
   for (size_t j = 0; j < m; ++j) {
-    if (status[j].ok()) continue;
-    if (status[j].code() == StatusCode::kDeviceFault &&
-        options_.shard.failover) {
-      // Per-shard fail-over: the faulted shard escalates to a host-exact
-      // recompute of only its rows; healthy shards keep their results.
-      PIMINE_RETURN_IF_ERROR(engines_[j]->HostRecomputeBatch(
-          *scratch, num_queries, &out.shards[j]));
-      shard_counters_[j]->failovers.fetch_add(1, std::memory_order_relaxed);
-      shard_counters_[j]->failed_over_queries.fetch_add(
-          num_queries, std::memory_order_relaxed);
-      continue;
-    }
-    return status[j];
+    PIMINE_RETURN_IF_ERROR(status[j]);
   }
+  if (!multi) return Status::OK();
 
   // Interconnect accounting: one broadcast message per shard per device
   // matrix carrying the batch operands, one gather message per shard per
@@ -253,9 +332,9 @@ Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
   // One serial-equivalent set of per-query device spans, identical to the
   // single-device trace (pass latency is row-count independent).
   if (obs::Obs* const o = obs::Obs::Get()) {
-    const double dot_ns = engines_[0]->device1().SerialDotNsPerQuery();
+    const double dot_ns = primary(0).device1().SerialDotNsPerQuery();
     const double dot2_ns =
-        with_stds ? engines_[0]->device2()->SerialDotNsPerQuery() : 0.0;
+        with_stds ? primary(0).device2()->SerialDotNsPerQuery() : 0.0;
     for (size_t q = 0; q < num_queries; ++q) {
       const int64_t track = obs::TrackFor(static_cast<int64_t>(q));
       o->trace().Complete("engine", "pim_dot", track, dot_ns);
@@ -267,48 +346,313 @@ Status ShardedPimEngine::RunQueryBatch(std::span<const float> queries,
   return Status::OK();
 }
 
+Status ShardedPimEngine::DeviceBatchWithFailover(
+    size_t j, const QueryScratch& scratch, size_t num_queries,
+    PimEngine::QueryHandleBatch* handle, const DispatchOptions& dispatch,
+    bool emit_query_spans) const {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  ShardCounters& ctr = *shard_counters_[j];
+  const int num_replicas = static_cast<int>(engines_[j].size());
+  const bool multi_replica = num_replicas > 1;
+  const uint64_t now_ns = dispatch.now_ns != 0
+                              ? dispatch.now_ns
+                              : chaos_now_ns_.load(kRelaxed);
+  const uint64_t matrices = mode() == EngineMode::kSegmentFnn ? 2 : 1;
+  const uint64_t retry_bytes = RetryOperandBytes(num_queries);
+  const bool chaos_on = chaos_ != nullptr && chaos_->enabled();
+
+  // Consecutive-failure strike bookkeeping is meaningful only when there
+  // is somewhere to fail over to: with one replica the legacy semantics
+  // (attempt the device, escalate on a fault) are preserved untouched.
+  const auto strike = [&](ReplicaState& rs) {
+    if (!multi_replica) return;
+    ctr.fo_strikes.fetch_add(1, kRelaxed);
+    const uint32_t strikes =
+        rs.strikes.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (strikes >= static_cast<uint32_t>(options_.shard.max_strikes) &&
+        !rs.out.exchange(true, std::memory_order_acq_rel)) {
+      ctr.fo_struck_out.fetch_add(1, kRelaxed);
+    }
+  };
+
+  int failed = 0;
+  uint64_t backoff_total = 0;
+  bool skipped_out = false;
+  bool deadline_shed = false;
+  std::string last_fault;
+  for (int r = 0; r < num_replicas; ++r) {
+    ReplicaState& rs = *replica_state_[j][r];
+    if (rs.out.load(std::memory_order_acquire)) {
+      skipped_out = true;
+      continue;
+    }
+    if (failed > 0) {
+      // Retry transition: seeded exponential backoff, then re-scatter the
+      // operands to the new replica. The deadline is checked BEFORE the
+      // wait is charged — an op that cannot afford the next rung sheds
+      // immediately rather than burning budget it does not have.
+      const uint64_t wait = FailoverBackoffNs(
+          options_.shard.backoff_base_ns, options_.shard.backoff_jitter_ns,
+          options_.shard.backoff_seed, BackoffToken(now_ns, j), failed);
+      if (dispatch.deadline_ns != 0 &&
+          backoff_total + wait > dispatch.deadline_ns) {
+        deadline_shed = true;
+        break;
+      }
+      backoff_total += wait;
+      ctr.fo_backoff_ns.fetch_add(wait, kRelaxed);
+      ctr.fo_retry_messages.fetch_add(matrices, kRelaxed);
+      ctr.fo_retry_bytes.fetch_add(retry_bytes, kRelaxed);
+    }
+    if (chaos_on &&
+        (chaos_->LinkDown(static_cast<uint32_t>(j), now_ns) ||
+         chaos_->ReplicaDown(static_cast<uint32_t>(j),
+                             static_cast<uint32_t>(r), now_ns))) {
+      // The chaos schedule denies this attempt outright: the replica (or
+      // the shard's interconnect) is unavailable at the dispatch instant.
+      ++failed;
+      ctr.fo_attempts_failed.fetch_add(1, kRelaxed);
+      ctr.fo_chaos_denied.fetch_add(1, kRelaxed);
+      strike(rs);
+      continue;
+    }
+    const Status s = engines_[j][r]->DeviceBatch(scratch, num_queries, handle,
+                                                 emit_query_spans);
+    if (s.ok()) {
+      rs.strikes.store(0, kRelaxed);
+      ctr.serving_replica.store(static_cast<uint32_t>(r), kRelaxed);
+      ctr.slack_mode.store(false, kRelaxed);
+      if (failed > 0 || skipped_out) {
+        ctr.fo_injected.fetch_add(1, kRelaxed);
+        ctr.fo_recovered.fetch_add(1, kRelaxed);
+      }
+      return Status::OK();
+    }
+    if (s.code() != StatusCode::kDeviceFault) return s;
+    ++failed;
+    ctr.fo_attempts_failed.fetch_add(1, kRelaxed);
+    ctr.fo_device_faults.fetch_add(1, kRelaxed);
+    strike(rs);
+    last_fault = "replica " + std::to_string(r) + ": " + s.message();
+  }
+
+  // Every replica exhausted (struck out, denied, faulted, or priced out by
+  // the ladder deadline): the op loses its device path.
+  ctr.fo_injected.fetch_add(1, kRelaxed);
+  ctr.fo_shed.fetch_add(1, kRelaxed);
+  if (!options_.shard.failover) {
+    // No escalation configured: the shed op propagates as a DeviceFault
+    // carrying its provenance — shard index, replica ids walked, and a
+    // deterministic op nonce (hash of the dispatch instant and shard, the
+    // same token that seeds the ladder's backoff jitter) so one failing op
+    // can be correlated across logs, retries and replays.
+    char nonce[20];
+    std::snprintf(nonce, sizeof(nonce), "%016llx",
+                  static_cast<unsigned long long>(
+                      BackoffToken(now_ns, j) ^ num_queries));
+    return Status::DeviceFault(
+        "shard " + std::to_string(j) + " (op " + nonce + "): all " +
+        std::to_string(num_replicas) + " replica(s) exhausted" +
+        (deadline_shed ? " (ladder deadline exceeded)" : "") +
+        (last_fault.empty() ? "" : "; last fault at " + last_fault));
+  }
+  if (dispatch.slack_on_exhaustion) {
+    // Degraded mode: serve the shard as a bound-slack fill — every bound
+    // is the admissible trivial bound, so results stay exact after refine
+    // while the shard sheds its modeled device work.
+    PIMINE_RETURN_IF_ERROR(primary(j).SlackFillBatch(num_queries, handle));
+    ctr.fo_slack_fills.fetch_add(1, kRelaxed);
+    ctr.slack_mode.store(true, kRelaxed);
+  } else {
+    PIMINE_RETURN_IF_ERROR(
+        primary(j).HostRecomputeBatch(scratch, num_queries, handle));
+    ctr.slack_mode.store(false, kRelaxed);
+  }
+  ctr.serving_replica.store(static_cast<uint32_t>(num_replicas), kRelaxed);
+  ctr.failovers.fetch_add(1, std::memory_order_relaxed);
+  ctr.failed_over_queries.fetch_add(num_queries, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ShardedPimEngine::FailoverPlan ShardedPimEngine::PlanFailover(
+    size_t j, size_t num_queries, const DispatchOptions& dispatch) const {
+  FailoverPlan plan;
+  if (chaos_ == nullptr || !chaos_->enabled()) return plan;
+  PIMINE_DCHECK(j < engines_.size());
+  const int num_replicas = static_cast<int>(engines_[j].size());
+  const uint64_t now_ns = dispatch.now_ns != 0
+                              ? dispatch.now_ns
+                              : chaos_now_ns_.load(std::memory_order_relaxed);
+  const PimConfig& c = primary(0).device1().config();
+  const uint64_t matrices = mode() == EngineMode::kSegmentFnn ? 2 : 1;
+  const uint64_t retry_bytes = RetryOperandBytes(num_queries);
+  const double retry_ns =
+      static_cast<double>(matrices) * c.interconnect_hop_ns +
+      static_cast<double>(retry_bytes) / c.interconnect_gbps;
+
+  int failed = 0;
+  uint64_t backoff_total = 0;
+  double extra = 0.0;
+  for (int r = 0; r < num_replicas; ++r) {
+    if (failed > 0) {
+      const uint64_t wait = FailoverBackoffNs(
+          options_.shard.backoff_base_ns, options_.shard.backoff_jitter_ns,
+          options_.shard.backoff_seed, BackoffToken(now_ns, j), failed);
+      if (dispatch.deadline_ns != 0 &&
+          backoff_total + wait > dispatch.deadline_ns) {
+        break;
+      }
+      backoff_total += wait;
+      extra += static_cast<double>(wait) + retry_ns;
+    }
+    if (chaos_->LinkDown(static_cast<uint32_t>(j), now_ns) ||
+        chaos_->ReplicaDown(static_cast<uint32_t>(j),
+                            static_cast<uint32_t>(r), now_ns)) {
+      ++failed;
+      continue;
+    }
+    plan.serving_replica = r;
+    plan.failed_attempts = failed;
+    plan.backoff_ns = backoff_total;
+    plan.extra_ns = extra;
+    return plan;
+  }
+  plan.serving_replica = -1;
+  plan.shed = true;
+  plan.failed_attempts = failed;
+  plan.backoff_ns = backoff_total;
+  plan.extra_ns = extra;
+  return plan;
+}
+
+uint64_t ShardedPimEngine::RetryOperandBytes(size_t num_queries) const {
+  const PimEngine& e = primary(0);
+  // Mirrors the operand width PrepareBatch quantizes into the scratch
+  // buffers: segment-family engines carry one int per segment per query,
+  // direct engines one per dimension, and the FNN bound carries a second
+  // matrix of the same width.
+  const uint64_t width = e.num_segments() > 0
+                             ? static_cast<uint64_t>(e.num_segments())
+                             : static_cast<uint64_t>(e.dims());
+  uint64_t ints = width * static_cast<uint64_t>(num_queries);
+  if (e.mode() == EngineMode::kSegmentFnn) ints *= 2;
+  return ints * sizeof(int32_t);
+}
+
 double ShardedPimEngine::BoundFor(const QueryHandleBatch& batch, size_t query,
                                   size_t index) const {
   PIMINE_DCHECK(index < num_objects_);
   if (engines_.size() == 1) {
-    return engines_[0]->BoundFor(batch.shards[0], query, index);
+    return primary(0).BoundFor(batch.shards[0], query, index);
   }
   const uint32_t j = map_.shard_of[index];
-  return engines_[j]->BoundFor(batch.shards[j], query, map_.local_of[index]);
+  return primary(j).BoundFor(batch.shards[j], query, map_.local_of[index]);
+}
+
+int ShardedPimEngine::serving_replica(size_t j) const {
+  PIMINE_DCHECK(j < shard_counters_.size());
+  return static_cast<int>(
+      shard_counters_[j]->serving_replica.load(std::memory_order_relaxed));
+}
+
+bool ShardedPimEngine::shard_slack_mode(size_t j) const {
+  PIMINE_DCHECK(j < shard_counters_.size());
+  return shard_counters_[j]->slack_mode.load(std::memory_order_relaxed);
+}
+
+int ShardedPimEngine::replica_strikes(size_t j, size_t r) const {
+  PIMINE_DCHECK(j < replica_state_.size());
+  PIMINE_DCHECK(r < replica_state_[j].size());
+  return static_cast<int>(
+      replica_state_[j][r]->strikes.load(std::memory_order_relaxed));
+}
+
+bool ShardedPimEngine::replica_out(size_t j, size_t r) const {
+  PIMINE_DCHECK(j < replica_state_.size());
+  PIMINE_DCHECK(r < replica_state_[j].size());
+  return replica_state_[j][r]->out.load(std::memory_order_acquire);
+}
+
+bool ShardedPimEngine::shard_degraded(size_t j) const {
+  if (serving_replica(j) != 0 || shard_slack_mode(j)) return true;
+  for (size_t r = 0; r < replica_state_[j].size(); ++r) {
+    if (replica_out(j, r)) return true;
+  }
+  return false;
+}
+
+int ShardedPimEngine::DegradedShards() const {
+  int degraded = 0;
+  for (size_t j = 0; j < engines_.size(); ++j) {
+    if (shard_degraded(j)) ++degraded;
+  }
+  return degraded;
+}
+
+void ShardedPimEngine::ResetReplicaHealth() {
+  for (const auto& shard : replica_state_) {
+    for (const auto& rs : shard) {
+      rs->strikes.store(0, std::memory_order_relaxed);
+      rs->out.store(false, std::memory_order_release);
+    }
+  }
 }
 
 double ShardedPimEngine::PimComputeNs() const {
+  // A shard's replicas serve it one at a time (failed attempts serialize
+  // with the eventual success), so a shard's figure is the sum over its
+  // replicas; the shards run concurrently, so the fleet figure is the max
+  // over shards. Clean runs charge only the primary — identical to the
+  // pre-replica fleet.
   double ns = 0.0;
-  for (const auto& e : engines_) ns = std::max(ns, e->PimComputeNs());
+  for (const auto& shard : engines_) {
+    double shard_ns = 0.0;
+    for (const auto& e : shard) shard_ns += e->PimComputeNs();
+    ns = std::max(ns, shard_ns);
+  }
   return ns;
 }
 
 double ShardedPimEngine::PimPipelinedNs() const {
   double ns = 0.0;
-  for (const auto& e : engines_) ns = std::max(ns, e->PimPipelinedNs());
+  for (const auto& shard : engines_) {
+    double shard_ns = 0.0;
+    for (const auto& e : shard) shard_ns += e->PimPipelinedNs();
+    ns = std::max(ns, shard_ns);
+  }
   return ns;
 }
 
 FaultStats ShardedPimEngine::FaultStatsTotal() const {
   FaultStats total;
-  for (const auto& e : engines_) total.Merge(e->FaultStatsTotal());
+  for (const auto& shard : engines_) {
+    for (const auto& e : shard) total.Merge(e->FaultStatsTotal());
+  }
   return total;
 }
 
 double ShardedPimEngine::OfflineNs() const {
+  // Every copy (shard x replica) programs concurrently: max over all.
   double ns = 0.0;
-  for (const auto& e : engines_) ns = std::max(ns, e->OfflineNs());
+  for (const auto& shard : engines_) {
+    for (const auto& e : shard) ns = std::max(ns, e->OfflineNs());
+  }
   return ns;
 }
 
 uint64_t ShardedPimEngine::OfflineBytesWritten() const {
+  // Every replica is a physical copy: programming bytes sum over all.
   uint64_t bytes = 0;
-  for (const auto& e : engines_) bytes += e->OfflineBytesWritten();
+  for (const auto& shard : engines_) {
+    for (const auto& e : shard) bytes += e->OfflineBytesWritten();
+  }
   return bytes;
 }
 
 void ShardedPimEngine::ResetOnlineStats() {
-  for (const auto& e : engines_) e->ResetOnlineStats();
+  for (const auto& shard : engines_) {
+    for (const auto& e : shard) e->ResetOnlineStats();
+  }
   for (const auto& ctr : shard_counters_) {
     ctr->scatter_messages.store(0, std::memory_order_relaxed);
     ctr->scatter_bytes.store(0, std::memory_order_relaxed);
@@ -316,6 +660,20 @@ void ShardedPimEngine::ResetOnlineStats() {
     ctr->gather_bytes.store(0, std::memory_order_relaxed);
     ctr->failovers.store(0, std::memory_order_relaxed);
     ctr->failed_over_queries.store(0, std::memory_order_relaxed);
+    ctr->fo_injected.store(0, std::memory_order_relaxed);
+    ctr->fo_recovered.store(0, std::memory_order_relaxed);
+    ctr->fo_shed.store(0, std::memory_order_relaxed);
+    ctr->fo_attempts_failed.store(0, std::memory_order_relaxed);
+    ctr->fo_chaos_denied.store(0, std::memory_order_relaxed);
+    ctr->fo_device_faults.store(0, std::memory_order_relaxed);
+    ctr->fo_strikes.store(0, std::memory_order_relaxed);
+    ctr->fo_struck_out.store(0, std::memory_order_relaxed);
+    ctr->fo_slack_fills.store(0, std::memory_order_relaxed);
+    ctr->fo_retry_messages.store(0, std::memory_order_relaxed);
+    ctr->fo_retry_bytes.store(0, std::memory_order_relaxed);
+    ctr->fo_backoff_ns.store(0, std::memory_order_relaxed);
+    ctr->serving_replica.store(0, std::memory_order_relaxed);
+    ctr->slack_mode.store(false, std::memory_order_relaxed);
   }
   reduce_messages_.store(0, std::memory_order_relaxed);
   reduce_bytes_.store(0, std::memory_order_relaxed);
@@ -328,6 +686,7 @@ FleetRunStats ShardedPimEngine::FleetStats() const {
   // Interconnect/failover totals are the exact sums of the per-shard
   // counters (integer addition; identical to the former fleet-level
   // fetch_adds for any charge interleaving).
+  const PimConfig& c = primary(0).device1().config();
   for (const auto& ctr : shard_counters_) {
     s.scatter_messages +=
         ctr->scatter_messages.load(std::memory_order_relaxed);
@@ -338,13 +697,14 @@ FleetRunStats ShardedPimEngine::FleetStats() const {
     s.failovers += ctr->failovers.load(std::memory_order_relaxed);
     s.failed_over_queries +=
         ctr->failed_over_queries.load(std::memory_order_relaxed);
+    s.failover.Merge(LoadFailover(*ctr, c));
   }
   s.reduce_messages = reduce_messages_.load(std::memory_order_relaxed);
   s.reduce_bytes = reduce_bytes_.load(std::memory_order_relaxed);
+  s.degraded_shards = DegradedShards();
   // Derived at snapshot time from the integer counters: summing
   // TransferLatencyNs per message == messages * hop_ns + bytes / gbps, so
   // the figures are independent of charge interleaving.
-  const PimConfig& c = engines_[0]->device1().config();
   const auto class_ns = [&c](uint64_t messages, uint64_t bytes) {
     return static_cast<double>(messages) * c.interconnect_hop_ns +
            static_cast<double>(bytes) / c.interconnect_gbps;
@@ -367,34 +727,46 @@ ShardedPimEngine::ShardHealth ShardedPimEngine::ShardHealthSnapshot(
   h.failovers = ctr.failovers.load(std::memory_order_relaxed);
   h.failed_over_queries =
       ctr.failed_over_queries.load(std::memory_order_relaxed);
-  const PimConfig& c = engines_[0]->device1().config();
+  const PimConfig& c = primary(0).device1().config();
   const auto class_ns = [&c](uint64_t messages, uint64_t bytes) {
     return static_cast<double>(messages) * c.interconnect_hop_ns +
            static_cast<double>(bytes) / c.interconnect_gbps;
   };
   h.scatter_ns = class_ns(h.scatter_messages, h.scatter_bytes);
   h.gather_ns = class_ns(h.gather_messages, h.gather_bytes);
-  const PimEngine& e = *engines_[j];
-  const PimDeviceStats s1 = e.device1().StatsSnapshot();
-  h.batch_ops = s1.batch_ops;
-  h.queries_processed = s1.queries_processed;
-  h.pim_ns = s1.compute_ns;
-  h.pipelined_ns = s1.pipelined_ns;
-  h.fault = s1.fault;
-  if (e.device2() != nullptr) {
-    const PimDeviceStats s2 = e.device2()->StatsSnapshot();
-    h.batch_ops += s2.batch_ops;
-    h.queries_processed += s2.queries_processed;
-    h.pim_ns += s2.compute_ns;
-    h.pipelined_ns += s2.pipelined_ns;
-    h.fault.Merge(s2.fault);
+  // Device accounting sums over the shard's replicas: a failed attempt's
+  // pass charges the replica it ran on.
+  for (const auto& e : engines_[j]) {
+    const PimDeviceStats s1 = e->device1().StatsSnapshot();
+    h.batch_ops += s1.batch_ops;
+    h.queries_processed += s1.queries_processed;
+    h.pim_ns += s1.compute_ns;
+    h.pipelined_ns += s1.pipelined_ns;
+    h.fault.Merge(s1.fault);
+    if (e->device2() != nullptr) {
+      const PimDeviceStats s2 = e->device2()->StatsSnapshot();
+      h.batch_ops += s2.batch_ops;
+      h.queries_processed += s2.queries_processed;
+      h.pim_ns += s2.compute_ns;
+      h.pipelined_ns += s2.pipelined_ns;
+      h.fault.Merge(s2.fault);
+    }
   }
+  h.failover = LoadFailover(ctr, c);
+  h.serving_replica =
+      static_cast<int>(ctr.serving_replica.load(std::memory_order_relaxed));
+  h.degraded = shard_degraded(j);
   return h;
 }
 
 void ShardedPimEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
   obs::MetricsRegistry& r = *registry;
   r.SetHelp("pimine_fleet_shards", "Fleet members the dataset is sharded across.");
+  r.SetHelp("pimine_fleet_replicas",
+            "Replica copies each shard is programmed onto.");
+  r.SetHelp("pimine_fleet_degraded_shards",
+            "Shards serving off-primary, in bound-slack mode, or carrying a "
+            "struck-out replica.");
   r.SetHelp("pimine_fleet_shard_scatter_messages_total",
             "Operand broadcast messages received by this shard.");
   r.SetHelp("pimine_fleet_shard_scatter_bytes_total",
@@ -408,9 +780,9 @@ void ShardedPimEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
   r.SetHelp("pimine_fleet_shard_gather_ns",
             "Modeled gather transfer time charged to this shard.");
   r.SetHelp("pimine_fleet_shard_failovers_total",
-            "Host-exact recomputes after an unrecovered device fault.");
+            "Off-device escalations after the replica ladder was exhausted.");
   r.SetHelp("pimine_fleet_shard_failed_over_queries_total",
-            "Queries served by host recompute on this shard.");
+            "Queries served off-device on this shard.");
   r.SetHelp("pimine_fleet_shard_batch_ops_total",
             "Device batch operations issued on this shard.");
   r.SetHelp("pimine_fleet_shard_queries_total",
@@ -431,12 +803,45 @@ void ShardedPimEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
             "Rows remapped to spare crossbar rows on this shard.");
   r.SetHelp("pimine_fleet_shard_fault_recovery_ns",
             "Modeled fault-recovery time spent on this shard.");
+  r.SetHelp("pimine_failover_injected_total",
+            "Shard-dispatch ops that lost at least one replica attempt.");
+  r.SetHelp("pimine_failover_recovered_total",
+            "Injected ops completed on a later healthy replica.");
+  r.SetHelp("pimine_failover_shed_total",
+            "Injected ops escalated off-device (host-exact or bound-slack).");
+  r.SetHelp("pimine_failover_attempts_failed_total",
+            "Individual replica attempts that failed on this shard.");
+  r.SetHelp("pimine_failover_chaos_denied_total",
+            "Replica attempts denied by the chaos schedule.");
+  r.SetHelp("pimine_failover_device_faults_total",
+            "Replica attempts lost to an unrecoverable device fault.");
+  r.SetHelp("pimine_failover_strikes_total",
+            "Strikes recorded against this shard's replicas.");
+  r.SetHelp("pimine_failover_struck_out_total",
+            "Replicas struck out of this shard's ladder.");
+  r.SetHelp("pimine_failover_slack_fills_total",
+            "Shed ops served as bound-slack fills on this shard.");
+  r.SetHelp("pimine_failover_retry_messages_total",
+            "Operand re-scatter messages to retry replicas.");
+  r.SetHelp("pimine_failover_retry_bytes_total",
+            "Operand re-scatter bytes to retry replicas.");
+  r.SetHelp("pimine_failover_backoff_ns_total",
+            "Seeded backoff waited between replica attempts.");
+  r.SetHelp("pimine_fleet_shard_failover_ns",
+            "Modeled failover time of this shard (retry transfer + backoff).");
+  r.SetHelp("pimine_fleet_shard_serving_replica",
+            "Replica that served this shard's most recent dispatch "
+            "(replicas = off-device).");
   r.SetHelp("pimine_fleet_reduce_messages_total",
             "Tree-reduction messages on the fleet critical path.");
   r.SetHelp("pimine_fleet_reduce_bytes_total",
             "Tree-reduction payload bytes on the fleet critical path.");
   r.GetGauge("pimine_fleet_shards")
       .Set(static_cast<double>(engines_.size()));
+  r.GetGauge("pimine_fleet_replicas")
+      .Set(static_cast<double>(options_.shard.replicas));
+  r.GetGauge("pimine_fleet_degraded_shards")
+      .Set(static_cast<double>(DegradedShards()));
   for (size_t j = 0; j < engines_.size(); ++j) {
     const ShardHealth h = ShardHealthSnapshot(j);
     const obs::MetricLabels labels = {{"shard", std::to_string(j)}};
@@ -460,6 +865,19 @@ void ShardedPimEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
     count("pimine_fleet_shard_fault_retries_total", h.fault.retries);
     count("pimine_fleet_shard_fault_remapped_rows_total",
           h.fault.remapped_rows);
+    count("pimine_failover_injected_total", h.failover.injected);
+    count("pimine_failover_recovered_total", h.failover.recovered);
+    count("pimine_failover_shed_total", h.failover.shed);
+    count("pimine_failover_attempts_failed_total",
+          h.failover.attempts_failed);
+    count("pimine_failover_chaos_denied_total", h.failover.chaos_denied);
+    count("pimine_failover_device_faults_total", h.failover.device_faults);
+    count("pimine_failover_strikes_total", h.failover.strikes);
+    count("pimine_failover_struck_out_total", h.failover.struck_out);
+    count("pimine_failover_slack_fills_total", h.failover.slack_fills);
+    count("pimine_failover_retry_messages_total", h.failover.retry_messages);
+    count("pimine_failover_retry_bytes_total", h.failover.retry_bytes);
+    count("pimine_failover_backoff_ns_total", h.failover.backoff_ns);
     r.GetGauge("pimine_fleet_shard_scatter_ns", labels).Set(h.scatter_ns);
     r.GetGauge("pimine_fleet_shard_gather_ns", labels).Set(h.gather_ns);
     r.GetGauge("pimine_fleet_shard_pim_ns", labels).Set(h.pim_ns);
@@ -467,6 +885,10 @@ void ShardedPimEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
         .Set(h.pipelined_ns);
     r.GetGauge("pimine_fleet_shard_fault_recovery_ns", labels)
         .Set(h.fault.recovery_ns);
+    r.GetGauge("pimine_fleet_shard_failover_ns", labels)
+        .Set(h.failover.failover_ns);
+    r.GetGauge("pimine_fleet_shard_serving_replica", labels)
+        .Set(static_cast<double>(h.serving_replica));
   }
   const auto fleet_count = [&](const char* family, uint64_t value) {
     obs::Counter& ctr = r.GetCounter(family);

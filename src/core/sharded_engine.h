@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "data/matrix.h"
+#include "pim/chaos.h"
 #include "pim/fleet.h"
 #include "util/parallel.h"
 #include "util/top_k.h"
@@ -78,6 +79,61 @@ class ShardedPimEngine {
   Status RunQueryBatch(std::span<const float> queries, size_t num_queries,
                        QueryScratch* scratch, QueryHandleBatch* out) const;
 
+  /// Per-dispatch context of the failover ladder. The default value is the
+  /// plain overloads' behaviour (no chaos instant, host-exact shedding).
+  struct DispatchOptions {
+    /// Dispatch instant on the caller's clock (virtual ns in replay) the
+    /// chaos schedule is evaluated at. 0 falls back to set_chaos_now_ns.
+    uint64_t now_ns = 0;
+    /// Degraded mode: when every replica of a shard is exhausted, serve
+    /// the shard as a bound-slack fill (exact-after-refine) instead of a
+    /// host-exact recompute — shedding modeled device work, not accuracy.
+    bool slack_on_exhaustion = false;
+    /// Ladder budget: cumulative seeded backoff one dispatch may spend
+    /// walking a shard's replicas before the op sheds. 0 = unbounded.
+    uint64_t deadline_ns = 0;
+  };
+
+  /// As the reusing overload, with explicit failover/chaos context. Every
+  /// transition of the ladder — failed attempt, strike, recovery on a
+  /// later replica, shed — lands in FailoverStats (FleetStats().failover,
+  /// invariant injected == recovered + shed).
+  Status RunQueryBatch(std::span<const float> queries, size_t num_queries,
+                       QueryScratch* scratch, QueryHandleBatch* out,
+                       const DispatchOptions& dispatch) const;
+
+  /// What the chaos-availability ladder will do for shard `j` dispatched
+  /// at `dispatch.now_ns`: the serving replica (or shed), the failed
+  /// attempts walked past, and the modeled extra time (seeded backoff +
+  /// operand re-scatter per retry). A PURE function of (chaos schedule,
+  /// options, dispatch) — the virtual-clock scheduler extends each formed
+  /// batch by the max over shards of extra_ns, and the executing ladder,
+  /// walking the same dispatch, charges the identical waits. Replica
+  /// strike state is deliberately NOT consulted: the timing model stays
+  /// stateless (see DESIGN.md section 12).
+  struct FailoverPlan {
+    int serving_replica = 0;  // -1 when the op sheds off-device.
+    int failed_attempts = 0;
+    bool shed = false;
+    uint64_t backoff_ns = 0;
+    /// backoff_ns + modeled retry re-scatter transfer time.
+    double extra_ns = 0.0;
+  };
+  FailoverPlan PlanFailover(size_t j, size_t num_queries,
+                            const DispatchOptions& dispatch) const;
+
+  // --- Chaos plane ------------------------------------------------------
+  /// Installs a chaos schedule (owned by the caller, outliving the
+  /// engine's use). nullptr (the default) disables availability faults
+  /// entirely — bit-identical to the pre-chaos engine.
+  void set_chaos(const ChaosSchedule* chaos) { chaos_ = chaos; }
+  /// Fallback dispatch instant for callers without a per-dispatch clock
+  /// (k-means iterations advance it once per BeginIteration).
+  void set_chaos_now_ns(uint64_t now_ns) {
+    chaos_now_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+  const ChaosSchedule* chaos() const { return chaos_; }
+
   /// The bound for `batch` query `query` against GLOBAL object `index`:
   /// routed to shard_of(index) and combined there. Bit-identical to the
   /// single-device BoundFor.
@@ -88,32 +144,57 @@ class ShardedPimEngine {
   size_t shards() const { return engines_.size(); }
   ShardPlacement placement() const { return options_.shard.placement; }
   const ShardMap& shard_map() const { return map_; }
-  /// The shard-j engine (tests / stats inspection).
-  const PimEngine& shard_engine(size_t j) const { return *engines_[j]; }
+  int replicas() const { return options_.shard.replicas; }
+  /// The shard-j PRIMARY engine (tests / stats inspection).
+  const PimEngine& shard_engine(size_t j) const { return *engines_[j][0]; }
+  /// Replica r of shard j (tests / stats inspection).
+  const PimEngine& replica_engine(size_t j, size_t r) const {
+    return *engines_[j][r];
+  }
+
+  // --- Replica health ---------------------------------------------------
+  /// Replica that served shard j's most recent dispatch (0 = primary;
+  /// replicas() = the op shed off-device).
+  int serving_replica(size_t j) const;
+  /// Shard j's most recent dispatch was served as a bound-slack fill.
+  bool shard_slack_mode(size_t j) const;
+  /// Consecutive-failure strike count of replica r of shard j.
+  int replica_strikes(size_t j, size_t r) const;
+  /// Replica r of shard j has been struck out (skipped by the ladder).
+  bool replica_out(size_t j, size_t r) const;
+  /// Shard j is degraded: serving off its primary replica, in bound-slack
+  /// mode, or carrying a struck-out replica.
+  bool shard_degraded(size_t j) const;
+  /// Number of degraded shards (the pimine_fleet_degraded_shards gauge and
+  /// the /healthz "degraded" body are derived from this).
+  int DegradedShards() const;
+  /// Readmits every struck-out replica and clears strike counts (operator
+  /// action after repairing devices). Does not touch accounting.
+  void ResetReplicaHealth();
 
   // --- Pass-through accessors (identical across shards) ---------------
-  EngineMode mode() const { return engines_[0]->mode(); }
+  EngineMode mode() const { return primary(0).mode(); }
   /// The full-dataset memory plan the fleet geometry was resolved from.
   const MemoryPlan& plan() const { return plan_; }
   size_t num_objects() const { return num_objects_; }
-  size_t dims() const { return engines_[0]->dims(); }
-  int64_t num_segments() const { return engines_[0]->num_segments(); }
-  int64_t segment_length() const { return engines_[0]->segment_length(); }
-  double alpha() const { return engines_[0]->alpha(); }
+  size_t dims() const { return primary(0).dims(); }
+  int64_t num_segments() const { return primary(0).num_segments(); }
+  int64_t segment_length() const { return primary(0).segment_length(); }
+  double alpha() const { return primary(0).alpha(); }
   double TransferBitsPerCandidate() const {
-    return engines_[0]->TransferBitsPerCandidate();
+    return primary(0).TransferBitsPerCandidate();
   }
   double SerialDeviceNsPerQuery() const {
-    return engines_[0]->SerialDeviceNsPerQuery();
+    return primary(0).SerialDeviceNsPerQuery();
   }
   /// Modeled pipelined occupancy of one fleet dispatch of `num_queries`
   /// queries: the shards run concurrently and the crossbar pass latency is
   /// row-count independent, so the fleet figure equals any one shard's.
   double ModeledBatchNs(size_t num_queries) const {
-    return engines_[0]->ModeledBatchNs(num_queries);
+    return primary(0).ModeledBatchNs(num_queries);
   }
-  const PimDevice& device1() const { return engines_[0]->device1(); }
-  const PimDevice* device2() const { return engines_[0]->device2(); }
+  const PimDevice& device1() const { return primary(0).device1(); }
+  const PimDevice* device2() const { return primary(0).device2(); }
 
   // --- Fleet-aggregated stats -----------------------------------------
   /// Serial-equivalent modeled PIM time. Shards hold fewer rows but the
@@ -159,12 +240,17 @@ class ShardedPimEngine {
     /// per-shard values sum to the aggregates bit-for-bit).
     double scatter_ns = 0.0;
     double gather_ns = 0.0;
-    /// Device-side accounting summed over this shard's devices.
+    /// Device-side accounting summed over this shard's devices (all
+    /// replicas — a failed attempt's pass charges its replica).
     uint64_t batch_ops = 0;
     uint64_t queries_processed = 0;
     double pim_ns = 0.0;        // serial-equivalent compute_ns.
     double pipelined_ns = 0.0;  // modeled device occupancy.
     FaultStats fault;
+    /// Replica-failover ladder accounting of this shard.
+    FailoverStats failover;
+    int serving_replica = 0;
+    bool degraded = false;
   };
   ShardHealth ShardHealthSnapshot(size_t j) const;
 
@@ -194,12 +280,50 @@ class ShardedPimEngine {
  private:
   ShardedPimEngine() = default;
 
+  PimEngine& primary(size_t j) const { return *engines_[j][0]; }
+
+  /// Sizes replica_state_ to the engines_ geometry (all healthy).
+  void InitReplicaState();
+
+  /// The failover ladder of one shard's share of one dispatch: walk the
+  /// replicas in deterministic order (primary first), skipping struck-out
+  /// members, charging seeded backoff + operand re-scatter per retry, and
+  /// escalating off-device only when every replica is exhausted.
+  Status DeviceBatchWithFailover(size_t j, const QueryScratch& scratch,
+                                 size_t num_queries,
+                                 PimEngine::QueryHandleBatch* handle,
+                                 const DispatchOptions& dispatch,
+                                 bool emit_query_spans) const;
+
+  /// Bytes of one operand re-scatter to a retry replica, computed from the
+  /// fleet geometry (not from live scratch buffers) so PlanFailover and
+  /// the executing ladder charge the identical figure.
+  uint64_t RetryOperandBytes(size_t num_queries) const;
+
   EngineOptions options_;
   MemoryPlan plan_;
   size_t num_objects_ = 0;
   ShardMap map_;
-  std::vector<std::unique_ptr<PimEngine>> engines_;
+  /// engines_[j][r]: replica r of shard j. Replica 0 is the deterministic
+  /// primary and keeps the exact pre-replica build (seed formula
+  /// included), so no-fault runs are bit-identical to replicas == 1.
+  std::vector<std::vector<std::unique_ptr<PimEngine>>> engines_;
   ExecPolicy fanout_policy_;  // default-constructed: serial.
+
+  // Availability-fault plane: an installed schedule is consulted (purely,
+  // by dispatch instant) before every replica attempt. Never owned.
+  const ChaosSchedule* chaos_ = nullptr;
+  mutable std::atomic<uint64_t> chaos_now_ns_{0};
+
+  /// Ladder health of one replica. `strikes` counts CONSECUTIVE failed
+  /// attempts (any success resets it); at max_strikes the replica is
+  /// struck out and skipped until ResetReplicaHealth().
+  struct ReplicaState {
+    std::atomic<uint32_t> strikes{0};
+    std::atomic<bool> out{false};
+  };
+  mutable std::vector<std::vector<std::unique_ptr<ReplicaState>>>
+      replica_state_;
 
   // Fleet interconnect accounting: integer counters only (mutated under
   // concurrent RunQueryBatch calls; order-independent), ns derived at
@@ -213,6 +337,23 @@ class ShardedPimEngine {
     std::atomic<uint64_t> gather_bytes{0};
     std::atomic<uint64_t> failovers{0};
     std::atomic<uint64_t> failed_over_queries{0};
+    // Failover-ladder accounting (FailoverStats fields; same
+    // order-independent integer-counter discipline).
+    std::atomic<uint64_t> fo_injected{0};
+    std::atomic<uint64_t> fo_recovered{0};
+    std::atomic<uint64_t> fo_shed{0};
+    std::atomic<uint64_t> fo_attempts_failed{0};
+    std::atomic<uint64_t> fo_chaos_denied{0};
+    std::atomic<uint64_t> fo_device_faults{0};
+    std::atomic<uint64_t> fo_strikes{0};
+    std::atomic<uint64_t> fo_struck_out{0};
+    std::atomic<uint64_t> fo_slack_fills{0};
+    std::atomic<uint64_t> fo_retry_messages{0};
+    std::atomic<uint64_t> fo_retry_bytes{0};
+    std::atomic<uint64_t> fo_backoff_ns{0};
+    // Last-dispatch serving state (health reporting, not accounting).
+    std::atomic<uint32_t> serving_replica{0};
+    std::atomic<bool> slack_mode{false};
   };
   mutable std::vector<std::unique_ptr<ShardCounters>> shard_counters_;
   // Tree reductions merge per-shard partials pairwise — no single owning

@@ -153,6 +153,16 @@ class PimAssignFilter {
   void set_fanout_policy(const ExecPolicy& policy) {
     engine_->set_fanout_policy(policy);
   }
+  /// Installs an availability-chaos schedule (owned by the caller,
+  /// outliving the filter's use) on the underlying fleet and readmits all
+  /// replicas. nullptr uninstalls — bit-identical to the pre-chaos filter.
+  void InstallChaos(const ChaosSchedule* schedule) {
+    engine_->set_chaos(schedule);
+    engine_->ResetReplicaHealth();
+  }
+  /// Advances the instant the chaos schedule is evaluated at for the next
+  /// BeginIteration's dispatches (one instant per k-means iteration).
+  void SetChaosNowNs(uint64_t now_ns) { engine_->set_chaos_now_ns(now_ns); }
 
  private:
   explicit PimAssignFilter(std::unique_ptr<ShardedPimEngine> engine)

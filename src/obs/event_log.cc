@@ -45,6 +45,10 @@ bool EventLog::Sampled(uint64_t seed, uint64_t query_id, double rate) {
 
 void EventLog::Append(const QueryEvent& event) {
   if (!WouldSample(event.query_id)) return;
+  AppendAlways(event);
+}
+
+void EventLog::AppendAlways(const QueryEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   ++sampled_total_;
   events_.push_back(event);
@@ -81,6 +85,23 @@ std::string EventLog::ToJsonl() const {
   std::string out;
   out.reserve(events_.size() * 160);
   for (const QueryEvent& e : events_) {
+    if (e.kind == QueryEvent::Kind::kFailover) {
+      // Recovery record: own shape, keyed by the dispatch it fired in.
+      // Query lines below keep their exact pre-failover byte layout.
+      out.append("{\"kind\": \"failover\", \"batch_id\": ")
+          .append(std::to_string(e.batch_id));
+      out.append(", \"dispatch_ns\": ").append(std::to_string(e.dispatch_ns));
+      out.append(", \"shard\": ").append(std::to_string(e.shard));
+      out.append(", \"replica\": ").append(std::to_string(e.replica));
+      out.append(", \"failed_attempts\": ")
+          .append(std::to_string(e.failed_attempts));
+      out.append(", \"shed\": ").append(e.shed ? "true" : "false");
+      out.append(", \"backoff_ns\": ").append(std::to_string(e.backoff_ns));
+      out.append(", \"status\": \"");
+      AppendEscaped(&out, e.status);
+      out.append("\"}\n");
+      continue;
+    }
     out.append("{\"query_id\": ").append(std::to_string(e.query_id));
     out.append(", \"tenant\": ").append(std::to_string(e.tenant));
     out.append(", \"arrival_ns\": ").append(std::to_string(e.arrival_ns));

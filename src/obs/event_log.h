@@ -9,8 +9,11 @@
 namespace pimine {
 namespace obs {
 
-/// One structured per-query serving record (one JSONL line).
+/// One structured serving record (one JSONL line): per-query by default,
+/// or a replica-failover recovery record (kind == kFailover).
 struct QueryEvent {
+  enum class Kind { kQuery, kFailover };
+  Kind kind = Kind::kQuery;
   uint64_t query_id = 0;
   uint32_t tenant = 0;
   uint64_t arrival_ns = 0;
@@ -20,6 +23,15 @@ struct QueryEvent {
   bool deadline_missed = false;
   /// Status short name ("OK", "CAPACITY_EXCEEDED", ...).
   std::string status = "OK";
+  /// Failover-record fields (kind == kFailover): the shard whose ladder
+  /// fired, the replica that finally served it (replica count = shed
+  /// off-device), the failed attempts walked past, and the seeded backoff
+  /// spent between attempts.
+  int32_t shard = -1;
+  int32_t replica = 0;
+  int32_t failed_attempts = 0;
+  bool shed = false;
+  uint64_t backoff_ns = 0;
 };
 
 /// Knobs of the sampled audit stream.
@@ -61,6 +73,11 @@ class EventLog {
 
   /// Records `event` iff its query id passes the sampling hash.
   void Append(const QueryEvent& event);
+
+  /// Records `event` unconditionally (the log must still be enabled by a
+  /// positive sample rate). Recovery records use this: a failover is rare
+  /// and operationally load-bearing, so it is never sampled away.
+  void AppendAlways(const QueryEvent& event);
 
   /// Sampled events currently retained / total sampled / evicted by the
   /// capacity bound.

@@ -1,0 +1,115 @@
+#ifndef PIMINE_PIM_CHAOS_H_
+#define PIMINE_PIM_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pimine {
+
+/// Availability-fault kinds of the chaos harness. These model the fleet
+/// plane — a replica device or its interconnect link becoming unreachable —
+/// complementing the data-plane FaultModel (bit flips inside a crossbar).
+enum class ChaosEventKind {
+  /// The replica device dies at `at_ns` and never recovers.
+  kDeviceDeath,
+  /// The replica stalls (stops answering) during [at_ns, until_ns).
+  kTransientStall,
+  /// The shard's host<->device link drops during [at_ns, until_ns):
+  /// every replica of the shard is unreachable for the window.
+  kLinkFault,
+};
+
+std::string_view ChaosEventKindName(ChaosEventKind kind);
+
+/// One scheduled availability outage.
+struct ChaosEvent {
+  uint64_t at_ns = 0;
+  /// Exclusive end of the outage; ChaosSchedule::kNoRecovery for a death.
+  uint64_t until_ns = 0;
+  ChaosEventKind kind = ChaosEventKind::kDeviceDeath;
+  uint32_t shard = 0;
+  uint32_t replica = 0;  // ignored for kLinkFault (the whole shard drops).
+};
+
+/// Knobs of one seeded chaos schedule: how many events of each kind to
+/// draw over the horizon, and how long the transient windows last.
+struct ChaosConfig {
+  int device_deaths = 0;
+  int stalls = 0;
+  int link_faults = 0;
+  /// Event instants are drawn uniformly in [0, horizon_ns). Must be > 0
+  /// when any event count is.
+  uint64_t horizon_ns = 0;
+  /// Width of one transient-stall window.
+  uint64_t stall_ns = 200'000;
+  /// Width of one interconnect-outage window.
+  uint64_t link_fault_ns = 100'000;
+  uint64_t seed = 0xC7A05u;
+
+  bool enabled() const {
+    return device_deaths > 0 || stalls > 0 || link_faults > 0;
+  }
+  Status Validate() const;
+};
+
+/// A deterministic, bit-for-bit replayable availability-fault schedule.
+///
+/// Every placement and instant is a stateless SplitMix64 hash of
+/// (seed, kind, index) — never an RNG state — and every liveness query
+/// (ReplicaDown / LinkDown) is a pure function of the queried instant. Two
+/// schedulers asking in different orders, from different threads, or at
+/// different shard fan-outs therefore always observe the same fleet: the
+/// property that lets the serving layer's single-threaded virtual-clock
+/// pass and its multi-threaded execution pass agree exactly.
+class ChaosSchedule {
+ public:
+  static constexpr uint64_t kNoRecovery = ~0ull;
+
+  ChaosSchedule() = default;
+
+  /// Draws `config`'s events against a (shards x replicas) fleet.
+  static Result<ChaosSchedule> Generate(const ChaosConfig& config,
+                                        uint32_t shards, uint32_t replicas);
+
+  /// Explicit schedule (tests): the events verbatim, deterministically
+  /// ordered by (at_ns, kind, shard, replica).
+  static ChaosSchedule FromEvents(std::vector<ChaosEvent> events,
+                                  uint32_t shards, uint32_t replicas);
+
+  bool enabled() const { return !events_.empty(); }
+  /// Is replica `replica` of `shard` unreachable at `now_ns` (its own
+  /// death/stall, or its shard's link outage)?
+  bool ReplicaDown(uint32_t shard, uint32_t replica, uint64_t now_ns) const;
+  /// Is `shard`'s host<->device link down at `now_ns`?
+  bool LinkDown(uint32_t shard, uint64_t now_ns) const;
+  /// Replicas of `shard` reachable at `now_ns` (0 during a link outage).
+  uint32_t HealthyReplicas(uint32_t shard, uint64_t now_ns) const;
+
+  uint32_t shards() const { return shards_; }
+  uint32_t replicas() const { return replicas_; }
+  const std::vector<ChaosEvent>& events() const { return events_; }
+  std::string ToString() const;
+
+ private:
+  std::vector<ChaosEvent> events_;
+  uint32_t shards_ = 1;
+  uint32_t replicas_ = 1;
+};
+
+/// Seeded-jitter exponential backoff charged before failover attempt
+/// `attempt` (1-based count of failures so far):
+///   base_ns * 2^(attempt-1) + hash(seed, token, attempt) % (jitter_ns + 1).
+/// The jitter is a pure hash — token is derived from the dispatch instant,
+/// so the virtual-clock planner and the executing ladder, walking the same
+/// dispatch, charge byte-identical waits regardless of thread interleaving.
+uint64_t FailoverBackoffNs(uint64_t base_ns, uint64_t jitter_ns, uint64_t seed,
+                           uint64_t token, int attempt);
+
+}  // namespace pimine
+
+#endif  // PIMINE_PIM_CHAOS_H_

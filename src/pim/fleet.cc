@@ -39,6 +39,49 @@ Result<ShardPlacement> ParseShardPlacement(std::string_view name) {
       "'; expected contiguous, hash or cluster");
 }
 
+Status ShardOptions::ValidateReplication() const {
+  if (replicas < 1 || replicas > kMaxReplicas) {
+    return Status::InvalidArgument(
+        "shard replicas must be in [1, " + std::to_string(kMaxReplicas) +
+        "] (got " + std::to_string(replicas) + ")");
+  }
+  if (max_strikes < 1) {
+    return Status::InvalidArgument(
+        "shard max_strikes must be >= 1 (got " + std::to_string(max_strikes) +
+        ")");
+  }
+  return Status::OK();
+}
+
+void FailoverStats::Merge(const FailoverStats& other) {
+  injected += other.injected;
+  recovered += other.recovered;
+  shed += other.shed;
+  attempts_failed += other.attempts_failed;
+  chaos_denied += other.chaos_denied;
+  device_faults += other.device_faults;
+  strikes += other.strikes;
+  struck_out += other.struck_out;
+  slack_fills += other.slack_fills;
+  retry_messages += other.retry_messages;
+  retry_bytes += other.retry_bytes;
+  backoff_ns += other.backoff_ns;
+  failover_ns += other.failover_ns;
+}
+
+std::string FailoverStats::ToString() const {
+  std::ostringstream os;
+  os << "injected=" << injected << " recovered=" << recovered
+     << " shed=" << shed << " (slack=" << slack_fills << ")"
+     << " attempts_failed=" << attempts_failed << " (chaos=" << chaos_denied
+     << " device=" << device_faults << ")"
+     << " strikes=" << strikes << " struck_out=" << struck_out
+     << " retry=" << retry_messages << "msg/" << retry_bytes << "B"
+     << " backoff=" << backoff_ns << "ns"
+     << " failover=" << failover_ns / 1e6 << "ms";
+  return os.str();
+}
+
 Result<ShardMap> BuildShardMap(const FloatMatrix& data,
                                const ShardOptions& options) {
   const size_t n = data.rows();
@@ -115,6 +158,10 @@ std::string FleetRunStats::ToString() const {
      << " reduce=" << reduce_messages << "msg/" << reduce_bytes << "B"
      << " failovers=" << failovers << " interconnect="
      << InterconnectNs() / 1e6 << "ms";
+  if (failover.Any()) {
+    os << " | " << failover.ToString();
+    if (degraded_shards > 0) os << " degraded_shards=" << degraded_shards;
+  }
   return os.str();
 }
 

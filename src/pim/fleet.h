@@ -44,8 +44,77 @@ struct ShardOptions {
   /// When true, a shard whose device operation fails with DeviceFault
   /// (RecoveryPolicy VerifyMode::kFailOp exhausted its ladder) is
   /// escalated to a host-exact recompute of only that shard instead of
-  /// failing the whole fleet operation.
+  /// failing the whole fleet operation. With replicas > 1 the escalation
+  /// only happens after every replica has been tried.
   bool failover = true;
+  /// Copies of every shard programmed onto independent devices, in
+  /// [1, kMaxReplicas]. Replicas hold the identical shard dataset with
+  /// decorrelated fault seeds; replica 0 is the deterministic primary, so
+  /// results are bit-identical to single-replica runs while no fault
+  /// fires. Each copy charges its own ProgramLatencyNs (offline bytes sum
+  /// over copies; offline time is the max — copies program concurrently).
+  int replicas = 1;
+  /// Consecutive failed attempts after which a replica is marked unhealthy
+  /// and skipped by the failover ladder (a successful attempt resets the
+  /// count; ResetReplicaHealth() readmits struck-out replicas). Ignored
+  /// when replicas == 1: with nothing to fail over to, a faulted op
+  /// escalates directly — exactly the pre-replica ladder.
+  int max_strikes = 3;
+  /// Seeded-jitter exponential backoff between replica attempts:
+  /// backoff_base_ns * 2^(attempt-1) + hash % (backoff_jitter_ns + 1),
+  /// jitter drawn as a pure hash of (backoff_seed, dispatch instant,
+  /// attempt) — see FailoverBackoffNs in pim/chaos.h.
+  uint64_t backoff_base_ns = 2000;
+  uint64_t backoff_jitter_ns = 1000;
+  uint64_t backoff_seed = 0xBAC0FFull;
+
+  static constexpr int kMaxReplicas = 8;
+
+  /// Checks the replication knobs (replicas range, max_strikes >= 1).
+  Status ValidateReplication() const;
+};
+
+/// Replica-failover accounting of one fleet run. The locked invariant:
+/// injected == recovered + shed — every op (one shard's share of one
+/// dispatch) that lost its primary device path is either served by another
+/// replica or shed off-device (host-exact recompute / bound-slack fill);
+/// nothing is dropped and nothing is double-counted. Integer counters are
+/// mutated relaxed under concurrent dispatches; failover_ns is derived
+/// from them at snapshot time, so it is identical for every interleaving.
+struct FailoverStats {
+  /// Ops that lost at least one device attempt (or found every replica
+  /// already struck out).
+  uint64_t injected = 0;
+  /// ...of which served exactly by a later healthy replica.
+  uint64_t recovered = 0;
+  /// ...of which escalated off-device.
+  uint64_t shed = 0;
+  /// Individual failed replica attempts (chaos_denied + device_faults).
+  uint64_t attempts_failed = 0;
+  /// Attempts denied by the chaos schedule (replica or link down).
+  uint64_t chaos_denied = 0;
+  /// Attempts that returned DeviceFault from the replica's devices.
+  uint64_t device_faults = 0;
+  /// Strike marks recorded against replicas (replicas > 1 only).
+  uint64_t strikes = 0;
+  /// Replicas marked unhealthy after max_strikes consecutive failures.
+  uint64_t struck_out = 0;
+  /// Sheds served as bound-slack fills instead of host recompute.
+  uint64_t slack_fills = 0;
+  /// Operand re-scatter traffic to retry replicas.
+  uint64_t retry_messages = 0;
+  uint64_t retry_bytes = 0;
+  /// Summed seeded-jitter backoff waits (integer ns).
+  uint64_t backoff_ns = 0;
+  /// Derived at snapshot: backoff + modeled retry re-scatter time.
+  double failover_ns = 0.0;
+
+  bool Balanced() const { return injected == recovered + shed; }
+  bool Any() const {
+    return injected != 0 || attempts_failed != 0 || strikes != 0;
+  }
+  void Merge(const FailoverStats& other);
+  std::string ToString() const;
 };
 
 /// The row <-> shard mapping of one fleet: rows_per_shard[j] lists the
@@ -90,6 +159,10 @@ struct FleetRunStats {
   /// Shards escalated to host-exact recompute after a DeviceFault.
   uint64_t failovers = 0;
   uint64_t failed_over_queries = 0;
+  /// Replica-failover ladder accounting (all-zero when no fault fired).
+  FailoverStats failover;
+  /// Shards currently off their primary replica or in bound-slack mode.
+  int degraded_shards = 0;
   /// Modeled interconnect time (PimTimingModel::TransferLatencyNs applied
   /// to the counters above; see DESIGN.md section 9).
   double scatter_ns = 0.0;

@@ -514,6 +514,7 @@ Status PimDevice::ApplyFaultsAndRecover(std::span<const int32_t> queries,
           case VerifyMode::kFailOp: {
             std::ostringstream os;
             os << "unrecoverable PIM fault: group " << g << " of query " << q
+               << " (op nonce " << nonce << ")"
                << " still fails its residue checksum after "
                << recovery_.max_retries << " retries"
                << (recovery_.remap_on_permanent ? " and a remap" : "");

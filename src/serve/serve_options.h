@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "pim/chaos.h"
 #include "util/parallel.h"
 
 namespace pimine {
@@ -57,6 +58,22 @@ struct ServeOptions {
   ExecPolicy exec;
   /// Traffic classes. Empty = one implicit "default" tenant of weight 1.
   std::vector<TenantSpec> tenants;
+
+  // --- Robustness / chaos knobs ---------------------------------------
+  /// Seeded availability-fault schedule generated at Build over the fleet
+  /// geometry and evaluated on the scheduler's clock (virtual in replay).
+  /// Disabled by default — bit-identical to the pre-chaos server.
+  ChaosConfig chaos;
+  /// Per-dispatch failover-ladder budget: cumulative seeded backoff one
+  /// dispatch may spend walking a shard's replicas before the op sheds
+  /// off-device. 0 = unbounded (walk every replica).
+  uint64_t batch_deadline_ns = 0;
+  /// Degraded-mode watermark in [0, 1]: when any shard's healthy-replica
+  /// fraction (per the chaos schedule, at the evaluation instant) drops
+  /// below it, the scheduler switches exhausted shards to bound-slack
+  /// fills and sheds lowest-weight-tenant load with CapacityExceeded. 0
+  /// disables degraded mode.
+  double degrade_watermark = 0.0;
 
   // --- Telemetry plane (obs) knobs ------------------------------------
   // None of these can change results or traffic: the plane only observes
@@ -124,6 +141,14 @@ struct ServeOptions {
         return Status::InvalidArgument("tenant '" + t.name +
                                        "' must have weight >= 1");
       }
+    }
+    {
+      const Status chaos_status = chaos.Validate();
+      if (!chaos_status.ok()) return chaos_status;
+    }
+    if (!(degrade_watermark >= 0.0) || degrade_watermark > 1.0) {
+      return Status::InvalidArgument(
+          "ServeOptions::degrade_watermark must be in [0, 1]");
     }
     return Status::OK();
   }

@@ -20,12 +20,28 @@ namespace pimine {
 namespace serve {
 namespace {
 
+/// One shard's planned failover outcome for a dispatch (chaos replay):
+/// recorded during the deterministic formation pass, exported as recovery
+/// telemetry during the accounting pass.
+struct FailoverNote {
+  uint32_t shard = 0;
+  int serving_replica = 0;  // -1 = shed off-device.
+  int failed_attempts = 0;
+  bool shed = false;
+  uint64_t backoff_ns = 0;
+};
+
 /// One scheduler dispatch decided by the virtual-clock formation pass.
 struct FormedBatch {
   uint64_t dispatch_ns = 0;
   uint64_t completion_ns = 0;
   double service_ns = 0.0;
+  /// Some shard sat below the degrade watermark at dispatch_ns: the
+  /// dispatch executes with bound-slack escalation.
+  bool degraded = false;
   std::vector<PendingQuery> members;
+  /// Shards whose replica ladder fires at this dispatch instant.
+  std::vector<FailoverNote> notes;
 };
 
 uint64_t ToTicks(double ns) {
@@ -66,6 +82,14 @@ Result<std::unique_ptr<PimServer>> PimServer::Build(
   server->maximize_ = IsSimilarityMeasure(distance);
   PIMINE_ASSIGN_OR_RETURN(server->engine_,
                           ShardedPimEngine::Build(data, distance, engine));
+  if (serve.chaos.enabled()) {
+    PIMINE_ASSIGN_OR_RETURN(
+        server->chaos_,
+        ChaosSchedule::Generate(
+            serve.chaos, static_cast<uint32_t>(server->engine_->shards()),
+            static_cast<uint32_t>(server->engine_->replicas())));
+    server->engine_->set_chaos(&server->chaos_);
+  }
   return server;
 }
 
@@ -77,7 +101,9 @@ PimServer::~PimServer() { Stop(); }
 
 void PimServer::RunDispatch(std::span<const float> qbuf,
                             const std::vector<PendingQuery>& members,
-                            double device_ns_per_query, DispatchScratch* s) {
+                            double device_ns_per_query,
+                            const ShardedPimEngine::DispatchOptions& dispatch,
+                            DispatchScratch* s) {
   const size_t dims = data_->cols();
   const size_t n = data_->rows();
   const size_t batch_size = members.size();
@@ -96,7 +122,7 @@ void PimServer::RunDispatch(std::span<const float> qbuf,
     obs::ScopedTrackBase track_base(static_cast<int64_t>(members[c0].id));
     const Status status = engine_->RunQueryBatch(
         std::span<const float>(qbuf.data() + c0 * dims, chunk * dims), chunk,
-        &s->query, &s->handle);
+        &s->query, &s->handle, dispatch);
     if (!status.ok()) {
       if (s->status.ok()) s->status = status;
       return;
@@ -213,6 +239,45 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
             std::min(b.members.size() - c0, options_.exec.device_batch);
         service += engine_->ModeledBatchNs(chunk);
       }
+      if (chaos_.enabled()) {
+        // Plan the replica-failover ladder of every shard at this dispatch
+        // instant: PlanFailover is pure in (schedule, options, dispatch),
+        // so this single-threaded pass and the multi-threaded execution
+        // walk identical ladders and charge identical extra time. Shards
+        // run concurrently (max); a shard's device_batch chunks run
+        // sequentially (sum over chunk sizes).
+        b.degraded = DegradedShardAt(dispatch) >= 0;
+        ShardedPimEngine::DispatchOptions dopt;
+        dopt.now_ns = dispatch;
+        dopt.deadline_ns = options_.batch_deadline_ns;
+        const size_t db = options_.exec.device_batch;
+        const size_t full_chunks = b.members.size() / db;
+        const size_t rem = b.members.size() % db;
+        double extra = 0.0;
+        for (size_t j = 0; j < engine_->shards(); ++j) {
+          double shard_extra = 0.0;
+          ShardedPimEngine::FailoverPlan plan;
+          if (full_chunks > 0) {
+            plan = engine_->PlanFailover(j, db, dopt);
+            shard_extra += static_cast<double>(full_chunks) * plan.extra_ns;
+          }
+          if (rem > 0) {
+            plan = engine_->PlanFailover(j, rem, dopt);
+            shard_extra += plan.extra_ns;
+          }
+          extra = std::max(extra, shard_extra);
+          if (plan.failed_attempts > 0 || plan.shed) {
+            FailoverNote note;
+            note.shard = static_cast<uint32_t>(j);
+            note.serving_replica = plan.serving_replica;
+            note.failed_attempts = plan.failed_attempts;
+            note.shed = plan.shed;
+            note.backoff_ns = plan.backoff_ns;
+            b.notes.push_back(note);
+          }
+        }
+        service += extra;
+      }
       b.service_ns = service;
       b.completion_ns = dispatch + ToTicks(service);
       vt_free = b.completion_ns;
@@ -220,6 +285,7 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
     }
   };
 
+  const uint32_t min_weight = MinTenantWeight();
   uint64_t last_arrival = 0;
   for (size_t i = 0; i < trace.events.size(); ++i) {
     const ArrivalEvent& e = trace.events[i];
@@ -228,7 +294,22 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
     ServedResult& r = out.results[i];
     r.tenant = e.tenant;
     r.arrival_ns = e.arrival_ns;
-    r.status = queue.Admit(i, e.tenant, e.arrival_ns);
+    // Degraded-mode load shedding: while any shard sits below the degrade
+    // watermark, lowest-weight-tenant submissions are refused up front
+    // with a 503-style CapacityExceeded naming the degraded shard.
+    const int degraded_shard = DegradedShardAt(e.arrival_ns);
+    if (degraded_shard >= 0 && TenantWeight(e.tenant) == min_weight) {
+      r.status = Status::CapacityExceeded(
+          "degraded: shard " + std::to_string(degraded_shard) + " has " +
+          std::to_string(chaos_.HealthyReplicas(
+              static_cast<uint32_t>(degraded_shard), e.arrival_ns)) +
+          "/" + std::to_string(engine_->replicas()) +
+          " healthy replicas (below watermark); shedding tenant '" +
+          out.stats.tenants[e.tenant].name + "'");
+      ++out.stats.shed_queries;
+    } else {
+      r.status = queue.Admit(i, e.tenant, e.arrival_ns);
+    }
     ++out.stats.submitted;
     ++out.stats.tenants[e.tenant].submitted;
     if (!r.status.ok()) {
@@ -249,6 +330,34 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
     replay_ts.Observe("batch_occupancy", b.dispatch_ns,
                       static_cast<double>(b.members.size()));
     out.stats.pipelined_ns += b.service_ns;
+    if (b.degraded) {
+      ++out.stats.degraded_batches;
+      replay_ts.Count("degraded_batches", b.dispatch_ns);
+    }
+    // Recovery telemetry, still inside the deterministic pass: one record
+    // per shard whose ladder fired at this dispatch. Chaos off -> no notes
+    // -> the exports stay byte-identical to the pre-failover server.
+    for (const FailoverNote& note : b.notes) {
+      replay_ts.Count(note.shed ? "failover_shed" : "failover_recovered",
+                      b.dispatch_ns);
+      if (note.backoff_ns > 0) {
+        replay_ts.Observe("failover_backoff_ns", b.dispatch_ns,
+                          static_cast<double>(note.backoff_ns));
+      }
+      if (replay_events.enabled()) {
+        obs::QueryEvent ev;
+        ev.kind = obs::QueryEvent::Kind::kFailover;
+        ev.batch_id = bi;
+        ev.dispatch_ns = b.dispatch_ns;
+        ev.shard = static_cast<int32_t>(note.shard);
+        ev.replica = note.serving_replica;
+        ev.failed_attempts = note.failed_attempts;
+        ev.shed = note.shed;
+        ev.backoff_ns = note.backoff_ns;
+        ev.status = note.shed ? "SHED" : "RECOVERED";
+        replay_events.AppendAlways(ev);
+      }
+    }
     for (const PendingQuery& m : b.members) {
       ServedResult& r = out.results[m.id];
       r.dispatch_ns = b.dispatch_ns;
@@ -294,6 +403,7 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
   // so results, traffic and modeled pim_ns are bit-identical for every
   // scheduler_threads (see DESIGN.md "Host-side parallelism").
   engine_->ResetOnlineStats();
+  engine_->ResetReplicaHealth();
   traffic::AggregateScope traffic_scope;
   const double device_ns_per_query =
       obs::Obs::Enabled() ? engine_->SerialDeviceNsPerQuery() : 0.0;
@@ -316,7 +426,11 @@ Result<ReplayOutput> PimServer::Replay(const ArrivalTrace& trace,
                 queries.row(trace.events[b.members[m].id].query_row);
             std::copy(row.begin(), row.end(), s.qbuf.begin() + m * dims);
           }
-          RunDispatch(s.qbuf, b.members, device_ns_per_query, &s);
+          ShardedPimEngine::DispatchOptions dopt;
+          dopt.now_ns = b.dispatch_ns;
+          dopt.slack_on_exhaustion = b.degraded;
+          dopt.deadline_ns = options_.batch_deadline_ns;
+          RunDispatch(s.qbuf, b.members, device_ns_per_query, dopt, &s);
           if (!s.status.ok()) break;
           for (size_t m = 0; m < b.members.size(); ++m) {
             out.results[b.members[m].id].neighbors =
@@ -373,6 +487,7 @@ Status PimServer::Start() {
   live_events_ =
       std::make_unique<obs::EventLog>(EventLogOptionsFromServe());
   engine_->ResetOnlineStats();
+  engine_->ResetReplicaHealth();
   worker_scratch_.clear();
   workers_.clear();
   for (int w = 0; w < options_.scheduler_threads; ++w) {
@@ -403,7 +518,19 @@ Result<ServedResult> PimServer::Submit(uint32_t tenant,
     const uint64_t id = next_id_;
     ++live_stats_.submitted;
     ++live_stats_.tenants[tenant].submitted;
-    const Status admitted = queue_->Admit(id, tenant, arrival);
+    // Degraded-mode load shedding (same rule as replay, on the live
+    // clock): lowest-weight tenants are refused while a shard sits below
+    // the degrade watermark.
+    const int degraded_shard = DegradedShardAt(arrival);
+    const bool shed =
+        degraded_shard >= 0 && TenantWeight(tenant) == MinTenantWeight();
+    const Status admitted =
+        shed ? Status::CapacityExceeded(
+                   "degraded: shard " + std::to_string(degraded_shard) +
+                   " below the healthy-replica watermark; shedding tenant '" +
+                   live_stats_.tenants[tenant].name + "'")
+             : queue_->Admit(id, tenant, arrival);
+    if (shed) ++live_stats_.shed_queries;
     if (!admitted.ok()) {
       // Backpressure: the client learns immediately; nothing is dropped
       // downstream.
@@ -472,11 +599,17 @@ void PimServer::WorkerLoop(size_t worker_index) {
       std::copy(requests[m]->query.begin(), requests[m]->query.end(),
                 scratch.qbuf.begin() + m * dims);
     }
-    RunDispatch(scratch.qbuf, members, live_device_ns_per_query_, &scratch);
+    ShardedPimEngine::DispatchOptions dopt;
+    dopt.now_ns = dispatch_ns;
+    dopt.slack_on_exhaustion = DegradedShardAt(dispatch_ns) >= 0;
+    dopt.deadline_ns = options_.batch_deadline_ns;
+    RunDispatch(scratch.qbuf, members, live_device_ns_per_query_, dopt,
+                &scratch);
     const uint64_t completion_ns = NowNs();
 
     lock.lock();
     ++live_stats_.batches;
+    if (dopt.slack_on_exhaustion) ++live_stats_.degraded_batches;
     live_stats_.occupancy_hist.Record(static_cast<double>(members.size()));
     live_ts_->Observe("batch_occupancy", dispatch_ns,
                       static_cast<double>(members.size()));
@@ -580,9 +713,18 @@ void PimServer::FillServeMetrics(const ServeStats& stats,
                   "Arrival-to-completion latency per served query.");
   metrics.SetHelp("pimine_serve_batch_occupancy",
                   "Queries coalesced per scheduler dispatch.");
+  metrics.SetHelp("pimine_serve_shed_queries_total",
+                  "Submissions refused by degraded-mode load shedding.");
+  metrics.SetHelp("pimine_serve_degraded_batches_total",
+                  "Dispatches formed while a shard sat below the degrade "
+                  "watermark.");
   metrics.GetCounter("pimine_serve_submitted_total").Add(stats.submitted);
   metrics.GetCounter("pimine_serve_served_total").Add(stats.served);
   metrics.GetCounter("pimine_serve_rejected_total").Add(stats.rejected);
+  metrics.GetCounter("pimine_serve_shed_queries_total")
+      .Add(stats.shed_queries);
+  metrics.GetCounter("pimine_serve_degraded_batches_total")
+      .Add(stats.degraded_batches);
   metrics.GetCounter("pimine_serve_deadline_misses_total")
       .Add(stats.deadline_misses);
   metrics.GetCounter("pimine_serve_batches_total").Add(stats.batches);
@@ -615,6 +757,10 @@ void PimServer::ExportObsMetrics(const ServeStats& stats) const {
   obs::Obs* obs = obs::Obs::Get();
   if (obs == nullptr) return;
   FillServeMetrics(stats, &obs->metrics());
+  // The fleet plane too (pimine_fleet_* / pimine_failover_* families), so
+  // a replay's --metrics_out carries the same shard-health and failover
+  // counters the live /metrics endpoint exposes.
+  engine_->ExportMetrics(&obs->metrics());
 }
 
 obs::TimeSeriesOptions PimServer::TimeSeriesOptionsFromServe() const {
@@ -663,6 +809,50 @@ void PimServer::RecordQueryTelemetry(const ServedResult& r, uint64_t query_id,
     event.deadline_missed = r.deadline_missed;
     events->Append(event);
   }
+}
+
+int PimServer::DegradedShardAt(uint64_t t) const {
+  if (!chaos_.enabled() || options_.degrade_watermark <= 0.0) return -1;
+  const double replicas = static_cast<double>(engine_->replicas());
+  for (size_t j = 0; j < engine_->shards(); ++j) {
+    const double healthy = static_cast<double>(
+        chaos_.HealthyReplicas(static_cast<uint32_t>(j), t));
+    if (healthy / replicas < options_.degrade_watermark) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+uint32_t PimServer::TenantWeight(uint32_t tenant) const {
+  return options_.tenants.empty() ? 1 : options_.tenants[tenant].weight;
+}
+
+uint32_t PimServer::MinTenantWeight() const {
+  uint32_t min_weight = std::numeric_limits<uint32_t>::max();
+  for (size_t t = 0; t < options_.num_tenants(); ++t) {
+    min_weight = std::min(min_weight, TenantWeight(static_cast<uint32_t>(t)));
+  }
+  return min_weight;
+}
+
+std::string PimServer::HealthzBody() const {
+  if (engine_->DegradedShards() == 0) return "ok\n";
+  // Still a healthy-liveness body (HTTP 200); "degraded" distinguishes a
+  // fleet serving off-primary or in bound-slack mode.
+  std::string body = "ok degraded\n";
+  for (size_t j = 0; j < engine_->shards(); ++j) {
+    if (!engine_->shard_degraded(j)) continue;
+    size_t replicas_out = 0;
+    for (int r = 0; r < engine_->replicas(); ++r) {
+      if (engine_->replica_out(j, static_cast<size_t>(r))) ++replicas_out;
+    }
+    body += "shard " + std::to_string(j) + ": serving_replica=" +
+            std::to_string(engine_->serving_replica(j)) +
+            " slack=" + (engine_->shard_slack_mode(j) ? "1" : "0") +
+            " replicas_out=" + std::to_string(replicas_out) + "\n";
+  }
+  return body;
 }
 
 std::string PimServer::MetricsText() {

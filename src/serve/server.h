@@ -67,6 +67,13 @@ struct ServeStats {
   uint64_t served = 0;
   uint64_t rejected = 0;
   uint64_t deadline_misses = 0;
+  /// Rejections issued by degraded-mode load shedding (a subset of
+  /// `rejected`): lowest-weight-tenant submissions refused with
+  /// CapacityExceeded while a shard sat below the degrade watermark.
+  uint64_t shed_queries = 0;
+  /// Dispatches formed while some shard sat below the degrade watermark
+  /// (executed with bound-slack escalation instead of host-exact).
+  uint64_t degraded_batches = 0;
   /// Scheduler dispatches issued (each one RunQueryBatch coalescing up to
   /// max_batch queries).
   uint64_t batches = 0;
@@ -182,8 +189,15 @@ class PimServer {
   /// Live sampled per-query events as JSONL ("" when sampling is off).
   std::string EventsJsonl();
 
+  /// /healthz body: "ok\n" when every shard serves from its primary
+  /// replica in exact mode; "ok degraded\n" plus one line per degraded
+  /// shard otherwise. Always an HTTP-200 body — degradation is reported,
+  /// not a liveness failure.
+  std::string HealthzBody() const;
+
   const ShardedPimEngine& engine() const { return *engine_; }
   const ServeOptions& options() const { return options_; }
+  const ChaosSchedule& chaos() const { return chaos_; }
 
  private:
   /// Per-worker dispatch scratch, reused across every dispatch the worker
@@ -214,7 +228,16 @@ class PimServer {
   /// the per-query trace spans.
   void RunDispatch(std::span<const float> qbuf,
                    const std::vector<PendingQuery>& members,
-                   double device_ns_per_query, DispatchScratch* s);
+                   double device_ns_per_query,
+                   const ShardedPimEngine::DispatchOptions& dispatch,
+                   DispatchScratch* s);
+
+  /// The shard (lowest index) whose healthy-replica fraction per the chaos
+  /// schedule sits below degrade_watermark at instant `t`; -1 when none.
+  /// Pure in (schedule, options, t) — safe for the virtual-clock pass.
+  int DegradedShardAt(uint64_t t) const;
+  uint32_t TenantWeight(uint32_t tenant) const;
+  uint32_t MinTenantWeight() const;
 
   void WorkerLoop(size_t worker_index);
   uint64_t NowNs() const;
@@ -237,6 +260,10 @@ class PimServer {
   Distance distance_ = Distance::kEuclidean;
   bool maximize_ = false;
   std::unique_ptr<ShardedPimEngine> engine_;
+  /// Seeded availability-fault schedule generated at Build from
+  /// ServeOptions::chaos over the fleet geometry; installed into the
+  /// engine when enabled. Empty (and uninstalled) when chaos is off.
+  ChaosSchedule chaos_;
 
   // --- Live-mode state (all guarded by mu_ except the workers' own
   // scratch; batch execution runs outside the lock) ---------------------

@@ -52,6 +52,15 @@ SCHEMAS = {
             "wall_ms",
         ],
         "header": ["n", "d", "requests", "max_batch", "device_batch"],
+        # Optional replica-failover sweep (bench_serve --chaos). Entries are
+        # matched by the death count; every row must carry the balance
+        # counters and must actually balance (injected == recovered + shed).
+        "chaos_keys": ["deaths"],
+        "chaos_required": [
+            "deaths", "shards", "replicas", "served", "shed_queries",
+            "degraded_dispatches", "injected", "recovered", "shed_ops",
+            "attempts_failed", "slack_fills", "balanced",
+        ],
     },
 }
 
@@ -136,8 +145,25 @@ def validate(path):
             sys.exit(f"error: {path}: sweep[{i}] missing fields {missing}")
     if not doc["sweep"]:
         sys.exit(f"error: {path}: empty sweep")
+    chaos = doc.get("chaos_sweep")
+    if chaos is not None and "chaos_required" in schema:
+        if not isinstance(chaos, list) or not chaos:
+            sys.exit(f"error: {path}: chaos_sweep is not a non-empty list")
+        for i, entry in enumerate(chaos):
+            missing = [f for f in schema["chaos_required"] if f not in entry]
+            if missing:
+                sys.exit(f"error: {path}: chaos_sweep[{i}] missing fields "
+                         f"{missing}")
+            if entry.get("injected") != (entry.get("recovered", 0) +
+                                         entry.get("shed_ops", 0)):
+                sys.exit(f"error: {path}: chaos_sweep[{i}] failover counters "
+                         f"do not balance (injected != recovered + shed_ops)")
+            if entry.get("balanced") is not True:
+                sys.exit(f"error: {path}: chaos_sweep[{i}] reports "
+                         "balanced=false")
+    chaos_note = (f", {len(chaos)} chaos entries" if chaos else "")
     print(f"{path}: valid ({doc.get('schema') or doc.get('bench')}, "
-          f"{len(doc['sweep'])} entries)")
+          f"{len(doc['sweep'])} entries{chaos_note})")
 
 
 def entry_key(entry, keys):
@@ -176,11 +202,27 @@ def diff(old_path, new_path):
             print(f"header mismatch: {f}: {old.get(f)} -> {new.get(f)}")
         sys.exit(1)
 
+    diff_entries(old["sweep"], new["sweep"], keys, old_path)
+
+    # Optional chaos_sweep (bench_serve --chaos): diffed when both documents
+    # carry one; a one-sided chaos_sweep is reported but not an error (the
+    # plain and --chaos modes of the same bench).
+    old_chaos, new_chaos = old.get("chaos_sweep"), new.get("chaos_sweep")
+    if old_chaos and new_chaos:
+        print("chaos_sweep:")
+        diff_entries(old_chaos, new_chaos,
+                     (schema or {}).get("chaos_keys", []), old_path)
+    elif old_chaos or new_chaos:
+        which = old_path if old_chaos else new_path
+        print(f"chaos_sweep only in {which}")
+
+
+def diff_entries(old_sweep, new_sweep, keys, old_path):
     if keys:
-        new_by_key = {entry_key(e, keys): e for e in new["sweep"]}
-        pairs = [(e, new_by_key.get(entry_key(e, keys))) for e in old["sweep"]]
+        new_by_key = {entry_key(e, keys): e for e in new_sweep}
+        pairs = [(e, new_by_key.get(entry_key(e, keys))) for e in old_sweep]
     else:
-        pairs = list(zip(old["sweep"], new["sweep"]))
+        pairs = list(zip(old_sweep, new_sweep))
 
     for old_entry, new_entry in pairs:
         label = (", ".join(f"{k}={old_entry.get(k)}" for k in keys)

@@ -64,6 +64,10 @@ int Usage() {
       "          [--shares=4,1] [--metrics_out=m.prom]\n"
       "          [--timeseries_out=ts.json] [--events_out=ev.jsonl]\n"
       "          [--event_sample=0.0] [--event_seed=0]\n"
+      "          [--replicas=1] [--chaos_deaths=0] [--chaos_stalls=0]\n"
+      "          [--chaos_link_faults=0] [--chaos_horizon_us=0]\n"
+      "          [--chaos_seed=0xC7A05] [--batch_deadline_us=0]\n"
+      "          [--degrade_watermark=0.0]\n"
       "  live    same scheduler flags plus [--clients=4]\n"
       "          [--metrics_port=9464] [--linger_ms=0]\n";
   return 2;
@@ -112,6 +116,20 @@ serve::ServeOptions ServeFromFlags(const FlagParser& flags) {
   options.tenants = ParseTenants(flags.GetString("tenants", ""));
   options.event_sample_rate = flags.GetDouble("event_sample", 0.0);
   options.event_seed = static_cast<uint64_t>(flags.GetInt("event_seed", 0));
+  // Robustness plane: seeded chaos schedule + ladder deadline + degraded
+  // mode (all off by default; chaos-off runs are bit-identical to before).
+  options.chaos.device_deaths =
+      static_cast<int>(flags.GetInt("chaos_deaths", 0));
+  options.chaos.stalls = static_cast<int>(flags.GetInt("chaos_stalls", 0));
+  options.chaos.link_faults =
+      static_cast<int>(flags.GetInt("chaos_link_faults", 0));
+  options.chaos.horizon_ns =
+      static_cast<uint64_t>(flags.GetInt("chaos_horizon_us", 0)) * 1000;
+  options.chaos.seed =
+      static_cast<uint64_t>(flags.GetInt("chaos_seed", 0xC7A05));
+  options.batch_deadline_ns =
+      static_cast<uint64_t>(flags.GetInt("batch_deadline_us", 0)) * 1000;
+  options.degrade_watermark = flags.GetDouble("degrade_watermark", 0.0);
   return options;
 }
 
@@ -121,6 +139,11 @@ void PrintServeStats(const serve::ServeStats& stats) {
   table.AddRow({"served", std::to_string(stats.served)});
   table.AddRow({"rejected (backpressure)", std::to_string(stats.rejected)});
   table.AddRow({"deadline misses", std::to_string(stats.deadline_misses)});
+  if (stats.shed_queries > 0 || stats.degraded_batches > 0) {
+    table.AddRow({"shed (degraded mode)", std::to_string(stats.shed_queries)});
+    table.AddRow(
+        {"degraded dispatches", std::to_string(stats.degraded_batches)});
+  }
   table.AddRow({"dispatches", std::to_string(stats.batches)});
   table.AddRow({"mean batch occupancy", Fmt(stats.mean_batch_occupancy)});
   table.AddRow({"max queue depth", std::to_string(stats.max_queue_depth)});
@@ -166,14 +189,17 @@ int RunReplay(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown(
       {"dataset", "requests", "qps", "seed", "max_batch", "max_wait_us",
        "deadline_us", "capacity", "threads", "k", "n", "queries",
-       "device_batch", "shards", "distance", "tenants", "shares",
+       "device_batch", "shards", "replicas", "distance", "tenants", "shares",
        "metrics_out", "timeseries_out", "events_out", "event_sample",
-       "event_seed"}));
+       "event_seed", "chaos_deaths", "chaos_stalls", "chaos_link_faults",
+       "chaos_horizon_us", "chaos_seed", "batch_deadline_us",
+       "degrade_watermark"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 64));
   EngineOptions engine = ScaledEngineOptions(workload);
   engine.shard.shards = static_cast<int>(flags.GetInt("shards", 1));
+  engine.shard.replicas = static_cast<int>(flags.GetInt("replicas", 1));
   const std::string distance_name = flags.GetString("distance", "ED");
   const Distance distance = distance_name == "CS"    ? Distance::kCosine
                             : distance_name == "PCC" ? Distance::kPearson
@@ -229,13 +255,17 @@ int RunLive(const FlagParser& flags) {
   PIMINE_CHECK_OK(flags.CheckKnown(
       {"dataset", "requests", "clients", "max_batch", "max_wait_us",
        "deadline_us", "capacity", "threads", "k", "n", "queries",
-       "device_batch", "shards", "distance", "tenants", "metrics_port",
-       "linger_ms", "event_sample", "event_seed"}));
+       "device_batch", "shards", "replicas", "distance", "tenants",
+       "metrics_port", "linger_ms", "event_sample", "event_seed",
+       "chaos_deaths", "chaos_stalls", "chaos_link_faults",
+       "chaos_horizon_us", "chaos_seed", "batch_deadline_us",
+       "degrade_watermark"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 64));
   EngineOptions engine = ScaledEngineOptions(workload);
   engine.shard.shards = static_cast<int>(flags.GetInt("shards", 1));
+  engine.shard.replicas = static_cast<int>(flags.GetInt("replicas", 1));
   const serve::ServeOptions serve_options = ServeFromFlags(flags);
   const size_t requests = static_cast<size_t>(flags.GetInt("requests", 256));
   const int clients = static_cast<int>(flags.GetInt("clients", 4));
@@ -254,7 +284,7 @@ int RunLive(const FlagParser& flags) {
     routes.push_back({"/metrics", "text/plain; version=0.0.4; charset=utf-8",
                       [s] { return s->MetricsText(); }});
     routes.push_back({"/healthz", "text/plain; charset=utf-8",
-                      [] { return std::string("ok\n"); }});
+                      [s] { return s->HealthzBody(); }});
     routes.push_back({"/timeseries.json", "application/json",
                       [s] { return s->TimeSeriesJson(); }});
     routes.push_back({"/events.jsonl", "application/jsonl",
