@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -522,6 +523,151 @@ Status PimEngine::RunQueryBatch(std::span<const float> queries,
   return DeviceBatch(*scratch, num_queries, batch);
 }
 
+Status PimEngine::AppendRows(const FloatMatrix& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot append an empty row set");
+  }
+  if (rows.cols() != dims_) {
+    return Status::InvalidArgument("appended rows dimensionality mismatch");
+  }
+  PIMINE_RETURN_IF_ERROR(CheckUnitRange(rows));
+
+  const auto program_ns_total = [this]() {
+    double ns = device1_->stats().program_ns;
+    if (device2_) ns += device2_->stats().program_ns;
+    return ns;
+  };
+  const double prog_before = program_ns_total();
+
+  switch (mode_) {
+    case EngineMode::kDirectEd: {
+      PIMINE_RETURN_IF_ERROR(
+          device1_->ProgramDelta(quantizer_.Quantize(rows)));
+      const std::vector<double> phi = quantizer_.PhiEdAll(rows);
+      phi_.insert(phi_.end(), phi.begin(), phi.end());
+      PIMINE_RETURN_IF_ERROR(device1_->StoreAux(phi.size() * sizeof(double)));
+      offline_bytes_written_ += rows.rows() * dims_ * (operand_bits_ / 8) +
+                                phi.size() * sizeof(double);
+      break;
+    }
+    case EngineMode::kSegmentFnn:
+    case EngineMode::kSegmentSm: {
+      const bool with_stds = mode_ == EngineMode::kSegmentFnn;
+      const SegmentStats stats = ComputeSegmentStats(rows, num_segments_);
+      PIMINE_RETURN_IF_ERROR(
+          device1_->ProgramDelta(quantizer_.Quantize(stats.means)));
+      uint64_t bytes =
+          rows.rows() * static_cast<size_t>(num_segments_) *
+          (operand_bits_ / 8);
+      if (with_stds) {
+        PIMINE_RETURN_IF_ERROR(
+            device2_->ProgramDelta(quantizer_.Quantize(stats.stds)));
+        bytes *= 2;
+      }
+      for (size_t i = 0; i < rows.rows(); ++i) {
+        phi_.push_back(with_stds ? quantizer_.PhiFnn(stats.means.row(i),
+                                                     stats.stds.row(i))
+                                 : quantizer_.PhiSm(stats.means.row(i)));
+      }
+      PIMINE_RETURN_IF_ERROR(
+          device1_->StoreAux(rows.rows() * sizeof(double)));
+      offline_bytes_written_ += bytes + rows.rows() * sizeof(double);
+      break;
+    }
+    case EngineMode::kCosine:
+    case EngineMode::kPearson: {
+      const bool pearson = mode_ == EngineMode::kPearson;
+      PIMINE_RETURN_IF_ERROR(
+          device1_->ProgramDelta(quantizer_.Quantize(rows)));
+      for (size_t i = 0; i < rows.rows(); ++i) {
+        const auto row = rows.row(i);
+        sum_floor_.push_back(quantizer_.SumFloors(row));
+        if (pearson) {
+          const PccDecomposition::Phi phi = PccDecomposition::ComputePhi(row);
+          norm_.push_back(phi.a);
+          phi_b_.push_back(phi.b);
+        } else {
+          norm_.push_back(CsDecomposition::Phi(row));
+        }
+      }
+      const uint64_t aux_bytes =
+          rows.rows() * (pearson ? 3 : 2) * sizeof(double);
+      PIMINE_RETURN_IF_ERROR(device1_->StoreAux(aux_bytes));
+      offline_bytes_written_ +=
+          rows.rows() * dims_ * (operand_bits_ / 8) + aux_bytes;
+      break;
+    }
+  }
+  num_objects_ += rows.rows();
+  offline_ns_ += program_ns_total() - prog_before;
+  return Status::OK();
+}
+
+Status PimEngine::DeleteRow(size_t index) {
+  if (index >= num_objects_) {
+    return Status::InvalidArgument("delete index out of range");
+  }
+  if (live_objects() <= 1 && !device1_->tombstoned(index)) {
+    return Status::FailedPrecondition("cannot delete the last live row");
+  }
+  return device1_->Tombstone(index);
+}
+
+Status PimEngine::Compact(std::vector<uint32_t>* live_out) {
+  std::vector<uint32_t> live;
+  live.reserve(num_objects_);
+  for (size_t i = 0; i < num_objects_; ++i) {
+    if (!device1_->tombstoned(i)) live.push_back(static_cast<uint32_t>(i));
+  }
+  if (live.empty()) {
+    return Status::FailedPrecondition("compaction would leave no live rows");
+  }
+  const auto program_ns_total = [this]() {
+    double ns = device1_->stats().program_ns;
+    if (device2_) ns += device2_->stats().program_ns;
+    return ns;
+  };
+  const double prog_before = program_ns_total();
+  PIMINE_RETURN_IF_ERROR(device1_->CompactRows(live));
+  if (device2_) PIMINE_RETURN_IF_ERROR(device2_->CompactRows(live));
+
+  const auto compact_terms = [&live](std::vector<double>* v) {
+    if (v->empty()) return;
+    for (size_t i = 0; i < live.size(); ++i) (*v)[i] = (*v)[live[i]];
+    v->resize(live.size());
+  };
+  compact_terms(&phi_);
+  compact_terms(&sum_floor_);
+  compact_terms(&norm_);
+  compact_terms(&phi_b_);
+
+  num_objects_ = live.size();
+  const size_t width = num_segments_ > 0
+                           ? static_cast<size_t>(num_segments_)
+                           : dims_;
+  offline_bytes_written_ += live.size() * width * (operand_bits_ / 8) *
+                            (device2_ ? 2 : 1);
+  offline_ns_ += program_ns_total() - prog_before;
+  if (live_out != nullptr) *live_out = std::move(live);
+  return Status::OK();
+}
+
+double PimEngine::PruneBound() const {
+  switch (mode_) {
+    case EngineMode::kDirectEd:
+    case EngineMode::kSegmentFnn:
+    case EngineMode::kSegmentSm:
+      // A +inf "lower bound" sorts tombstones last and the early-break
+      // candidate loops never refine them.
+      return std::numeric_limits<double>::infinity();
+    case EngineMode::kCosine:
+    case EngineMode::kPearson:
+      // Searches negate upper bounds for maximize, so -inf sorts last.
+      return -std::numeric_limits<double>::infinity();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
 double PimEngine::TrivialBound() const {
   switch (mode_) {
     case EngineMode::kDirectEd:
@@ -568,6 +714,7 @@ double PimEngine::CombineBound(size_t index, uint64_t dot1, uint64_t dot2,
 }
 
 double PimEngine::BoundFor(const QueryHandle& handle, size_t index) const {
+  if (device1_->tombstoned(index)) return PruneBound();
   if ((!handle.suspect1.empty() && handle.suspect1[index] != 0) ||
       (!handle.suspect2.empty() && handle.suspect2[index] != 0)) {
     return TrivialBound();
@@ -581,6 +728,7 @@ double PimEngine::BoundFor(const QueryHandle& handle, size_t index) const {
 double PimEngine::BoundFor(const QueryHandleBatch& batch, size_t query,
                            size_t index) const {
   PIMINE_DCHECK(query < batch.num_queries);
+  if (device1_->tombstoned(index)) return PruneBound();
   const size_t off = query * batch.stride + index;
   if ((!batch.suspect1.empty() && batch.suspect1[off] != 0) ||
       (!batch.suspect2.empty() && batch.suspect2[off] != 0)) {

@@ -208,6 +208,44 @@ class PimEngine {
   /// device or transfer accounting is charged: nothing moved.
   Status SlackFillBatch(size_t num_queries, QueryHandleBatch* batch) const;
 
+  /// Appends `rows` (same dimensionality, values in [0, 1]) to the engine:
+  /// quantizes them per the engine's mode, programs the device delta
+  /// region(s) incrementally (ProgramLatencyNs per appended row), and
+  /// extends the per-object offline terms. Appended objects take physical
+  /// indices [num_objects(), num_objects() + rows.rows()). Bounds for the
+  /// grown engine are bit-identical to an engine built from scratch on the
+  /// merged dataset: quantization, segment stats and Phi terms are all
+  /// per-row computations. Not safe concurrently with in-flight queries.
+  Status AppendRows(const FloatMatrix& rows);
+
+  /// Tombstones object `index`: its bound becomes PruneBound() (sorts
+  /// last, never refined), so query results are bit-identical to an engine
+  /// that never held the row — while the physical crossbar row keeps
+  /// computing (deleting costs zero device time until compaction).
+  Status DeleteRow(size_t index);
+
+  /// True when `index` is tombstoned.
+  bool IsDeleted(size_t index) const { return device1_->tombstoned(index); }
+  /// Objects that still count (num_objects() minus tombstones).
+  size_t live_objects() const {
+    return num_objects_ - device1_->tombstoned_rows();
+  }
+  /// Rows appended since the last full (re)program / compaction.
+  size_t delta_objects() const { return device1_->delta_rows(); }
+
+  /// Rewrites base + delta − tombstones into a fresh base on every device,
+  /// charged at full program cost (the background compaction pass).
+  /// `live_out` (optional) receives the surviving old physical indices in
+  /// ascending order — new physical index i held old index (*live_out)[i].
+  /// Post-compaction state is bit-identical to an engine freshly built on
+  /// the surviving rows.
+  Status Compact(std::vector<uint32_t>* live_out = nullptr);
+
+  /// The admissible never-refine bound substituted for tombstoned rows:
+  /// +inf for the ED family (sorts last under minimize), -inf for CS/PCC
+  /// (sorts last once the search negates for maximize).
+  double PruneBound() const;
+
   /// Lazy combine for object `index`: O(1) host work, 3*b bits of transfer.
   double BoundFor(const QueryHandle& handle, size_t index) const;
 

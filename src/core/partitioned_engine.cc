@@ -92,7 +92,7 @@ Status PartitionedPimEngine::ComputeBoundsBatch(
                              partition.mutable_row(r));
     }
     PIMINE_RETURN_IF_ERROR(
-        device_->ProgramDataset(partition, options_.operand_bits));
+        device_->ReprogramDataset(partition, options_.operand_bits));
 
     for (size_t q = 0; q < nq; ++q) {
       PIMINE_RETURN_IF_ERROR(

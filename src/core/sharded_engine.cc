@@ -549,6 +549,141 @@ double ShardedPimEngine::BoundFor(const QueryHandleBatch& batch, size_t query,
   return primary(j).BoundFor(batch.shards[j], query, map_.local_of[index]);
 }
 
+Status ShardedPimEngine::AppendRows(const FloatMatrix& rows) {
+  if (rows.rows() == 0) {
+    return Status::InvalidArgument("AppendRows requires at least one row");
+  }
+  if (rows.cols() != dims()) {
+    return Status::InvalidArgument("appended row dimensionality mismatch");
+  }
+  // Validate the whole batch BEFORE mutating any shard, so a bad row
+  // cannot leave some replicas appended and others not.
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    for (float v : rows.row(i)) {
+      if (!(v >= 0.0f && v <= 1.0f)) {
+        return Status::InvalidArgument(
+            "appended rows must be normalized into [0, 1]");
+      }
+    }
+  }
+  const size_t m = engines_.size();
+  // Round-robin placement by append sequence: group the batch's rows by
+  // target shard preserving order, so each shard's slice is appended in
+  // ascending global id.
+  std::vector<std::vector<uint32_t>> picks(m);
+  for (size_t b = 0; b < rows.rows(); ++b) {
+    picks[(append_seq_ + b) % m].push_back(static_cast<uint32_t>(b));
+  }
+  for (size_t j = 0; j < m; ++j) {
+    if (picks[j].empty()) continue;
+    FloatMatrix part(picks[j].size(), rows.cols());
+    for (size_t local = 0; local < picks[j].size(); ++local) {
+      const auto src = rows.row(picks[j][local]);
+      std::copy(src.begin(), src.end(), part.mutable_row(local).begin());
+    }
+    // Every replica is a physical copy of the shard: each one delta-
+    // programs the slice (its own ProgramLatencyNs and endurance charge).
+    for (const auto& e : engines_[j]) {
+      PIMINE_RETURN_IF_ERROR(e->AppendRows(part));
+    }
+  }
+  // Extend the global routing map. Appended ids exceed every existing id,
+  // so pushing back keeps each shard's global-id list ascending — the
+  // shard-local physical order the engines just programmed.
+  for (size_t b = 0; b < rows.rows(); ++b) {
+    const uint32_t j = static_cast<uint32_t>((append_seq_ + b) % m);
+    map_.rows_per_shard[j].push_back(
+        static_cast<uint32_t>(num_objects_ + b));
+    map_.shard_of.push_back(j);
+    map_.local_of.push_back(
+        static_cast<uint32_t>(map_.rows_per_shard[j].size() - 1));
+  }
+  append_seq_ += rows.rows();
+  num_objects_ += rows.rows();
+  mut_appended_rows_.fetch_add(rows.rows(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedPimEngine::DeleteRow(size_t index) {
+  if (index >= num_objects_) {
+    return Status::InvalidArgument("DeleteRow index out of range");
+  }
+  const uint32_t j = map_.shard_of[index];
+  const uint32_t local = map_.local_of[index];
+  // Replicas hold identical tombstone state, so the first call performs
+  // all validation (out-of-range / double delete / last-live guard) before
+  // mutating; later replicas cannot fail differently.
+  for (const auto& e : engines_[j]) {
+    PIMINE_RETURN_IF_ERROR(e->DeleteRow(local));
+  }
+  mut_deleted_rows_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool ShardedPimEngine::IsDeleted(size_t index) const {
+  PIMINE_DCHECK(index < num_objects_);
+  return primary(map_.shard_of[index]).IsDeleted(map_.local_of[index]);
+}
+
+Status ShardedPimEngine::Compact() {
+  const size_t m = engines_.size();
+  std::vector<std::vector<uint32_t>> live_local(m);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t r = 0; r < engines_[j].size(); ++r) {
+      // Replica tombstone state is identical, so every replica compacts to
+      // the same live list; keep the primary's for the map renumber.
+      PIMINE_RETURN_IF_ERROR(
+          engines_[j][r]->Compact(r == 0 ? &live_local[j] : nullptr));
+    }
+  }
+  // Renumber survivors densely in ascending OLD global id — the ids a
+  // from-scratch build of the merged live dataset would assign.
+  std::vector<std::pair<uint32_t, uint32_t>> survivors;  // (old id, shard)
+  for (size_t j = 0; j < m; ++j) {
+    for (const uint32_t local : live_local[j]) {
+      survivors.emplace_back(map_.rows_per_shard[j][local], j);
+    }
+  }
+  std::sort(survivors.begin(), survivors.end());
+  ShardMap next;
+  next.rows_per_shard.resize(m);
+  next.shard_of.resize(survivors.size());
+  next.local_of.resize(survivors.size());
+  for (size_t id = 0; id < survivors.size(); ++id) {
+    const uint32_t j = survivors[id].second;
+    // The monotone renumber preserves each shard's ascending order, so the
+    // new local index matches the position the shard engine's compaction
+    // moved the row to.
+    next.rows_per_shard[j].push_back(static_cast<uint32_t>(id));
+    next.shard_of[id] = j;
+    next.local_of[id] =
+        static_cast<uint32_t>(next.rows_per_shard[j].size() - 1);
+  }
+  map_ = std::move(next);
+  num_objects_ = survivors.size();
+  mut_compactions_.fetch_add(1, std::memory_order_relaxed);
+  mut_compacted_rows_.fetch_add(survivors.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+size_t ShardedPimEngine::live_objects() const {
+  size_t live = 0;
+  for (size_t j = 0; j < engines_.size(); ++j) live += primary(j).live_objects();
+  return live;
+}
+
+size_t ShardedPimEngine::delta_objects() const {
+  size_t delta = 0;
+  for (size_t j = 0; j < engines_.size(); ++j) {
+    delta += primary(j).delta_objects();
+  }
+  return delta;
+}
+
+size_t ShardedPimEngine::tombstoned_objects() const {
+  return num_objects_ - live_objects();
+}
+
 int ShardedPimEngine::serving_replica(size_t j) const {
   PIMINE_DCHECK(j < shard_counters_.size());
   return static_cast<int>(
@@ -712,6 +847,26 @@ FleetRunStats ShardedPimEngine::FleetStats() const {
   s.scatter_ns = class_ns(s.scatter_messages, s.scatter_bytes);
   s.gather_ns = class_ns(s.gather_messages, s.gather_bytes);
   s.reduce_ns = class_ns(s.reduce_messages, s.reduce_bytes);
+  s.appended_rows = mut_appended_rows_.load(std::memory_order_relaxed);
+  s.deleted_rows = mut_deleted_rows_.load(std::memory_order_relaxed);
+  s.compactions = mut_compactions_.load(std::memory_order_relaxed);
+  s.compacted_rows = mut_compacted_rows_.load(std::memory_order_relaxed);
+  s.delta_rows = delta_objects();
+  s.tombstoned_rows = tombstoned_objects();
+  // Endurance sums over every device copy: replicas are physical devices,
+  // each wearing its own cells.
+  for (const auto& shard : engines_) {
+    for (const auto& e : shard) {
+      const PimDeviceStats s1 = e->device1().StatsSnapshot();
+      s.row_writes += s1.row_writes;
+      s.worn_rows += s1.worn_rows;
+      if (e->device2() != nullptr) {
+        const PimDeviceStats s2 = e->device2()->StatsSnapshot();
+        s.row_writes += s2.row_writes;
+        s.worn_rows += s2.worn_rows;
+      }
+    }
+  }
   return s;
 }
 
@@ -899,6 +1054,40 @@ void ShardedPimEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
               reduce_messages_.load(std::memory_order_relaxed));
   fleet_count("pimine_fleet_reduce_bytes_total",
               reduce_bytes_.load(std::memory_order_relaxed));
+
+  // Mutable-dataset plane (DESIGN.md section 13): fleet-level mutation
+  // counters plus the current delta/tombstone backlog and the endurance
+  // totals from FleetStats (summed over every device copy).
+  r.SetHelp("pimine_mutation_appended_rows_total",
+            "Rows appended to the fleet via delta programming.");
+  r.SetHelp("pimine_mutation_deleted_rows_total",
+            "Rows tombstoned on the fleet.");
+  r.SetHelp("pimine_mutation_compactions_total",
+            "Fleet-wide compaction passes (base + delta rewritten).");
+  r.SetHelp("pimine_mutation_compacted_rows_total",
+            "Live rows rewritten by compaction passes.");
+  r.SetHelp("pimine_mutation_delta_rows",
+            "Un-compacted delta rows currently programmed (primary copies).");
+  r.SetHelp("pimine_mutation_tombstoned_rows",
+            "Rows currently tombstoned (primary copies).");
+  r.SetHelp("pimine_mutation_row_writes_total",
+            "Row program operations summed over every device copy "
+            "(write-endurance accounting).");
+  r.SetHelp("pimine_mutation_worn_rows",
+            "Rows past the configured write-endurance limit over every "
+            "device copy.");
+  const FleetRunStats fs = FleetStats();
+  fleet_count("pimine_mutation_appended_rows_total", fs.appended_rows);
+  fleet_count("pimine_mutation_deleted_rows_total", fs.deleted_rows);
+  fleet_count("pimine_mutation_compactions_total", fs.compactions);
+  fleet_count("pimine_mutation_compacted_rows_total", fs.compacted_rows);
+  fleet_count("pimine_mutation_row_writes_total", fs.row_writes);
+  r.GetGauge("pimine_mutation_delta_rows")
+      .Set(static_cast<double>(fs.delta_rows));
+  r.GetGauge("pimine_mutation_tombstoned_rows")
+      .Set(static_cast<double>(fs.tombstoned_rows));
+  r.GetGauge("pimine_mutation_worn_rows")
+      .Set(static_cast<double>(fs.worn_rows));
 }
 
 void ShardedPimEngine::ChargeTreeReduction(uint64_t payload_bytes) const {

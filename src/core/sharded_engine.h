@@ -140,6 +140,36 @@ class ShardedPimEngine {
   double BoundFor(const QueryHandleBatch& batch, size_t query,
                   size_t index) const;
 
+  // --- Mutable datasets (DESIGN.md section 13) -------------------------
+  /// Appends `rows` to the fleet. Each appended row is assigned the next
+  /// global id (num_objects() before the call + its position) and routed
+  /// round-robin over the shards by append sequence; the row is delta-
+  /// programmed onto EVERY replica of its target shard, so replicas keep
+  /// holding identical shard datasets. Because appended global ids exceed
+  /// all existing ids, shard-local layouts stay ascending in global id and
+  /// BoundFor routing stays bit-identical to a merged re-build. Mutations
+  /// must be externally serialized against queries and other mutations
+  /// (FleetStats snapshots stay safe); on error the fleet may be left
+  /// partially mutated and should be discarded.
+  Status AppendRows(const FloatMatrix& rows);
+  /// Tombstones GLOBAL row `index` on every replica of its shard. Fails
+  /// with InvalidArgument when out of range or already deleted, and with
+  /// FailedPrecondition when it would empty a shard (every shard keeps at
+  /// least one live row).
+  Status DeleteRow(size_t index);
+  /// Whether GLOBAL row `index` is tombstoned.
+  bool IsDeleted(size_t index) const;
+  /// Rewrites every shard's base + delta into a fresh dense base holding
+  /// only live rows (full re-program at program cost on every replica) and
+  /// renumbers global ids densely in ascending old-id order — identical to
+  /// the ids of a from-scratch build of the merged live dataset.
+  Status Compact();
+  /// Rows not tombstoned / appended since the last full (re-)program /
+  /// currently tombstoned, summed over the primary copies.
+  size_t live_objects() const;
+  size_t delta_objects() const;
+  size_t tombstoned_objects() const;
+
   // --- Fleet geometry -------------------------------------------------
   size_t shards() const { return engines_.size(); }
   ShardPlacement placement() const { return options_.shard.placement; }
@@ -360,6 +390,18 @@ class ShardedPimEngine {
   // shard, so the reduce class stays fleet-level.
   mutable std::atomic<uint64_t> reduce_messages_{0};
   mutable std::atomic<uint64_t> reduce_bytes_{0};
+
+  // Mutable-dataset accounting. append_seq_ drives the round-robin row
+  // placement and survives compaction, so a long insert stream keeps
+  // balancing the shards. The counters are cumulative (ResetOnlineStats
+  // leaves them untouched) and atomic only so concurrent FleetStats /
+  // metrics snapshots stay race-free; mutations themselves are externally
+  // serialized.
+  uint64_t append_seq_ = 0;
+  std::atomic<uint64_t> mut_appended_rows_{0};
+  std::atomic<uint64_t> mut_deleted_rows_{0};
+  std::atomic<uint64_t> mut_compactions_{0};
+  std::atomic<uint64_t> mut_compacted_rows_{0};
 };
 
 /// Merges per-shard top-k lists into the global top-k. Every input list

@@ -58,6 +58,47 @@ class Matrix {
   /// Bytes of payload (excluding object overhead).
   size_t SizeBytes() const { return values_.size() * sizeof(T); }
 
+  /// Appends one row. On an empty matrix the row fixes the column count;
+  /// otherwise `row.size()` must equal cols(). Row spans returned earlier
+  /// may be invalidated (storage reallocates); the matrix object itself
+  /// stays valid, which is what the mutable-dataset layer relies on.
+  void AppendRow(std::span<const T> row) {
+    if (rows_ == 0) cols_ = row.size();
+    PIMINE_CHECK(row.size() == cols_)
+        << "appended row has " << row.size() << " values, expected " << cols_;
+    values_.insert(values_.end(), row.begin(), row.end());
+    ++rows_;
+  }
+
+  /// Appends every row of `other` (same column count, or this is empty).
+  void AppendRows(const Matrix<T>& other) {
+    if (other.rows() == 0) return;
+    if (rows_ == 0) cols_ = other.cols();
+    PIMINE_CHECK(other.cols() == cols_)
+        << "appended matrix has " << other.cols() << " cols, expected "
+        << cols_;
+    values_.insert(values_.end(), other.values().begin(),
+                   other.values().end());
+    rows_ += other.rows();
+  }
+
+  /// Keeps only the rows named in `keep` (strictly ascending indices),
+  /// preserving their order — the host half of a compaction pass.
+  void KeepRows(std::span<const uint32_t> keep) {
+    size_t w = 0;
+    for (const uint32_t r : keep) {
+      PIMINE_CHECK(r < rows_) << "KeepRows index " << r << " out of range";
+      if (w != r) {
+        std::copy(values_.begin() + r * cols_,
+                  values_.begin() + (r + 1) * cols_,
+                  values_.begin() + w * cols_);
+      }
+      ++w;
+    }
+    rows_ = w;
+    values_.resize(rows_ * cols_);
+  }
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;

@@ -14,12 +14,14 @@ Result<KmeansResult> HamerlyKmeans::Run(const FloatMatrix& data,
                                         const KmeansOptions& options) {
   PIMINE_RETURN_IF_ERROR(ValidateKmeansInput(data, options));
 
-  std::unique_ptr<PimAssignFilter> filter;
-  if (options.use_pim) {
-    PIMINE_ASSIGN_OR_RETURN(filter,
+  std::unique_ptr<PimAssignFilter> owned_filter;
+  PimAssignFilter* filter = options.filter;
+  if (options.use_pim && filter == nullptr) {
+    PIMINE_ASSIGN_OR_RETURN(owned_filter,
                             PimAssignFilter::Build(data, options.engine_options));
-    filter->set_fanout_policy(options.exec);
+    filter = owned_filter.get();
   }
+  if (filter != nullptr) filter->set_fanout_policy(options.exec);
 
   KmeansResult result;
   result.centers = InitCenters(data, options.k, options.seed);
@@ -138,7 +140,7 @@ Result<KmeansResult> HamerlyKmeans::Run(const FloatMatrix& data,
       ScopedFunctionTimer timer(&result.stats.profile, "update");
       result.centers =
           UpdateCenters(data, result.assignments, result.centers, &moved,
-                        filter.get());
+                        filter);
     }
     {
       ScopedFunctionTimer timer(&result.stats.profile, "bound update");

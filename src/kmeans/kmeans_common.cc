@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -108,15 +109,16 @@ FloatMatrix UpdateCenters(const FloatMatrix& data,
     // the partials merge pairwise. ExactSum addition is exact integer
     // addition, so the tree result equals the flat sum bit-for-bit for
     // every shard count; only the fleet reduce accounting below varies.
-    const ShardMap& map = filter->shard_map();
     std::vector<std::vector<ExactSum>> partials(
         shards, std::vector<ExactSum>(k * d));
     for (size_t i = 0; i < data.rows(); ++i) {
       const int32_t c = assignments[i];
       PIMINE_DCHECK(c >= 0 && static_cast<size_t>(c) < k);
       const auto row = data.row(i);
+      // ShardOf translates the dense live index to the physical fleet row,
+      // so partials group by where the row actually lives post-mutation.
       ExactSum* sum =
-          partials[map.shard_of[i]].data() + static_cast<size_t>(c) * d;
+          partials[filter->ShardOf(i)].data() + static_cast<size_t>(c) * d;
       for (size_t j = 0; j < d; ++j) sum[j].Add(row[j]);
       ++counts[c];
     }
@@ -168,6 +170,12 @@ double ComputeInertia(const FloatMatrix& data, const FloatMatrix& centers,
   return total;
 }
 
+PimAssignFilter::PimAssignFilter(std::unique_ptr<ShardedPimEngine> engine)
+    : engine_(std::move(engine)) {
+  live_ids_.resize(engine_->num_objects());
+  std::iota(live_ids_.begin(), live_ids_.end(), 0u);
+}
+
 Result<std::unique_ptr<PimAssignFilter>> PimAssignFilter::Build(
     const FloatMatrix& data, const EngineOptions& options) {
   EngineOptions opts = options;
@@ -179,6 +187,35 @@ Result<std::unique_ptr<PimAssignFilter>> PimAssignFilter::Build(
       ShardedPimEngine::Build(data, Distance::kEuclidean, opts));
   return std::unique_ptr<PimAssignFilter>(
       new PimAssignFilter(std::move(engine)));
+}
+
+Status PimAssignFilter::OnInsert(const FloatMatrix& rows) {
+  const size_t first = engine_->num_objects();
+  PIMINE_RETURN_IF_ERROR(engine_->AppendRows(rows));
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    live_ids_.push_back(static_cast<uint32_t>(first + i));
+  }
+  return Status::OK();
+}
+
+Status PimAssignFilter::OnDelete(std::span<const uint32_t> rows) {
+  for (const uint32_t row : rows) {
+    PIMINE_RETURN_IF_ERROR(engine_->DeleteRow(row));
+    const auto it =
+        std::lower_bound(live_ids_.begin(), live_ids_.end(), row);
+    PIMINE_CHECK(it != live_ids_.end() && *it == row)
+        << "deleted row " << row << " missing from the live view";
+    live_ids_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status PimAssignFilter::OnCompact(const std::vector<uint32_t>& live) {
+  PIMINE_RETURN_IF_ERROR(engine_->Compact());
+  // Post-compaction ids are dense: the live view is the identity again.
+  live_ids_.resize(live.size());
+  std::iota(live_ids_.begin(), live_ids_.end(), 0u);
+  return Status::OK();
 }
 
 Status PimAssignFilter::BeginIteration(const FloatMatrix& centers,
@@ -212,7 +249,8 @@ Status PimAssignFilter::BeginIteration(const FloatMatrix& centers,
 double PimAssignFilter::LowerBound(size_t point, size_t center) const {
   PIMINE_DCHECK(center / group_size_ < batches_.size());
   const double lb_sq = engine_->BoundFor(batches_[center / group_size_],
-                                         center % group_size_, point);
+                                         center % group_size_,
+                                         live_ids_[point]);
   return lb_sq > 0.0 ? std::sqrt(lb_sq) : 0.0;
 }
 

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/engine.h"
+#include "core/mutable_dataset.h"
 #include "core/sharded_engine.h"
 #include "data/matrix.h"
 #include "profiling/run_stats.h"
@@ -31,6 +32,13 @@ struct KmeansOptions {
   /// Theorem 1) before any exact distance computation (§VI-D).
   bool use_pim = false;
   EngineOptions engine_options;
+  /// Shared PIM assign filter (not owned; must outlive the run). When set
+  /// it is used instead of building a run-local filter: the mutable-
+  /// dataset workflow keeps ONE filter in sync with its corpus via
+  /// MutationListener and shares it across runs. The `data` passed to Run
+  /// must then be the filter's dense live view — live rows in ascending
+  /// physical order (MutableDataset::LiveCorpus()).
+  PimAssignFilter* filter = nullptr;
   /// Host-side execution policy for the per-point assign step. Points are
   /// independent within one assign pass, so chunks spread across
   /// `exec.num_threads` workers; assignments, centers and aggregated
@@ -117,10 +125,19 @@ double ComputeInertia(const FloatMatrix& data, const FloatMatrix& centers,
 /// refreshes one batch of dot products per center per iteration. Lower
 /// bounds are combined lazily — the host loads only the PIM results of the
 /// (point, center) pairs the algorithm actually examines.
-class PimAssignFilter {
+///
+/// As a MutationListener the filter mirrors corpus mutations onto its
+/// fleet and maintains the dense-live -> physical id map: k-means always
+/// runs over the dense live view, and LowerBound/ShardOf translate dense
+/// point indices to the fleet's physical rows.
+class PimAssignFilter : public MutationListener {
  public:
   static Result<std::unique_ptr<PimAssignFilter>> Build(
       const FloatMatrix& data, const EngineOptions& options);
+
+  Status OnInsert(const FloatMatrix& rows) override;
+  Status OnDelete(std::span<const uint32_t> rows) override;
+  Status OnCompact(const std::vector<uint32_t>& live) override;
 
   /// Runs the PIM operations for the current centers (call at the start of
   /// every assign step; centers move every iteration). Centers are grouped
@@ -131,9 +148,17 @@ class PimAssignFilter {
   /// device_batch == 0 is rejected with InvalidArgument.
   Status BeginIteration(const FloatMatrix& centers, size_t device_batch = 1);
 
-  /// Lower bound on the *real* (non-squared) distance between `point` and
-  /// `center`. O(1) host work.
+  /// Lower bound on the *real* (non-squared) distance between dense live
+  /// point `point` and `center`. O(1) host work.
   double LowerBound(size_t point, size_t center) const;
+
+  /// Shard holding dense live point `point` (UpdateCenters groups its
+  /// per-shard partial sums by this).
+  uint32_t ShardOf(size_t point) const {
+    return engine_->shard_map().shard_of[live_ids_[point]];
+  }
+  /// Dense live points currently addressable (rows of the live view).
+  size_t live_points() const { return live_ids_.size(); }
 
   double PimComputeNs() const { return engine_->PimComputeNs(); }
   FaultStats FaultStatsTotal() const { return engine_->FaultStatsTotal(); }
@@ -165,12 +190,14 @@ class PimAssignFilter {
   void SetChaosNowNs(uint64_t now_ns) { engine_->set_chaos_now_ns(now_ns); }
 
  private:
-  explicit PimAssignFilter(std::unique_ptr<ShardedPimEngine> engine)
-      : engine_(std::move(engine)) {}
+  explicit PimAssignFilter(std::unique_ptr<ShardedPimEngine> engine);
 
   std::unique_ptr<ShardedPimEngine> engine_;
   std::vector<ShardedPimEngine::QueryHandleBatch> batches_;
   size_t group_size_ = 1;  // device_batch of the current iteration.
+  /// live_ids_[dense] = physical fleet row; ascending, so the dense order
+  /// matches MutableDataset::LiveCorpus().
+  std::vector<uint32_t> live_ids_;
 };
 
 }  // namespace pimine

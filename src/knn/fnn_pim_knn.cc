@@ -1,6 +1,7 @@
 #include "knn/fnn_pim_knn.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 #include "core/bounds.h"
@@ -42,8 +43,13 @@ Status FnnPimKnn::Prepare(const FloatMatrix& data) {
     previous_d0 = d0;
   }
 
+  return RebuildPlan(data);
+}
+
+Status FnnPimKnn::RebuildPlan(const FloatMatrix& data) {
   PIMINE_RETURN_IF_ERROR(MeasureCandidates(data));
 
+  const int64_t d = static_cast<int64_t>(data.cols());
   selected_levels_.clear();
   use_pim_filter_ = true;
   if (optimize_) {
@@ -71,6 +77,43 @@ Status FnnPimKnn::Prepare(const FloatMatrix& data) {
         static_cast<double>(d) * 8 * sizeof(float));
   }
   return Status::OK();
+}
+
+Status FnnPimKnn::OnInsert(const FloatMatrix& rows) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  PIMINE_RETURN_IF_ERROR(engine_->AppendRows(rows));
+  // Per-row segment statistics of the retained original levels: means and
+  // stds depend only on their own row, so appending equals a fresh
+  // ComputeSegmentStats of the merged corpus.
+  for (SegmentStats& level : levels_) {
+    const SegmentStats appended =
+        ComputeSegmentStats(rows, level.num_segments);
+    level.means.AppendRows(appended.means);
+    level.stds.AppendRows(appended.stds);
+  }
+  return Status::OK();
+}
+
+Status FnnPimKnn::OnDelete(std::span<const uint32_t> rows) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  for (const uint32_t row : rows) {
+    PIMINE_RETURN_IF_ERROR(engine_->DeleteRow(row));
+  }
+  return Status::OK();
+}
+
+Status FnnPimKnn::OnCompact(const std::vector<uint32_t>& live) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  PIMINE_RETURN_IF_ERROR(engine_->Compact());
+  for (SegmentStats& level : levels_) {
+    level.means.KeepRows(live);
+    level.stds.KeepRows(live);
+  }
+  // With the corpus dense again, re-measure the Eq. 13 plan exactly as a
+  // fresh Prepare of the compacted data would (same sample-query seed for
+  // the same row count). Search resets online device stats, so the
+  // measurement passes do not leak into query accounting.
+  return RebuildPlan(*data_);
 }
 
 Status FnnPimKnn::MeasureCandidates(const FloatMatrix& data) {
@@ -171,7 +214,9 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
   if (queries.cols() != data_->cols()) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
-  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+  // Tombstoned rows are unreachable (their bound sorts last), so k ranges
+  // over the LIVE corpus.
+  if (k <= 0 || static_cast<size_t>(k) > engine_->live_objects()) {
     return Status::InvalidArgument("k out of range");
   }
 
@@ -250,13 +295,21 @@ Result<KnnRunResult> FnnPimKnn::Search(const FloatMatrix& queries, int k) {
             const size_t lv = selected_levels_[0];
             ComputeSegments(q, level.num_segments, s.q_means[lv], s.q_stds[lv]);
             for (size_t i = 0; i < n; ++i) {
-              s.bounds[i] = LbFnn(level.means.row(i), level.stds.row(i),
-                                  s.q_means[lv], s.q_stds[lv],
-                                  level.segment_length);
+              // Host-side level bounds know nothing about tombstones, so
+              // prune deleted rows here the way the PIM bound would.
+              s.bounds[i] = engine_->IsDeleted(i)
+                                ? std::numeric_limits<double>::infinity()
+                                : LbFnn(level.means.row(i), level.stds.row(i),
+                                        s.q_means[lv], s.q_stds[lv],
+                                        level.segment_length);
             }
             slot.bound_count += n;
           } else {
-            std::fill(s.bounds.begin(), s.bounds.end(), 0.0);
+            for (size_t i = 0; i < n; ++i) {
+              s.bounds[i] = engine_->IsDeleted(i)
+                                ? std::numeric_limits<double>::infinity()
+                                : 0.0;
+            }
           }
           const size_t first_refine_level =
               use_pim_filter_ ? 0 : (selected_levels_.empty() ? 0 : 1);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/mutable_dataset.h"
 #include "core/plan.h"
 #include "core/sharded_engine.h"
 #include "core/segments.h"
@@ -21,7 +22,7 @@ namespace pimine {
 /// queries at Prepare time and keeps only the subset with the least
 /// estimated data transfer (Fig. 12b, "remove" — typically the PIM bound
 /// alone, since s > d/16 makes the survivors hard to re-filter).
-class FnnPimKnn : public KnnAlgorithm {
+class FnnPimKnn : public KnnAlgorithm, public MutationListener {
  public:
   FnnPimKnn(EngineOptions options, bool optimize,
             std::vector<int64_t> level_divisors = {64, 16, 4},
@@ -32,6 +33,16 @@ class FnnPimKnn : public KnnAlgorithm {
   }
   Status Prepare(const FloatMatrix& data) override;
   Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  /// Mutation mirroring: inserts append to the fleet and to every retained
+  /// original level's per-row segment statistics; compaction compacts both
+  /// and — with optimize — re-measures the Eq. 13 plan on the (dense)
+  /// compacted corpus, matching a fresh Prepare of the same data. Between
+  /// compactions an optimized plan reflects the corpus it was measured on
+  /// (bounds stay admissible, so results stay exact).
+  Status OnInsert(const FloatMatrix& rows) override;
+  Status OnDelete(std::span<const uint32_t> rows) override;
+  Status OnCompact(const std::vector<uint32_t>& live) override;
 
   double OfflineModeledNs() const override {
     return engine_ ? engine_->OfflineNs() : 0.0;
@@ -46,6 +57,10 @@ class FnnPimKnn : public KnnAlgorithm {
  private:
   /// Measures pruning ratios on sample queries and fills `candidates_`.
   Status MeasureCandidates(const FloatMatrix& data);
+
+  /// MeasureCandidates + the Eq. 13 plan selection, shared by Prepare and
+  /// the post-compaction re-plan (identical inputs give identical plans).
+  Status RebuildPlan(const FloatMatrix& data);
 
   EngineOptions options_;
   bool optimize_;

@@ -39,12 +39,50 @@ Status OstPimKnn::Prepare(const FloatMatrix& data) {
   return Status::OK();
 }
 
+Status OstPimKnn::OnInsert(const FloatMatrix& rows) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  // The fleet holds only the d0-dim prefixes: gather them from the full
+  // inserted rows, exactly as Prepare did for the base corpus.
+  FloatMatrix prefixes(rows.rows(), static_cast<size_t>(d0_));
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const auto row = rows.row(i);
+    auto out = prefixes.mutable_row(i);
+    for (int64_t j = 0; j < d0_; ++j) out[j] = row[j];
+  }
+  PIMINE_RETURN_IF_ERROR(engine_->AppendRows(prefixes));
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    suffix_norms_.push_back(SuffixNorm(rows.row(i), d0_));
+  }
+  return Status::OK();
+}
+
+Status OstPimKnn::OnDelete(std::span<const uint32_t> rows) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  for (const uint32_t row : rows) {
+    PIMINE_RETURN_IF_ERROR(engine_->DeleteRow(row));
+  }
+  return Status::OK();
+}
+
+Status OstPimKnn::OnCompact(const std::vector<uint32_t>& live) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  PIMINE_RETURN_IF_ERROR(engine_->Compact());
+  // Compact the suffix-norm table with the same ascending live list the
+  // engines used, so physical ids keep lining up.
+  size_t w = 0;
+  for (const uint32_t r : live) suffix_norms_[w++] = suffix_norms_[r];
+  suffix_norms_.resize(w);
+  return Status::OK();
+}
+
 Result<KnnRunResult> OstPimKnn::Search(const FloatMatrix& queries, int k) {
   if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
   if (queries.cols() != data_->cols()) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
-  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+  // Tombstoned rows are unreachable (their bound sorts last), so k ranges
+  // over the LIVE corpus.
+  if (k <= 0 || static_cast<size_t>(k) > engine_->live_objects()) {
     return Status::InvalidArgument("k out of range");
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/mutable_dataset.h"
 #include "core/sharded_engine.h"
 #include "knn/knn_common.h"
 
@@ -17,7 +18,7 @@ namespace pimine {
 /// lower bound on it while the suffix-norm term stays exact on the host
 /// (one precomputed scalar per object). The result is a valid lower bound
 /// on LB_OST and hence on ED.
-class OstPimKnn : public KnnAlgorithm {
+class OstPimKnn : public KnnAlgorithm, public MutationListener {
  public:
   /// `prefix_divisor` sets d0 = max(1, d / prefix_divisor), matching OstKnn.
   explicit OstPimKnn(EngineOptions options, int64_t prefix_divisor = 4);
@@ -25,6 +26,12 @@ class OstPimKnn : public KnnAlgorithm {
   std::string_view name() const override { return "OST-PIM"; }
   Status Prepare(const FloatMatrix& data) override;
   Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  /// Mutation mirroring: inserts append the d0-dim prefixes to the fleet
+  /// and extend the suffix-norm table; compaction compacts both.
+  Status OnInsert(const FloatMatrix& rows) override;
+  Status OnDelete(std::span<const uint32_t> rows) override;
+  Status OnCompact(const std::vector<uint32_t>& live) override;
 
   double OfflineModeledNs() const override {
     return engine_ ? engine_->OfflineNs() : 0.0;

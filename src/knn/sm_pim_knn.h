@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/engine.h"
+#include "core/mutable_dataset.h"
 #include "core/sharded_engine.h"
 #include "knn/knn_common.h"
 
@@ -13,13 +14,20 @@ namespace pimine {
 /// means-only segment bound. Theorem 4 picks the segment count (as large as
 /// the PIM array allows), so the PIM bound is typically *tighter* than the
 /// original LB_SM^{d/4} while transferring only 3*b bits per candidate.
-class SmPimKnn : public KnnAlgorithm {
+///
+/// As a MutationListener the path mirrors inserts/deletes/compactions onto
+/// the fleet (the engine maintains the per-row segment statistics itself).
+class SmPimKnn : public KnnAlgorithm, public MutationListener {
  public:
   explicit SmPimKnn(EngineOptions options);
 
   std::string_view name() const override { return "SM-PIM"; }
   Status Prepare(const FloatMatrix& data) override;
   Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  Status OnInsert(const FloatMatrix& rows) override;
+  Status OnDelete(std::span<const uint32_t> rows) override;
+  Status OnCompact(const std::vector<uint32_t>& live) override;
 
   double OfflineModeledNs() const override {
     return engine_ ? engine_->OfflineNs() : 0.0;

@@ -23,13 +23,33 @@ Status StandardPimKnn::Prepare(const FloatMatrix& data) {
   return Status::OK();
 }
 
+Status StandardPimKnn::OnInsert(const FloatMatrix& rows) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  return engine_->AppendRows(rows);
+}
+
+Status StandardPimKnn::OnDelete(std::span<const uint32_t> rows) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  for (const uint32_t row : rows) {
+    PIMINE_RETURN_IF_ERROR(engine_->DeleteRow(row));
+  }
+  return Status::OK();
+}
+
+Status StandardPimKnn::OnCompact(const std::vector<uint32_t>& /*live*/) {
+  if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
+  return engine_->Compact();
+}
+
 Result<KnnRunResult> StandardPimKnn::Search(const FloatMatrix& queries,
                                             int k) {
   if (engine_ == nullptr) return Status::FailedPrecondition("Prepare first");
   if (queries.cols() != data_->cols()) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
-  if (k <= 0 || static_cast<size_t>(k) > data_->rows()) {
+  // Tombstoned rows are unreachable (their bound sorts last), so k ranges
+  // over the LIVE corpus.
+  if (k <= 0 || static_cast<size_t>(k) > engine_->live_objects()) {
     return Status::InvalidArgument("k out of range");
   }
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/engine.h"
+#include "core/mutable_dataset.h"
 #include "core/sharded_engine.h"
 #include "knn/knn_common.h"
 
@@ -15,13 +16,22 @@ namespace pimine {
 /// are refined in ascending-bound order with exact ED, so results match
 /// Standard exactly. For CS/PCC the engine supplies upper bounds on the
 /// similarity and refinement runs in descending-bound order.
-class StandardPimKnn : public KnnAlgorithm {
+///
+/// As a MutationListener (attach after Prepare to the MutableDataset
+/// whose corpus() was Prepared) the path mirrors inserts/deletes/
+/// compactions onto the fleet, staying bit-identical to a fresh build of
+/// the live corpus.
+class StandardPimKnn : public KnnAlgorithm, public MutationListener {
  public:
   StandardPimKnn(Distance distance, EngineOptions options);
 
   std::string_view name() const override { return "Standard-PIM"; }
   Status Prepare(const FloatMatrix& data) override;
   Result<KnnRunResult> Search(const FloatMatrix& queries, int k) override;
+
+  Status OnInsert(const FloatMatrix& rows) override;
+  Status OnDelete(std::span<const uint32_t> rows) override;
+  Status OnCompact(const std::vector<uint32_t>& live) override;
 
   double OfflineModeledNs() const override {
     return engine_ ? engine_->OfflineNs() : 0.0;

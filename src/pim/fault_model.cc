@@ -47,8 +47,13 @@ FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
 
 bool FaultModel::CellStuck(uint64_t salt, uint64_t index, int cell_bits,
                            uint8_t* level) const {
+  return CellStuckAtRate(salt, index, config_.cell_rate, cell_bits, level);
+}
+
+bool FaultModel::CellStuckAtRate(uint64_t salt, uint64_t index, double rate,
+                                 int cell_bits, uint8_t* level) const {
   const uint64_t h = Mix(config_.seed ^ salt, index);
-  if (U01(h) >= config_.cell_rate) return false;
+  if (U01(h) >= rate) return false;
   // Stuck-at-0 or stuck-at-full with equal probability, decided by a bit of
   // the same draw (independent of the rate threshold bits).
   const uint8_t mask = static_cast<uint8_t>((1u << cell_bits) - 1);

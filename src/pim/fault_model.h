@@ -29,17 +29,29 @@ struct FaultConfig {
   int adc_sat_bits = 48;
   uint64_t seed = 0x5EEDF417u;
 
+  /// Write-endurance model: a physical row slot that has been programmed
+  /// more than `endurance_limit` times is "worn", and each of its cells is
+  /// stuck (at a level drawn like cell_rate stuck-ats, from the wear salt)
+  /// with probability `wear_stuck_rate`. 0 disables the wear process.
+  uint64_t endurance_limit = 0;
+  double wear_stuck_rate = 0.0;
+
+  bool wear_enabled() const {
+    return endurance_limit > 0 && wear_stuck_rate > 0.0;
+  }
+
   /// True when any fault process can fire. With enabled() == false the
   /// device takes the exact pre-fault code paths (bit-identical results,
   /// latencies and stats).
   bool enabled() const {
-    return cell_rate > 0.0 || transient_rate > 0.0 || adc_sat_rate > 0.0;
+    return cell_rate > 0.0 || transient_rate > 0.0 || adc_sat_rate > 0.0 ||
+           wear_enabled();
   }
 
   Status Validate() const {
     const auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
     if (!rate_ok(cell_rate) || !rate_ok(transient_rate) ||
-        !rate_ok(adc_sat_rate)) {
+        !rate_ok(adc_sat_rate) || !rate_ok(wear_stuck_rate)) {
       return Status::InvalidArgument("fault rates must be in [0, 1]");
     }
     if (adc_sat_bits < 1 || adc_sat_bits > 63) {
@@ -151,6 +163,7 @@ class FaultModel {
   static constexpr uint64_t kDataCellSalt = 0xDA7ACE11u;
   static constexpr uint64_t kChecksumCellSalt = 0xC5C5CE11u;
   static constexpr uint64_t kCrossbarCellSalt = 0xCB0CE11u;
+  static constexpr uint64_t kWearCellSalt = 0x3EA2CE11u;
 
   explicit FaultModel(const FaultConfig& config);
 
@@ -162,6 +175,12 @@ class FaultModel {
   /// cells). Deterministic in (seed, salt, index).
   bool CellStuck(uint64_t salt, uint64_t index, int cell_bits,
                  uint8_t* level) const;
+
+  /// Like CellStuck but at an explicit rate — used for the wear process,
+  /// whose per-cell stuck probability (`wear_stuck_rate`) is independent of
+  /// the manufacturing-defect `cell_rate`.
+  bool CellStuckAtRate(uint64_t salt, uint64_t index, double rate,
+                       int cell_bits, uint8_t* level) const;
 
   /// Fresh per-operation nonce. Atomic: serial call sequences reproduce the
   /// same nonce order; concurrent batches may interleave differently, which

@@ -162,6 +162,13 @@ std::string FleetRunStats::ToString() const {
     os << " | " << failover.ToString();
     if (degraded_shards > 0) os << " degraded_shards=" << degraded_shards;
   }
+  if (AnyMutation()) {
+    os << " | mutation: appended=" << appended_rows
+       << " deleted=" << deleted_rows << " compactions=" << compactions
+       << " (rows=" << compacted_rows << ")"
+       << " delta=" << delta_rows << " tombstoned=" << tombstoned_rows
+       << " row_writes=" << row_writes << " worn=" << worn_rows;
+  }
   return os.str();
 }
 

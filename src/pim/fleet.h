@@ -168,11 +168,29 @@ struct FleetRunStats {
   double scatter_ns = 0.0;
   double gather_ns = 0.0;
   double reduce_ns = 0.0;
+  /// Mutable-dataset accounting (see DESIGN.md section 13). Cumulative
+  /// since build: mutations are maintenance work, so ResetOnlineStats
+  /// leaves these untouched.
+  uint64_t appended_rows = 0;   // rows appended via delta programming.
+  uint64_t deleted_rows = 0;    // tombstones recorded.
+  uint64_t compactions = 0;     // fleet-wide compaction passes.
+  uint64_t compacted_rows = 0;  // live rows rewritten by compactions.
+  /// Current un-compacted delta rows / live tombstones (primary copies).
+  uint64_t delta_rows = 0;
+  uint64_t tombstoned_rows = 0;
+  /// Write-endurance totals summed over every device copy (replicas are
+  /// physical devices, so each copy wears independently).
+  uint64_t row_writes = 0;
+  uint64_t worn_rows = 0;
 
   double InterconnectNs() const { return scatter_ns + gather_ns + reduce_ns; }
   bool Any() const {
     return scatter_messages != 0 || gather_messages != 0 ||
            reduce_messages != 0 || failovers != 0;
+  }
+  bool AnyMutation() const {
+    return appended_rows != 0 || deleted_rows != 0 || compactions != 0 ||
+           delta_rows != 0 || tombstoned_rows != 0 || worn_rows != 0;
   }
 
   std::string ToString() const;

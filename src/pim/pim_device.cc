@@ -34,6 +34,12 @@ std::string PimDeviceStats::ToString() const {
     os << q << ":" << count;
   }
   os << "}";
+  if (delta_vectors != 0 || tombstoned_vectors != 0 || compactions != 0 ||
+      worn_rows != 0) {
+    os << " delta=" << delta_vectors << " tombstoned=" << tombstoned_vectors
+       << " compactions=" << compactions << " row_writes=" << row_writes
+       << " worn=" << worn_rows;
+  }
   if (fault.Any()) os << " faults={" << fault.ToString() << "}";
   return os.str();
 }
@@ -53,6 +59,20 @@ PimDevice::PimDevice(const PimConfig& config, const FaultConfig& fault_config,
 }
 
 Status PimDevice::ProgramDataset(const IntMatrix& data, int operand_bits) {
+  if (programmed()) {
+    return Status::InvalidArgument(
+        "ProgramDataset on an already-programmed device: use "
+        "ReprogramDataset for an explicit full re-program or ProgramDelta "
+        "to append");
+  }
+  return ProgramInternal(data, operand_bits);
+}
+
+Status PimDevice::ReprogramDataset(const IntMatrix& data, int operand_bits) {
+  return ProgramInternal(data, operand_bits);
+}
+
+Status PimDevice::ProgramInternal(const IntMatrix& data, int operand_bits) {
   if (data.empty()) {
     return Status::InvalidArgument("cannot program an empty dataset");
   }
@@ -81,6 +101,9 @@ Status PimDevice::ProgramDataset(const IntMatrix& data, int operand_bits) {
 
   data_ = data;
   operand_bits_ = operand_bits;
+  base_rows_ = data_.rows();
+  tombstone_.assign(data_.rows(), 0);
+  tombstone_count_ = 0;
   stats_.programmed_vectors = n;
   stats_.programmed_dims = s;
   stats_.data_crossbars =
@@ -96,6 +119,10 @@ Status PimDevice::ProgramDataset(const IntMatrix& data, int operand_bits) {
   const double program_ns = timing_.ProgramLatencyNs(rows_written);
   stats_.program_ns += program_ns;
   ++stats_.programming_events;
+  // Per-slot endurance: every vector slot of the fresh base is written
+  // once. Wear marking must precede BuildFaultState so worn slots draw
+  // their wear stuck-ats against the new contents.
+  ChargeRowWrites(0, data_.rows());
   if (faults_ != nullptr) BuildFaultState();
   obs::AddCounter("pimine_device_programs_total", 1);
   if (obs::Obs* o = obs::Obs::Get()) {
@@ -120,90 +147,277 @@ uint64_t ResidueOf(uint64_t v) { return v % kResidue; }
 
 }  // namespace
 
-void PimDevice::BuildFaultState() {
-  const size_t n = data_.rows();
-  const size_t s = data_.cols();
-  const int cell_bits = config_.cell_bits;
-  const int slices = NumSlices(operand_bits_, cell_bits);
-  fault_group_size_ = std::max<size_t>(
-      1, static_cast<size_t>(config_.crossbar_dim / slices));
-  const size_t num_groups = (n + fault_group_size_ - 1) / fault_group_size_;
-
+auto PimDevice::ComputeObjectStuck(size_t v, uint64_t* stuck_cells) const
+    -> std::vector<StuckDelta> {
   // Stuck cells of the data crossbars, folded per object into sparse
   // (dimension, read delta) lists: a cell stuck at `level` instead of its
   // true slice shifts every read of that operand by
-  // (level - true_slice) << (slice * cell_bits).
-  stuck_.assign(n, {});
-  uint64_t stuck_cells = 0;
-  for (size_t v = 0; v < n; ++v) {
-    const auto row = data_.row(v);
-    for (size_t j = 0; j < s; ++j) {
-      const uint64_t cell_base = (v * s + j) * static_cast<uint64_t>(slices);
-      int64_t delta = 0;
-      bool any = false;
-      for (int slice = 0; slice < slices; ++slice) {
-        uint8_t level = 0;
-        if (!faults_->CellStuck(FaultModel::kDataCellSalt, cell_base + slice,
-                                cell_bits, &level)) {
-          continue;
-        }
-        ++stuck_cells;
-        const int64_t truth = static_cast<int64_t>(
-            ExtractSlice(static_cast<uint32_t>(row[j]), slice, cell_bits));
-        const int64_t diff = static_cast<int64_t>(level) - truth;
-        if (diff != 0) {
-          delta += diff << (slice * cell_bits);
-          any = true;
-        }
+  // (level - true_slice) << (slice * cell_bits). Worn slots additionally
+  // draw wear stuck-ats (own salt, own rate) for cells the manufacturing
+  // process left healthy.
+  std::vector<StuckDelta> deltas;
+  const size_t s = data_.cols();
+  const int cell_bits = config_.cell_bits;
+  const int slices = NumSlices(operand_bits_, cell_bits);
+  const bool worn = fault_config_.wear_enabled() && RowWorn(v);
+  const auto row = data_.row(v);
+  for (size_t j = 0; j < s; ++j) {
+    const uint64_t cell_base = (v * s + j) * static_cast<uint64_t>(slices);
+    int64_t delta = 0;
+    bool any = false;
+    for (int slice = 0; slice < slices; ++slice) {
+      uint8_t level = 0;
+      bool stuck = faults_->CellStuck(FaultModel::kDataCellSalt,
+                                      cell_base + slice, cell_bits, &level);
+      if (!stuck && worn) {
+        stuck = faults_->CellStuckAtRate(
+            FaultModel::kWearCellSalt, cell_base + slice,
+            fault_config_.wear_stuck_rate, cell_bits, &level);
       }
-      if (any) {
-        stuck_[v].push_back({static_cast<uint32_t>(j), delta});
+      if (!stuck) continue;
+      ++*stuck_cells;
+      const int64_t truth = static_cast<int64_t>(
+          ExtractSlice(static_cast<uint32_t>(row[j]), slice, cell_bits));
+      const int64_t diff = static_cast<int64_t>(level) - truth;
+      if (diff != 0) {
+        delta += diff << (slice * cell_bits);
+        any = true;
       }
     }
+    if (any) {
+      deltas.push_back({static_cast<uint32_t>(j), delta});
+    }
   }
+  return deltas;
+}
 
+void PimDevice::RebuildGroupChecksum(size_t g, bool count_cells,
+                                     uint64_t* stuck_cells) {
   // Per-group checksum columns: column sums of the group's operands mod
   // 2^16 - 1, stored as one extra 16-bit logical column per crossbar set.
   // The checksum cells sit on the same die, so they get their own stuck
   // draws (in a separate salt domain).
+  const size_t n = data_.rows();
+  const size_t s = data_.cols();
+  const int cell_bits = config_.cell_bits;
   const int csum_slices = NumSlices(16, cell_bits);
+  const size_t v0 = g * fault_group_size_;
+  const size_t v1 = std::min(n, v0 + fault_group_size_);
+  for (size_t j = 0; j < s; ++j) {
+    uint64_t sum = 0;
+    for (size_t v = v0; v < v1; ++v) {
+      sum += static_cast<uint32_t>(data_.row(v)[j]);
+    }
+    csum_[g * s + j] = static_cast<uint32_t>(ResidueOf(sum));
+  }
+  // A remapped group's checksum lives on clean spare rows: keep it clear.
+  if (g < remapped_.size() && remapped_[g]) return;
+  csum_stuck_[g].clear();
+  for (size_t j = 0; j < s; ++j) {
+    const uint64_t cell_base = (g * s + j) * static_cast<uint64_t>(csum_slices);
+    int64_t delta = 0;
+    bool any = false;
+    for (int slice = 0; slice < csum_slices; ++slice) {
+      uint8_t level = 0;
+      if (!faults_->CellStuck(FaultModel::kChecksumCellSalt, cell_base + slice,
+                              cell_bits, &level)) {
+        continue;
+      }
+      if (count_cells) ++*stuck_cells;
+      const int64_t truth = static_cast<int64_t>(
+          ExtractSlice(csum_[g * s + j], slice, cell_bits));
+      const int64_t diff = static_cast<int64_t>(level) - truth;
+      if (diff != 0) {
+        delta += diff << (slice * cell_bits);
+        any = true;
+      }
+    }
+    if (any) {
+      csum_stuck_[g].push_back({static_cast<uint32_t>(j), delta});
+    }
+  }
+}
+
+void PimDevice::BuildFaultState() {
+  const size_t n = data_.rows();
+  const size_t s = data_.cols();
+  const int slices = NumSlices(operand_bits_, config_.cell_bits);
+  fault_group_size_ = std::max<size_t>(
+      1, static_cast<size_t>(config_.crossbar_dim / slices));
+  const size_t num_groups = (n + fault_group_size_ - 1) / fault_group_size_;
+
+  stuck_.assign(n, {});
+  uint64_t stuck_cells = 0;
+  for (size_t v = 0; v < n; ++v) {
+    stuck_[v] = ComputeObjectStuck(v, &stuck_cells);
+  }
   csum_.assign(num_groups * s, 0);
   csum_stuck_.assign(num_groups, {});
+  remapped_.assign(num_groups, 0);
   for (size_t g = 0; g < num_groups; ++g) {
-    const size_t v0 = g * fault_group_size_;
-    const size_t v1 = std::min(n, v0 + fault_group_size_);
-    for (size_t j = 0; j < s; ++j) {
-      uint64_t sum = 0;
-      for (size_t v = v0; v < v1; ++v) {
-        sum += static_cast<uint32_t>(data_.row(v)[j]);
-      }
-      csum_[g * s + j] = static_cast<uint32_t>(ResidueOf(sum));
-      const uint64_t cell_base =
-          (g * s + j) * static_cast<uint64_t>(csum_slices);
-      int64_t delta = 0;
-      bool any = false;
-      for (int slice = 0; slice < csum_slices; ++slice) {
-        uint8_t level = 0;
-        if (!faults_->CellStuck(FaultModel::kChecksumCellSalt,
-                                cell_base + slice, cell_bits, &level)) {
-          continue;
-        }
-        ++stuck_cells;
-        const int64_t truth = static_cast<int64_t>(
-            ExtractSlice(csum_[g * s + j], slice, cell_bits));
-        const int64_t diff = static_cast<int64_t>(level) - truth;
-        if (diff != 0) {
-          delta += diff << (slice * cell_bits);
-          any = true;
-        }
-      }
-      if (any) {
-        csum_stuck_[g].push_back({static_cast<uint32_t>(j), delta});
+    RebuildGroupChecksum(g, /*count_cells=*/true, &stuck_cells);
+  }
+  stats_.fault.stuck_cells += stuck_cells;
+}
+
+void PimDevice::ExtendFaultState(size_t old_n) {
+  const size_t n = data_.rows();
+  const size_t s = data_.cols();
+  const size_t old_groups =
+      (old_n + fault_group_size_ - 1) / fault_group_size_;
+  const size_t num_groups = (n + fault_group_size_ - 1) / fault_group_size_;
+
+  // Position-deterministic draws: appending rows one at a time, in bulk, or
+  // programming the merged dataset from scratch all land the same stuck
+  // cells on the same (object, dim, slice) coordinates.
+  stuck_.resize(n);
+  uint64_t stuck_cells = 0;
+  for (size_t v = old_n; v < n; ++v) {
+    const size_t g = v / fault_group_size_;
+    // Appends into a remapped group land on its clean spare rows.
+    if (g < remapped_.size() && remapped_[g]) continue;
+    stuck_[v] = ComputeObjectStuck(v, &stuck_cells);
+  }
+  csum_.resize(num_groups * s, 0);
+  csum_stuck_.resize(num_groups);
+  remapped_.resize(num_groups, 0);
+  // The partial group the first appended row lands in changes content (its
+  // checksum column is rewritten in place — draws already counted); groups
+  // past old_groups are brand new.
+  for (size_t g = old_n / fault_group_size_; g < num_groups; ++g) {
+    RebuildGroupChecksum(g, /*count_cells=*/g >= old_groups, &stuck_cells);
+  }
+  stats_.fault.stuck_cells += stuck_cells;
+}
+
+void PimDevice::ChargeRowWrites(size_t first, size_t count) {
+  if (first + count > row_writes_.size()) {
+    row_writes_.resize(first + count, 0);
+    worn_.resize(first + count, 0);
+  }
+  const bool wear = fault_config_.wear_enabled();
+  for (size_t v = first; v < first + count; ++v) {
+    ++row_writes_[v];
+    ++stats_.row_writes;
+    if (wear && worn_[v] == 0 &&
+        row_writes_[v] > fault_config_.endurance_limit) {
+      worn_[v] = 1;
+      ++stats_.worn_rows;
+    }
+  }
+}
+
+Status PimDevice::ProgramDelta(const IntMatrix& rows) {
+  if (!programmed()) {
+    return Status::FailedPrecondition(
+        "program a base dataset before appending deltas");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot append an empty delta");
+  }
+  if (rows.cols() != data_.cols()) {
+    return Status::InvalidArgument("delta dimensionality mismatch");
+  }
+  const int64_t s = static_cast<int64_t>(data_.cols());
+  const int64_t new_n = static_cast<int64_t>(data_.rows() + rows.rows());
+  if (!FitsInPimArray(new_n, operand_bits_, s, config_)) {
+    return Status::CapacityExceeded(
+        "delta append exceeds PIM array capacity (Theorem 4); compact or "
+        "re-shard first");
+  }
+  const int64_t limit =
+      operand_bits_ >= 32 ? (1LL << 31) : (1LL << operand_bits_);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    for (int32_t v : rows.row(i)) {
+      if (v < 0 || static_cast<int64_t>(v) >= limit) {
+        return Status::InvalidArgument(
+            "PIM operands must be non-negative integers fitting operand_bits");
       }
     }
   }
-  remapped_.assign(num_groups, 0);
-  stats_.fault.stuck_cells += stuck_cells;
+
+  const size_t old_n = data_.rows();
+  data_.AppendRows(rows);
+  tombstone_.resize(data_.rows(), 0);
+  stats_.programmed_vectors = new_n;
+  stats_.data_crossbars = NumDataCrossbars(new_n, operand_bits_, s,
+                                           config_.crossbar_dim,
+                                           config_.cell_bits);
+  stats_.gather_crossbars = NumGatherCrossbars(new_n, operand_bits_, s,
+                                               config_.crossbar_dim,
+                                               config_.cell_bits);
+  // Incremental programming: each append slot is one row-parallel write.
+  // Repeated addition keeps program_ns bit-identical across any grouping
+  // of the same appends.
+  double delta_ns = 0.0;
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const double row_ns = timing_.ProgramLatencyNs(1);
+    stats_.program_ns += row_ns;
+    delta_ns += row_ns;
+  }
+  stats_.delta_vectors += rows.rows();
+  ++stats_.delta_program_events;
+  ChargeRowWrites(old_n, rows.rows());
+  if (faults_ != nullptr) ExtendFaultState(old_n);
+  obs::AddCounter("pimine_device_delta_programs_total", 1);
+  obs::AddCounter("pimine_device_delta_vectors_total",
+                  static_cast<int64_t>(rows.rows()));
+  if (obs::Obs* o = obs::Obs::Get()) {
+    if (o->trace().options().device_events) {
+      o->trace().Complete("device", "program_delta", obs::kDeviceTrack,
+                          delta_ns, "vectors",
+                          static_cast<int64_t>(rows.rows()), "dims",
+                          static_cast<int64_t>(s));
+    }
+  }
+  return Status::OK();
+}
+
+Status PimDevice::Tombstone(size_t row) {
+  if (!programmed()) {
+    return Status::FailedPrecondition("no dataset programmed");
+  }
+  if (row >= data_.rows()) {
+    return Status::InvalidArgument("tombstone row out of range");
+  }
+  if (tombstone_[row] != 0) {
+    return Status::InvalidArgument("row is already tombstoned");
+  }
+  tombstone_[row] = 1;
+  ++tombstone_count_;
+  ++stats_.tombstoned_vectors;
+  return Status::OK();
+}
+
+Status PimDevice::CompactRows(std::span<const uint32_t> live) {
+  if (!programmed()) {
+    return Status::FailedPrecondition("no dataset programmed");
+  }
+  if (live.empty()) {
+    return Status::InvalidArgument("compaction must keep at least one row");
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (live[i] >= data_.rows()) {
+      return Status::InvalidArgument("compaction index out of range");
+    }
+    if (i > 0 && live[i] <= live[i - 1]) {
+      return Status::InvalidArgument(
+          "compaction indices must be strictly ascending");
+    }
+  }
+  IntMatrix next(live.size(), data_.cols());
+  for (size_t i = 0; i < live.size(); ++i) {
+    const auto src = data_.row(live[i]);
+    std::copy(src.begin(), src.end(), next.mutable_row(i).begin());
+  }
+  // A compaction is a full program of the fresh base: endurance-counted,
+  // charged at ProgramLatencyNs over every written crossbar row, fault
+  // state rebuilt, tombstones and delta region cleared.
+  PIMINE_RETURN_IF_ERROR(ProgramInternal(next, operand_bits_));
+  ++stats_.compactions;
+  stats_.compacted_rows += live.size();
+  obs::AddCounter("pimine_device_compactions_total", 1);
+  return Status::OK();
 }
 
 Status PimDevice::DotProductAll(std::span<const int32_t> query,

@@ -30,6 +30,14 @@ struct PimDeviceStats {
   double program_ns = 0.0;
   uint64_t programming_events = 0;  // full-array programs (endurance).
   uint64_t aux_bytes_stored = 0;    // Φ values kept in the memory array.
+  // Mutation accounting (all cumulative/monotone; zero on a static device).
+  uint64_t delta_vectors = 0;        // vectors appended via ProgramDelta.
+  uint64_t delta_program_events = 0;  // ProgramDelta calls.
+  uint64_t tombstoned_vectors = 0;   // Tombstone calls accepted.
+  uint64_t compactions = 0;          // CompactRows passes.
+  uint64_t compacted_rows = 0;       // vectors rewritten by compactions.
+  uint64_t row_writes = 0;           // per-slot write events (wear model).
+  uint64_t worn_rows = 0;            // slots past the endurance limit.
   // Online costs. Device batches group Q >= 1 queries into one operation;
   // every field except `batch_ops`, `queries_per_batch` and `pipelined_ns`
   // is invariant under the grouping: running the same queries at any
@@ -84,12 +92,64 @@ class PimDevice {
   /// Programs a quantized dataset (one vector per row; all values must be
   /// non-negative and fit `operand_bits`). Fails with CapacityExceeded when
   /// Theorem 4's condition is violated — callers are expected to compress
-  /// the dataset first (core/memory_planner). Reprogramming is permitted
-  /// but counted against write endurance.
+  /// the dataset first (core/memory_planner). Programming an
+  /// already-programmed device is an InvalidArgument: overwriting a live
+  /// corpus silently was a footgun, so re-programs must go through
+  /// ReprogramDataset (explicit, endurance-counted) or ProgramDelta
+  /// (incremental append).
   Status ProgramDataset(const IntMatrix& data, int operand_bits = 32);
+
+  /// Explicit full re-program: replaces whatever is programmed (if
+  /// anything) with `data`, charged at full program cost and counted
+  /// against write endurance. Clears tombstones and the delta region;
+  /// fault state is rebuilt for the new contents (per-slot wear counters
+  /// persist — the physical rows are the same cells).
+  Status ReprogramDataset(const IntMatrix& data, int operand_bits = 32);
+
+  /// Appends `rows` (same dimensionality and operand width as the
+  /// programmed dataset) to the delta region: each appended vector is one
+  /// incremental row-parallel write charged at ProgramLatencyNs(1), so any
+  /// grouping of appends accumulates bit-identical program time. Fails
+  /// with CapacityExceeded when the grown dataset would violate Theorem 4.
+  /// Not safe concurrently with in-flight DotProductBatch calls — callers
+  /// quiesce queries around mutations (the engines do).
+  Status ProgramDelta(const IntMatrix& rows);
+
+  /// Marks one row deleted. The physical row keeps computing dot products
+  /// (the analog pass is row-parallel either way); readers consult
+  /// tombstoned() to route bounds around it. InvalidArgument when the row
+  /// is out of range or already tombstoned.
+  Status Tombstone(size_t row);
+
+  /// Rewrites the live rows (`live`: strictly ascending physical indices)
+  /// into a fresh base in one compaction pass, charged at full program
+  /// cost. Tombstones and the delta region are cleared; each surviving
+  /// vector's new slot gets one endurance write.
+  Status CompactRows(std::span<const uint32_t> live);
 
   /// True once a dataset is programmed.
   bool programmed() const { return !data_.empty(); }
+
+  /// Physical rows currently programmed (base + delta, incl. tombstoned).
+  size_t num_rows() const { return data_.rows(); }
+  /// Rows in the delta (append) region since the last full (re)program.
+  size_t delta_rows() const { return data_.rows() - base_rows_; }
+  /// Rows currently tombstoned.
+  size_t tombstoned_rows() const { return tombstone_count_; }
+  /// Rows that still count (num_rows() - tombstoned_rows()).
+  size_t live_rows() const { return data_.rows() - tombstone_count_; }
+  bool tombstoned(size_t row) const {
+    return row < tombstone_.size() && tombstone_[row] != 0;
+  }
+  /// Times physical slot `slot` has been programmed (base programs, delta
+  /// appends and compaction rewrites all count once per touched slot).
+  uint64_t RowWrites(size_t slot) const {
+    return slot < row_writes_.size() ? row_writes_[slot] : 0;
+  }
+  /// True when slot `slot` has exceeded FaultConfig::endurance_limit.
+  bool RowWorn(size_t slot) const {
+    return slot < worn_.size() && worn_[slot] != 0;
+  }
 
   /// Matches `query` against every programmed vector. Query values must be
   /// non-negative. Results are written into `out` (resized to N) and the
@@ -182,9 +242,39 @@ class PimDevice {
     int64_t delta;
   };
 
+  /// Shared tail of ProgramDataset / ReprogramDataset / CompactRows:
+  /// validates operands, installs `data` as the fresh base, charges the
+  /// full row-parallel program and per-slot endurance writes, and rebuilds
+  /// fault state.
+  Status ProgramInternal(const IntMatrix& data, int operand_bits);
+
+  /// Bumps the per-slot write counters for physical slots
+  /// [first, first + count) and marks slots that crossed the endurance
+  /// limit as worn (wear model enabled only).
+  void ChargeRowWrites(size_t first, size_t count);
+
+  /// Sparse stuck-cell deltas for object `v` against its current operands:
+  /// manufacturing stuck-ats (kDataCellSalt at cell_rate) plus, for worn
+  /// slots, wear stuck-ats (kWearCellSalt at wear_stuck_rate).
+  std::vector<StuckDelta> ComputeObjectStuck(size_t v, uint64_t* stuck_cells)
+      const;
+
+  /// Recomputes group `g`'s checksum column against the current operands
+  /// and redraws its stuck cells (skipped for remapped groups — they live
+  /// on clean spare rows). `count_cells` guards double-counting draws that
+  /// were already tallied when the group first existed.
+  void RebuildGroupChecksum(size_t g, bool count_cells,
+                            uint64_t* stuck_cells);
+
   /// Samples stuck cells and builds the checksum columns for the newly
   /// programmed dataset (fault model enabled only).
   void BuildFaultState();
+
+  /// Incremental fault-state update for rows appended at [old_n,
+  /// data_.rows()): position-deterministic stuck draws for the new vectors
+  /// and checksum recomputation for the affected groups — byte-identical
+  /// state to a full BuildFaultState over the grown dataset.
+  void ExtendFaultState(size_t old_n);
 
   /// Fault phase of DotProductBatch: perturbs, verifies and recovers the
   /// true dot products in `out` group by group. Appends this batch's fault
@@ -199,6 +289,15 @@ class PimDevice {
   BufferArray buffer_;
   IntMatrix data_;
   int operand_bits_ = 32;
+  /// Rows in the base region; data_.rows() - base_rows_ is the delta.
+  size_t base_rows_ = 0;
+  /// Tombstone bitmap over data_ rows + current count.
+  std::vector<uint8_t> tombstone_;
+  size_t tombstone_count_ = 0;
+  /// Per-physical-slot write counters + worn flags. Never reset: the same
+  /// physical rows back every (re)program, so wear accumulates for life.
+  std::vector<uint32_t> row_writes_;
+  std::vector<uint8_t> worn_;
   PimDeviceStats stats_;
   /// Guards stats_ and buffer_ against concurrent DotProductAll batches.
   mutable std::mutex stats_mu_;

@@ -75,6 +75,14 @@ struct ServeOptions {
   /// disables degraded mode.
   double degrade_watermark = 0.0;
 
+  // --- Mutable-dataset knobs ------------------------------------------
+  /// Compaction watermark in [0, 1]: when the attached mutable dataset's
+  /// tombstone fraction reaches it, MaybeCompact() rewrites base+delta
+  /// into a fresh dense base (charged at program cost on every device
+  /// copy). 0 disables the trigger — compaction then only runs when the
+  /// caller compacts the dataset explicitly.
+  double compact_watermark = 0.0;
+
   // --- Telemetry plane (obs) knobs ------------------------------------
   // None of these can change results or traffic: the plane only observes
   // the accounting the scheduler already produces.
@@ -149,6 +157,10 @@ struct ServeOptions {
     if (!(degrade_watermark >= 0.0) || degrade_watermark > 1.0) {
       return Status::InvalidArgument(
           "ServeOptions::degrade_watermark must be in [0, 1]");
+    }
+    if (!(compact_watermark >= 0.0) || compact_watermark > 1.0) {
+      return Status::InvalidArgument(
+          "ServeOptions::compact_watermark must be in [0, 1]");
     }
     return Status::OK();
   }

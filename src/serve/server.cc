@@ -96,6 +96,86 @@ Result<std::unique_ptr<PimServer>> PimServer::Build(
 PimServer::~PimServer() { Stop(); }
 
 // --------------------------------------------------------------------------
+// Mutable datasets
+// --------------------------------------------------------------------------
+
+Status PimServer::AttachMutable(MutableDataset* dataset) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("AttachMutable requires a dataset");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (&dataset->corpus() != data_) {
+    return Status::InvalidArgument(
+        "the server must be Built over dataset->corpus() (the corpus is "
+        "the matrix the server reads)");
+  }
+  if (dataset_ != nullptr) {
+    return Status::FailedPrecondition("a mutable dataset is already attached");
+  }
+  dataset_ = dataset;
+  dataset->Attach(this);
+  return Status::OK();
+}
+
+Status PimServer::OnInsert(const FloatMatrix& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition(
+        "mutations are refused while live serving runs; Stop() first");
+  }
+  return engine_->AppendRows(rows);
+}
+
+Status PimServer::OnDelete(std::span<const uint32_t> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition(
+        "mutations are refused while live serving runs; Stop() first");
+  }
+  // Every served query returns k neighbours, so the live corpus may never
+  // shrink below k.
+  if (engine_->live_objects() < rows.size() + static_cast<size_t>(options_.k)) {
+    return Status::FailedPrecondition(
+        "delete would leave fewer than k=" + std::to_string(options_.k) +
+        " live rows");
+  }
+  for (const uint32_t row : rows) {
+    PIMINE_RETURN_IF_ERROR(engine_->DeleteRow(row));
+  }
+  return Status::OK();
+}
+
+Status PimServer::OnCompact(const std::vector<uint32_t>& live) {
+  (void)live;  // the engine tracks its own tombstones.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition(
+        "mutations are refused while live serving runs; Stop() first");
+  }
+  return engine_->Compact();
+}
+
+bool PimServer::ShouldCompact() const {
+  return options_.compact_watermark > 0.0 && dataset_ != nullptr &&
+         dataset_->tombstoned_rows() > 0 &&
+         dataset_->TombstoneFraction() >= options_.compact_watermark;
+}
+
+Status PimServer::MaybeCompact() {
+  if (!ShouldCompact()) return Status::OK();
+  // dataset_->Compact() notifies every listener, this server's OnCompact
+  // included, so the fleet rewrite rides the normal mirroring path.
+  PIMINE_RETURN_IF_ERROR(dataset_->Compact());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++watermark_compactions_;
+  return Status::OK();
+}
+
+uint64_t PimServer::watermark_compactions() const {
+  return watermark_compactions_;
+}
+
+// --------------------------------------------------------------------------
 // Shared dispatch execution
 // --------------------------------------------------------------------------
 
@@ -672,6 +752,7 @@ void PimServer::Stop() {
 ServeStats PimServer::LiveStats() {
   std::lock_guard<std::mutex> lock(mu_);
   ServeStats stats = live_stats_;
+  stats.watermark_compactions = watermark_compactions_;
   if (queue_ != nullptr) stats.max_queue_depth = queue_->max_depth();
   stats.mean_batch_occupancy =
       stats.batches == 0 ? 0.0
@@ -718,6 +799,10 @@ void PimServer::FillServeMetrics(const ServeStats& stats,
   metrics.SetHelp("pimine_serve_degraded_batches_total",
                   "Dispatches formed while a shard sat below the degrade "
                   "watermark.");
+  metrics.SetHelp("pimine_serve_watermark_compactions_total",
+                  "Compactions fired by the tombstone watermark.");
+  metrics.GetCounter("pimine_serve_watermark_compactions_total")
+      .Add(stats.watermark_compactions);
   metrics.GetCounter("pimine_serve_submitted_total").Add(stats.submitted);
   metrics.GetCounter("pimine_serve_served_total").Add(stats.served);
   metrics.GetCounter("pimine_serve_rejected_total").Add(stats.rejected);
@@ -862,7 +947,11 @@ std::string PimServer::MetricsText() {
   obs::MetricsRegistry registry;
   const ServeStats stats = LiveStats();
   FillServeMetrics(stats, &registry);
-  engine_->ExportMetrics(&registry);
+  {
+    // Mutations hold mu_, so a scrape never reads the fleet mid-mutation.
+    std::lock_guard<std::mutex> lock(mu_);
+    engine_->ExportMetrics(&registry);
+  }
   return registry.ToPrometheus();
 }
 

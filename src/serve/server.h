@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/mutable_dataset.h"
 #include "core/sharded_engine.h"
 #include "data/matrix.h"
 #include "obs/event_log.h"
@@ -74,6 +75,8 @@ struct ServeStats {
   /// Dispatches formed while some shard sat below the degrade watermark
   /// (executed with bound-slack escalation instead of host-exact).
   uint64_t degraded_batches = 0;
+  /// Compactions fired by the tombstone watermark (MaybeCompact).
+  uint64_t watermark_compactions = 0;
   /// Scheduler dispatches issued (each one RunQueryBatch coalescing up to
   /// max_batch queries).
   uint64_t batches = 0;
@@ -135,7 +138,7 @@ struct ReplayOutput {
 ///    clients. Same admission queue, same batching rules; timings are
 ///    wall-clock and therefore not reproducible — use replay for science,
 ///    live mode for serving.
-class PimServer {
+class PimServer : public MutationListener {
  public:
   /// Builds the engine fleet over `data` and validates `serve`. The data
   /// matrix must outlive the server. ServeOptions::exec.num_threads is
@@ -172,6 +175,36 @@ class PimServer {
   /// are filled from the engine at snapshot time). Call after Stop, or
   /// accept a racy-but-consistent mid-run view.
   ServeStats LiveStats();
+
+  // --- Mutable datasets ------------------------------------------------
+
+  /// Registers the server on `dataset` so corpus mutations mirror onto the
+  /// serving fleet (delta programming / tombstones / compaction). The
+  /// server must have been Built over `dataset->corpus()` — the corpus IS
+  /// the matrix the server reads — and the dataset must outlive the
+  /// server's use. Mutations are refused while live serving is running
+  /// (Stop() first); callers serialize mutations against Replay.
+  Status AttachMutable(MutableDataset* dataset);
+
+  /// Mutation mirroring (normally invoked by the attached dataset).
+  /// Deletes that would leave fewer than ServeOptions::k live rows are
+  /// refused with FailedPrecondition — every served query must still find
+  /// k live neighbours.
+  Status OnInsert(const FloatMatrix& rows) override;
+  Status OnDelete(std::span<const uint32_t> rows) override;
+  Status OnCompact(const std::vector<uint32_t>& live) override;
+
+  /// True when an attached dataset's tombstone fraction has reached
+  /// ServeOptions::compact_watermark (> 0).
+  bool ShouldCompact() const;
+
+  /// Compacts the attached dataset (notifying every listener, this server
+  /// included) when ShouldCompact(); counts the trigger. Call between
+  /// top-level mutations — never from inside a listener callback.
+  Status MaybeCompact();
+
+  /// Watermark-triggered compactions MaybeCompact has fired.
+  uint64_t watermark_compactions() const;
 
   // --- Telemetry plane -------------------------------------------------
 
@@ -257,6 +290,10 @@ class PimServer {
 
   ServeOptions options_;
   const FloatMatrix* data_ = nullptr;
+  /// Attached mutable dataset (not owned); nullptr until AttachMutable.
+  MutableDataset* dataset_ = nullptr;
+  /// Watermark-triggered compactions (guarded by mu_).
+  uint64_t watermark_compactions_ = 0;
   Distance distance_ = Distance::kEuclidean;
   bool maximize_ = false;
   std::unique_ptr<ShardedPimEngine> engine_;

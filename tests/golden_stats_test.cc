@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/mutable_dataset.h"
 #include "data/generator.h"
 #include "kmeans/drake.h"
 #include "kmeans/elkan.h"
@@ -233,6 +234,112 @@ TEST(GoldenStatsTest, ShardedKmeansMatchesSingleDeviceGoldens) {
       CheckAgainstGolden(c.label, result->stats);
       EXPECT_GT(result->stats.fleet.reduce_messages, 0u) << c.label;
     }
+  }
+}
+
+// A corpus reached THROUGH mutations must be indistinguishable from one
+// programmed statically: replaying a canned insert/delete/compact trace
+// that reconstructs the golden workload exactly has to reproduce the SAME
+// golden files as the static runs above — zero regenerated snapshots.
+//
+// The trace: program rows 0..249 of the golden corpus plus 20 sacrificial
+// rows, append rows 250..299 as deltas, tombstone the sacrificial rows,
+// compact. Compaction preserves live order, so the dense corpus equals the
+// golden workload row for row.
+struct MutationTraceFixture {
+  Workload w;
+  FloatMatrix base;   // rows 0..249 + 20 sacrificial copies of rows 0..19.
+  FloatMatrix tail;   // rows 250..299, appended as deltas.
+
+  MutationTraceFixture() : w(MakeWorkload()) {
+    base = FloatMatrix(270, w.data.cols());
+    for (size_t r = 0; r < 270; ++r) {
+      const auto src = w.data.row(r < 250 ? r : r - 250);
+      auto dst = base.mutable_row(r);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    tail = FloatMatrix(50, w.data.cols());
+    for (size_t r = 0; r < 50; ++r) {
+      const auto src = w.data.row(250 + r);
+      auto dst = tail.mutable_row(r);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+
+  /// Replays the canned trace; afterwards dataset->corpus() == w.data.
+  void Replay(MutableDataset* dataset) const {
+    ASSERT_TRUE(dataset->Insert(tail).ok());
+    for (uint32_t victim = 250; victim < 270; ++victim) {
+      ASSERT_TRUE(dataset->Delete(victim).ok());
+    }
+    ASSERT_TRUE(dataset->Compact().ok());
+    ASSERT_EQ(dataset->rows(), w.data.rows());
+    ASSERT_EQ(dataset->tombstoned_rows(), 0u);
+    for (size_t r = 0; r < w.data.rows(); ++r) {
+      const auto got = dataset->corpus().row(r);
+      const auto want = w.data.row(r);
+      ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+          << "row " << r << " of the replayed corpus differs";
+    }
+  }
+};
+
+TEST(GoldenStatsTest, MutatedKnnMatchesStaticGoldensAfterCompaction) {
+  const MutationTraceFixture fixture;
+  std::vector<KnnGoldenCase> cases;
+  cases.push_back({"knn_standard_pim", [] {
+                     return std::make_unique<StandardPimKnn>(
+                         Distance::kEuclidean, EngineOptions());
+                   }});
+  cases.push_back({"knn_ost_pim", [] {
+                     return std::make_unique<OstPimKnn>(EngineOptions());
+                   }});
+  cases.push_back({"knn_sm_pim", [] {
+                     return std::make_unique<SmPimKnn>(EngineOptions());
+                   }});
+  // optimize=true: the Eq. 13 plan is re-measured at compaction on the
+  // dense corpus, so even the plan-dependent counters must land on the
+  // static golden.
+  cases.push_back({"knn_fnn_pim", [] {
+                     return std::make_unique<FnnPimKnn>(EngineOptions(),
+                                                        /*optimize=*/true);
+                   }});
+  for (const KnnGoldenCase& c : cases) {
+    MutableDataset dataset(fixture.base);
+    auto algorithm = c.make();
+    ASSERT_TRUE(algorithm->Prepare(dataset.corpus()).ok()) << c.label;
+    dataset.Attach(dynamic_cast<MutationListener*>(algorithm.get()));
+    fixture.Replay(&dataset);
+    auto result = algorithm->Search(fixture.w.queries, 5);
+    ASSERT_TRUE(result.ok()) << c.label;
+    CheckAgainstGolden(c.label, result->stats);
+  }
+}
+
+TEST(GoldenStatsTest, MutatedFilterMatchesStaticKmeansGoldens) {
+  const MutationTraceFixture fixture;
+  MutableDataset dataset(fixture.base);
+  auto filter_built = PimAssignFilter::Build(dataset.corpus(), EngineOptions());
+  ASSERT_TRUE(filter_built.ok());
+  std::unique_ptr<PimAssignFilter> filter = std::move(*filter_built);
+  dataset.Attach(filter.get());
+  fixture.Replay(&dataset);
+
+  KmeansOptions options;
+  options.k = 8;
+  options.max_iterations = 3;
+  options.seed = 123;
+  options.use_pim = true;
+  options.filter = filter.get();
+  for (const KmeansGoldenCase& c : KmeansCases()) {
+    // The shared filter's modeled compute time is cumulative across runs;
+    // a fresh-built filter starts at zero, so match that baseline. The
+    // mutation counters survive the reset (they are maintenance totals).
+    filter->ResetOnlineStats();
+    auto algorithm = c.make();
+    auto result = algorithm->Run(dataset.corpus(), options);
+    ASSERT_TRUE(result.ok()) << c.label;
+    CheckAgainstGolden(c.label, result->stats);
   }
 }
 

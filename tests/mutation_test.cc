@@ -1,0 +1,446 @@
+// Randomized mutation-model suite (DESIGN.md section 13): a SplitMix64-
+// seeded schedule interleaves insert / delete / query / compact ops on a
+// MutableDataset with every PIM path attached as a MutationListener, and
+// after EVERY query step the mutated fleet's results are asserted
+// bit-identical to a freshly-programmed reference engine on the merged
+// (dense live) corpus — across shard counts {1, 4}, replica counts
+// {1, 2} and host thread counts {1, 4}. The same invariant is exercised
+// for the k-means shared assign filter and the serving layer.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "core/mutable_dataset.h"
+#include "core/sharded_engine.h"
+#include "data/matrix.h"
+#include "kmeans/kmeans_common.h"
+#include "kmeans/lloyd.h"
+#include "knn/fnn_pim_knn.h"
+#include "knn/knn_common.h"
+#include "knn/ost_pim_knn.h"
+#include "knn/sm_pim_knn.h"
+#include "knn/standard_pim_knn.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace pimine {
+namespace {
+
+using testing_util::RandomUnitMatrix;
+
+/// Stateless SplitMix64 mix — the schedule below must be reproducible from
+/// (seed, step) alone so a failure prints a replayable op sequence.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Maps the mutated engine's PHYSICAL neighbor ids onto the dense ids a
+/// fresh engine on the merged corpus reports (live[i] -> i).
+std::vector<std::vector<Neighbor>> Densify(
+    const std::vector<std::vector<Neighbor>>& neighbors,
+    const std::vector<uint32_t>& live) {
+  std::vector<int32_t> dense_of(live.empty() ? 0 : live.back() + 1, -1);
+  for (size_t i = 0; i < live.size(); ++i) {
+    dense_of[live[i]] = static_cast<int32_t>(i);
+  }
+  std::vector<std::vector<Neighbor>> out = neighbors;
+  for (auto& list : out) {
+    for (Neighbor& n : list) {
+      EXPECT_GE(n.id, 0);
+      EXPECT_LT(static_cast<size_t>(n.id), dense_of.size());
+      EXPECT_GE(dense_of[n.id], 0) << "tombstoned row " << n.id << " served";
+      n.id = dense_of[n.id];
+    }
+  }
+  return out;
+}
+
+/// One randomized schedule against one attached KnnAlgorithm: returns the
+/// op trace for failure messages. `factory` builds a fresh reference
+/// algorithm (same type/options) for the merged-corpus comparison.
+template <typename MakeAlgorithm>
+void RunMutationSchedule(MutableDataset* dataset, KnnAlgorithm* mutated,
+                         const MakeAlgorithm& factory,
+                         const FloatMatrix& queries, const FloatMatrix& pool,
+                         uint64_t seed, int steps, int k,
+                         const std::string& label) {
+  size_t pool_pos = 0;
+  std::string trace;
+  const auto check = [&](int step) {
+    auto got = mutated->Search(queries, k);
+    ASSERT_TRUE(got.ok()) << label << " step " << step << " [" << trace
+                          << "]: " << got.status().ToString();
+    const std::vector<uint32_t> live = dataset->LiveRows();
+    const FloatMatrix merged = dataset->LiveCorpus();
+    std::unique_ptr<KnnAlgorithm> reference = factory();
+    ASSERT_TRUE(reference->Prepare(merged).ok());
+    auto want = reference->Search(queries, k);
+    ASSERT_TRUE(want.ok()) << label << " step " << step;
+    EXPECT_EQ(Densify(got->neighbors, live), want->neighbors)
+        << label << " diverged from the fresh merged-corpus engine at step "
+        << step << " [" << trace << "]";
+  };
+
+  check(-1);  // pre-mutation baseline.
+  for (int step = 0; step < steps; ++step) {
+    const uint64_t draw = Mix(seed ^ static_cast<uint64_t>(step));
+    switch (draw % 4) {
+      case 0: {  // insert 1..4 pool rows.
+        const size_t count = 1 + (draw >> 8) % 4;
+        ASSERT_LT(pool_pos + count, pool.rows() + 1);
+        FloatMatrix rows(count, pool.cols());
+        for (size_t i = 0; i < count; ++i) {
+          const auto src = pool.row(pool_pos + i);
+          auto dst = rows.mutable_row(i);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
+        pool_pos += count;
+        trace += "i:" + std::to_string(count) + ",";
+        ASSERT_TRUE(dataset->Insert(rows).ok()) << label << " [" << trace
+                                                << "]";
+        break;
+      }
+      case 1: {  // delete one random live row (keep a comfortable floor
+                 // so no shard of a 4-way split can empty and k fits).
+        if (dataset->live_rows() <=
+            static_cast<size_t>(k) + dataset->rows() / 2) {
+          trace += "skip-d,";
+          break;
+        }
+        const std::vector<uint32_t> live = dataset->LiveRows();
+        const uint32_t victim = live[(draw >> 8) % live.size()];
+        trace += "d:" + std::to_string(victim) + ",";
+        ASSERT_TRUE(dataset->Delete(victim).ok()) << label << " [" << trace
+                                                  << "]";
+        break;
+      }
+      case 2:  // compact.
+        trace += "c,";
+        ASSERT_TRUE(dataset->Compact().ok()) << label << " [" << trace << "]";
+        break;
+      default:
+        trace += "q,";
+        break;  // query-only step; the check below covers it.
+    }
+    check(step);
+  }
+}
+
+TEST(MutationModelTest, StandardPathAcrossFleetGeometries) {
+  const FloatMatrix base = RandomUnitMatrix(64, 12, 0xA1);
+  const FloatMatrix pool = RandomUnitMatrix(64, 12, 0xA2);
+  const FloatMatrix queries = RandomUnitMatrix(6, 12, 0xA3);
+  for (const int shards : {1, 4}) {
+    for (const int replicas : {1, 2}) {
+      for (const int threads : {1, 4}) {
+        EngineOptions options;
+        options.shard.shards = shards;
+        options.shard.replicas = replicas;
+        ExecPolicy exec;
+        exec.num_threads = threads;
+        MutableDataset dataset(base);
+        StandardPimKnn mutated(Distance::kEuclidean, options);
+        mutated.set_exec_policy(exec);
+        ASSERT_TRUE(mutated.Prepare(dataset.corpus()).ok());
+        dataset.Attach(&mutated);
+        const std::string label = "standard/shards=" +
+                                  std::to_string(shards) + "/replicas=" +
+                                  std::to_string(replicas) + "/threads=" +
+                                  std::to_string(threads);
+        RunMutationSchedule(
+            &dataset, &mutated,
+            [&] {
+              auto fresh = std::make_unique<StandardPimKnn>(
+                  Distance::kEuclidean, options);
+              fresh->set_exec_policy(exec);
+              return fresh;
+            },
+            queries, pool, /*seed=*/0x5EED0 + shards * 10 + replicas,
+            /*steps=*/12, /*k=*/5, label);
+      }
+    }
+  }
+}
+
+TEST(MutationModelTest, SimilarityPathsMirrorMutations) {
+  // CS and PCC decompositions keep per-row offline terms; the schedule
+  // must keep them in lockstep with the fleet's delta/tombstone state.
+  const FloatMatrix base = RandomUnitMatrix(56, 10, 0xB1);
+  const FloatMatrix pool = RandomUnitMatrix(64, 10, 0xB2);
+  const FloatMatrix queries = RandomUnitMatrix(5, 10, 0xB3);
+  for (const Distance distance : {Distance::kCosine, Distance::kPearson}) {
+    EngineOptions options;
+    MutableDataset dataset(base);
+    StandardPimKnn mutated(distance, options);
+    ASSERT_TRUE(mutated.Prepare(dataset.corpus()).ok());
+    dataset.Attach(&mutated);
+    RunMutationSchedule(
+        &dataset, &mutated,
+        [&] { return std::make_unique<StandardPimKnn>(distance, options); },
+        queries, pool, /*seed=*/0xC0FFEE, /*steps=*/10, /*k=*/4,
+        distance == Distance::kCosine ? "cs" : "pcc");
+  }
+}
+
+TEST(MutationModelTest, SegmentAndPrefixPathsMirrorMutations) {
+  const FloatMatrix base = RandomUnitMatrix(56, 16, 0xC1);
+  const FloatMatrix pool = RandomUnitMatrix(64, 16, 0xC2);
+  const FloatMatrix queries = RandomUnitMatrix(5, 16, 0xC3);
+  {
+    EngineOptions options;
+    MutableDataset dataset(base);
+    SmPimKnn mutated(options);
+    ASSERT_TRUE(mutated.Prepare(dataset.corpus()).ok());
+    dataset.Attach(&mutated);
+    RunMutationSchedule(
+        &dataset, &mutated,
+        [&] { return std::make_unique<SmPimKnn>(options); }, queries, pool,
+        /*seed=*/0xD1CE, /*steps=*/10, /*k=*/4, "sm");
+  }
+  {
+    EngineOptions options;
+    MutableDataset dataset(base);
+    OstPimKnn mutated(options);
+    ASSERT_TRUE(mutated.Prepare(dataset.corpus()).ok());
+    dataset.Attach(&mutated);
+    RunMutationSchedule(
+        &dataset, &mutated,
+        [&] { return std::make_unique<OstPimKnn>(options); }, queries, pool,
+        /*seed=*/0xD1CF, /*steps=*/10, /*k=*/4, "ost");
+  }
+}
+
+TEST(MutationModelTest, FnnPathMirrorsMutations) {
+  // optimize=false keeps the plan data-independent, so the fresh reference
+  // selects the identical cascade at every corpus size.
+  const FloatMatrix base = RandomUnitMatrix(56, 32, 0xE1);
+  const FloatMatrix pool = RandomUnitMatrix(64, 32, 0xE2);
+  const FloatMatrix queries = RandomUnitMatrix(5, 32, 0xE3);
+  EngineOptions options;
+  MutableDataset dataset(base);
+  FnnPimKnn mutated(options, /*optimize=*/false);
+  ASSERT_TRUE(mutated.Prepare(dataset.corpus()).ok());
+  dataset.Attach(&mutated);
+  RunMutationSchedule(
+      &dataset, &mutated,
+      [&] { return std::make_unique<FnnPimKnn>(options, false); }, queries,
+      pool, /*seed=*/0xF00D, /*steps=*/10, /*k=*/4, "fnn");
+}
+
+TEST(MutationModelTest, FnnOptimizedPlanStaysExactBetweenCompactions) {
+  // With optimize=true the Eq. 13 plan is re-measured only at compaction;
+  // between compactions it reflects the corpus it was measured on, but
+  // bounds stay admissible so results stay exact (== a fresh engine's).
+  const FloatMatrix base = RandomUnitMatrix(56, 32, 0xE4);
+  const FloatMatrix pool = RandomUnitMatrix(16, 32, 0xE5);
+  const FloatMatrix queries = RandomUnitMatrix(4, 32, 0xE6);
+  EngineOptions options;
+  MutableDataset dataset(base);
+  FnnPimKnn mutated(options, /*optimize=*/true);
+  ASSERT_TRUE(mutated.Prepare(dataset.corpus()).ok());
+  dataset.Attach(&mutated);
+  ASSERT_TRUE(dataset.Insert(pool).ok());
+  for (const uint32_t victim : {3u, 17u, 60u}) {
+    ASSERT_TRUE(dataset.Delete(victim).ok());
+  }
+  auto got = mutated.Search(queries, 4);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  // Exactness check against a brute-force standard engine on the merged
+  // corpus (plans differ pre-compaction; results may not).
+  StandardPimKnn reference(Distance::kEuclidean, options);
+  const FloatMatrix merged = dataset.LiveCorpus();
+  ASSERT_TRUE(reference.Prepare(merged).ok());
+  auto want = reference.Search(queries, 4);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(Densify(got->neighbors, dataset.LiveRows()), want->neighbors);
+  // After compaction the re-measured plan matches a fresh Prepare of the
+  // same (dense) corpus: full bit-identity, plan included.
+  ASSERT_TRUE(dataset.Compact().ok());
+  FnnPimKnn fresh(options, /*optimize=*/true);
+  ASSERT_TRUE(fresh.Prepare(dataset.corpus()).ok());
+  ASSERT_EQ(mutated.plan().selected, fresh.plan().selected);
+  ASSERT_EQ(mutated.plan().cost_bits_per_object,
+            fresh.plan().cost_bits_per_object);
+  auto after = mutated.Search(queries, 4);
+  auto fresh_after = fresh.Search(queries, 4);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(fresh_after.ok());
+  EXPECT_EQ(after->neighbors, fresh_after->neighbors);
+}
+
+TEST(MutationModelTest, KmeansSharedFilterMatchesFreshBuild) {
+  const FloatMatrix base = RandomUnitMatrix(72, 8, 0x1A);
+  const FloatMatrix pool = RandomUnitMatrix(12, 8, 0x1B);
+  for (const int shards : {1, 2}) {
+    EngineOptions engine_options;
+    engine_options.shard.shards = shards;
+    MutableDataset dataset(base);
+    auto filter_built =
+        PimAssignFilter::Build(dataset.corpus(), engine_options);
+    ASSERT_TRUE(filter_built.ok());
+    std::unique_ptr<PimAssignFilter> filter = std::move(*filter_built);
+    dataset.Attach(filter.get());
+
+    ASSERT_TRUE(dataset.Insert(pool).ok());
+    for (const uint32_t victim : {1u, 30u, 75u}) {
+      ASSERT_TRUE(dataset.Delete(victim).ok());
+    }
+    ASSERT_TRUE(dataset.Compact().ok());
+    ASSERT_TRUE(dataset.Delete(7).ok());  // leave one live tombstone too.
+
+    const FloatMatrix live = dataset.LiveCorpus();
+    ASSERT_EQ(filter->live_points(), live.rows());
+
+    KmeansOptions shared;
+    shared.k = 8;
+    shared.max_iterations = 4;
+    shared.use_pim = true;
+    shared.engine_options = engine_options;
+    shared.filter = filter.get();
+    KmeansOptions fresh = shared;
+    fresh.filter = nullptr;
+
+    LloydKmeans lloyd;
+    auto with_shared = lloyd.Run(live, shared);
+    auto with_fresh = lloyd.Run(live, fresh);
+    ASSERT_TRUE(with_shared.ok()) << with_shared.status().ToString();
+    ASSERT_TRUE(with_fresh.ok());
+    EXPECT_EQ(with_shared->assignments, with_fresh->assignments)
+        << "shards=" << shards;
+    ASSERT_EQ(with_shared->centers.rows(), with_fresh->centers.rows());
+    for (size_t c = 0; c < with_shared->centers.rows(); ++c) {
+      const auto a = with_shared->centers.row(c);
+      const auto b = with_fresh->centers.row(c);
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+          << "center " << c << " shards=" << shards;
+    }
+    EXPECT_EQ(with_shared->inertia, with_fresh->inertia);
+  }
+}
+
+TEST(MutationModelTest, ServeMutatedEqualsFreshOnMergedCorpus) {
+  // A server that lived through the mutation trace (ending compacted) must
+  // replay bit-identically to a server freshly built on the merged corpus
+  // — results, scheduling stats and telemetry documents alike.
+  const FloatMatrix base = RandomUnitMatrix(64, 12, 0x2A);
+  const FloatMatrix pool = RandomUnitMatrix(8, 12, 0x2B);
+  const FloatMatrix queries = RandomUnitMatrix(6, 12, 0x2C);
+
+  serve::ServeOptions serve_options;
+  serve_options.k = 4;
+  serve_options.max_batch = 4;
+  serve_options.compact_watermark = 0.10;
+  EngineOptions engine_options;
+  engine_options.shard.shards = 2;
+  engine_options.shard.replicas = 2;
+
+  MutableDataset dataset(base);
+  auto mutated_built = serve::PimServer::Build(
+      dataset.corpus(), Distance::kEuclidean, engine_options, serve_options);
+  ASSERT_TRUE(mutated_built.ok()) << mutated_built.status().ToString();
+  auto mutated = std::move(*mutated_built);
+  ASSERT_TRUE(mutated->AttachMutable(&dataset).ok());
+
+  ASSERT_TRUE(dataset.Insert(pool).ok());
+  for (const uint32_t victim : {0u, 9u, 33u, 64u, 65u, 70u, 12u, 40u}) {
+    ASSERT_TRUE(dataset.Delete(victim).ok());
+    ASSERT_TRUE(mutated->MaybeCompact().ok());
+  }
+  ASSERT_TRUE(dataset.Compact().ok());  // idempotent when already compact.
+  EXPECT_GE(mutated->watermark_compactions(), 1u);
+  ASSERT_EQ(dataset.tombstoned_rows(), 0u);
+
+  FloatMatrix merged = dataset.LiveCorpus();
+  auto fresh_built = serve::PimServer::Build(merged, Distance::kEuclidean,
+                                             engine_options, serve_options);
+  ASSERT_TRUE(fresh_built.ok());
+  auto fresh = std::move(*fresh_built);
+
+  serve::WorkloadSpec spec;
+  spec.num_requests = 32;
+  spec.offered_qps = 1e6;
+  spec.tenant_share = {1.0};
+  spec.num_query_rows = static_cast<uint32_t>(queries.rows());
+  spec.seed = 7;
+  auto trace = serve::GeneratePoissonTrace(spec);
+  ASSERT_TRUE(trace.ok());
+
+  auto got = mutated->Replay(*trace, queries);
+  auto want = fresh->Replay(*trace, queries);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->results.size(), want->results.size());
+  for (size_t i = 0; i < got->results.size(); ++i) {
+    EXPECT_EQ(got->results[i].neighbors, want->results[i].neighbors) << i;
+    EXPECT_EQ(got->results[i].dispatch_ns, want->results[i].dispatch_ns) << i;
+    EXPECT_EQ(got->results[i].completion_ns, want->results[i].completion_ns)
+        << i;
+  }
+  EXPECT_EQ(got->stats.served, want->stats.served);
+  EXPECT_EQ(got->stats.batches, want->stats.batches);
+  EXPECT_EQ(got->stats.makespan_ns, want->stats.makespan_ns);
+  EXPECT_EQ(got->stats.exec.exact_count, want->stats.exec.exact_count);
+  EXPECT_EQ(got->timeseries_json, want->timeseries_json);
+  EXPECT_EQ(got->events_jsonl, want->events_jsonl);
+}
+
+TEST(MutationModelTest, FleetCountersAndMetricsTrackMutations) {
+  const FloatMatrix base = RandomUnitMatrix(40, 8, 0x3A);
+  const FloatMatrix extra = RandomUnitMatrix(6, 8, 0x3B);
+  EngineOptions options;
+  options.shard.shards = 2;
+  options.shard.replicas = 2;
+  auto built = ShardedPimEngine::Build(base, Distance::kEuclidean, options);
+  ASSERT_TRUE(built.ok());
+  auto engine = std::move(*built);
+
+  EXPECT_FALSE(engine->FleetStats().AnyMutation());
+  ASSERT_TRUE(engine->AppendRows(extra).ok());
+  ASSERT_TRUE(engine->DeleteRow(3).ok());
+  ASSERT_TRUE(engine->DeleteRow(41).ok());
+  FleetRunStats stats = engine->FleetStats();
+  EXPECT_TRUE(stats.AnyMutation());
+  EXPECT_EQ(stats.appended_rows, 6u);
+  EXPECT_EQ(stats.deleted_rows, 2u);
+  EXPECT_EQ(stats.delta_rows, 6u);
+  EXPECT_EQ(stats.tombstoned_rows, 2u);
+  EXPECT_EQ(stats.compactions, 0u);
+  // Every replica of every shard programs its copy: (40 base + 6 delta)
+  // rows x 2 replicas.
+  EXPECT_EQ(stats.row_writes, 2u * 46u);
+  EXPECT_NE(stats.ToString().find("mutation:"), std::string::npos);
+
+  ASSERT_TRUE(engine->Compact().ok());
+  stats = engine->FleetStats();
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(stats.compacted_rows, 44u);
+  EXPECT_EQ(stats.delta_rows, 0u);
+  EXPECT_EQ(stats.tombstoned_rows, 0u);
+  EXPECT_EQ(engine->num_objects(), 44u);
+  EXPECT_EQ(stats.row_writes, 2u * (46u + 44u));
+
+  obs::MetricsRegistry registry;
+  engine->ExportMetrics(&registry);
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("pimine_mutation_appended_rows_total 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("pimine_mutation_deleted_rows_total 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pimine_mutation_compactions_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pimine_mutation_delta_rows 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pimine

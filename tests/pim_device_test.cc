@@ -112,9 +112,18 @@ TEST(PimDeviceTest, EnduranceTracksReprogramming) {
   const IntMatrix data = RandomIntMatrix(10, 8, 10, 6);
   ASSERT_TRUE(device.ProgramDataset(data).ok());
   const double after_one = device.EnduranceRemainingFraction();
-  ASSERT_TRUE(device.ProgramDataset(data).ok());
+  ASSERT_TRUE(device.ReprogramDataset(data).ok());
   EXPECT_LT(device.EnduranceRemainingFraction(), after_one);
   EXPECT_GT(device.EnduranceRemainingFraction(), 0.999);
+}
+
+TEST(PimDeviceTest, ProgramDatasetRefusesSilentOverwrite) {
+  // Reprogramming must be explicit (ReprogramDataset): a second
+  // ProgramDataset call is a caller bug, not a free rewrite.
+  PimDevice device;
+  const IntMatrix data = RandomIntMatrix(10, 8, 10, 6);
+  ASSERT_TRUE(device.ProgramDataset(data).ok());
+  EXPECT_EQ(device.ProgramDataset(data).code(), StatusCode::kInvalidArgument);
 }
 
 TEST(PimDeviceTest, AuxStorageCapacity) {

@@ -62,6 +62,17 @@ SCHEMAS = {
             "attempts_failed", "slack_fills", "balanced",
         ],
     },
+    "pimine.bench.mutation.v1": {
+        "keys": ["insert_batch", "watermark"],
+        "required": [
+            "insert_batch", "watermark", "steps", "queries_run", "final_live",
+            "appended_rows", "deleted_rows", "compactions", "compacted_rows",
+            "residual_delta_rows", "residual_tombstones", "row_writes",
+            "naive_row_writes", "write_savings", "worn_rows",
+            "identical_to_fresh_program", "wall_ms",
+        ],
+        "header": ["n", "d", "base_rows", "stream_rows", "k", "queries"],
+    },
 }
 
 

@@ -68,8 +68,15 @@ int Usage() {
       "          [--chaos_link_faults=0] [--chaos_horizon_us=0]\n"
       "          [--chaos_seed=0xC7A05] [--batch_deadline_us=0]\n"
       "          [--degrade_watermark=0.0]\n"
+      "          [--mutate_trace=i:64,d:0-9,c] [--compact_watermark=0.0]\n"
       "  live    same scheduler flags plus [--clients=4]\n"
-      "          [--metrics_port=9464] [--linger_ms=0]\n";
+      "          [--metrics_port=9464] [--linger_ms=0]\n"
+      "\n"
+      "--mutate_trace applies a mutation trace before the replay: the last\n"
+      "rows of the dataset become the insert stream (i:N appends N of\n"
+      "them), d:A / d:A-B tombstone physical rows, c compacts. When\n"
+      "--compact_watermark > 0 the server also compacts whenever the\n"
+      "tombstone fraction reaches it.\n";
   return 2;
 }
 
@@ -130,6 +137,7 @@ serve::ServeOptions ServeFromFlags(const FlagParser& flags) {
   options.batch_deadline_ns =
       static_cast<uint64_t>(flags.GetInt("batch_deadline_us", 0)) * 1000;
   options.degrade_watermark = flags.GetDouble("degrade_watermark", 0.0);
+  options.compact_watermark = flags.GetDouble("compact_watermark", 0.0);
   return options;
 }
 
@@ -193,7 +201,7 @@ int RunReplay(const FlagParser& flags) {
        "metrics_out", "timeseries_out", "events_out", "event_sample",
        "event_seed", "chaos_deaths", "chaos_stalls", "chaos_link_faults",
        "chaos_horizon_us", "chaos_seed", "batch_deadline_us",
-       "degrade_watermark"}));
+       "degrade_watermark", "mutate_trace", "compact_watermark"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 64));
@@ -205,6 +213,37 @@ int RunReplay(const FlagParser& flags) {
                             : distance_name == "PCC" ? Distance::kPearson
                                                      : Distance::kEuclidean;
   const serve::ServeOptions serve_options = ServeFromFlags(flags);
+
+  // Mutable-dataset mode: split the workload into a base corpus plus an
+  // insert stream (its LAST `total inserts` rows), replay the mutation
+  // trace against the served corpus, then serve what remains.
+  std::vector<MutationOp> mutation_ops;
+  std::unique_ptr<MutableDataset> dataset;
+  FloatMatrix insert_stream;
+  const std::string mutate_trace = flags.GetString("mutate_trace", "");
+  if (!mutate_trace.empty()) {
+    auto parsed = ParseMutationTrace(mutate_trace);
+    PIMINE_CHECK(parsed.ok()) << parsed.status().ToString();
+    mutation_ops = std::move(*parsed);
+    size_t inserts = 0;
+    for (const MutationOp& op : mutation_ops) {
+      if (op.kind == MutationOp::Kind::kInsert) inserts += op.count;
+    }
+    PIMINE_CHECK(inserts < workload.data.rows())
+        << "--mutate_trace inserts " << inserts
+        << " rows but the dataset only has " << workload.data.rows();
+    const size_t base_rows = workload.data.rows() - inserts;
+    const size_t d = workload.data.cols();
+    FloatMatrix base(base_rows, d);
+    insert_stream = FloatMatrix(inserts, d);
+    for (size_t i = 0; i < workload.data.rows(); ++i) {
+      const auto src = workload.data.row(i);
+      auto dst = i < base_rows ? base.mutable_row(i)
+                               : insert_stream.mutable_row(i - base_rows);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    dataset = std::make_unique<MutableDataset>(std::move(base));
+  }
 
   serve::WorkloadSpec spec;
   spec.num_requests = static_cast<size_t>(flags.GetInt("requests", 512));
@@ -220,9 +259,27 @@ int RunReplay(const FlagParser& flags) {
 
   auto trace = serve::GeneratePoissonTrace(spec);
   PIMINE_CHECK(trace.ok()) << trace.status().ToString();
+  const FloatMatrix& served_data =
+      dataset != nullptr ? dataset->corpus() : workload.data;
   auto server =
-      serve::PimServer::Build(workload.data, distance, engine, serve_options);
+      serve::PimServer::Build(served_data, distance, engine, serve_options);
   PIMINE_CHECK(server.ok()) << server.status().ToString();
+  if (dataset != nullptr) {
+    PIMINE_CHECK_OK((*server)->AttachMutable(dataset.get()));
+    // One op at a time so the compaction watermark is evaluated between
+    // top-level mutations (never from inside a listener callback).
+    size_t stream_pos = 0;
+    for (const MutationOp& op : mutation_ops) {
+      PIMINE_CHECK_OK(ApplyMutationTrace(dataset.get(), {&op, 1},
+                                         insert_stream, &stream_pos));
+      PIMINE_CHECK_OK((*server)->MaybeCompact());
+    }
+    std::cout << "mutations: " << mutate_trace << " -> "
+              << dataset->live_rows() << " live rows ("
+              << dataset->tombstoned_rows() << " tombstoned), "
+              << (*server)->watermark_compactions()
+              << " watermark compactions\n";
+  }
   auto output = (*server)->Replay(*trace, workload.queries);
   PIMINE_CHECK(output.ok()) << output.status().ToString();
 
@@ -259,7 +316,7 @@ int RunLive(const FlagParser& flags) {
        "metrics_port", "linger_ms", "event_sample", "event_seed",
        "chaos_deaths", "chaos_stalls", "chaos_link_faults",
        "chaos_horizon_us", "chaos_seed", "batch_deadline_us",
-       "degrade_watermark"}));
+       "degrade_watermark", "compact_watermark"}));
   const auto workload =
       LoadWorkload(flags.GetString("dataset", "MSD"), flags.GetInt("n", 0),
                    flags.GetInt("queries", 64));
